@@ -1,0 +1,157 @@
+// A2 — Insight 2 ablation: "One size does not fit all" — one global model
+// vs per-customer micro models vs the "happy middle ground" of segment
+// models (stratify the data, one model per cluster).
+//
+// Task: predict a customer's resource usage from its profile, where the
+// population is a mixture of segments with different usage laws and
+// per-customer idiosyncrasies. We sweep the granularity and report
+// accuracy and the number of models to manage.
+
+#include <cstdio>
+
+#include <map>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "ml/kmeans.h"
+#include "ml/linear.h"
+
+using namespace ads;  // NOLINT: bench brevity
+
+namespace {
+
+struct Example {
+  int customer = 0;
+  int segment = 0;
+  std::vector<double> features;
+  double usage = 0.0;
+};
+
+// Three customer segments with different usage laws; each customer adds a
+// personal offset. Few observations per customer.
+std::vector<Example> MakePopulation(size_t customers, size_t obs_per_customer,
+                                    uint64_t seed) {
+  std::vector<Example> out;
+  for (size_t c = 0; c < customers; ++c) {
+    // Per-customer stream: the customer's identity (segment, personal
+    // offset) is stable across train/test regardless of how many
+    // observations are drawn.
+    common::Rng rng(seed * 7919 + c);
+    int segment = static_cast<int>(rng.UniformInt(0, 2));
+    double personal = rng.Normal(0, 3.0);
+    // Decorrelate train and test observations.
+    for (size_t skip = 0; skip < 4 * obs_per_customer; ++skip) rng.Uniform();
+    for (size_t o = 0; o < obs_per_customer; ++o) {
+      double x1 = rng.Uniform(0, 10);
+      double x2 = rng.Uniform(0, 10);
+      double y = personal + rng.Normal(0, 1.0);
+      // Segment-specific laws (the heterogeneity a global model fights).
+      if (segment == 0) y += 5.0 * x1 + 0.5 * x2;
+      if (segment == 1) y += 0.5 * x1 + 5.0 * x2;
+      if (segment == 2) y += 2.0 * x1 - 2.0 * x2 + 30.0;
+      out.push_back({static_cast<int>(c), segment, {x1, x2}, y});
+    }
+  }
+  return out;
+}
+
+double Rmse(const std::vector<double>& t, const std::vector<double>& p) {
+  return common::RootMeanSquaredError(t, p);
+}
+
+}  // namespace
+
+int main() {
+  constexpr size_t kCustomers = 150;
+  constexpr size_t kObs = 8;  // few observations per customer
+  auto train = MakePopulation(kCustomers, kObs, 1);
+  auto test = MakePopulation(kCustomers, 2, 1);  // same customers/segments
+
+  common::Table table({"granularity", "models to manage", "test RMSE",
+                       "notes"});
+
+  // Global model: one linear fit over everything.
+  {
+    ml::Dataset data;
+    for (const auto& e : train) data.Add(e.features, e.usage);
+    ml::LinearRegressor model;
+    ADS_CHECK_OK(model.Fit(data));
+    std::vector<double> truth;
+    std::vector<double> pred;
+    for (const auto& e : test) {
+      truth.push_back(e.usage);
+      pred.push_back(model.Predict(e.features));
+    }
+    table.AddRow({"global (1 model)", "1", common::Table::Num(Rmse(truth, pred), 2),
+                  "broad but imprecise"});
+  }
+
+  // Segment models: k-means on (features, usage mix) then one model each.
+  {
+    // Cluster customers by their mean usage law coefficients proxy: use
+    // per-customer mean (x1-weighted, x2-weighted) responses.
+    std::map<int, std::vector<const Example*>> by_customer;
+    for (const auto& e : train) by_customer[e.customer].push_back(&e);
+    std::vector<std::vector<double>> points;
+    std::vector<int> customer_ids;
+    for (const auto& [id, examples] : by_customer) {
+      // Fit a tiny per-customer linear model and use its weights as the
+      // clustering signature (what stratifies the data naturally).
+      ml::Dataset d;
+      for (const auto* e : examples) d.Add(e->features, e->usage);
+      ml::LinearRegressor m;
+      if (!m.Fit(d).ok()) continue;
+      points.push_back({m.weights()[0], m.weights()[1]});
+      customer_ids.push_back(id);
+    }
+    ml::KMeans km({.k = 3, .seed = 2});
+    ADS_CHECK_OK(km.Fit(points));
+    std::map<int, size_t> customer_cluster;
+    for (size_t i = 0; i < customer_ids.size(); ++i) {
+      customer_cluster[customer_ids[i]] = km.labels()[i];
+    }
+    // One model per cluster.
+    std::vector<ml::Dataset> cluster_data(3);
+    for (const auto& e : train) {
+      cluster_data[customer_cluster[e.customer]].Add(e.features, e.usage);
+    }
+    std::vector<ml::LinearRegressor> models(3);
+    for (int k = 0; k < 3; ++k) ADS_CHECK_OK(models[k].Fit(cluster_data[k]));
+    std::vector<double> truth;
+    std::vector<double> pred;
+    for (const auto& e : test) {
+      truth.push_back(e.usage);
+      pred.push_back(models[customer_cluster[e.customer]].Predict(e.features));
+    }
+    table.AddRow({"segment (k-means, 3 models)", "3",
+                  common::Table::Num(Rmse(truth, pred), 2),
+                  "the happy middle ground"});
+  }
+
+  // Micro models: one per customer (8 observations each).
+  {
+    std::map<int, ml::Dataset> per_customer;
+    for (const auto& e : train) per_customer[e.customer].Add(e.features, e.usage);
+    std::map<int, ml::LinearRegressor> models;
+    for (auto& [id, data] : per_customer) {
+      ml::LinearRegressor m(1.0);  // needs ridge: tiny datasets
+      if (m.Fit(data).ok()) models[id] = std::move(m);
+    }
+    std::vector<double> truth;
+    std::vector<double> pred;
+    for (const auto& e : test) {
+      truth.push_back(e.usage);
+      pred.push_back(models[e.customer].Predict(e.features));
+    }
+    table.AddRow({"micro (per customer)", std::to_string(models.size()),
+                  common::Table::Num(Rmse(truth, pred), 2),
+                  "accurate iff data suffices; costly to manage"});
+  }
+
+  table.Print("A2 | Insight 2: model granularity trade-off");
+  std::printf("\nWith only %zu observations per customer, segment models "
+              "beat the global model on accuracy\nwhile keeping the model "
+              "count manageable — the paper's middle ground.\n", kObs);
+  return 0;
+}

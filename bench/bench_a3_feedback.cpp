@@ -1,0 +1,120 @@
+// A3 — Insight 3 ablation: "Feedback loop is indispensable". A deployed
+// model faces concept drift; we compare a static deployment against the
+// full loop (monitoring -> rollback -> retrain) on cumulative serving
+// error.
+//
+// Scenario: a cardinality-style regression model serves predictions while
+// the underlying data distribution shifts mid-stream. The feedback loop's
+// monitor alarms, rolls back to the previous (more general) version, and
+// requests a retrain that then deploys.
+
+#include <cstdio>
+
+#include "autonomy/feedback.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "ml/linear.h"
+#include "ml/registry.h"
+
+using namespace ads;  // NOLINT: bench brevity
+
+namespace {
+
+// World: y = slope * x; slope drifts from 2.0 to 5.0 at t = kDriftAt.
+constexpr int kSteps = 600;
+constexpr int kDriftAt = 250;
+
+double TrueSlope(int t) { return t < kDriftAt ? 2.0 : 5.0; }
+
+ml::LinearRegressor FitOnWindow(const std::vector<std::pair<double, double>>&
+                                    window) {
+  ml::Dataset d;
+  for (const auto& [x, y] : window) d.Add({x}, y);
+  ml::LinearRegressor m;
+  ADS_CHECK_OK(m.Fit(d));
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  common::Rng rng(3);
+
+  // Pre-drift training data -> v1 (trained on a broad window, slope ~2)
+  // and v2 (overfit to a recent quirk: slope 1.6 — the "improved" model
+  // that will regress hard after the drift).
+  std::vector<std::pair<double, double>> early;
+  for (int i = 0; i < 100; ++i) {
+    double x = rng.Uniform(1, 10);
+    early.emplace_back(x, 2.0 * x + rng.Normal(0, 0.5));
+  }
+  ml::LinearRegressor v1 = FitOnWindow(early);
+  ml::LinearRegressor v2;
+  v2.SetCoefficients(0.5, {1.6});
+
+  // Static deployment: v2 forever.
+  // Feedback deployment: registry with v1 -> v2 deployed, loop active.
+  ml::ModelRegistry registry;
+  registry.Register("m", v1.Serialize());
+  registry.Register("m", v2.Serialize());
+  ADS_CHECK_OK(registry.Deploy("m", 1));
+  ADS_CHECK_OK(registry.Deploy("m", 2));
+  autonomy::FeedbackLoop loop(
+      &registry,
+      {.detector = {.baseline_window = 30, .recent_window = 10,
+                    .degradation_factor = 2.5, .min_absolute_error = 0.2}});
+
+  double static_error = 0.0;
+  double loop_error = 0.0;
+  size_t retrains = 0;
+  std::vector<std::pair<double, double>> recent;
+  common::Table timeline({"step", "event"});
+
+  for (int t = 0; t < kSteps; ++t) {
+    double x = rng.Uniform(1, 10);
+    double y = TrueSlope(t) * x + rng.Normal(0, 0.5);
+    recent.emplace_back(x, y);
+    if (recent.size() > 60) recent.erase(recent.begin());
+
+    static_error += std::abs(v2.Predict({x}) - y);
+
+    auto serving = registry.DeployedModel("m");
+    ADS_CHECK_OK(serving.status());
+    double pred = (*serving)->Predict({x});
+    loop_error += std::abs(pred - y);
+    autonomy::FeedbackAction action = loop.ReportObservation("m", y, pred);
+    if (action == autonomy::FeedbackAction::kRolledBack) {
+      timeline.AddRow({std::to_string(t), "drift alarm -> rolled back to v" +
+                                              std::to_string(
+                                                  registry.DeployedVersion("m"))});
+      recent.clear();  // retrain on data observed after the alarm only
+    }
+    // Retrain worker: when requested and enough fresh data, retrain+deploy.
+    if (loop.RetrainPending("m") && recent.size() >= 40) {
+      ml::LinearRegressor fresh = FitOnWindow(recent);
+      uint32_t v = registry.Register("m", fresh.Serialize());
+      ADS_CHECK_OK(registry.Deploy("m", v));
+      loop.NotifyRetrained("m");
+      ++retrains;
+      timeline.AddRow({std::to_string(t),
+                       "retrained on fresh window -> deployed v" +
+                           std::to_string(v)});
+    }
+  }
+  timeline.Print("A3 | feedback-loop timeline (drift injected at step " +
+                 std::to_string(kDriftAt) + ")");
+
+  common::Table table({"deployment", "cumulative |error|", "rollbacks",
+                       "retrains"});
+  table.AddRow({"static model (no loop)", common::Table::Num(static_error, 0),
+                "0", "0"});
+  table.AddRow({"monitor + rollback + retrain",
+                common::Table::Num(loop_error, 0),
+                std::to_string(loop.rollbacks()), std::to_string(retrains)});
+  table.Print("A3 | Insight 3: the feedback loop vs a static deployment");
+  std::printf("\nPaper: well-tested solutions still need monitoring and a "
+              "fast rollback to avoid regression.\nMeasured: the loop cuts "
+              "cumulative serving error by %.0f%% across the drift.\n",
+              (1.0 - loop_error / static_error) * 100.0);
+  return 0;
+}

@@ -1,0 +1,118 @@
+// E10 — §4.2 (Phoebe [52]): the learned checkpoint optimizer "free[d] the
+// temporary storage on hotspots by more than 70% and restart[ed] failed
+// jobs 68% faster on average with minimal impact on performance".
+//
+// We train the per-stage predictors on history, choose LP-based cuts for a
+// held-out batch under several global persisted-bytes budgets, and
+// measure: temp storage freed on the hottest machine, restart time after a
+// failure, and job makespan impact.
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "engine/executor.h"
+#include "engine/optimizer.h"
+#include "learned/checkpoint.h"
+#include "workload/query_gen.h"
+
+using namespace ads;  // NOLINT: bench brevity
+
+int main() {
+  workload::QueryGenerator gen({.num_templates = 20,
+                                .recurring_fraction = 1.0,
+                                .shared_fragment_fraction = 0.6,
+                                .seed = 43});
+  engine::Optimizer optimizer(&gen.catalog());
+  engine::CostModel cost_model;
+  engine::JobSimulator simulator;
+
+  auto run_batch = [&](int count) {
+    std::vector<engine::StageGraph> graphs;
+    for (int i = 0; i < count; ++i) {
+      auto job = gen.NextJob();
+      auto plan = optimizer.Optimize(*job.plan, engine::RuleConfig::Default());
+      graphs.push_back(engine::CompileToStages(*plan, cost_model,
+                                               engine::CardSource::kTrue));
+    }
+    return graphs;
+  };
+
+  // Train stage predictors on history.
+  auto history = run_batch(120);
+  std::vector<learned::StageObservation> observations;
+  for (const auto& g : history) {
+    for (const engine::Stage& s : g.stages) {
+      observations.push_back({learned::StageFeatures(g, s), s.work,
+                              s.output_bytes});
+    }
+  }
+  learned::StagePredictor predictor;
+  ADS_CHECK_OK(predictor.Train(observations));
+
+  // Held-out jobs.
+  auto jobs = run_batch(40);
+  std::vector<const engine::StageGraph*> graph_ptrs;
+  for (const auto& g : jobs) graph_ptrs.push_back(&g);
+
+  // Baselines (no checkpoints).
+  // Accelerated failure rate: simulated jobs run tens of seconds, so the
+  // rate is scaled so that a realistic share (~1/4) of runs see a failure.
+  constexpr double kFailuresPerHour = 30.0;
+  double temp_base = 0.0;
+  double restart_base = 0.0;
+  double makespan_base = 0.0;
+  double failure_runtime_base = 0.0;
+  for (size_t j = 0; j < jobs.size(); ++j) {
+    uint64_t seed = 100 + j;
+    engine::JobRun base = simulator.Execute(jobs[j], seed);
+    temp_base += base.PeakTempOnBusiestMachine();
+    makespan_base += base.makespan;
+    restart_base += simulator.RestartTime(jobs[j], seed);
+    failure_runtime_base += simulator.ExpectedRuntimeWithFailures(
+        jobs[j], seed, kFailuresPerHour);
+  }
+
+  common::Table table({"persist budget", "jobs cut", "hotspot temp",
+                       "restart time", "makespan",
+                       "E[runtime] w/ failures"});
+  table.AddRow({"none (baseline)", "0", "-0.0%", "-0.0%", "+0.0%", "+0.0%"});
+  for (double budget : {5e8, 4e9, 5e10}) {
+    learned::CheckpointOptimizer chooser(
+        {.budget_bytes = budget});
+    auto choices = chooser.Choose(graph_ptrs, &predictor);
+    ADS_CHECK_OK(choices.status());
+    std::map<size_t, const learned::CheckpointChoice*> by_job;
+    for (const auto& c : *choices) by_job[c.job_index] = &c;
+
+    double temp = 0.0;
+    double restart = 0.0;
+    double makespan = 0.0;
+    double failure_runtime = 0.0;
+    for (size_t j = 0; j < jobs.size(); ++j) {
+      std::set<int> cut;
+      if (by_job.count(j) > 0) cut = by_job[j]->stages;
+      uint64_t seed = 100 + j;
+      engine::JobRun run = simulator.Execute(jobs[j], seed, cut);
+      temp += run.PeakTempOnBusiestMachine();
+      makespan += run.makespan;
+      restart += simulator.RestartTime(jobs[j], seed, cut);
+      failure_runtime += simulator.ExpectedRuntimeWithFailures(
+          jobs[j], seed, kFailuresPerHour, cut);
+    }
+    char label[32];
+    std::snprintf(label, sizeof(label), "%.1f GB", budget / 1e9);
+    table.AddRow({label, std::to_string(choices->size()),
+                  common::Table::Pct(temp / temp_base - 1.0),
+                  common::Table::Pct(restart / restart_base - 1.0),
+                  common::Table::Pct(makespan / makespan_base - 1.0),
+                  common::Table::Pct(
+                      failure_runtime / failure_runtime_base - 1.0)});
+  }
+  table.Print("E10 | Phoebe LP cuts vs persisted-bytes budget (40 held-out "
+              "jobs, predicted stage stats)");
+  std::printf("\nPaper: >70%% hotspot temp storage freed, 68%% faster "
+              "restarts, minimal performance impact.\nMeasured above: the "
+              "generous-budget row is the paper's operating point; tighter "
+              "budgets trade both gains down.\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// E13 — §4.3 (Seagull [40]): automated backup scheduling. "The system
+// identifies low load windows with 99% accuracy"; and per Insight 1, "a
+// simple heuristic that predicts the load of a server based on that of the
+// previous day was already sufficient to generate 96% accuracy" for
+// servers with stable patterns.
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "service/seagull.h"
+#include "workload/usage_gen.h"
+
+using namespace ads;  // NOLINT: bench brevity
+
+int main() {
+  auto traces = workload::GenerateServerLoads(
+      2000, {.hours = 24 * 21, .stable_fraction = 0.98, .noise = 0.05,
+             .anomaly_probability_per_day = 0.05, .seed = 59});
+
+  common::Table table({"method", "paper", "window accuracy",
+                       "mean load vs optimal"});
+  struct Row {
+    service::BackupMethod method;
+    const char* paper;
+  };
+  for (const Row& row : {Row{service::BackupMethod::kHourOfDayMean, "99%"},
+                         Row{service::BackupMethod::kWeightedHourOfDayMean,
+                             "-"},
+                         Row{service::BackupMethod::kPreviousDay, "96%"}}) {
+    auto eval = service::EvaluateBackupScheduling(traces, row.method);
+    ADS_CHECK_OK(eval.status());
+    table.AddRow({service::BackupMethodName(row.method), row.paper,
+                  common::Table::Pct(eval->accuracy),
+                  common::Table::Num(eval->mean_load_ratio, 2) + "x"});
+  }
+  table.Print("E13 | low-load backup window detection (" +
+              std::to_string(traces.size()) + " servers)");
+  std::printf("\nPaper shape: the per-server model reaches ~99%%; the "
+              "previous-day heuristic is already ~96%% —\nsimplicity rules, "
+              "and the ML margin comes from robustness to one-off "
+              "anomalies.\n");
+  return 0;
+}

@@ -1,0 +1,134 @@
+// E1 — §4.1 (KEA [53]): model-driven tuning of scheduler configuration.
+//
+// KEA learned machine-behaviour models from telemetry and fed them into an
+// optimizer that set per-SKU "maximum running containers" to balance load
+// across Cosmos machine generations. We reproduce the loop: run with
+// default caps, learn cpu-per-container per SKU, solve the cap LP, re-run,
+// and report hotspot count and tail latency.
+
+#include <cstdio>
+
+#include "common/simplex.h"
+#include "common/table.h"
+#include "infra/scheduler.h"
+#include "ml/linear.h"
+#include "telemetry/store.h"
+
+using namespace ads;  // NOLINT: bench brevity
+
+namespace {
+
+struct DayResult {
+  int hotspots = 0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  uint64_t completed = 0;
+};
+
+infra::Cluster MakeFleet() {
+  infra::SkuSpec gen3{.name = "gen3", .default_max_containers = 24,
+                      .cpu_per_container = 0.08, .util_knee = 0.65,
+                      .slowdown_per_util = 3.5};
+  infra::SkuSpec gen4{.name = "gen4", .default_max_containers = 24,
+                      .cpu_per_container = 0.05, .util_knee = 0.75,
+                      .slowdown_per_util = 2.5};
+  infra::SkuSpec gen5{.name = "gen5", .default_max_containers = 24,
+                      .cpu_per_container = 0.03, .util_knee = 0.8,
+                      .slowdown_per_util = 2.0};
+  infra::Cluster cluster;
+  cluster.AddMachines(gen3, 6, 2);
+  cluster.AddMachines(gen4, 6, 2);
+  cluster.AddMachines(gen5, 6, 2);
+  return cluster;
+}
+
+DayResult RunDay(infra::Cluster& cluster, const infra::SchedulerConfig& config,
+                 telemetry::TelemetryStore* telemetry, uint64_t seed) {
+  common::EventQueue queue;
+  infra::ClusterScheduler scheduler(&cluster, &queue, telemetry, seed);
+  scheduler.SetConfig(config);
+  common::Rng rng(seed);
+  for (int i = 0; i < 6200; ++i) {
+    double when = rng.Uniform(0.0, common::Hours(4));
+    queue.ScheduleAt(when, [&scheduler, &rng, i](common::SimTime) {
+      scheduler.Submit({.id = static_cast<uint64_t>(i),
+                        .base_duration = rng.Uniform(400.0, 900.0)});
+    });
+  }
+  for (double t = 0.0; t < common::Hours(6); t += 60.0) {
+    queue.ScheduleAt(t, [&scheduler](common::SimTime) {
+      scheduler.SampleTelemetry();
+    });
+  }
+  queue.RunAll();
+  return {scheduler.HotspotCount(0.9), scheduler.task_latency().Quantile(0.5),
+          scheduler.task_latency().Quantile(0.95),
+          scheduler.completed_tasks()};
+}
+
+}  // namespace
+
+int main() {
+  // Day 1: defaults, with telemetry.
+  infra::Cluster fleet1 = MakeFleet();
+  telemetry::TelemetryStore telemetry;
+  DayResult before = RunDay(fleet1, infra::SchedulerConfig{}, &telemetry, 1);
+
+  // Learn per-SKU behaviour and solve for caps: max total capacity subject
+  // to predicted utilization at the knee per SKU (a small LP per SKU,
+  // mirroring KEA's optimizer stage).
+  infra::SchedulerConfig tuned;
+  common::Table models({"sku", "learned cpu/container", "tuned cap"});
+  for (const std::string& sku_name :
+       {std::string("gen3"), std::string("gen4"), std::string("gen5")}) {
+    ml::Dataset data;
+    for (const auto& series :
+         telemetry.Select("system.cpu.utilization", {{"sku", sku_name}})) {
+      auto containers =
+          telemetry.QueryAll("container.running.count", series.labels);
+      for (size_t i = 0; i < series.points.size() && i < containers.size();
+           ++i) {
+        // Fit on the unsaturated region only: clamped (saturated) samples
+        // flatten the slope and would under-protect the machines.
+        if (series.points[i].value >= 0.95) continue;
+        data.Add({containers[i].value}, series.points[i].value);
+      }
+    }
+    ml::LinearRegressor model;
+    if (!model.Fit(data).ok() || model.weights()[0] <= 0.0) continue;
+    double knee = sku_name == "gen3" ? 0.65 : (sku_name == "gen4" ? 0.75 : 0.8);
+    common::LinearProgram lp;
+    lp.objective = {1.0};
+    lp.constraints.push_back(
+        {{model.weights()[0]}, common::ConstraintSense::kLessEqual,
+         knee - model.intercept()});
+    auto sol = common::SolveLp(lp);
+    if (sol.ok() && sol->status == common::LpStatus::kOptimal) {
+      int cap = std::max(1, static_cast<int>(sol->x[0]));
+      tuned.max_containers_per_sku[sku_name] = cap;
+      models.AddRow({sku_name, common::Table::Num(model.weights()[0], 4),
+                     std::to_string(cap)});
+    }
+  }
+  models.Print("E1 | learned behaviour models -> per-SKU caps (LP)");
+
+  // Day 2: tuned caps on a fresh identical fleet and identical traffic.
+  infra::Cluster fleet2 = MakeFleet();
+  DayResult after = RunDay(fleet2, tuned, nullptr, 1);
+
+  common::Table table({"config", "hotspot machines", "P50 latency (s)",
+                       "P95 latency (s)", "tasks done"});
+  table.AddRow({"default caps", std::to_string(before.hotspots),
+                common::Table::Num(before.p50, 0),
+                common::Table::Num(before.p95, 0),
+                std::to_string(before.completed)});
+  table.AddRow({"KEA-tuned caps", std::to_string(after.hotspots),
+                common::Table::Num(after.p50, 0),
+                common::Table::Num(after.p95, 0),
+                std::to_string(after.completed)});
+  table.Print("E1 | workload balancing via tuned scheduler configuration");
+  std::printf("\nPaper: KEA's model-driven tuning balanced load across SKUs.\n"
+              "Measured: hotspots %d -> %d, P95 %.0fs -> %.0fs.\n",
+              before.hotspots, after.hotspots, before.p95, after.p95);
+  return 0;
+}

@@ -1,0 +1,52 @@
+// E2 — §4.1 (Azure Synapse Spark): "we developed a simulator to mimic the
+// cluster initialization process and derived the optimal policy for
+// sending requests, reducing its tail latency".
+//
+// We run the cluster-initialization simulator under every request policy
+// and report the latency distribution; the derived policy is the one with
+// the lowest P99.
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "infra/pool_sim.h"
+
+using namespace ads;  // NOLINT: bench brevity
+
+int main() {
+  infra::PoolSimOptions options;
+  options.vms_per_cluster = 8;
+  options.hedge_extras = 2;
+  options.retry_timeout = 60.0;
+  infra::PoolInitSimulator simulator(options);
+
+  common::Table table({"request policy", "P50 (s)", "P95 (s)", "P99 (s)",
+                       "requests issued"});
+  constexpr int kTrials = 20000;
+  for (auto policy : {infra::RequestPolicy::kSerial,
+                      infra::RequestPolicy::kParallel,
+                      infra::RequestPolicy::kHedged,
+                      infra::RequestPolicy::kRetryOnTimeout}) {
+    auto report = simulator.Simulate(policy, kTrials, 1);
+    ADS_CHECK_OK(report.status());
+    table.AddRow({infra::RequestPolicyName(policy),
+                  common::Table::Num(report->p50, 1),
+                  common::Table::Num(report->p95, 1),
+                  common::Table::Num(report->p99, 1),
+                  common::Table::Num(report->mean_requests_issued, 1)});
+  }
+  table.Print("E2 | cluster-initialization request policies (" +
+              std::to_string(kTrials) + " initializations)");
+
+  auto best = simulator.DeriveBestPolicy(kTrials, 1);
+  ADS_CHECK_OK(best.status());
+  auto parallel = simulator.Simulate(infra::RequestPolicy::kParallel,
+                                     kTrials, 1);
+  std::printf("\nPaper: the simulator-derived policy reduces tail latency.\n"
+              "Measured: best policy '%s' cuts P99 from %.1fs (parallel "
+              "baseline) to %.1fs (-%.0f%%),\nat %.2fx request overhead.\n",
+              infra::RequestPolicyName(best->policy), parallel->p99, best->p99,
+              (1.0 - best->p99 / parallel->p99) * 100.0,
+              best->mean_requests_issued / 8.0);
+  return 0;
+}

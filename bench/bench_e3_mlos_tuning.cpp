@@ -1,0 +1,52 @@
+// E3 — §4.1 (MLOS [9]): "by using ML to predict the throughput and latency
+// of benchmark workloads on VMs with various kernel parameters ... we
+// refined the parameters of the Azure VM that runs Redis workloads".
+//
+// We tune the six-knob Redis-like response surface with the MLOS-style
+// iterative tuner and report throughput/latency of default vs tuned vs the
+// hidden optimum.
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "service/autotuner.h"
+#include "workload/response_surface.h"
+
+using namespace ads;  // NOLINT: bench brevity
+
+int main() {
+  workload::ResponseSurface redis = workload::MakeRedisSurface(31);
+  service::IterativeTuner tuner;
+  common::Rng rng(7);
+
+  common::Table curve({"benchmark runs", "best-found throughput (ops/s)",
+                       "% of optimum"});
+  auto result = tuner.Tune(redis, 60, rng, /*use_prior=*/false);
+  ADS_CHECK_OK(result.status());
+  for (size_t i : {size_t(1), size_t(5), size_t(10), size_t(20), size_t(40),
+                   size_t(59)}) {
+    if (i >= result->incumbent_curve.size()) continue;
+    curve.AddRow({std::to_string(i + 1),
+                  common::Table::Num(result->incumbent_curve[i], 0),
+                  common::Table::Pct(result->incumbent_curve[i] /
+                                     redis.peak_throughput())});
+  }
+  curve.Print("E3 | MLOS-style tuning convergence on the Redis surface");
+
+  double default_tp = redis.TrueThroughput(redis.DefaultConfig());
+  common::Table table({"configuration", "throughput (ops/s)", "latency (ms)"});
+  table.AddRow({"shipped defaults", common::Table::Num(default_tp, 0),
+                common::Table::Num(redis.TrueLatency(redis.DefaultConfig()), 3)});
+  table.AddRow({"MLOS-tuned", common::Table::Num(result->best_true_throughput, 0),
+                common::Table::Num(1000.0 / result->best_true_throughput, 3)});
+  table.AddRow({"hidden optimum", common::Table::Num(redis.peak_throughput(), 0),
+                common::Table::Num(1000.0 / redis.peak_throughput(), 3)});
+  table.Print("E3 | tuned VM/kernel parameters for the Redis workload");
+  std::printf("\nPaper: data-driven tuning refined the Redis VM parameters.\n"
+              "Measured: +%.0f%% throughput over defaults in %zu benchmark "
+              "runs (%.0f%% of the true optimum).\n",
+              (result->best_true_throughput / default_tp - 1.0) * 100.0,
+              result->evaluations,
+              result->best_true_throughput / redis.peak_throughput() * 100.0);
+  return 0;
+}

@@ -1,0 +1,100 @@
+// E5 — §4.1: "proactive cluster provisioning based on expected user
+// cluster creation demand to reduce wait time for cluster initialization
+// on Azure Synapse Spark, optimizing both COGS and performance".
+//
+// Cluster-creation requests follow a diurnal pattern. We compare: cold
+// (reactive) provisioning, a static warm pool, and a forecast-driven pool
+// whose target follows predicted demand hour by hour.
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "infra/provisioner.h"
+#include "ml/forecast.h"
+#include "workload/arrival.h"
+
+using namespace ads;  // NOLINT: bench brevity
+
+namespace {
+
+struct Outcome {
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double idle_cost = 0.0;
+  uint64_t served = 0;
+};
+
+Outcome Run(const std::vector<double>& arrivals,
+            const std::vector<double>& hourly_forecast, int static_target,
+            bool predictive) {
+  common::EventQueue queue;
+  infra::ClusterProvisioner prov(&queue, 5);
+  if (!predictive) prov.SetWarmPoolTarget(static_target);
+  if (predictive) {
+    // Re-target the pool each hour from the demand forecast (clusters
+    // needed in the next hour, with one spare).
+    for (size_t h = 0; h < hourly_forecast.size(); ++h) {
+      double when = static_cast<double>(h) * 3600.0;
+      int target = static_cast<int>(hourly_forecast[h] + 1.0);
+      queue.ScheduleAt(when, [&prov, target](common::SimTime) {
+        prov.SetWarmPoolTarget(target);
+      });
+    }
+  }
+  for (double t : arrivals) {
+    queue.ScheduleAt(t, [&prov](common::SimTime) {
+      prov.RequestCluster([](double) {});
+    });
+  }
+  queue.RunUntil(common::Days(7) + common::Hours(2));
+  return {prov.wait_times().Quantile(0.5), prov.wait_times().Quantile(0.95),
+          prov.WarmIdleCost(), prov.requests_served()};
+}
+
+}  // namespace
+
+int main() {
+  workload::ArrivalOptions arrival_opts{.peak_rate_per_hour = 10,
+                                        .trough_fraction = 0.1,
+                                        .seed = 11};
+  workload::ArrivalProcess arrivals(arrival_opts);
+  auto times = arrivals.Sample(common::Days(7));
+
+  // Forecast hourly demand with a seasonal-naive model trained on the
+  // previous week (here: the process's known hourly rates as history).
+  workload::ArrivalProcess history_proc(arrival_opts);
+  auto history = history_proc.HourlyRates(common::Days(7));
+  ml::SeasonalNaiveForecaster forecaster(24);
+  ADS_CHECK_OK(forecaster.Fit(history));
+  std::vector<double> forecast;
+  for (size_t h = 0; h < 7 * 24; ++h) {
+    forecast.push_back(forecaster.Forecast(h + 1));
+  }
+
+  common::Table table({"strategy", "P50 wait", "P95 wait", "idle COGS ($)",
+                       "served"});
+  Outcome cold = Run(times, forecast, 0, false);
+  Outcome fixed = Run(times, forecast, 8, false);
+  Outcome predictive = Run(times, forecast, 0, true);
+  table.AddRow({"reactive (cold start)", common::Table::Num(cold.p50, 0) + " s",
+                common::Table::Num(cold.p95, 0) + " s",
+                common::Table::Num(cold.idle_cost, 0),
+                std::to_string(cold.served)});
+  table.AddRow({"static warm pool (8)", common::Table::Num(fixed.p50, 0) + " s",
+                common::Table::Num(fixed.p95, 0) + " s",
+                common::Table::Num(fixed.idle_cost, 0),
+                std::to_string(fixed.served)});
+  table.AddRow({"forecast-driven pool",
+                common::Table::Num(predictive.p50, 0) + " s",
+                common::Table::Num(predictive.p95, 0) + " s",
+                common::Table::Num(predictive.idle_cost, 0),
+                std::to_string(predictive.served)});
+  table.Print("E5 | proactive cluster provisioning over one week");
+  std::printf("\nPaper: proactive provisioning reduces wait time while "
+              "optimizing COGS.\nMeasured: forecast-driven pool keeps "
+              "near-warm waits (P50 %.0fs vs %.0fs cold) at %.0f%% of the "
+              "static pool's idle cost.\n",
+              predictive.p50, cold.p50,
+              predictive.idle_cost / std::max(1.0, fixed.idle_cost) * 100.0);
+  return 0;
+}

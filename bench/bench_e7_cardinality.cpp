@@ -1,0 +1,93 @@
+// E7 — §4.2 (learned cardinality [49]): per-template micromodels,
+// "retaining only those that would actually improve performance", with the
+// optimizer falling back to default cardinalities elsewhere.
+//
+// We train on a history stream, then measure q-errors on a held-out stream
+// with and without the micromodel provider, plus the end-to-end effect on
+// plan runtimes.
+
+#include <cstdio>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "engine/executor.h"
+#include "engine/optimizer.h"
+#include "learned/card_models.h"
+#include "learned/workload_analysis.h"
+#include "workload/query_gen.h"
+
+using namespace ads;  // NOLINT: bench brevity
+
+int main() {
+  workload::QueryGenerator gen({.num_templates = 30,
+                                .recurring_fraction = 0.9,
+                                .seed = 23});
+  engine::Optimizer default_opt(&gen.catalog());
+  engine::CostModel cost_model;
+  engine::JobSimulator simulator;
+
+  // History: run and observe.
+  learned::WorkloadAnalyzer analyzer;
+  for (int i = 0; i < 800; ++i) {
+    auto job = gen.NextJob();
+    auto plan = default_opt.Optimize(*job.plan, engine::RuleConfig::Default());
+    analyzer.ObserveJob(job.job_id, *plan, 1.0);
+  }
+  learned::CardinalityModelStore store;
+  ADS_CHECK_OK(store.Train(analyzer.node_observations()));
+
+  engine::Optimizer learned_opt(&gen.catalog());
+  learned_opt.SetCardinalityProvider(&store);
+
+  // Held-out evaluation.
+  common::QuantileSketch q_default;
+  common::QuantileSketch q_learned;
+  double runtime_default = 0.0;
+  double runtime_learned = 0.0;
+  for (int i = 0; i < 300; ++i) {
+    auto job = gen.NextJob();
+    uint64_t seed = 9000 + static_cast<uint64_t>(i);
+    auto plan_d = default_opt.Optimize(*job.plan, engine::RuleConfig::Default());
+    auto plan_l = learned_opt.Optimize(*job.plan, engine::RuleConfig::Default());
+    plan_d->Visit([&](const engine::PlanNode& n) {
+      q_default.Add(common::QError(n.true_card, n.est_card));
+    });
+    plan_l->Visit([&](const engine::PlanNode& n) {
+      q_learned.Add(common::QError(n.true_card, n.est_card));
+    });
+    auto stages_d = engine::CompileToStages(*plan_d, cost_model,
+                                            engine::CardSource::kTrue);
+    auto stages_l = engine::CompileToStages(*plan_l, cost_model,
+                                            engine::CardSource::kTrue);
+    runtime_default += simulator.Execute(stages_d, seed).makespan;
+    runtime_learned += simulator.Execute(stages_l, seed).makespan;
+  }
+
+  common::Table models({"metric", "value"});
+  models.AddRow({"candidate node templates",
+                 std::to_string(store.candidate_templates())});
+  models.AddRow({"micromodels retained", std::to_string(store.retained_models())});
+  models.AddRow({"discarded by retention filter",
+                 std::to_string(store.discarded_models())});
+  models.Print("E7 | micromodel training and retention");
+
+  common::Table table({"estimator", "median q-error", "P90 q-error",
+                       "P99 q-error", "held-out runtime (s)"});
+  table.AddRow({"default (uniformity+AVI)",
+                common::Table::Num(q_default.Quantile(0.5), 2),
+                common::Table::Num(q_default.Quantile(0.9), 2),
+                common::Table::Num(q_default.Quantile(0.99), 1),
+                common::Table::Num(runtime_default, 0)});
+  table.AddRow({"with per-template micromodels",
+                common::Table::Num(q_learned.Quantile(0.5), 2),
+                common::Table::Num(q_learned.Quantile(0.9), 2),
+                common::Table::Num(q_learned.Quantile(0.99), 1),
+                common::Table::Num(runtime_learned, 0)});
+  table.Print("E7 | cardinality estimation quality and end-to-end effect");
+  std::printf("\nPaper: micromodels give more precise cardinalities for "
+              "recurring subexpressions,\ndefault estimates elsewhere. "
+              "Measured: P90 q-error %.1f -> %.1f; runtime %+.1f%%.\n",
+              q_default.Quantile(0.9), q_learned.Quantile(0.9),
+              (runtime_learned / runtime_default - 1.0) * 100.0);
+  return 0;
+}

@@ -1,0 +1,95 @@
+// E8 — §4.2 (learned cost models [46]): per-template cost micromodels plus
+// "a meta ensemble model that corrects and combines predictions from
+// individual models to increase coverage".
+//
+// Target: predicted job EXECUTION TIME (what admission and scheduling
+// consume). Baselines, in the spirit of the paper's learning/retrofitting
+// study:
+//   (a) the analytical cost model on estimated cards, RETROFITTED to time
+//       with a calibration fit on history (the best a classical optimizer
+//       cost model can do), and
+//   (b) the learned micromodels + meta ensemble trained on observed
+//       runtimes.
+
+#include <cstdio>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "engine/executor.h"
+#include "engine/optimizer.h"
+#include "learned/cost_models.h"
+#include "ml/linear.h"
+#include "workload/query_gen.h"
+
+using namespace ads;  // NOLINT: bench brevity
+
+int main() {
+  workload::QueryGenerator gen({.num_templates = 25,
+                                .recurring_fraction = 0.8,
+                                .seed = 29});
+  engine::Optimizer optimizer(&gen.catalog());
+  engine::CostModel cost_model;
+  engine::JobSimulator simulator;
+
+  // History: observed runtimes + calibration data for the retrofit.
+  learned::LearnedCostModel learned;
+  ml::Dataset calibration;  // log est-cost -> log runtime
+  for (int i = 0; i < 700; ++i) {
+    auto job = gen.NextJob();
+    auto plan = optimizer.Optimize(*job.plan, engine::RuleConfig::Default());
+    auto stages = engine::CompileToStages(*plan, cost_model,
+                                          engine::CardSource::kTrue);
+    double runtime =
+        simulator.Execute(stages, 7000 + static_cast<uint64_t>(i)).makespan;
+    learned.ObserveTarget(*plan, runtime);
+    calibration.Add(
+        {std::log1p(cost_model.PlanCost(*plan, engine::CardSource::kEstimated))},
+        std::log1p(runtime));
+  }
+  ADS_CHECK_OK(learned.Train());
+  ml::LinearRegressor retrofit;
+  ADS_CHECK_OK(retrofit.Fit(calibration));
+
+  common::RunningMoments err_retrofit;
+  common::RunningMoments err_learned;
+  size_t covered = 0;
+  constexpr int kEval = 300;
+  for (int i = 0; i < kEval; ++i) {
+    auto job = gen.NextJob();
+    auto plan = optimizer.Optimize(*job.plan, engine::RuleConfig::Default());
+    auto stages = engine::CompileToStages(*plan, cost_model,
+                                          engine::CardSource::kTrue);
+    double runtime =
+        simulator.Execute(stages, 90000 + static_cast<uint64_t>(i)).makespan;
+    double retrofit_pred = retrofit.Predict(
+        {std::log1p(cost_model.PlanCost(*plan, engine::CardSource::kEstimated))});
+    auto pred = learned.Cost(*plan);
+    if (pred.has_value()) ++covered;
+    err_retrofit.Add(std::abs(retrofit_pred - std::log1p(runtime)));
+    if (pred.has_value()) {
+      err_learned.Add(std::abs(std::log1p(*pred) - std::log1p(runtime)));
+    }
+  }
+
+  common::Table table({"runtime predictor", "coverage",
+                       "mean |log error| vs measured runtime"});
+  table.AddRow({"analytical cost, retrofitted to time", "100%",
+                common::Table::Num(err_retrofit.mean(), 3)});
+  table.AddRow({"micromodels + meta ensemble",
+                common::Table::Pct(static_cast<double>(covered) / kEval),
+                common::Table::Num(err_learned.mean(), 3)});
+  table.Print("E8 | learned cost models on held-out jobs");
+
+  common::Table detail({"detail", "value"});
+  detail.AddRow({"per-template micromodels trained",
+                 std::to_string(learned.micromodel_count())});
+  detail.AddRow({"ensemble picks micromodel",
+                 common::Table::Pct(learned.MicromodelHitRate())});
+  detail.Print("E8 | ensemble composition");
+  std::printf("\nPaper: learned cost micromodels are more accurate than the "
+              "engine's cost model, and the meta\nensemble keeps coverage "
+              "complete. Measured: log-error %.3f (learned) vs %.3f "
+              "(retrofitted analytical).\n",
+              err_learned.mean(), err_retrofit.mean());
+  return 0;
+}

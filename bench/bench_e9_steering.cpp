@@ -1,0 +1,105 @@
+// E9 — §4.2 (steered query optimization [25, 35, 51]): rule-hint steering
+// applied "in small incremental steps for better interpretability and
+// debuggability", with a bandit to limit experimentation cost and "a
+// validation model guarding against regression".
+//
+// Each recurring template gets a per-template bandit over the default
+// config and its one-rule flips. We report the fleet-level latency change
+// and the guard's interventions.
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "engine/executor.h"
+#include "engine/optimizer.h"
+#include "learned/steering.h"
+#include "workload/query_gen.h"
+
+using namespace ads;  // NOLINT: bench brevity
+
+int main() {
+  workload::QueryGenerator gen({.num_templates = 16,
+                                .recurring_fraction = 1.0,
+                                .seed = 37});
+  engine::Optimizer optimizer(&gen.catalog());
+  engine::CostModel cost_model;
+  engine::JobSimulator simulator;
+  learned::SteeringController steering(
+      {.epsilon = 0.5, .epsilon_decay = 0.9995, .min_trials = 3});
+  common::Rng rng(41);
+
+  constexpr int kDays = 100;
+  double fleet_default = 0.0;
+  double fleet_steered = 0.0;
+  std::vector<double> tmpl_default(gen.num_templates(), 0.0);
+  std::vector<double> tmpl_steered(gen.num_templates(), 0.0);
+
+  for (int day = 0; day < kDays; ++day) {
+    for (size_t t = 0; t < gen.num_templates(); ++t) {
+      auto job = gen.InstantiateTemplate(t);
+      uint64_t sig = job.plan->TemplateSignature();
+      uint64_t seed = static_cast<uint64_t>(day) * 1000 + t;
+
+      engine::RuleConfig config = steering.ChooseConfig(sig, rng);
+      auto plan = optimizer.Optimize(*job.plan, config);
+      auto stages = engine::CompileToStages(*plan, cost_model,
+                                            engine::CardSource::kTrue);
+      double runtime = simulator.Execute(stages, seed).makespan;
+      steering.ObserveRuntime(sig, config, runtime);
+      tmpl_steered[t] += runtime;
+      fleet_steered += runtime;
+
+      auto dplan = optimizer.Optimize(*job.plan, engine::RuleConfig::Default());
+      auto dstages = engine::CompileToStages(*dplan, cost_model,
+                                             engine::CardSource::kTrue);
+      double druntime = simulator.Execute(dstages, seed).makespan;
+      tmpl_default[t] += druntime;
+      fleet_default += druntime;
+    }
+  }
+
+  // Final exploitation-only pass: what did steering actually learn?
+  double final_default = 0.0;
+  double final_steered = 0.0;
+  for (int rep = 0; rep < 10; ++rep) {
+    for (size_t t = 0; t < gen.num_templates(); ++t) {
+      auto job = gen.InstantiateTemplate(t);
+      uint64_t sig = job.plan->TemplateSignature();
+      uint64_t seed = 777000 + static_cast<uint64_t>(rep) * 100 + t;
+      auto best = steering.BestConfig(sig);
+      auto plan = optimizer.Optimize(*job.plan, best);
+      auto stages = engine::CompileToStages(*plan, cost_model,
+                                            engine::CardSource::kTrue);
+      final_steered += simulator.Execute(stages, seed).makespan;
+      auto dplan = optimizer.Optimize(*job.plan, engine::RuleConfig::Default());
+      auto dstages = engine::CompileToStages(*dplan, cost_model,
+                                             engine::CardSource::kTrue);
+      final_default += simulator.Execute(dstages, seed).makespan;
+    }
+  }
+
+  common::Table table({"phase", "default (s)", "steered (s)", "change"});
+  table.AddRow({"learning period (incl. exploration)",
+                common::Table::Num(fleet_default, 0),
+                common::Table::Num(fleet_steered, 0),
+                common::Table::Pct(fleet_steered / fleet_default - 1.0)});
+  table.AddRow({"after convergence (exploit only)",
+                common::Table::Num(final_default, 0),
+                common::Table::Num(final_steered, 0),
+                common::Table::Pct(final_steered / final_default - 1.0)});
+  table.Print("E9 | optimizer steering with a regression guard");
+
+  common::Table guard({"steering telemetry", "value"});
+  guard.AddRow({"templates steered away from default",
+                std::to_string(steering.templates_steered())});
+  guard.AddRow({"arms blacklisted by the validation guard",
+                std::to_string(steering.regressions_prevented())});
+  guard.AddRow({"max rule flips per decision", "1 (by construction)"});
+  guard.Print("E9 | interpretability and safety");
+  std::printf("\nPaper: steering improves plans while the validation model "
+              "prevents regressions.\nMeasured: %+.1f%% after convergence; "
+              "%zu harmful configurations condemned during learning.\n",
+              (final_steered / final_default - 1.0) * 100.0,
+              steering.regressions_prevented());
+  return 0;
+}

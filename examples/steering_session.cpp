@@ -1,0 +1,81 @@
+// Query-optimizer steering session (the Bao-in-production scenario).
+//
+// A fleet of recurring jobs runs daily. Per template, the steering
+// controller explores one-rule deviations from the default optimizer
+// configuration, adopts a better one when the evidence is clear, and
+// blacklists configurations that regress — the validation guard the paper
+// insists on for production.
+//
+// Run: ./build/examples/steering_session
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "engine/executor.h"
+#include "engine/optimizer.h"
+#include "learned/steering.h"
+#include "workload/query_gen.h"
+
+using namespace ads;  // NOLINT: example brevity
+
+int main() {
+  workload::QueryGenerator gen({.num_templates = 8,
+                                .recurring_fraction = 1.0,
+                                .seed = 21});
+  engine::Optimizer optimizer(&gen.catalog());
+  engine::CostModel cost_model;
+  engine::JobSimulator simulator;
+  learned::SteeringController steering({.epsilon = 0.35, .min_trials = 3});
+  common::Rng rng(5);
+
+  constexpr int kDays = 80;
+  std::vector<double> default_total(gen.num_templates(), 0.0);
+  std::vector<double> steered_total(gen.num_templates(), 0.0);
+
+  for (int day = 0; day < kDays; ++day) {
+    for (size_t t = 0; t < gen.num_templates(); ++t) {
+      auto job = gen.InstantiateTemplate(t);
+      uint64_t sig = job.plan->TemplateSignature();
+      uint64_t seed = static_cast<uint64_t>(day) * 100 + t;
+
+      engine::RuleConfig config = steering.ChooseConfig(sig, rng);
+      auto plan = optimizer.Optimize(*job.plan, config);
+      auto stages = engine::CompileToStages(*plan, cost_model,
+                                            engine::CardSource::kTrue);
+      double runtime = simulator.Execute(stages, seed).makespan;
+      steering.ObserveRuntime(sig, config, runtime);
+      steered_total[t] += runtime;
+
+      // Counterfactual: the default on the same job and seed.
+      auto dplan = optimizer.Optimize(*job.plan, engine::RuleConfig::Default());
+      auto dstages = engine::CompileToStages(*dplan, cost_model,
+                                             engine::CardSource::kTrue);
+      default_total[t] += simulator.Execute(dstages, seed).makespan;
+    }
+  }
+
+  common::Table table({"template", "default (s)", "steered (s)", "change",
+                       "adopted flips"});
+  double all_default = 0.0;
+  double all_steered = 0.0;
+  for (size_t t = 0; t < gen.num_templates(); ++t) {
+    auto job = gen.InstantiateTemplate(t);
+    int distance = steering.BestConfig(job.plan->TemplateSignature())
+                       .Distance(engine::RuleConfig::Default());
+    table.AddRow({std::to_string(t), common::Table::Num(default_total[t], 0),
+                  common::Table::Num(steered_total[t], 0),
+                  common::Table::Pct(steered_total[t] / default_total[t] - 1.0),
+                  std::to_string(distance)});
+    all_default += default_total[t];
+    all_steered += steered_total[t];
+  }
+  table.Print("Per-template steering outcomes over " +
+              std::to_string(kDays) + " days");
+  std::printf("\nFleet change: %.1f%% (negative = faster). "
+              "Regression-guard blacklists: %zu\n",
+              (all_steered / all_default - 1.0) * 100.0,
+              steering.regressions_prevented());
+  std::printf("Every adopted change is a single rule flip from the default "
+              "— interpretable by design.\n");
+  return 0;
+}

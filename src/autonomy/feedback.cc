@@ -1,0 +1,44 @@
+#include "autonomy/feedback.h"
+
+#include "common/logging.h"
+
+namespace ads::autonomy {
+
+FeedbackLoop::FeedbackLoop(ml::ModelRegistry* registry,
+                           FeedbackOptions options)
+    : registry_(registry), options_(options), monitor_(options.detector) {
+  ADS_CHECK(registry != nullptr) << "feedback loop needs a registry";
+}
+
+FeedbackAction FeedbackLoop::ReportObservation(const std::string& model,
+                                               double truth,
+                                               double prediction) {
+  bool alarmed = monitor_.Observe(model, truth, prediction);
+  if (!alarmed) return FeedbackAction::kNone;
+  if (retrain_pending_.count(model) > 0 && retrain_pending_[model]) {
+    return FeedbackAction::kNone;  // already waiting on a retrain
+  }
+  if (options_.auto_rollback && registry_->Rollback(model).ok()) {
+    ++rollbacks_;
+    monitor_.Acknowledge(model);
+    // The rolled-back model may still be stale; ask for fresh training too.
+    retrain_pending_[model] = true;
+    ++retrain_requests_;
+    return FeedbackAction::kRolledBack;
+  }
+  retrain_pending_[model] = true;
+  ++retrain_requests_;
+  return FeedbackAction::kRetrainRequested;
+}
+
+void FeedbackLoop::NotifyRetrained(const std::string& model) {
+  retrain_pending_[model] = false;
+  monitor_.Acknowledge(model);
+}
+
+bool FeedbackLoop::RetrainPending(const std::string& model) const {
+  auto it = retrain_pending_.find(model);
+  return it != retrain_pending_.end() && it->second;
+}
+
+}  // namespace ads::autonomy

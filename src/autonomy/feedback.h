@@ -1,0 +1,62 @@
+#ifndef ADS_AUTONOMY_FEEDBACK_H_
+#define ADS_AUTONOMY_FEEDBACK_H_
+
+#include <map>
+#include <string>
+
+#include "autonomy/monitor.h"
+#include "ml/registry.h"
+
+namespace ads::autonomy {
+
+/// What the feedback loop did in response to an observation.
+enum class FeedbackAction {
+  kNone,
+  /// Drift alarm fired and a previous version existed: rolled back.
+  kRolledBack,
+  /// Drift alarm fired with no version to roll back to: flagged for
+  /// retraining.
+  kRetrainRequested,
+};
+
+struct FeedbackOptions {
+  ml::DriftDetectorOptions detector;
+  /// When false, alarms only ever request retraining (no auto-rollback).
+  bool auto_rollback = true;
+};
+
+/// The closed feedback loop of Insight 3: monitoring feeds a fast-reacting
+/// rollback mechanism over the model registry, so a drifting or regressed
+/// model is withdrawn before it keeps doing damage, and a retrain is
+/// requested to recover.
+class FeedbackLoop {
+ public:
+  FeedbackLoop(ml::ModelRegistry* registry,
+               FeedbackOptions options = FeedbackOptions());
+
+  /// Reports one serving-time (truth, prediction) pair for a model and
+  /// applies the loop's policy.
+  FeedbackAction ReportObservation(const std::string& model, double truth,
+                                   double prediction);
+
+  /// Marks a pending retrain as completed (a new version was registered
+  /// and deployed by the caller); re-arms monitoring.
+  void NotifyRetrained(const std::string& model);
+
+  bool RetrainPending(const std::string& model) const;
+  size_t rollbacks() const { return rollbacks_; }
+  size_t retrain_requests() const { return retrain_requests_; }
+  const ModelMonitor& monitor() const { return monitor_; }
+
+ private:
+  ml::ModelRegistry* registry_;
+  FeedbackOptions options_;
+  ModelMonitor monitor_;
+  std::map<std::string, bool> retrain_pending_;
+  size_t rollbacks_ = 0;
+  size_t retrain_requests_ = 0;
+};
+
+}  // namespace ads::autonomy
+
+#endif  // ADS_AUTONOMY_FEEDBACK_H_

@@ -1,0 +1,32 @@
+#include "autonomy/monitor.h"
+
+#include <cmath>
+
+namespace ads::autonomy {
+
+bool ModelMonitor::Observe(const std::string& model_name, double truth,
+                           double prediction) {
+  auto it = detectors_.find(model_name);
+  if (it == detectors_.end()) {
+    it = detectors_.emplace(model_name, ml::DriftDetector(options_)).first;
+  }
+  ++counts_[model_name];
+  return it->second.Observe(std::abs(truth - prediction));
+}
+
+bool ModelMonitor::Alarmed(const std::string& model_name) const {
+  auto it = detectors_.find(model_name);
+  return it != detectors_.end() && it->second.alarmed();
+}
+
+void ModelMonitor::Acknowledge(const std::string& model_name) {
+  auto it = detectors_.find(model_name);
+  if (it != detectors_.end()) it->second.Reset();
+}
+
+size_t ModelMonitor::observations(const std::string& model_name) const {
+  auto it = counts_.find(model_name);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+}  // namespace ads::autonomy

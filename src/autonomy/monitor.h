@@ -1,0 +1,40 @@
+#ifndef ADS_AUTONOMY_MONITOR_H_
+#define ADS_AUTONOMY_MONITOR_H_
+
+#include <map>
+#include <string>
+
+#include "ml/drift.h"
+
+namespace ads::autonomy {
+
+/// Fleet-wide model monitor (the "thorough monitoring system to spot
+/// potential changes in real time" of Insight 3): one drift detector per
+/// deployed model, fed with serving-time prediction errors.
+class ModelMonitor {
+ public:
+  explicit ModelMonitor(ml::DriftDetectorOptions options =
+                            ml::DriftDetectorOptions())
+      : options_(options) {}
+
+  /// Records one serving observation; returns true if the model is now in
+  /// the alarmed state.
+  bool Observe(const std::string& model_name, double truth,
+               double prediction);
+
+  bool Alarmed(const std::string& model_name) const;
+  /// Clears the alarm and re-baselines (after a rollback or retrain).
+  void Acknowledge(const std::string& model_name);
+
+  size_t observations(const std::string& model_name) const;
+  size_t models_tracked() const { return detectors_.size(); }
+
+ private:
+  ml::DriftDetectorOptions options_;
+  std::map<std::string, ml::DriftDetector> detectors_;
+  std::map<std::string, size_t> counts_;
+};
+
+}  // namespace ads::autonomy
+
+#endif  // ADS_AUTONOMY_MONITOR_H_

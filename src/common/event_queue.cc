@@ -1,0 +1,41 @@
+#include "common/event_queue.h"
+
+#include "common/logging.h"
+
+namespace ads::common {
+
+void EventQueue::ScheduleAt(SimTime when, Callback cb) {
+  ADS_CHECK(when >= now_) << "event scheduled in the past: " << when
+                          << " < " << now_;
+  heap_.push(Event{when, next_seq_++, std::move(cb)});
+}
+
+void EventQueue::ScheduleAfter(SimTime delay, Callback cb) {
+  ADS_CHECK(delay >= 0.0) << "negative delay";
+  ScheduleAt(now_ + delay, std::move(cb));
+}
+
+bool EventQueue::Step() {
+  if (heap_.empty()) return false;
+  // priority_queue::top returns const&; move out via const_cast is UB-free
+  // alternative: copy. Events are small (one std::function), copy is fine.
+  Event ev = heap_.top();
+  heap_.pop();
+  now_ = ev.when;
+  ev.cb(now_);
+  return true;
+}
+
+void EventQueue::RunUntil(SimTime horizon) {
+  while (!heap_.empty() && heap_.top().when <= horizon) {
+    Step();
+  }
+  if (now_ < horizon) now_ = horizon;
+}
+
+void EventQueue::RunAll() {
+  while (Step()) {
+  }
+}
+
+}  // namespace ads::common

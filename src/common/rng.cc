@@ -1,0 +1,35 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace ads::common {
+
+int64_t Rng::Zipf(int64_t n, double s) {
+  ADS_CHECK(n > 0) << "Zipf over empty support";
+  // Inverse-CDF sampling over the (small) discrete support. The generators
+  // use n of at most a few thousand, so linear scan is fine and exact.
+  double total = 0.0;
+  for (int64_t k = 0; k < n; ++k) total += 1.0 / std::pow(k + 1, s);
+  double u = Uniform(0.0, total);
+  double acc = 0.0;
+  for (int64_t k = 0; k < n; ++k) {
+    acc += 1.0 / std::pow(k + 1, s);
+    if (u <= acc) return k;
+  }
+  return n - 1;
+}
+
+size_t Rng::Categorical(const std::vector<double>& weights) {
+  ADS_CHECK(!weights.empty()) << "Categorical over empty weights";
+  double total = 0.0;
+  for (double w : weights) total += w;
+  double u = Uniform(0.0, total);
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (u <= acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace ads::common

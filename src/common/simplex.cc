@@ -1,0 +1,238 @@
+#include "common/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace ads::common {
+namespace {
+
+constexpr double kEps = 1e-9;
+
+/// Dense simplex tableau.
+///
+/// Layout: rows 0..m-1 are constraints, row m is the objective (stored
+/// negated so that optimality is "no negative reduced cost"). Columns
+/// 0..n_total-1 are variables, column n_total is the RHS.
+class Tableau {
+ public:
+  Tableau(size_t m, size_t n_total)
+      : m_(m), n_(n_total), a_(m + 1, std::vector<double>(n_total + 1, 0.0)),
+        basis_(m, 0) {}
+
+  double& At(size_t r, size_t c) { return a_[r][c]; }
+  double At(size_t r, size_t c) const { return a_[r][c]; }
+  size_t num_rows() const { return m_; }
+  size_t num_cols() const { return n_; }
+  size_t basis(size_t r) const { return basis_[r]; }
+  void set_basis(size_t r, size_t var) { basis_[r] = var; }
+
+  void Pivot(size_t prow, size_t pcol) {
+    double pv = a_[prow][pcol];
+    ADS_CHECK(std::abs(pv) > kEps) << "pivot on (near-)zero element";
+    for (size_t c = 0; c <= n_; ++c) a_[prow][c] /= pv;
+    for (size_t r = 0; r <= m_; ++r) {
+      if (r == prow) continue;
+      double f = a_[r][pcol];
+      if (std::abs(f) < kEps) continue;
+      for (size_t c = 0; c <= n_; ++c) a_[r][c] -= f * a_[prow][c];
+    }
+    basis_[prow] = pcol;
+  }
+
+  /// Runs primal simplex on columns [0, active_cols). Returns kOptimal or
+  /// kUnbounded. Uses Bland's rule (smallest eligible index) which cannot
+  /// cycle.
+  LpStatus Iterate(size_t active_cols) {
+    for (int iter = 0; iter < 100000; ++iter) {
+      // Entering column: smallest index with negative reduced cost.
+      size_t pcol = active_cols;
+      for (size_t c = 0; c < active_cols; ++c) {
+        if (a_[m_][c] < -kEps) {
+          pcol = c;
+          break;
+        }
+      }
+      if (pcol == active_cols) return LpStatus::kOptimal;
+      // Leaving row: min ratio test, ties broken by smallest basis var.
+      size_t prow = m_;
+      double best = std::numeric_limits<double>::infinity();
+      for (size_t r = 0; r < m_; ++r) {
+        if (a_[r][pcol] > kEps) {
+          double ratio = a_[r][n_] / a_[r][pcol];
+          if (ratio < best - kEps ||
+              (ratio < best + kEps && (prow == m_ || basis_[r] < basis_[prow]))) {
+            best = ratio;
+            prow = r;
+          }
+        }
+      }
+      if (prow == m_) return LpStatus::kUnbounded;
+      Pivot(prow, pcol);
+    }
+    ADS_LOG(Warning) << "simplex iteration limit reached";
+    return LpStatus::kUnbounded;
+  }
+
+ private:
+  size_t m_;
+  size_t n_;
+  std::vector<std::vector<double>> a_;
+  std::vector<size_t> basis_;
+};
+
+}  // namespace
+
+Result<LpSolution> SolveLp(const LinearProgram& lp) {
+  size_t n = lp.objective.size();
+  if (n == 0) {
+    return Status::InvalidArgument("LP has no variables");
+  }
+  for (const LpConstraint& c : lp.constraints) {
+    if (c.coeffs.size() != n) {
+      return Status::InvalidArgument("LP constraint arity mismatch");
+    }
+  }
+  size_t m = lp.constraints.size();
+
+  // Normalize rows to non-negative RHS and count auxiliary columns.
+  // <=  : slack (+1)
+  // >=  : surplus (-1) + artificial
+  // ==  : artificial
+  struct Row {
+    std::vector<double> coeffs;
+    double rhs;
+    ConstraintSense sense;
+  };
+  std::vector<Row> rows;
+  rows.reserve(m);
+  for (const LpConstraint& c : lp.constraints) {
+    Row row{c.coeffs, c.rhs, c.sense};
+    if (row.rhs < 0.0) {
+      for (double& v : row.coeffs) v = -v;
+      row.rhs = -row.rhs;
+      if (row.sense == ConstraintSense::kLessEqual) {
+        row.sense = ConstraintSense::kGreaterEqual;
+      } else if (row.sense == ConstraintSense::kGreaterEqual) {
+        row.sense = ConstraintSense::kLessEqual;
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+
+  size_t num_slack = 0;
+  size_t num_artificial = 0;
+  for (const Row& r : rows) {
+    if (r.sense == ConstraintSense::kLessEqual) {
+      ++num_slack;
+    } else if (r.sense == ConstraintSense::kGreaterEqual) {
+      ++num_slack;  // surplus column
+      ++num_artificial;
+    } else {
+      ++num_artificial;
+    }
+  }
+
+  size_t n_total = n + num_slack + num_artificial;
+  Tableau t(m, n_total);
+
+  size_t slack_at = n;
+  size_t art_at = n + num_slack;
+  std::vector<size_t> artificial_cols;
+  for (size_t r = 0; r < m; ++r) {
+    for (size_t c = 0; c < n; ++c) t.At(r, c) = rows[r].coeffs[c];
+    t.At(r, n_total) = rows[r].rhs;
+    switch (rows[r].sense) {
+      case ConstraintSense::kLessEqual:
+        t.At(r, slack_at) = 1.0;
+        t.set_basis(r, slack_at);
+        ++slack_at;
+        break;
+      case ConstraintSense::kGreaterEqual:
+        t.At(r, slack_at) = -1.0;
+        ++slack_at;
+        t.At(r, art_at) = 1.0;
+        t.set_basis(r, art_at);
+        artificial_cols.push_back(art_at);
+        ++art_at;
+        break;
+      case ConstraintSense::kEqual:
+        t.At(r, art_at) = 1.0;
+        t.set_basis(r, art_at);
+        artificial_cols.push_back(art_at);
+        ++art_at;
+        break;
+    }
+  }
+
+  // Phase 1: minimize sum of artificials, i.e. maximize -sum. The objective
+  // row holds negated coefficients of the maximization objective.
+  if (!artificial_cols.empty()) {
+    for (size_t col : artificial_cols) t.At(m, col) = 1.0;
+    // Make the objective row consistent with the basis (artificials basic).
+    for (size_t r = 0; r < m; ++r) {
+      size_t b = t.basis(r);
+      if (std::abs(t.At(m, b)) > kEps) {
+        double f = t.At(m, b);
+        for (size_t c = 0; c <= n_total; ++c) t.At(m, c) -= f * t.At(r, c);
+      }
+    }
+    LpStatus phase1 = t.Iterate(n_total);
+    if (phase1 == LpStatus::kUnbounded) {
+      return Status::Internal("phase-1 LP unbounded (should be impossible)");
+    }
+    if (t.At(m, n_total) < -1e-7) {
+      LpSolution sol;
+      sol.status = LpStatus::kInfeasible;
+      return sol;
+    }
+    // Drive any artificial still in the basis out (degenerate case).
+    for (size_t r = 0; r < m; ++r) {
+      size_t b = t.basis(r);
+      bool is_art = b >= n + num_slack;
+      if (!is_art) continue;
+      size_t pcol = n_total;
+      for (size_t c = 0; c < n + num_slack; ++c) {
+        if (std::abs(t.At(r, c)) > kEps) {
+          pcol = c;
+          break;
+        }
+      }
+      if (pcol != n_total) {
+        t.Pivot(r, pcol);
+      }
+      // If the row is all zeros over real columns it is redundant; the
+      // artificial stays basic at value 0, which is harmless.
+    }
+  }
+
+  // Phase 2: install the real objective (negated for the max convention),
+  // zero out artificial columns, and re-reduce against the basis.
+  for (size_t c = 0; c <= n_total; ++c) t.At(m, c) = 0.0;
+  for (size_t c = 0; c < n; ++c) t.At(m, c) = -lp.objective[c];
+  for (size_t r = 0; r < m; ++r) {
+    size_t b = t.basis(r);
+    if (std::abs(t.At(m, b)) > kEps) {
+      double f = t.At(m, b);
+      for (size_t c = 0; c <= n_total; ++c) t.At(m, c) -= f * t.At(r, c);
+    }
+  }
+  // Exclude artificial columns from entering.
+  LpStatus phase2 = t.Iterate(n + num_slack);
+  LpSolution sol;
+  if (phase2 == LpStatus::kUnbounded) {
+    sol.status = LpStatus::kUnbounded;
+    return sol;
+  }
+  sol.status = LpStatus::kOptimal;
+  sol.x.assign(n, 0.0);
+  for (size_t r = 0; r < m; ++r) {
+    if (t.basis(r) < n) sol.x[t.basis(r)] = t.At(r, n_total);
+  }
+  sol.objective = t.At(m, n_total);
+  return sol;
+}
+
+}  // namespace ads::common

@@ -1,0 +1,96 @@
+#ifndef ADS_COMMON_STATS_H_
+#define ADS_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace ads::common {
+
+/// Running first/second moments (Welford). O(1) memory, numerically stable.
+class RunningMoments {
+ public:
+  void Add(double x);
+  /// Merges another accumulator into this one (parallel-friendly).
+  void Merge(const RunningMoments& other);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  /// Population variance; 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exact quantile tracker: stores all samples, sorts lazily on query.
+/// Fine for simulation-scale data (up to a few million points).
+class QuantileSketch {
+ public:
+  void Add(double x);
+  /// Returns the q-quantile (q in [0,1]) using linear interpolation.
+  /// Returns 0 for an empty sketch.
+  double Quantile(double q) const;
+  double Median() const { return Quantile(0.5); }
+  size_t count() const { return values_.size(); }
+
+ private:
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = true;
+};
+
+/// Fixed-bucket histogram over [lo, hi); out-of-range values clamp to the
+/// edge buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, size_t buckets);
+
+  void Add(double x);
+  size_t bucket_count() const { return counts_.size(); }
+  size_t BucketOf(double x) const;
+  size_t count(size_t bucket) const { return counts_[bucket]; }
+  size_t total() const { return total_; }
+  double BucketLow(size_t bucket) const;
+  double BucketHigh(size_t bucket) const;
+  /// Fraction of mass in the given bucket (0 if empty histogram).
+  double Fraction(size_t bucket) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<size_t> counts_;
+  size_t total_ = 0;
+};
+
+/// Pearson correlation of two equal-length series; 0 if degenerate.
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+/// Regression error metrics. All return 0 on empty input.
+double MeanAbsoluteError(const std::vector<double>& truth,
+                         const std::vector<double>& pred);
+double RootMeanSquaredError(const std::vector<double>& truth,
+                            const std::vector<double>& pred);
+/// Mean absolute percentage error; terms with |truth| < eps are skipped.
+double MeanAbsolutePercentageError(const std::vector<double>& truth,
+                                   const std::vector<double>& pred,
+                                   double eps = 1e-9);
+/// Coefficient of determination; 0 if truth has zero variance.
+double RSquared(const std::vector<double>& truth,
+                const std::vector<double>& pred);
+
+/// Q-error, the standard cardinality-estimation metric:
+/// max(truth/pred, pred/truth) with both clamped below by `floor`.
+double QError(double truth, double pred, double floor = 1.0);
+
+}  // namespace ads::common
+
+#endif  // ADS_COMMON_STATS_H_

@@ -1,0 +1,80 @@
+#include "engine/cardinality.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace ads::engine {
+
+void DefaultCardinalityEstimator::Annotate(PlanNode& node) const {
+  for (auto& child : node.children) Annotate(*child);
+  if (provider_ != nullptr) {
+    std::optional<double> learned = provider_->Estimate(node);
+    if (learned.has_value()) {
+      node.est_card = std::max(1.0, *learned);
+      return;
+    }
+  }
+  node.est_card = BuiltinEstimate(node);
+}
+
+double DefaultCardinalityEstimator::BuiltinEstimate(
+    const PlanNode& node) const {
+  double est = 1.0;
+  switch (node.op) {
+    case OpType::kScan:
+      est = node.table_rows;
+      break;
+    case OpType::kFilter: {
+      double sel = 1.0;
+      for (const Predicate& p : node.predicates) {
+        const ColumnSpec* col =
+            catalog_ != nullptr ? catalog_->FindColumnGlobal(p.column)
+                                : nullptr;
+        // Unknown column: the textbook magic constant.
+        sel *= col != nullptr ? UniformSelectivity(*col, p.op, p.value) : 0.1;
+      }
+      est = node.children[0]->est_card * sel;
+      break;
+    }
+    case OpType::kProject:
+    case OpType::kSort:
+      est = node.children[0]->est_card;
+      break;
+    case OpType::kJoin: {
+      double l = node.children[0]->est_card;
+      double r = node.children[1]->est_card;
+      size_t ndv = 1;
+      if (catalog_ != nullptr) {
+        const ColumnSpec* lk = catalog_->FindColumnGlobal(node.join.left_key);
+        const ColumnSpec* rk = catalog_->FindColumnGlobal(node.join.right_key);
+        size_t lndv = lk != nullptr ? lk->distinct_values : 1000;
+        size_t rndv = rk != nullptr ? rk->distinct_values : 1000;
+        ndv = std::max(lndv, rndv);
+      } else {
+        ndv = 1000;
+      }
+      est = l * r / static_cast<double>(std::max<size_t>(1, ndv));
+      break;
+    }
+    case OpType::kAggregate: {
+      double child = node.children[0]->est_card;
+      double keys_ndv = 1.0;
+      for (const std::string& key : node.agg.group_keys) {
+        const ColumnSpec* col =
+            catalog_ != nullptr ? catalog_->FindColumnGlobal(key) : nullptr;
+        keys_ndv *= col != nullptr
+                        ? static_cast<double>(col->distinct_values)
+                        : 100.0;
+      }
+      est = std::min(child, keys_ndv);
+      break;
+    }
+    case OpType::kUnion:
+      est = node.children[0]->est_card + node.children[1]->est_card;
+      break;
+  }
+  return std::max(est, 1.0);
+}
+
+}  // namespace ads::engine

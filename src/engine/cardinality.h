@@ -1,0 +1,51 @@
+#ifndef ADS_ENGINE_CARDINALITY_H_
+#define ADS_ENGINE_CARDINALITY_H_
+
+#include <optional>
+
+#include "engine/catalog.h"
+#include "engine/plan.h"
+
+namespace ads::engine {
+
+/// External cardinality source the optimizer consults before its built-in
+/// estimator — the paper's "externalize the learned components and add
+/// simple extensions to the optimizer" extension point. Implemented by the
+/// learned per-template micromodels; returning nullopt falls back to the
+/// default estimate for that node.
+class CardinalityProvider {
+ public:
+  virtual ~CardinalityProvider() = default;
+  /// Children of `node` already carry est_card when this is called.
+  virtual std::optional<double> Estimate(const PlanNode& node) const = 0;
+};
+
+/// The engine's built-in estimator: histogram-free uniformity + independence
+/// assumptions (attribute-value independence), the classic source of
+/// misestimates that the learned models correct.
+class DefaultCardinalityEstimator {
+ public:
+  explicit DefaultCardinalityEstimator(const Catalog* catalog)
+      : catalog_(catalog) {}
+
+  /// Optional learned override, consulted per node first.
+  void SetProvider(const CardinalityProvider* provider) {
+    provider_ = provider;
+  }
+  const CardinalityProvider* provider() const { return provider_; }
+
+  /// Annotates est_card on every node, bottom-up.
+  void Annotate(PlanNode& node) const;
+
+  /// The built-in (non-learned) estimate for one node whose children are
+  /// already annotated.
+  double BuiltinEstimate(const PlanNode& node) const;
+
+ private:
+  const Catalog* catalog_;
+  const CardinalityProvider* provider_ = nullptr;
+};
+
+}  // namespace ads::engine
+
+#endif  // ADS_ENGINE_CARDINALITY_H_

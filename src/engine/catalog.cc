@@ -1,0 +1,48 @@
+#include "engine/catalog.h"
+
+namespace ads::engine {
+
+const ColumnSpec* TableSpec::FindColumn(const std::string& column_name) const {
+  for (const ColumnSpec& c : columns) {
+    if (c.name == column_name) return &c;
+  }
+  return nullptr;
+}
+
+void Catalog::AddTable(TableSpec table) {
+  tables_[table.name] = std::move(table);
+}
+
+bool Catalog::HasTable(const std::string& name) const {
+  return tables_.find(name) != tables_.end();
+}
+
+common::Result<TableSpec> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return common::Status::NotFound("unknown table: " + name);
+  }
+  return it->second;
+}
+
+const TableSpec* Catalog::FindTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+const ColumnSpec* Catalog::FindColumnGlobal(
+    const std::string& column_name) const {
+  for (const auto& [name, table] : tables_) {
+    const ColumnSpec* c = table.FindColumn(column_name);
+    if (c != nullptr) return c;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> out;
+  for (const auto& [name, spec] : tables_) out.push_back(name);
+  return out;
+}
+
+}  // namespace ads::engine

@@ -1,0 +1,56 @@
+#ifndef ADS_ENGINE_CATALOG_H_
+#define ADS_ENGINE_CATALOG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ads::engine {
+
+/// Statistics the engine keeps about one column. `skew` is part of the
+/// synthetic world's ground truth: the default estimator assumes uniform
+/// values, so skewed columns are where it errs — and where the learned
+/// cardinality models earn their keep.
+struct ColumnSpec {
+  std::string name;
+  double min_value = 0.0;
+  double max_value = 1.0e6;
+  size_t distinct_values = 1000;
+  /// Zipf exponent of the true value distribution (0 = uniform).
+  double skew = 0.0;
+};
+
+/// One table's schema and row count.
+struct TableSpec {
+  std::string name;
+  double rows = 1.0e6;
+  std::vector<ColumnSpec> columns;
+
+  const ColumnSpec* FindColumn(const std::string& column_name) const;
+};
+
+/// Name -> table registry for a simulated data lake.
+class Catalog {
+ public:
+  /// Adds or replaces a table definition.
+  void AddTable(TableSpec table);
+
+  bool HasTable(const std::string& name) const;
+  common::Result<TableSpec> GetTable(const std::string& name) const;
+  const TableSpec* FindTable(const std::string& name) const;
+  std::vector<std::string> TableNames() const;
+  size_t size() const { return tables_.size(); }
+
+  /// Finds a column by name across all tables. The generators keep column
+  /// names globally unique, so the first match is the only match.
+  const ColumnSpec* FindColumnGlobal(const std::string& column_name) const;
+
+ private:
+  std::map<std::string, TableSpec> tables_;
+};
+
+}  // namespace ads::engine
+
+#endif  // ADS_ENGINE_CATALOG_H_

@@ -1,0 +1,64 @@
+#include "engine/cost.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace ads::engine {
+
+double CostModel::NodeCost(const PlanNode& node, CardSource source) const {
+  double out = CardOf(node, source);
+  switch (node.op) {
+    case OpType::kScan:
+      return node.table_rows * node.row_width * weights_.scan_per_byte;
+    case OpType::kFilter:
+      return CardOf(*node.children[0], source) * weights_.cpu_per_row;
+    case OpType::kProject:
+      return CardOf(*node.children[0], source) * weights_.cpu_per_row * 0.5;
+    case OpType::kJoin: {
+      // Convention: the RIGHT child is the build/broadcast side, the left
+      // child is probed. JoinCommute exists to put the smaller input on
+      // the right — and picks wrong when the estimates are wrong.
+      double probe = CardOf(*node.children[0], source);
+      double build = CardOf(*node.children[1], source);
+      double probe_bytes = probe * node.children[0]->row_width;
+      double build_bytes = build * node.children[1]->row_width;
+      double move = 0.0;
+      if (node.join.strategy == JoinStrategy::kBroadcast) {
+        // Ship the build side everywhere; the probe side stays put.
+        move = build_bytes * weights_.broadcast_per_byte *
+               weights_.broadcast_fanout;
+      } else {
+        move = (probe_bytes + build_bytes) * weights_.shuffle_per_byte;
+      }
+      return move + build * weights_.hash_build_per_row +
+             probe * weights_.hash_probe_per_row +
+             out * weights_.cpu_per_row;
+    }
+    case OpType::kAggregate:
+      return CardOf(*node.children[0], source) * weights_.agg_per_row +
+             out * weights_.cpu_per_row;
+    case OpType::kSort: {
+      double n = CardOf(*node.children[0], source);
+      return n * std::log2(std::max(2.0, n)) * weights_.sort_per_row_log;
+    }
+    case OpType::kUnion:
+      return out * weights_.cpu_per_row * 0.1;
+  }
+  return 0.0;
+}
+
+double CostModel::PlanCost(const PlanNode& node, CardSource source) const {
+  if (provider_ != nullptr && source == CardSource::kEstimated) {
+    std::optional<double> learned = provider_->Cost(node);
+    if (learned.has_value()) return std::max(0.0, *learned);
+  }
+  double total = NodeCost(node, source);
+  for (const auto& child : node.children) {
+    total += PlanCost(*child, source);
+  }
+  return total;
+}
+
+}  // namespace ads::engine

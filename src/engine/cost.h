@@ -1,0 +1,67 @@
+#ifndef ADS_ENGINE_COST_H_
+#define ADS_ENGINE_COST_H_
+
+#include <optional>
+
+#include "engine/plan.h"
+
+namespace ads::engine {
+
+/// Which cardinality annotation the cost model reads. Planning uses
+/// estimates; evaluation harnesses use truth ("the cost the plan actually
+/// incurs").
+enum class CardSource { kEstimated, kTrue };
+
+/// Tunable coefficients of the analytical cost model (arbitrary cost units;
+/// roughly milliseconds per unit work).
+struct CostWeights {
+  double scan_per_byte = 1e-6;
+  double cpu_per_row = 1e-4;
+  double shuffle_per_byte = 4e-6;
+  double broadcast_per_byte = 2e-6;
+  /// Number of partitions a broadcast must reach (fan-out multiplier).
+  double broadcast_fanout = 64.0;
+  double hash_build_per_row = 3e-4;
+  double hash_probe_per_row = 1e-4;
+  double sort_per_row_log = 2e-5;
+  double agg_per_row = 2e-4;
+};
+
+/// External learned cost source (per-subtree), consulted before the
+/// analytical model; nullopt falls back.
+class CostProvider {
+ public:
+  virtual ~CostProvider() = default;
+  virtual std::optional<double> Cost(const PlanNode& node) const = 0;
+};
+
+/// Analytical cost model over annotated plans.
+class CostModel {
+ public:
+  explicit CostModel(CostWeights weights = CostWeights())
+      : weights_(weights) {}
+
+  void SetProvider(const CostProvider* provider) { provider_ = provider; }
+
+  /// Cost of the operator at `node` alone (children's output cards are
+  /// inputs), using the chosen cardinality annotation.
+  double NodeCost(const PlanNode& node, CardSource source) const;
+
+  /// Total plan cost: sum of node costs over the tree. The learned provider
+  /// (if set) can override whole subtrees.
+  double PlanCost(const PlanNode& node, CardSource source) const;
+
+  const CostWeights& weights() const { return weights_; }
+
+ private:
+  static double CardOf(const PlanNode& node, CardSource source) {
+    return source == CardSource::kTrue ? node.true_card : node.est_card;
+  }
+
+  CostWeights weights_;
+  const CostProvider* provider_ = nullptr;
+};
+
+}  // namespace ads::engine
+
+#endif  // ADS_ENGINE_COST_H_

@@ -1,0 +1,173 @@
+#include "engine/executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace ads::engine {
+
+double JobRun::PeakTempOnBusiestMachine() const {
+  double mx = 0.0;
+  for (const auto& [machine, peak] : peak_temp_bytes) mx = std::max(mx, peak);
+  return mx;
+}
+
+namespace {
+
+int TasksFor(const Stage& stage, const ExecutorOptions& opt) {
+  return std::max(1,
+                  static_cast<int>(std::ceil(stage.work / opt.work_per_task)));
+}
+
+/// Schedules a subset of stages (rerun[s] == true) and returns their
+/// per-stage runs. Inputs outside the subset are treated as available at
+/// time zero (their outputs already exist).
+std::vector<StageRun> Schedule(const StageGraph& graph,
+                               const std::vector<bool>& include,
+                               const ExecutorOptions& opt, common::Rng& rng) {
+  int total_slots = opt.machines * opt.slots_per_machine;
+  std::vector<double> end_time(graph.stages.size(), 0.0);
+  std::vector<StageRun> runs;
+  for (const Stage& s : graph.stages) {  // ids are topological
+    if (!include[static_cast<size_t>(s.id)]) continue;
+    double ready = 0.0;
+    for (int in : s.inputs) {
+      ready = std::max(ready, end_time[static_cast<size_t>(in)]);
+    }
+    int tasks = TasksFor(s, opt);
+    int parallelism = std::min(tasks, total_slots);
+    double duration = s.work * opt.seconds_per_work /
+                      static_cast<double>(parallelism);
+    // Task waves: with more tasks than slots, the last wave is partial.
+    duration *= std::ceil(static_cast<double>(tasks) /
+                          static_cast<double>(parallelism)) *
+                static_cast<double>(parallelism) / static_cast<double>(tasks);
+    if (opt.noise > 0.0) {
+      duration *= rng.Uniform(1.0 - opt.noise, 1.0 + opt.noise);
+    }
+    StageRun run;
+    run.stage = s.id;
+    run.start = ready;
+    run.end = ready + duration;
+    run.tasks = tasks;
+    run.output_machine =
+        static_cast<int>(static_cast<uint64_t>(s.id) * 2654435761ULL %
+                         static_cast<uint64_t>(opt.machines));
+    end_time[static_cast<size_t>(s.id)] = run.end;
+    runs.push_back(run);
+  }
+  return runs;
+}
+
+}  // namespace
+
+JobRun JobSimulator::Execute(const StageGraph& graph, uint64_t seed,
+                             const std::set<int>& checkpointed) const {
+  ADS_CHECK(options_.machines > 0) << "executor needs machines";
+  common::Rng rng(seed);
+  std::vector<bool> all(graph.stages.size(), true);
+  JobRun result;
+  result.stage_runs = Schedule(graph, all, options_, rng);
+
+  std::vector<double> end_time(graph.stages.size(), 0.0);
+  for (const StageRun& r : result.stage_runs) {
+    end_time[static_cast<size_t>(r.stage)] = r.end;
+    result.makespan = std::max(result.makespan, r.end);
+    result.total_compute +=
+        graph.stages[static_cast<size_t>(r.stage)].work *
+        options_.seconds_per_work;
+  }
+
+  // Temp-storage occupancy: a stage's shuffle output lives on its output
+  // machine from the stage's end until its last consumer ends. Checkpointed
+  // outputs are persisted durably at stage end, so the temp copy is freed
+  // immediately (modeled as zero residency). The final stage's output is
+  // the job result, not temp.
+  auto consumers = graph.Consumers();
+  struct TempEvent {
+    double time;
+    int machine;
+    double delta;
+  };
+  std::vector<TempEvent> events;
+  for (const StageRun& r : result.stage_runs) {
+    const Stage& s = graph.stages[static_cast<size_t>(r.stage)];
+    if (s.id == graph.final_stage || s.output_bytes <= 0.0) continue;
+    if (checkpointed.count(s.id) > 0) continue;
+    double freed_at = r.end;
+    for (int c : consumers[static_cast<size_t>(s.id)]) {
+      freed_at = std::max(freed_at, end_time[static_cast<size_t>(c)]);
+    }
+    events.push_back({r.end, r.output_machine, s.output_bytes});
+    events.push_back({freed_at, r.output_machine, -s.output_bytes});
+  }
+  std::sort(events.begin(), events.end(), [](const TempEvent& a,
+                                             const TempEvent& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.delta < b.delta;  // frees before allocs at equal times
+  });
+  std::map<int, double> current;
+  for (const TempEvent& e : events) {
+    double& cur = current[e.machine];
+    cur += e.delta;
+    double& peak = result.peak_temp_bytes[e.machine];
+    peak = std::max(peak, cur);
+  }
+  for (const auto& [machine, peak] : result.peak_temp_bytes) {
+    if (peak > options_.temp_capacity_bytes) ++result.temp_overflows;
+  }
+  return result;
+}
+
+double JobSimulator::RestartTime(const StageGraph& graph, uint64_t seed,
+                                 const std::set<int>& checkpointed) const {
+  common::Rng rng(seed);
+  std::vector<bool> rerun = graph.MustRerun(checkpointed);
+  std::vector<StageRun> runs = Schedule(graph, rerun, options_, rng);
+  double makespan = 0.0;
+  for (const StageRun& r : runs) makespan = std::max(makespan, r.end);
+  return makespan;
+}
+
+double JobSimulator::ExpectedRuntimeWithFailures(
+    const StageGraph& graph, uint64_t seed, double failures_per_hour,
+    const std::set<int>& checkpointed, int trials) const {
+  ADS_CHECK(trials > 0) << "need at least one trial";
+  common::Rng rng(seed);
+  // Baseline schedule (deterministic modulo noise; reuse one run).
+  JobRun base = Execute(graph, seed, checkpointed);
+  std::vector<double> end_time(graph.stages.size(), 0.0);
+  for (const StageRun& r : base.stage_runs) {
+    end_time[static_cast<size_t>(r.stage)] = r.end;
+  }
+  double rate_per_sec = failures_per_hour / 3600.0;
+  double total = 0.0;
+  for (int trial = 0; trial < trials; ++trial) {
+    double t_fail = rate_per_sec > 0.0
+                        ? rng.Exponential(rate_per_sec)
+                        : std::numeric_limits<double>::infinity();
+    if (t_fail >= base.makespan) {
+      total += base.makespan;
+      continue;
+    }
+    // Everything not (checkpointed AND completed by t_fail) re-executes;
+    // the schedule restarts from scratch over that set.
+    std::vector<bool> include(graph.stages.size(), true);
+    for (const Stage& s : graph.stages) {
+      if (checkpointed.count(s.id) > 0 &&
+          end_time[static_cast<size_t>(s.id)] <= t_fail) {
+        include[static_cast<size_t>(s.id)] = false;
+      }
+    }
+    common::Rng retry_rng(seed + static_cast<uint64_t>(trial) * 977 + 1);
+    std::vector<StageRun> runs = Schedule(graph, include, options_, retry_rng);
+    double recovery = 0.0;
+    for (const StageRun& r : runs) recovery = std::max(recovery, r.end);
+    total += t_fail + recovery;
+  }
+  return total / static_cast<double>(trials);
+}
+
+}  // namespace ads::engine

@@ -1,0 +1,98 @@
+#ifndef ADS_ENGINE_EXECUTOR_H_
+#define ADS_ENGINE_EXECUTOR_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "engine/stage_graph.h"
+
+namespace ads::engine {
+
+struct ExecutorOptions {
+  /// Machines available to the job (drives parallelism and temp placement).
+  int machines = 16;
+  /// Task slots per machine.
+  int slots_per_machine = 4;
+  /// Work units one task performs (stage tasks = ceil(work/this), >= 1).
+  /// Ties parallelism to the data a stage actually processes.
+  double work_per_task = 5.0;
+  /// Seconds of runtime per unit of stage work at full parallelism.
+  double seconds_per_work = 1.0;
+  /// Multiplicative noise half-width on stage durations (0 = none).
+  double noise = 0.02;
+  /// Per-machine temporary storage capacity in bytes.
+  double temp_capacity_bytes = 2.0e9;
+};
+
+/// Timing of one executed stage.
+struct StageRun {
+  int stage = 0;
+  double start = 0.0;
+  double end = 0.0;
+  int tasks = 1;
+  /// Machine hosting the stage's shuffle output.
+  int output_machine = 0;
+};
+
+/// Result of simulating one job execution.
+struct JobRun {
+  double makespan = 0.0;
+  /// Total compute consumed (slot-seconds).
+  double total_compute = 0.0;
+  std::vector<StageRun> stage_runs;
+  /// Peak temporary-storage bytes per machine over the job's lifetime.
+  std::map<int, double> peak_temp_bytes;
+  /// Machines whose peak temp usage exceeded capacity ("hotspots").
+  int temp_overflows = 0;
+
+  double PeakTempOnBusiestMachine() const;
+};
+
+/// Deterministic list-scheduling execution simulator for a stage DAG:
+/// the SCOPE/Spark runtime stand-in.
+///
+/// - A stage becomes ready when its inputs finish; ready stages run in id
+///   order, each using min(tasks, free slots) slots (gang-scheduled waves).
+/// - Stage duration = work * seconds_per_work / parallelism, dilated when
+///   the cluster is busy.
+/// - A stage's output occupies temp storage on one machine (chosen by a
+///   stable hash) from the stage's end until its last consumer finishes —
+///   checkpointed stages release it as soon as the checkpoint is written.
+class JobSimulator {
+ public:
+  explicit JobSimulator(ExecutorOptions options = ExecutorOptions())
+      : options_(options) {}
+
+  /// Executes the graph. `checkpointed`: stages whose output is persisted
+  /// durably (frees its temp copy immediately and bounds restarts).
+  JobRun Execute(const StageGraph& graph, uint64_t seed,
+                 const std::set<int>& checkpointed = {}) const;
+
+  /// Wall-clock time to recover after a failure at the END of the job
+  /// (worst case): re-execution of every MustRerun stage, scheduled on the
+  /// same cluster.
+  double RestartTime(const StageGraph& graph, uint64_t seed,
+                     const std::set<int>& checkpointed = {}) const;
+
+  /// Monte-Carlo expected wall-clock time of the job under random machine
+  /// failures (Poisson with the given rate). A failure wipes all
+  /// temporary storage: stages whose outputs were checkpointed (and had
+  /// completed) survive; everything else re-executes. At most one failure
+  /// per trial is modeled (failures are rare at job timescales).
+  double ExpectedRuntimeWithFailures(const StageGraph& graph, uint64_t seed,
+                                     double failures_per_hour,
+                                     const std::set<int>& checkpointed = {},
+                                     int trials = 64) const;
+
+  const ExecutorOptions& options() const { return options_; }
+
+ private:
+  ExecutorOptions options_;
+};
+
+}  // namespace ads::engine
+
+#endif  // ADS_ENGINE_EXECUTOR_H_

@@ -1,0 +1,82 @@
+#include "engine/expr.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace ads::engine {
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLess:
+      return "<";
+    case CompareOp::kLessEqual:
+      return "<=";
+    case CompareOp::kEqual:
+      return "=";
+    case CompareOp::kGreater:
+      return ">";
+    case CompareOp::kGreaterEqual:
+      return ">=";
+  }
+  return "?";
+}
+
+uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  // 64-bit FNV-1a step over the 8 bytes of `value`.
+  uint64_t h = seed;
+  for (int i = 0; i < 8; ++i) {
+    h ^= (value >> (8 * i)) & 0xff;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+uint64_t HashString(const std::string& s) {
+  uint64_t h = 14695981039346656037ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+uint64_t Predicate::TemplateHash() const {
+  uint64_t h = HashString(column);
+  h = HashCombine(h, static_cast<uint64_t>(op) + 0x9e37);
+  return h;
+}
+
+uint64_t Predicate::StrictHash() const {
+  uint64_t h = TemplateHash();
+  uint64_t bits;
+  static_assert(sizeof(double) == sizeof(uint64_t));
+  std::memcpy(&bits, &value, sizeof(bits));
+  return HashCombine(h, bits);
+}
+
+double UniformSelectivity(const ColumnSpec& column, CompareOp op,
+                          double value) {
+  double lo = column.min_value;
+  double hi = column.max_value;
+  if (hi <= lo) return 1.0;
+  double frac = (value - lo) / (hi - lo);
+  frac = std::clamp(frac, 0.0, 1.0);
+  switch (op) {
+    case CompareOp::kLess:
+    case CompareOp::kLessEqual:
+      return std::max(frac, 1.0 / static_cast<double>(
+                                      std::max<size_t>(1, column.distinct_values)));
+    case CompareOp::kGreater:
+    case CompareOp::kGreaterEqual:
+      return std::max(1.0 - frac,
+                      1.0 / static_cast<double>(
+                                std::max<size_t>(1, column.distinct_values)));
+    case CompareOp::kEqual:
+      return 1.0 / static_cast<double>(
+                       std::max<size_t>(1, column.distinct_values));
+  }
+  return 1.0;
+}
+
+}  // namespace ads::engine

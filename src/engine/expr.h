@@ -1,0 +1,47 @@
+#ifndef ADS_ENGINE_EXPR_H_
+#define ADS_ENGINE_EXPR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "engine/catalog.h"
+
+namespace ads::engine {
+
+/// Comparison operators supported in filter predicates.
+enum class CompareOp { kLess, kLessEqual, kEqual, kGreater, kGreaterEqual };
+
+const char* CompareOpName(CompareOp op);
+
+/// One column-vs-literal predicate.
+///
+/// `true_selectivity` is the ground truth set by the workload generator
+/// ("nature"): it reflects skew and correlation the engine's statistics do
+/// not capture. The engine's default estimator never reads it — it computes
+/// its own estimate from the column stats under the uniformity assumption.
+/// The execution simulator uses the truth.
+struct Predicate {
+  std::string column;
+  CompareOp op = CompareOp::kLessEqual;
+  double value = 0.0;
+  double true_selectivity = 1.0;
+
+  /// Stable hash of the predicate shape WITHOUT the literal (used by
+  /// template signatures — recurring jobs differ only in literals).
+  uint64_t TemplateHash() const;
+  /// Stable hash including the literal (strict signatures).
+  uint64_t StrictHash() const;
+};
+
+/// The default estimator's per-predicate selectivity: assumes values are
+/// uniform on [min, max] with `distinct_values` distinct points.
+double UniformSelectivity(const ColumnSpec& column, CompareOp op,
+                          double value);
+
+/// FNV-1a style hash combiner used for plan signatures.
+uint64_t HashCombine(uint64_t seed, uint64_t value);
+uint64_t HashString(const std::string& s);
+
+}  // namespace ads::engine
+
+#endif  // ADS_ENGINE_EXPR_H_

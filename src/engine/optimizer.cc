@@ -1,0 +1,39 @@
+#include "engine/optimizer.h"
+
+namespace ads::engine {
+
+std::unique_ptr<PlanNode> Optimizer::Optimize(const PlanNode& logical,
+                                              const RuleConfig& config) const {
+  // Rewrite order: logical simplification, pushdowns, projection/sort
+  // cleanup, then join shape, then physical decisions.
+  static constexpr RuleId kOrder[] = {
+      RuleId::kPredicateSimplify,    RuleId::kContradictionToEmpty,
+      RuleId::kFilterMerge,          RuleId::kFilterPushdownProject,
+      RuleId::kFilterPushdownJoin,   RuleId::kFilterPushdownUnion,
+      RuleId::kFilterPushdownAggregate,
+      RuleId::kProjectMerge,         RuleId::kProjectIntoScan,
+      RuleId::kSortElimination,      RuleId::kJoinAssociativity,
+      RuleId::kJoinCommute,          RuleId::kBroadcastJoin,
+      RuleId::kEagerAggregation,
+  };
+
+  RuleContext ctx;
+  ctx.catalog = catalog_;
+  ctx.broadcast_threshold_bytes = options_.broadcast_threshold_bytes;
+
+  std::unique_ptr<PlanNode> plan = logical.Clone();
+  for (int pass = 0; pass < options_.max_passes; ++pass) {
+    estimator_.Annotate(*plan);
+    bool changed = false;
+    for (RuleId id : kOrder) {
+      if (!config.IsEnabled(id)) continue;
+      plan = ApplyRule(id, std::move(plan), ctx, &changed);
+    }
+    if (!changed) break;
+  }
+  estimator_.Annotate(*plan);
+  AnnotateTrueCardinality(*plan);
+  return plan;
+}
+
+}  // namespace ads::engine

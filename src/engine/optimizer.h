@@ -1,0 +1,52 @@
+#ifndef ADS_ENGINE_OPTIMIZER_H_
+#define ADS_ENGINE_OPTIMIZER_H_
+
+#include <memory>
+
+#include "engine/cardinality.h"
+#include "engine/cost.h"
+#include "engine/rules.h"
+
+namespace ads::engine {
+
+struct OptimizerOptions {
+  /// Fixpoint iteration cap for the rewrite loop.
+  int max_passes = 10;
+  /// Broadcast-join threshold handed to the physical rules.
+  double broadcast_threshold_bytes = 5.0e6;
+};
+
+/// Rule-driven query optimizer with the paper's two extension points:
+/// an external cardinality provider (learned micromodels) and an external
+/// rule configuration (steering). The optimizer itself stays unchanged as
+/// learned components come and go — "minimize changes to the existing
+/// optimizer and supplement it with learned components".
+class Optimizer {
+ public:
+  explicit Optimizer(const Catalog* catalog,
+                     OptimizerOptions options = OptimizerOptions())
+      : catalog_(catalog), options_(options), estimator_(catalog) {}
+
+  /// Installs (or clears, with nullptr) the learned cardinality source.
+  void SetCardinalityProvider(const CardinalityProvider* provider) {
+    estimator_.SetProvider(provider);
+  }
+
+  /// Optimizes a logical plan under the rule configuration. The input is
+  /// not modified. The result carries fresh est_card and true_card
+  /// annotations on every node.
+  std::unique_ptr<PlanNode> Optimize(const PlanNode& logical,
+                                     const RuleConfig& config) const;
+
+  const DefaultCardinalityEstimator& estimator() const { return estimator_; }
+  const Catalog* catalog() const { return catalog_; }
+
+ private:
+  const Catalog* catalog_;
+  OptimizerOptions options_;
+  DefaultCardinalityEstimator estimator_;
+};
+
+}  // namespace ads::engine
+
+#endif  // ADS_ENGINE_OPTIMIZER_H_

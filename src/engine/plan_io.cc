@@ -1,0 +1,283 @@
+#include "engine/plan_io.h"
+
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace ads::engine {
+namespace {
+
+const char* OpTag(OpType op) { return OpTypeName(op); }
+
+common::Result<OpType> ParseOp(const std::string& tag) {
+  static const std::pair<const char*, OpType> kOps[] = {
+      {"Scan", OpType::kScan},           {"Filter", OpType::kFilter},
+      {"Project", OpType::kProject},     {"Join", OpType::kJoin},
+      {"Aggregate", OpType::kAggregate}, {"Sort", OpType::kSort},
+      {"Union", OpType::kUnion},
+  };
+  for (const auto& [name, op] : kOps) {
+    if (tag == name) return op;
+  }
+  return common::Status::InvalidArgument("unknown operator tag: " + tag);
+}
+
+const char* CompareTag(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLess:
+      return "lt";
+    case CompareOp::kLessEqual:
+      return "le";
+    case CompareOp::kEqual:
+      return "eq";
+    case CompareOp::kGreater:
+      return "gt";
+    case CompareOp::kGreaterEqual:
+      return "ge";
+  }
+  return "?";
+}
+
+common::Result<CompareOp> ParseCompare(const std::string& tag) {
+  if (tag == "lt") return CompareOp::kLess;
+  if (tag == "le") return CompareOp::kLessEqual;
+  if (tag == "eq") return CompareOp::kEqual;
+  if (tag == "gt") return CompareOp::kGreater;
+  if (tag == "ge") return CompareOp::kGreaterEqual;
+  return common::Status::InvalidArgument("unknown comparison tag: " + tag);
+}
+
+std::vector<std::string> SplitList(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == sep) {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+std::string JoinList(const std::vector<std::string>& items, char sep) {
+  std::string out;
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += sep;
+    out += items[i];
+  }
+  return out;
+}
+
+void Emit(const PlanNode& node, int depth, std::ostringstream& os) {
+  os << depth << " " << OpTag(node.op);
+  os.precision(17);
+  os << " width=" << node.row_width;
+  os << " true_card=" << node.true_card;
+  os << " est_card=" << node.est_card;
+  switch (node.op) {
+    case OpType::kScan:
+      os << " table=" << node.table << " rows=" << node.table_rows;
+      break;
+    case OpType::kFilter: {
+      os << " preds=";
+      for (size_t i = 0; i < node.predicates.size(); ++i) {
+        const Predicate& p = node.predicates[i];
+        if (i > 0) os << ";";
+        os << p.column << ":" << CompareTag(p.op) << ":" << p.value << ":"
+           << p.true_selectivity;
+      }
+      break;
+    }
+    case OpType::kProject:
+      os << " columns=" << JoinList(node.columns, ',');
+      break;
+    case OpType::kJoin:
+      os << " lkey=" << node.join.left_key << " rkey=" << node.join.right_key
+         << " factor=" << node.join.true_selectivity_factor << " strategy="
+         << (node.join.strategy == JoinStrategy::kBroadcast ? "broadcast"
+                                                            : "shuffle");
+      break;
+    case OpType::kAggregate:
+      os << " keys=" << JoinList(node.agg.group_keys, ',')
+         << " ratio=" << node.agg.true_distinct_ratio;
+      break;
+    case OpType::kSort:
+      os << " columns=" << JoinList(node.columns, ',');
+      break;
+    case OpType::kUnion:
+      break;
+  }
+  os << "\n";
+  for (const auto& child : node.children) {
+    Emit(*child, depth + 1, os);
+  }
+}
+
+struct ParsedLine {
+  int depth = 0;
+  OpType op = OpType::kScan;
+  std::map<std::string, std::string> attrs;
+};
+
+common::Result<ParsedLine> ParseLine(const std::string& line) {
+  std::istringstream is(line);
+  ParsedLine out;
+  std::string tag;
+  if (!(is >> out.depth >> tag)) {
+    return common::Status::InvalidArgument("malformed plan line: " + line);
+  }
+  auto op = ParseOp(tag);
+  if (!op.ok()) return op.status();
+  out.op = *op;
+  std::string kv;
+  while (is >> kv) {
+    size_t eq = kv.find('=');
+    if (eq == std::string::npos) {
+      return common::Status::InvalidArgument("malformed attribute: " + kv);
+    }
+    out.attrs[kv.substr(0, eq)] = kv.substr(eq + 1);
+  }
+  return out;
+}
+
+common::Result<std::unique_ptr<PlanNode>> Build(
+    const std::vector<ParsedLine>& lines, size_t* index, int depth) {
+  if (*index >= lines.size() || lines[*index].depth != depth) {
+    return common::Status::InvalidArgument("plan tree structure mismatch");
+  }
+  const ParsedLine& line = lines[*index];
+  ++*index;
+  auto node = std::make_unique<PlanNode>();
+  node->op = line.op;
+  auto get = [&](const std::string& key) -> const std::string* {
+    auto it = line.attrs.find(key);
+    return it == line.attrs.end() ? nullptr : &it->second;
+  };
+  auto get_double = [&](const std::string& key, double* out) {
+    const std::string* v = get(key);
+    if (v == nullptr) return false;
+    *out = std::strtod(v->c_str(), nullptr);
+    return true;
+  };
+  get_double("width", &node->row_width);
+  get_double("true_card", &node->true_card);
+  get_double("est_card", &node->est_card);
+
+  size_t expected_children = 0;
+  switch (node->op) {
+    case OpType::kScan: {
+      const std::string* table = get("table");
+      if (table == nullptr) {
+        return common::Status::InvalidArgument("scan without table");
+      }
+      node->table = *table;
+      get_double("rows", &node->table_rows);
+      expected_children = 0;
+      break;
+    }
+    case OpType::kFilter: {
+      const std::string* preds = get("preds");
+      if (preds == nullptr) {
+        return common::Status::InvalidArgument("filter without preds");
+      }
+      for (const std::string& item : SplitList(*preds, ';')) {
+        std::vector<std::string> parts = SplitList(item, ':');
+        if (parts.size() != 4) {
+          return common::Status::InvalidArgument("malformed predicate: " +
+                                                 item);
+        }
+        Predicate p;
+        p.column = parts[0];
+        auto cmp = ParseCompare(parts[1]);
+        if (!cmp.ok()) return cmp.status();
+        p.op = *cmp;
+        p.value = std::strtod(parts[2].c_str(), nullptr);
+        p.true_selectivity = std::strtod(parts[3].c_str(), nullptr);
+        node->predicates.push_back(std::move(p));
+      }
+      expected_children = 1;
+      break;
+    }
+    case OpType::kProject: {
+      const std::string* columns = get("columns");
+      if (columns != nullptr) node->columns = SplitList(*columns, ',');
+      expected_children = 1;
+      break;
+    }
+    case OpType::kJoin: {
+      const std::string* lkey = get("lkey");
+      const std::string* rkey = get("rkey");
+      if (lkey == nullptr || rkey == nullptr) {
+        return common::Status::InvalidArgument("join without keys");
+      }
+      node->join.left_key = *lkey;
+      node->join.right_key = *rkey;
+      get_double("factor", &node->join.true_selectivity_factor);
+      const std::string* strategy = get("strategy");
+      node->join.strategy =
+          strategy != nullptr && *strategy == "broadcast"
+              ? JoinStrategy::kBroadcast
+              : JoinStrategy::kShuffleHash;
+      expected_children = 2;
+      break;
+    }
+    case OpType::kAggregate: {
+      const std::string* keys = get("keys");
+      if (keys != nullptr) node->agg.group_keys = SplitList(*keys, ',');
+      get_double("ratio", &node->agg.true_distinct_ratio);
+      expected_children = 1;
+      break;
+    }
+    case OpType::kSort: {
+      const std::string* columns = get("columns");
+      if (columns != nullptr) node->columns = SplitList(*columns, ',');
+      expected_children = 1;
+      break;
+    }
+    case OpType::kUnion:
+      expected_children = 2;
+      break;
+  }
+  for (size_t c = 0; c < expected_children; ++c) {
+    auto child = Build(lines, index, depth + 1);
+    if (!child.ok()) return child.status();
+    node->children.push_back(std::move(child).value());
+  }
+  return node;
+}
+
+}  // namespace
+
+std::string SerializePlan(const PlanNode& plan) {
+  std::ostringstream os;
+  Emit(plan, 0, os);
+  return os.str();
+}
+
+common::Result<std::unique_ptr<PlanNode>> DeserializePlan(
+    const std::string& text) {
+  std::vector<ParsedLine> lines;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    auto parsed = ParseLine(line);
+    if (!parsed.ok()) return parsed.status();
+    lines.push_back(std::move(parsed).value());
+  }
+  if (lines.empty()) {
+    return common::Status::InvalidArgument("empty plan text");
+  }
+  size_t index = 0;
+  auto root = Build(lines, &index, 0);
+  if (!root.ok()) return root.status();
+  if (index != lines.size()) {
+    return common::Status::InvalidArgument("trailing plan lines");
+  }
+  return root;
+}
+
+}  // namespace ads::engine

@@ -1,0 +1,30 @@
+#ifndef ADS_ENGINE_PLAN_IO_H_
+#define ADS_ENGINE_PLAN_IO_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "engine/plan.h"
+
+namespace ads::engine {
+
+/// Cross-engine plan serialization — the library's stand-in for Substrait
+/// (the paper's Direction 2: "a cross-language query plan specification
+/// ... as a standard plan representation across our engines").
+///
+/// The format is a line-oriented s-expression-free text form: one node per
+/// line, depth-prefixed, with typed key=value attributes. It is stable,
+/// diff-friendly, and loss-free for everything the optimizer and the
+/// learned components consume (operators, predicates with true
+/// selectivities, join/agg specs, widths, cardinality annotations).
+std::string SerializePlan(const PlanNode& plan);
+
+/// Parses SerializePlan output back into a plan. Fails with
+/// InvalidArgument on malformed input.
+common::Result<std::unique_ptr<PlanNode>> DeserializePlan(
+    const std::string& text);
+
+}  // namespace ads::engine
+
+#endif  // ADS_ENGINE_PLAN_IO_H_

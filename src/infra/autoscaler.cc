@@ -1,0 +1,71 @@
+#include "infra/autoscaler.h"
+
+#include <cmath>
+
+namespace ads::infra {
+
+int ReactivePolicy::Decide(const std::vector<double>& load_history) {
+  if (load_history.empty()) return 1;
+  double want = load_history.back() * headroom_ / capacity_;
+  return std::max(1, static_cast<int>(std::ceil(want)));
+}
+
+int PredictivePolicy::Decide(const std::vector<double>& load_history) {
+  if (load_history.size() < min_history_) {
+    // Fall back to reactive behaviour until enough history accumulates.
+    if (load_history.empty()) return 1;
+    double want = load_history.back() * headroom_ / capacity_;
+    return std::max(1, static_cast<int>(std::ceil(want)));
+  }
+  if (!fitted_) {
+    if (!forecaster_->Fit(load_history).ok()) {
+      return std::max(1, static_cast<int>(std::ceil(
+                             load_history.back() * headroom_ / capacity_)));
+    }
+    fitted_ = true;
+  } else {
+    forecaster_->Update(load_history.back());
+  }
+  double predicted = forecaster_->Forecast(1);
+  double want = predicted * headroom_ / capacity_;
+  return std::max(1, static_cast<int>(std::ceil(want)));
+}
+
+common::Result<AutoscaleReport> SimulateAutoscaling(
+    ScalingPolicy& policy, const std::vector<double>& load,
+    double capacity_per_instance, size_t warmup) {
+  if (load.empty()) {
+    return common::Status::InvalidArgument("empty load trace");
+  }
+  if (capacity_per_instance <= 0.0) {
+    return common::Status::InvalidArgument("capacity must be positive");
+  }
+  AutoscaleReport report;
+  report.policy = policy.Name();
+  std::vector<double> history;
+  double instance_sum = 0.0;
+  size_t scored = 0;
+  size_t violations = 0;
+  for (size_t t = 0; t < load.size(); ++t) {
+    int instances = policy.Decide(history);
+    double capacity = instances * capacity_per_instance;
+    if (t >= warmup) {
+      ++scored;
+      instance_sum += instances;
+      if (capacity < load[t]) {
+        ++violations;
+        report.shed_load += load[t] - capacity;
+      }
+    }
+    history.push_back(load[t]);
+  }
+  report.intervals = scored;
+  if (scored > 0) {
+    report.violation_rate =
+        static_cast<double>(violations) / static_cast<double>(scored);
+    report.mean_instances = instance_sum / static_cast<double>(scored);
+  }
+  return report;
+}
+
+}  // namespace ads::infra

@@ -1,0 +1,88 @@
+#ifndef ADS_INFRA_AUTOSCALER_H_
+#define ADS_INFRA_AUTOSCALER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ml/forecast.h"
+
+namespace ads::infra {
+
+/// How an autoscaling policy decides the next interval's instance count.
+class ScalingPolicy {
+ public:
+  virtual ~ScalingPolicy() = default;
+  /// Returns the instance count for the NEXT interval given the load history
+  /// observed so far (most recent last).
+  virtual int Decide(const std::vector<double>& load_history) = 0;
+  virtual std::string Name() const = 0;
+};
+
+/// Always runs a fixed number of instances.
+class StaticPolicy : public ScalingPolicy {
+ public:
+  explicit StaticPolicy(int instances) : instances_(instances) {}
+  int Decide(const std::vector<double>&) override { return instances_; }
+  std::string Name() const override { return "static"; }
+
+ private:
+  int instances_;
+};
+
+/// Scales to fit the last observed load plus headroom (classic reactive
+/// autoscaling — lags the load by one interval).
+class ReactivePolicy : public ScalingPolicy {
+ public:
+  ReactivePolicy(double capacity_per_instance, double headroom = 1.1)
+      : capacity_(capacity_per_instance), headroom_(headroom) {}
+  int Decide(const std::vector<double>& load_history) override;
+  std::string Name() const override { return "reactive"; }
+
+ private:
+  double capacity_;
+  double headroom_;
+};
+
+/// Scales to fit the forecast of the next interval (the paper's
+/// ML-driven proactive policy). Owns the forecaster.
+class PredictivePolicy : public ScalingPolicy {
+ public:
+  PredictivePolicy(double capacity_per_instance,
+                   std::unique_ptr<ml::Forecaster> forecaster,
+                   size_t min_history, double headroom = 1.1)
+      : capacity_(capacity_per_instance), forecaster_(std::move(forecaster)),
+        min_history_(min_history), headroom_(headroom) {}
+  int Decide(const std::vector<double>& load_history) override;
+  std::string Name() const override { return "predictive"; }
+
+ private:
+  double capacity_;
+  std::unique_ptr<ml::Forecaster> forecaster_;
+  size_t min_history_;
+  bool fitted_ = false;
+  double headroom_;
+};
+
+/// Outcome of replaying a load trace against a policy.
+struct AutoscaleReport {
+  std::string policy;
+  /// Fraction of intervals where capacity < load (QoS violations).
+  double violation_rate = 0.0;
+  /// Mean instances kept running (cost proxy).
+  double mean_instances = 0.0;
+  /// Total load shed (load beyond capacity summed over intervals).
+  double shed_load = 0.0;
+  size_t intervals = 0;
+};
+
+/// Replays a per-interval load trace: at each step the policy sees history
+/// up to t-1 and provisions for step t.
+common::Result<AutoscaleReport> SimulateAutoscaling(
+    ScalingPolicy& policy, const std::vector<double>& load,
+    double capacity_per_instance, size_t warmup = 0);
+
+}  // namespace ads::infra
+
+#endif  // ADS_INFRA_AUTOSCALER_H_

@@ -1,0 +1,99 @@
+#ifndef ADS_INFRA_MACHINE_H_
+#define ADS_INFRA_MACHINE_H_
+
+#include <string>
+
+#include "common/logging.h"
+
+namespace ads::infra {
+
+/// Hardware/behaviour description of a machine generation ("SKU").
+///
+/// The last three fields are the ground-truth *machine behaviour model* of
+/// the simulator: CPU utilization grows linearly with running containers,
+/// and task execution slows down once utilization passes a knee. The KEA
+/// reproduction (bench E1/F1) learns exactly these relationships back from
+/// telemetry, as in the paper's Figure 1.
+struct SkuSpec {
+  std::string name;
+  int cores = 16;
+  double memory_gb = 64.0;
+  double temp_storage_gb = 512.0;
+  /// Scheduler knob: default maximum concurrently running containers.
+  int default_max_containers = 16;
+  double cost_per_hour = 1.0;
+  /// Power draw at idle and at 100% utilization (per machine, watts).
+  double idle_watts = 120.0;
+  double busy_watts = 400.0;
+
+  /// CPU utilization contributed by one running container (fraction).
+  double cpu_per_container = 0.05;
+  /// Utilization beyond which tasks start slowing down.
+  double util_knee = 0.75;
+  /// Task slowdown per unit utilization above the knee, e.g. 2.0 means
+  /// a machine at knee+0.25 runs tasks (1 + 2.0*0.25) = 1.5x slower.
+  double slowdown_per_util = 2.0;
+};
+
+/// One simulated machine. State is mutated by the scheduler/executor; the
+/// class only enforces capacity invariants.
+class Machine {
+ public:
+  Machine(int id, SkuSpec spec, int rack)
+      : id_(id), spec_(std::move(spec)), rack_(rack) {}
+
+  int id() const { return id_; }
+  const SkuSpec& spec() const { return spec_; }
+  int rack() const { return rack_; }
+
+  int running_containers() const { return running_containers_; }
+  void StartContainer() { ++running_containers_; }
+  void FinishContainer() {
+    ADS_CHECK(running_containers_ > 0) << "finish with no running containers";
+    --running_containers_;
+  }
+
+  /// Modeled CPU utilization in [0, 1] given the current container count.
+  double CpuUtilization() const {
+    double u = spec_.cpu_per_container * running_containers_;
+    return u > 1.0 ? 1.0 : u;
+  }
+
+  /// Execution-time multiplier (>= 1) under the current load.
+  double TaskSlowdown() const {
+    double over = CpuUtilization() - spec_.util_knee;
+    return over > 0.0 ? 1.0 + spec_.slowdown_per_util * over : 1.0;
+  }
+
+  /// Instantaneous power draw under the current load.
+  double PowerWatts() const {
+    return spec_.idle_watts +
+           (spec_.busy_watts - spec_.idle_watts) * CpuUtilization();
+  }
+
+  double temp_storage_used_gb() const { return temp_used_gb_; }
+  double temp_storage_free_gb() const {
+    return spec_.temp_storage_gb - temp_used_gb_;
+  }
+  /// Reserves temp storage; returns false (no change) if it would overflow.
+  bool ReserveTempStorage(double gb) {
+    if (temp_used_gb_ + gb > spec_.temp_storage_gb) return false;
+    temp_used_gb_ += gb;
+    return true;
+  }
+  void ReleaseTempStorage(double gb) {
+    temp_used_gb_ -= gb;
+    if (temp_used_gb_ < 0.0) temp_used_gb_ = 0.0;
+  }
+
+ private:
+  int id_;
+  SkuSpec spec_;
+  int rack_;
+  int running_containers_ = 0;
+  double temp_used_gb_ = 0.0;
+};
+
+}  // namespace ads::infra
+
+#endif  // ADS_INFRA_MACHINE_H_

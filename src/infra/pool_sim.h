@@ -1,0 +1,76 @@
+#ifndef ADS_INFRA_POOL_SIM_H_
+#define ADS_INFRA_POOL_SIM_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/status.h"
+
+namespace ads::infra {
+
+/// How the cluster-initialization flow issues its VM acquisition requests.
+enum class RequestPolicy {
+  /// One request at a time; next starts when the previous lands.
+  kSerial,
+  /// All k requests at once; init completes at the slowest.
+  kParallel,
+  /// k + extras requests at once; init completes at the k-th fastest
+  /// (hedging away the tail).
+  kHedged,
+  /// All k at once; any request slower than `timeout` is reissued.
+  kRetryOnTimeout,
+};
+
+const char* RequestPolicyName(RequestPolicy policy);
+
+/// Parameters of the cluster-initialization simulator: a cluster needs
+/// `vms_per_cluster` VM acquisitions, each with a heavy-tailed latency.
+/// This reproduces the paper's Synapse Spark study: "we developed a
+/// simulator to mimic the cluster initialization process and derived the
+/// optimal policy for sending requests, reducing its tail latency".
+struct PoolSimOptions {
+  int vms_per_cluster = 8;
+  /// Per-VM acquisition latency ~ LogNormal(mu, sigma) seconds.
+  double vm_mu = 3.4;     // median ~30 s
+  double vm_sigma = 0.8;  // heavy tail
+  /// Extra requests for the hedged policy.
+  int hedge_extras = 2;
+  /// Reissue threshold for the retry policy (seconds).
+  double retry_timeout = 60.0;
+};
+
+/// Result of simulating one policy over many cluster initializations.
+struct PoolSimReport {
+  RequestPolicy policy = RequestPolicy::kSerial;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double mean_requests_issued = 0.0;  // overhead vs vms_per_cluster
+};
+
+/// Monte-Carlo cluster-initialization simulator.
+class PoolInitSimulator {
+ public:
+  explicit PoolInitSimulator(PoolSimOptions options = PoolSimOptions())
+      : options_(options) {}
+
+  /// Simulates `trials` cluster initializations under the policy.
+  common::Result<PoolSimReport> Simulate(RequestPolicy policy, int trials,
+                                         uint64_t seed) const;
+
+  /// Runs every policy and returns the one with the lowest P99 latency.
+  common::Result<PoolSimReport> DeriveBestPolicy(int trials,
+                                                 uint64_t seed) const;
+
+ private:
+  double OneInit(RequestPolicy policy, common::Rng& rng,
+                 int* requests_issued) const;
+
+  PoolSimOptions options_;
+};
+
+}  // namespace ads::infra
+
+#endif  // ADS_INFRA_POOL_SIM_H_

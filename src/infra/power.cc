@@ -1,0 +1,121 @@
+#include "infra/power.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/simplex.h"
+
+namespace ads::infra {
+
+common::Result<SchedulerConfig> PowerManager::CapForPower(
+    const Cluster& cluster, double rack_cap_watts,
+    const std::map<std::string, double>& cpu_per_container) {
+  if (cluster.size() == 0) {
+    return common::Status::InvalidArgument("empty cluster");
+  }
+  const std::vector<std::string>& skus = cluster.sku_names();
+  // Per (rack, sku): machine count; per sku: spec data.
+  std::map<std::string, SkuSpec> spec_by_sku;
+  std::map<int, std::map<std::string, int>> rack_sku_machines;
+  for (size_t i = 0; i < cluster.size(); ++i) {
+    const Machine& m = cluster.machine(i);
+    spec_by_sku.emplace(m.spec().name, m.spec());
+    ++rack_sku_machines[m.rack()][m.spec().name];
+  }
+
+  // Variables: one cap per SKU. Maximize total fleet capacity
+  // (sum over machines of their SKU's cap).
+  common::LinearProgram lp;
+  lp.objective.resize(skus.size(), 0.0);
+  std::map<std::string, size_t> var_of;
+  for (size_t s = 0; s < skus.size(); ++s) {
+    var_of[skus[s]] = s;
+  }
+  for (size_t i = 0; i < cluster.size(); ++i) {
+    lp.objective[var_of[cluster.machine(i).spec().name]] += 1.0;
+  }
+
+  // One power constraint per rack:
+  //   sum_m idle_m + (busy_m - idle_m) * min(1, slope_s * cap_s) <= cap.
+  // The LP uses the linear (unclamped) utilization, which upper-bounds
+  // power only up to 100% utilization; the slot bound below keeps caps in
+  // the linear region (slope * cap <= 1).
+  for (const auto& [rack, sku_counts] : rack_sku_machines) {
+    common::LpConstraint power;
+    power.coeffs.assign(skus.size(), 0.0);
+    double idle_total = 0.0;
+    for (const auto& [sku_name, count] : sku_counts) {
+      const SkuSpec& spec = spec_by_sku[sku_name];
+      double slope = spec.cpu_per_container;
+      auto it = cpu_per_container.find(sku_name);
+      if (it != cpu_per_container.end() && it->second > 0.0) {
+        slope = it->second;
+      }
+      idle_total += spec.idle_watts * count;
+      power.coeffs[var_of[sku_name]] +=
+          (spec.busy_watts - spec.idle_watts) * slope * count;
+    }
+    if (idle_total > rack_cap_watts) {
+      return common::Status::FailedPrecondition(
+          "rack " + std::to_string(rack) + " exceeds the cap even when idle");
+    }
+    power.sense = common::ConstraintSense::kLessEqual;
+    power.rhs = rack_cap_watts - idle_total;
+    lp.constraints.push_back(std::move(power));
+  }
+
+  // Utilization-linearity + slot bounds: cap_s <= min(slots, 1/slope).
+  for (const std::string& sku_name : skus) {
+    const SkuSpec& spec = spec_by_sku[sku_name];
+    double slope = spec.cpu_per_container;
+    auto it = cpu_per_container.find(sku_name);
+    if (it != cpu_per_container.end() && it->second > 0.0) slope = it->second;
+    common::LpConstraint bound;
+    bound.coeffs.assign(skus.size(), 0.0);
+    bound.coeffs[var_of[sku_name]] = 1.0;
+    bound.sense = common::ConstraintSense::kLessEqual;
+    double util_bound = slope > 0.0 ? 1.0 / slope : 1e9;
+    bound.rhs = std::min(static_cast<double>(spec.default_max_containers),
+                         util_bound);
+    lp.constraints.push_back(std::move(bound));
+  }
+
+  auto sol = common::SolveLp(lp);
+  if (!sol.ok()) return sol.status();
+  if (sol->status != common::LpStatus::kOptimal) {
+    return common::Status::FailedPrecondition("power cap LP infeasible");
+  }
+  SchedulerConfig config;
+  for (const std::string& sku_name : skus) {
+    config.max_containers_per_sku[sku_name] =
+        std::max(0, static_cast<int>(std::floor(sol->x[var_of[sku_name]])));
+  }
+  return config;
+}
+
+double PowerManager::WorstCaseRackPower(const Cluster& cluster, int rack,
+                                        const SchedulerConfig& config) {
+  double watts = 0.0;
+  for (size_t i = 0; i < cluster.size(); ++i) {
+    const Machine& m = cluster.machine(i);
+    if (m.rack() != rack) continue;
+    const SkuSpec& spec = m.spec();
+    double util = std::min(1.0, spec.cpu_per_container *
+                                    static_cast<double>(config.MaxFor(spec)));
+    watts += spec.idle_watts + (spec.busy_watts - spec.idle_watts) * util;
+  }
+  return watts;
+}
+
+std::vector<int> PowerManager::ViolatingRacks(const Cluster& cluster,
+                                              double rack_cap_watts) {
+  std::vector<int> out;
+  for (int rack = 0; rack <= cluster.max_rack(); ++rack) {
+    if (cluster.RackPowerWatts(rack) > rack_cap_watts) {
+      out.push_back(rack);
+    }
+  }
+  return out;
+}
+
+}  // namespace ads::infra

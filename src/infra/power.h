@@ -1,0 +1,45 @@
+#ifndef ADS_INFRA_POWER_H_
+#define ADS_INFRA_POWER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "infra/cluster.h"
+#include "infra/scheduler.h"
+
+namespace ads::infra {
+
+/// Rack power management (the KEA engagement the paper mentions: "similar
+/// methods were used ... to set power limits on Cosmos racks").
+///
+/// Given learned cpu-per-container behaviour per SKU, derives per-SKU
+/// container caps such that EVERY rack's worst-case power draw (all
+/// machines at their cap) stays under the rack limit. The derivation is a
+/// joint LP over all racks: maximize total container capacity subject to
+/// one power constraint per rack and slot bounds per SKU.
+class PowerManager {
+ public:
+  /// Computes per-SKU caps for the cluster. `cpu_per_container` maps SKU
+  /// name -> learned utilization slope; SKUs without an entry fall back to
+  /// their spec's ground truth (the operator knows shipped hardware).
+  /// Fails if even idle machines exceed a rack cap (infeasible), or if the
+  /// cluster is empty.
+  static common::Result<SchedulerConfig> CapForPower(
+      const Cluster& cluster, double rack_cap_watts,
+      const std::map<std::string, double>& cpu_per_container = {});
+
+  /// Worst-case power of one rack under a config: every machine running at
+  /// its per-SKU cap.
+  static double WorstCaseRackPower(const Cluster& cluster, int rack,
+                                   const SchedulerConfig& config);
+
+  /// Racks whose CURRENT draw exceeds the cap (for monitoring/audit).
+  static std::vector<int> ViolatingRacks(const Cluster& cluster,
+                                         double rack_cap_watts);
+};
+
+}  // namespace ads::infra
+
+#endif  // ADS_INFRA_POWER_H_

@@ -1,0 +1,69 @@
+#include "infra/provisioner.h"
+
+#include "common/logging.h"
+
+namespace ads::infra {
+
+ClusterProvisioner::ClusterProvisioner(common::EventQueue* queue,
+                                       uint64_t seed,
+                                       ProvisionerOptions options)
+    : queue_(queue), rng_(seed), options_(options) {
+  ADS_CHECK(queue != nullptr) << "provisioner needs an event queue";
+}
+
+void ClusterProvisioner::AccrueIdleCost() {
+  double now = queue_->now();
+  double hours = (now - last_accrual_time_) / 3600.0;
+  idle_cost_ += hours * options_.warm_cost_per_hour *
+                static_cast<double>(warm_available_);
+  last_accrual_time_ = now;
+}
+
+double ClusterProvisioner::WarmIdleCost() const {
+  double hours = (queue_->now() - last_accrual_time_) / 3600.0;
+  return idle_cost_ + hours * options_.warm_cost_per_hour *
+                          static_cast<double>(warm_available_);
+}
+
+void ClusterProvisioner::SetWarmPoolTarget(int target) {
+  ADS_CHECK(target >= 0) << "negative warm pool target";
+  target_ = target;
+  MaintainPool();
+}
+
+void ClusterProvisioner::MaintainPool() {
+  while (warm_available_ + warm_in_flight_ < target_) {
+    ++warm_in_flight_;
+    double latency = rng_.LogNormal(options_.cold_mu, options_.cold_sigma);
+    queue_->ScheduleAfter(latency, [this](common::SimTime) {
+      --warm_in_flight_;
+      // The pool may have shrunk its target while this creation was in
+      // flight; surplus clusters still join the pool (they drain naturally).
+      AccrueIdleCost();
+      ++warm_available_;
+    });
+  }
+}
+
+void ClusterProvisioner::RequestCluster(std::function<void(double)> on_ready) {
+  if (warm_available_ > 0) {
+    AccrueIdleCost();
+    --warm_available_;
+    MaintainPool();
+    double wait = options_.warm_handoff_seconds;
+    queue_->ScheduleAfter(wait, [this, wait, on_ready](common::SimTime) {
+      waits_.Add(wait);
+      ++served_;
+      on_ready(wait);
+    });
+  } else {
+    double wait = rng_.LogNormal(options_.cold_mu, options_.cold_sigma);
+    queue_->ScheduleAfter(wait, [this, wait, on_ready](common::SimTime) {
+      waits_.Add(wait);
+      ++served_;
+      on_ready(wait);
+    });
+  }
+}
+
+}  // namespace ads::infra

@@ -1,0 +1,119 @@
+#include "infra/scheduler.h"
+
+#include <limits>
+
+namespace ads::infra {
+
+ClusterScheduler::ClusterScheduler(Cluster* cluster,
+                                   common::EventQueue* queue,
+                                   telemetry::TelemetryStore* telemetry,
+                                   uint64_t seed)
+    : cluster_(cluster), queue_(queue), telemetry_(telemetry), rng_(seed) {
+  ADS_CHECK(cluster != nullptr) << "scheduler needs a cluster";
+  ADS_CHECK(queue != nullptr) << "scheduler needs an event queue";
+}
+
+void ClusterScheduler::Submit(const ContainerTask& task) {
+  Pending pending{task, queue_->now()};
+  if (!TryPlace(pending)) {
+    waiting_.push_back(pending);
+    ++queue_depth_;
+  }
+}
+
+bool ClusterScheduler::TryPlace(const Pending& pending) {
+  // Least-utilized machine among those under their SKU cap with room for
+  // the task's temp storage.
+  Machine* best = nullptr;
+  double best_util = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < cluster_->size(); ++i) {
+    Machine& m = cluster_->machine(i);
+    if (m.running_containers() >= config_.MaxFor(m.spec())) continue;
+    if (m.temp_storage_free_gb() < pending.task.temp_storage_gb) continue;
+    double u = m.CpuUtilization();
+    if (u < best_util) {
+      best_util = u;
+      best = &m;
+    }
+  }
+  if (best == nullptr) return false;
+
+  best->StartContainer();
+  if (pending.task.temp_storage_gb > 0.0) {
+    ADS_CHECK(best->ReserveTempStorage(pending.task.temp_storage_gb))
+        << "temp reservation failed after capacity check";
+  }
+  double util_now = best->CpuUtilization();
+  auto& peak = peak_util_[best->id()];
+  if (util_now > peak) peak = util_now;
+
+  // Execution dilates with the utilization at start (plus mild noise).
+  double duration = pending.task.base_duration * best->TaskSlowdown() *
+                    rng_.Uniform(0.95, 1.05);
+  Machine* machine = best;
+  Pending copy = pending;
+  double util_at_start = best->CpuUtilization();
+  queue_->ScheduleAfter(
+      duration,
+      [this, machine, copy, duration, util_at_start](common::SimTime) {
+        OnTaskFinished(machine, copy, duration, util_at_start);
+      });
+  return true;
+}
+
+void ClusterScheduler::OnTaskFinished(Machine* machine, const Pending& pending,
+                                      double duration, double util_at_start) {
+  machine->FinishContainer();
+  if (pending.task.temp_storage_gb > 0.0) {
+    machine->ReleaseTempStorage(pending.task.temp_storage_gb);
+  }
+  ++completed_;
+  latency_.Add(queue_->now() - pending.submit_time);
+  if (telemetry_ != nullptr) {
+    telemetry::LabelSet labels{{"machine", std::to_string(machine->id())},
+                               {"sku", machine->spec().name}};
+    // Execution time only (queue wait excluded) plus the machine's
+    // utilization when the task started: the machine-behaviour signals the
+    // KEA-style models learn from. Both are emitted at completion time, so
+    // the i-th points of the two series describe the same task.
+    ADS_CHECK_OK(telemetry_->Record("task.execution.time", labels,
+                                    queue_->now(), duration));
+    ADS_CHECK_OK(telemetry_->Record("task.start.utilization", labels,
+                                    queue_->now(), util_at_start));
+  }
+  DrainQueue();
+}
+
+void ClusterScheduler::DrainQueue() {
+  while (!waiting_.empty()) {
+    if (!TryPlace(waiting_.front())) break;
+    waiting_.pop_front();
+    --queue_depth_;
+  }
+}
+
+void ClusterScheduler::SampleTelemetry() {
+  if (telemetry_ == nullptr) return;
+  for (size_t i = 0; i < cluster_->size(); ++i) {
+    Machine& m = cluster_->machine(i);
+    telemetry::LabelSet labels{{"machine", std::to_string(m.id())},
+                               {"sku", m.spec().name}};
+    ADS_CHECK_OK(telemetry_->Record("system.cpu.utilization", labels,
+                                    queue_->now(), m.CpuUtilization()));
+    ADS_CHECK_OK(telemetry_->Record("container.running.count", labels,
+                                    queue_->now(),
+                                    static_cast<double>(m.running_containers())));
+    double peak = peak_util_.count(m.id()) ? peak_util_[m.id()] : 0.0;
+    if (m.CpuUtilization() > peak) peak_util_[m.id()] = m.CpuUtilization();
+  }
+}
+
+int ClusterScheduler::HotspotCount(double util_threshold) const {
+  int n = 0;
+  for (const auto& [id, peak] : peak_util_) {
+    if (peak >= util_threshold) ++n;
+  }
+  return n;
+}
+
+}  // namespace ads::infra

@@ -1,0 +1,96 @@
+#ifndef ADS_INFRA_SCHEDULER_H_
+#define ADS_INFRA_SCHEDULER_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "common/event_queue.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "infra/cluster.h"
+#include "telemetry/store.h"
+
+namespace ads::infra {
+
+/// The KEA tunable: per-SKU cap on concurrently running containers per
+/// machine. Machines above the cap do not accept new containers even if
+/// they have slots.
+struct SchedulerConfig {
+  std::map<std::string, int> max_containers_per_sku;
+
+  int MaxFor(const SkuSpec& sku) const {
+    auto it = max_containers_per_sku.find(sku.name);
+    return it == max_containers_per_sku.end() ? sku.default_max_containers
+                                              : it->second;
+  }
+};
+
+/// One container-granularity work item.
+struct ContainerTask {
+  uint64_t id = 0;
+  /// Execution time on an unloaded machine, seconds.
+  double base_duration = 60.0;
+  double temp_storage_gb = 0.0;
+};
+
+/// Event-driven container scheduler over a Cluster: the Cosmos-style
+/// substrate that KEA tunes. Tasks go to the least-utilized machine with
+/// spare capacity; execution time dilates with the machine's utilization at
+/// start (the machine-behaviour model), which is what creates hotspots when
+/// the per-SKU caps are mis-set.
+class ClusterScheduler {
+ public:
+  ClusterScheduler(Cluster* cluster, common::EventQueue* queue,
+                   telemetry::TelemetryStore* telemetry, uint64_t seed);
+
+  void SetConfig(SchedulerConfig config) { config_ = std::move(config); }
+  const SchedulerConfig& config() const { return config_; }
+
+  /// Submits a task at the current simulation time.
+  void Submit(const ContainerTask& task);
+
+  /// Samples per-machine telemetry (cpu, containers) at the current time.
+  /// Call periodically from the driving simulation.
+  void SampleTelemetry();
+
+  // --- outcome statistics -------------------------------------------------
+  uint64_t completed_tasks() const { return completed_; }
+  size_t queued_tasks() const { return queue_depth_; }
+  /// End-to-end latency (queue wait + execution) distribution.
+  const common::QuantileSketch& task_latency() const { return latency_; }
+  /// Peak utilization observed per machine id.
+  const std::map<int, double>& peak_utilization() const { return peak_util_; }
+  /// Machines whose peak utilization exceeded the hotspot threshold.
+  int HotspotCount(double util_threshold = 0.9) const;
+
+ private:
+  struct Pending {
+    ContainerTask task;
+    common::SimTime submit_time;
+  };
+
+  /// Tries to place one task now; returns false if no machine has capacity.
+  bool TryPlace(const Pending& pending);
+  void OnTaskFinished(Machine* machine, const Pending& pending,
+                      double duration, double util_at_start);
+  void DrainQueue();
+
+  Cluster* cluster_;
+  common::EventQueue* queue_;
+  telemetry::TelemetryStore* telemetry_;
+  common::Rng rng_;
+  SchedulerConfig config_;
+
+  std::deque<Pending> waiting_;
+  size_t queue_depth_ = 0;
+  uint64_t completed_ = 0;
+  common::QuantileSketch latency_;
+  std::map<int, double> peak_util_;
+};
+
+}  // namespace ads::infra
+
+#endif  // ADS_INFRA_SCHEDULER_H_

@@ -1,0 +1,94 @@
+#include "learned/card_models.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace ads::learned {
+
+common::Status CardinalityModelStore::Train(
+    const std::map<uint64_t, std::vector<CardObservation>>& observations) {
+  models_.clear();
+  candidates_ = 0;
+  discarded_ = 0;
+  common::Rng rng(options_.seed);
+  common::RunningMoments learned_q;
+  common::RunningMoments default_q;
+
+  for (const auto& [signature, samples] : observations) {
+    if (samples.size() < options_.min_samples) continue;
+    ++candidates_;
+    size_t arity = samples[0].features.size();
+
+    // Split train/holdout deterministically.
+    std::vector<size_t> idx(samples.size());
+    for (size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+    rng.Shuffle(idx);
+    size_t holdout = std::max<size_t>(
+        2, static_cast<size_t>(options_.holdout_fraction *
+                               static_cast<double>(samples.size())));
+    if (holdout >= samples.size()) holdout = samples.size() / 2;
+
+    ml::Dataset train;
+    for (size_t i = holdout; i < idx.size(); ++i) {
+      const CardObservation& obs = samples[idx[i]];
+      if (obs.features.size() != arity) continue;
+      train.Add(obs.features, std::log1p(obs.true_card));
+    }
+    if (train.size() < 3) {
+      ++discarded_;
+      continue;
+    }
+    ml::LinearRegressor model(options_.ridge);
+    if (!model.Fit(train).ok()) {
+      ++discarded_;
+      continue;
+    }
+
+    // Retention check: holdout median q-error vs the default estimator.
+    std::vector<double> learned_qs;
+    std::vector<double> default_qs;
+    for (size_t i = 0; i < holdout; ++i) {
+      const CardObservation& obs = samples[idx[i]];
+      if (obs.features.size() != arity) continue;
+      double pred = std::expm1(model.Predict(obs.features));
+      learned_qs.push_back(common::QError(obs.true_card, pred));
+      default_qs.push_back(common::QError(obs.true_card, obs.default_estimate));
+    }
+    if (learned_qs.empty()) {
+      ++discarded_;
+      continue;
+    }
+    auto median = [](std::vector<double> v) {
+      std::sort(v.begin(), v.end());
+      return v[v.size() / 2];
+    };
+    double lm = median(learned_qs);
+    double dm = median(default_qs);
+    if (lm > dm * options_.retention_ratio) {
+      ++discarded_;  // model would not improve on the default: drop it
+      continue;
+    }
+    learned_q.Add(lm);
+    default_q.Add(dm);
+    models_[signature] = Micromodel{std::move(model), arity};
+  }
+  mean_learned_qerror_ = learned_q.mean();
+  mean_default_qerror_ = default_q.mean();
+  return common::Status::Ok();
+}
+
+std::optional<double> CardinalityModelStore::Estimate(
+    const engine::PlanNode& node) const {
+  auto it = models_.find(node.TemplateSignature());
+  if (it == models_.end()) return std::nullopt;
+  std::vector<double> features = NodeFeatures(node);
+  if (features.size() != it->second.feature_arity) return std::nullopt;
+  double pred = std::expm1(it->second.regressor.Predict(features));
+  if (!std::isfinite(pred)) return std::nullopt;
+  return std::max(1.0, pred);
+}
+
+}  // namespace ads::learned

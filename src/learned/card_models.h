@@ -1,0 +1,72 @@
+#ifndef ADS_LEARNED_CARD_MODELS_H_
+#define ADS_LEARNED_CARD_MODELS_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/cardinality.h"
+#include "learned/workload_analysis.h"
+#include "ml/linear.h"
+
+namespace ads::learned {
+
+struct CardModelOptions {
+  /// Minimum observations of a node template before training a micromodel.
+  size_t min_samples = 8;
+  /// Fraction of samples held out for the retention check.
+  double holdout_fraction = 0.3;
+  /// Keep a model only if its holdout median q-error is at most this
+  /// fraction of the default estimator's ("retain only models that would
+  /// actually improve performance").
+  double retention_ratio = 0.9;
+  double ridge = 1e-3;
+  uint64_t seed = 1;
+};
+
+/// Per-template cardinality micromodels (the paper's approach from [49]):
+/// one small linear model per recurring subexpression template, trained on
+/// observed true cardinalities, predicting log-cardinality from the
+/// template's literals. Plugs into the optimizer as a CardinalityProvider;
+/// templates without a retained model fall back to the default estimator.
+class CardinalityModelStore : public engine::CardinalityProvider {
+ public:
+  explicit CardinalityModelStore(CardModelOptions options = CardModelOptions())
+      : options_(options) {}
+
+  /// Trains micromodels from analyzer observations. Re-trainable; replaces
+  /// the current model set.
+  common::Status Train(
+      const std::map<uint64_t, std::vector<CardObservation>>& observations);
+
+  /// CardinalityProvider: estimate for nodes whose template has a retained
+  /// model; nullopt otherwise.
+  std::optional<double> Estimate(const engine::PlanNode& node) const override;
+
+  size_t retained_models() const { return models_.size(); }
+  size_t candidate_templates() const { return candidates_; }
+  size_t discarded_models() const { return discarded_; }
+
+  /// Holdout median q-errors measured during training (learned vs default),
+  /// aggregated over retained templates. For reporting.
+  double mean_learned_qerror() const { return mean_learned_qerror_; }
+  double mean_default_qerror() const { return mean_default_qerror_; }
+
+ private:
+  struct Micromodel {
+    ml::LinearRegressor regressor;
+    size_t feature_arity = 0;
+  };
+
+  CardModelOptions options_;
+  std::map<uint64_t, Micromodel> models_;
+  size_t candidates_ = 0;
+  size_t discarded_ = 0;
+  double mean_learned_qerror_ = 0.0;
+  double mean_default_qerror_ = 0.0;
+};
+
+}  // namespace ads::learned
+
+#endif  // ADS_LEARNED_CARD_MODELS_H_

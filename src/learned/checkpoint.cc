@@ -1,0 +1,222 @@
+#include "learned/checkpoint.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/simplex.h"
+#include "ml/dataset.h"
+
+namespace ads::learned {
+
+using engine::Stage;
+using engine::StageGraph;
+
+std::vector<double> StageFeatures(const StageGraph& graph,
+                                  const Stage& stage) {
+  std::vector<int> depths = graph.Depths();
+  double in_rows = 0.0;
+  for (int in : stage.inputs) {
+    in_rows += graph.stages[static_cast<size_t>(in)].output_rows;
+  }
+  return {
+      std::log1p(stage.work),
+      std::log1p(stage.output_rows),
+      std::log1p(stage.output_bytes),
+      std::log1p(in_rows),
+      static_cast<double>(stage.inputs.size()),
+      static_cast<double>(depths[static_cast<size_t>(stage.id)]),
+  };
+}
+
+common::Status StagePredictor::Train(
+    const std::vector<StageObservation>& observations) {
+  if (observations.size() < 10) {
+    return common::Status::FailedPrecondition(
+        "need at least 10 stage observations");
+  }
+  ml::Dataset work_data;
+  ml::Dataset bytes_data;
+  for (const StageObservation& obs : observations) {
+    work_data.Add(obs.features, std::log1p(obs.actual_work));
+    bytes_data.Add(obs.features, std::log1p(obs.actual_output_bytes));
+  }
+  ml::GradientBoostedTrees work_model({.num_rounds = 40, .max_depth = 3});
+  ml::GradientBoostedTrees bytes_model({.num_rounds = 40, .max_depth = 3});
+  ADS_RETURN_IF_ERROR(work_model.Fit(work_data));
+  ADS_RETURN_IF_ERROR(bytes_model.Fit(bytes_data));
+  work_model_ = std::move(work_model);
+  bytes_model_ = std::move(bytes_model);
+  trained_ = true;
+  return common::Status::Ok();
+}
+
+double StagePredictor::PredictWork(const std::vector<double>& features) const {
+  ADS_CHECK(trained_) << "predict before train";
+  return std::max(0.0, std::expm1(work_model_.Predict(features)));
+}
+
+double StagePredictor::PredictOutputBytes(
+    const std::vector<double>& features) const {
+  ADS_CHECK(trained_) << "predict before train";
+  return std::max(0.0, std::expm1(bytes_model_.Predict(features)));
+}
+
+double RestartWorkWeighted(const StageGraph& graph,
+                           const std::vector<double>& stage_work,
+                           const std::set<int>& checkpointed) {
+  ADS_CHECK(stage_work.size() == graph.stages.size())
+      << "stage work arity mismatch";
+  std::vector<bool> rerun = graph.MustRerun(checkpointed);
+  double w = 0.0;
+  for (const Stage& s : graph.stages) {
+    if (rerun[static_cast<size_t>(s.id)]) {
+      w += stage_work[static_cast<size_t>(s.id)];
+    }
+  }
+  return w;
+}
+
+common::Result<std::vector<CheckpointChoice>> CheckpointOptimizer::Choose(
+    const std::vector<const StageGraph*>& jobs,
+    const StagePredictor* predictor) const {
+  if (jobs.empty()) {
+    return common::Status::InvalidArgument("no jobs to checkpoint");
+  }
+
+  // Enumerate candidate cuts (one per topological level, per job).
+  struct Candidate {
+    size_t job = 0;
+    std::set<int> stages;
+    double bytes = 0.0;
+    double saved = 0.0;
+  };
+  std::vector<Candidate> candidates;
+  for (size_t j = 0; j < jobs.size(); ++j) {
+    const StageGraph& graph = *jobs[j];
+    // Per-stage (possibly predicted) work and bytes.
+    std::vector<double> work(graph.stages.size());
+    std::vector<double> bytes(graph.stages.size());
+    for (const Stage& s : graph.stages) {
+      if (predictor != nullptr && predictor->trained()) {
+        std::vector<double> f = StageFeatures(graph, s);
+        work[static_cast<size_t>(s.id)] = predictor->PredictWork(f);
+        bytes[static_cast<size_t>(s.id)] = predictor->PredictOutputBytes(f);
+      } else {
+        work[static_cast<size_t>(s.id)] = s.work;
+        bytes[static_cast<size_t>(s.id)] = s.output_bytes;
+      }
+    }
+    double baseline = RestartWorkWeighted(graph, work, {});
+    int max_depth = graph.MaxDepth();
+    for (int level = 0; level < max_depth; ++level) {
+      Candidate c;
+      c.job = j;
+      c.stages = graph.LevelCut(level);
+      if (c.stages.empty()) continue;
+      for (int s : c.stages) c.bytes += bytes[static_cast<size_t>(s)];
+      c.saved = baseline - RestartWorkWeighted(graph, work, c.stages) +
+                options_.temp_relief_weight * c.bytes;
+      if (c.saved <= 0.0) continue;
+      candidates.push_back(std::move(c));
+    }
+  }
+  if (candidates.empty()) return std::vector<CheckpointChoice>{};
+
+  // Fractional relaxation: maximize sum(saved * x) subject to one cut per
+  // job and the byte budget.
+  common::LinearProgram lp;
+  lp.objective.resize(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    lp.objective[i] = candidates[i].saved;
+  }
+  for (size_t j = 0; j < jobs.size(); ++j) {
+    common::LpConstraint per_job;
+    per_job.coeffs.assign(candidates.size(), 0.0);
+    bool any = false;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (candidates[i].job == j) {
+        per_job.coeffs[i] = 1.0;
+        any = true;
+      }
+    }
+    if (!any) continue;
+    per_job.sense = common::ConstraintSense::kLessEqual;
+    per_job.rhs = 1.0;
+    lp.constraints.push_back(std::move(per_job));
+  }
+  {
+    common::LpConstraint budget;
+    budget.coeffs.resize(candidates.size());
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      budget.coeffs[i] = candidates[i].bytes;
+    }
+    budget.sense = common::ConstraintSense::kLessEqual;
+    budget.rhs = options_.budget_bytes;
+    lp.constraints.push_back(std::move(budget));
+  }
+  // Box constraints x <= 1 (x >= 0 is implicit).
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    common::LpConstraint box;
+    box.coeffs.assign(candidates.size(), 0.0);
+    box.coeffs[i] = 1.0;
+    box.sense = common::ConstraintSense::kLessEqual;
+    box.rhs = 1.0;
+    lp.constraints.push_back(std::move(box));
+  }
+  auto sol = common::SolveLp(lp);
+  if (!sol.ok()) return sol.status();
+  if (sol->status != common::LpStatus::kOptimal) {
+    return common::Status::Internal("checkpoint LP not optimal");
+  }
+
+  // Rounding: per job take the candidate with the largest fractional mass
+  // (threshold 0.5 of the per-job mass), then enforce the budget greedily
+  // by savings density.
+  std::vector<const Candidate*> picked(jobs.size(), nullptr);
+  std::vector<double> mass(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) mass[i] = sol->x[i];
+  for (size_t j = 0; j < jobs.size(); ++j) {
+    double best_mass = 0.25;  // ignore negligible fractional picks
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (candidates[i].job == j && mass[i] > best_mass) {
+        best_mass = mass[i];
+        picked[j] = &candidates[i];
+      }
+    }
+  }
+  // Budget enforcement: drop lowest-density picks if over budget.
+  double total_bytes = 0.0;
+  std::vector<size_t> chosen_jobs;
+  for (size_t j = 0; j < jobs.size(); ++j) {
+    if (picked[j] != nullptr) {
+      total_bytes += picked[j]->bytes;
+      chosen_jobs.push_back(j);
+    }
+  }
+  std::sort(chosen_jobs.begin(), chosen_jobs.end(), [&](size_t a, size_t b) {
+    double da = picked[a]->saved / std::max(1.0, picked[a]->bytes);
+    double db = picked[b]->saved / std::max(1.0, picked[b]->bytes);
+    return da < db;
+  });
+  size_t drop = 0;
+  while (total_bytes > options_.budget_bytes && drop < chosen_jobs.size()) {
+    size_t j = chosen_jobs[drop++];
+    total_bytes -= picked[j]->bytes;
+    picked[j] = nullptr;
+  }
+
+  std::vector<CheckpointChoice> out;
+  for (size_t j = 0; j < jobs.size(); ++j) {
+    if (picked[j] == nullptr) continue;
+    CheckpointChoice choice;
+    choice.job_index = j;
+    choice.stages = picked[j]->stages;
+    choice.bytes = picked[j]->bytes;
+    choice.saved_work = picked[j]->saved;
+    out.push_back(std::move(choice));
+  }
+  return out;
+}
+
+}  // namespace ads::learned

@@ -1,0 +1,89 @@
+#ifndef ADS_LEARNED_CHECKPOINT_H_
+#define ADS_LEARNED_CHECKPOINT_H_
+
+#include <set>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/stage_graph.h"
+#include "ml/forest.h"
+
+namespace ads::learned {
+
+/// Features of one stage for the Phoebe predictors, computed from
+/// PLANNING-TIME information (the estimated-cardinality compilation):
+/// estimated work, estimated output, fan-in, depth.
+std::vector<double> StageFeatures(const engine::StageGraph& graph,
+                                  const engine::Stage& stage);
+
+/// One observed stage execution for training.
+struct StageObservation {
+  std::vector<double> features;
+  double actual_work = 0.0;
+  double actual_output_bytes = 0.0;
+};
+
+/// Phoebe's per-stage predictors ([52]): models that estimate each stage's
+/// execution work and output size before the job runs, taking inter-stage
+/// structure into account via the features.
+class StagePredictor {
+ public:
+  common::Status Train(const std::vector<StageObservation>& observations);
+  bool trained() const { return trained_; }
+
+  double PredictWork(const std::vector<double>& features) const;
+  double PredictOutputBytes(const std::vector<double>& features) const;
+
+ private:
+  ml::GradientBoostedTrees work_model_;
+  ml::GradientBoostedTrees bytes_model_;
+  bool trained_ = false;
+};
+
+/// RestartWork with externally supplied per-stage work (e.g. predictions).
+double RestartWorkWeighted(const engine::StageGraph& graph,
+                           const std::vector<double>& stage_work,
+                           const std::set<int>& checkpointed);
+
+/// The checkpoint decision for one job.
+struct CheckpointChoice {
+  size_t job_index = 0;
+  std::set<int> stages;
+  double bytes = 0.0;
+  double saved_work = 0.0;
+};
+
+struct CheckpointOptions {
+  /// Candidate cuts per job = level cuts of the stage DAG.
+  /// Global budget on persisted bytes across all jobs.
+  double budget_bytes = 1.0e9;
+  /// Credit (in work units per byte) for temp storage relieved by
+  /// persisting a cut's outputs. Phoebe optimizes both goals: bounded
+  /// restarts AND freeing hotspot temp storage.
+  double temp_relief_weight = 2.0e-6;
+};
+
+/// Phoebe's cut selector: evaluates the level cuts of every job's stage
+/// DAG (persisted bytes vs restart work saved) and solves the global
+/// budgeted selection as a linear program (fractional relaxation via the
+/// simplex solver, then rounding) — "applied a linear programming
+/// algorithm to introduce checkpoint cuts of the query DAG".
+class CheckpointOptimizer {
+ public:
+  explicit CheckpointOptimizer(CheckpointOptions options = CheckpointOptions())
+      : options_(options) {}
+
+  /// Chooses at most one cut per job. If `predictor` is non-null, cut
+  /// bytes/savings are computed from its predictions (the production
+  /// setting); otherwise from the graphs' actual values (oracle).
+  common::Result<std::vector<CheckpointChoice>> Choose(
+      const std::vector<const engine::StageGraph*>& jobs,
+      const StagePredictor* predictor = nullptr) const;
+
+ private:
+  CheckpointOptions options_;
+};
+
+}  // namespace ads::learned
+
+#endif  // ADS_LEARNED_CHECKPOINT_H_

@@ -1,0 +1,145 @@
+#include "learned/cost_models.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "learned/workload_analysis.h"
+
+namespace ads::learned {
+
+using engine::OpType;
+using engine::PlanNode;
+
+std::vector<double> GenericPlanFeatures(const PlanNode& node) {
+  // Operator-mix counts, shape, and volume: reusable across engines, as
+  // Peregrine's engine-agnostic workload representation prescribes.
+  double counts[7] = {0, 0, 0, 0, 0, 0, 0};
+  double scan_rows = 0.0;
+  node.Visit([&](const PlanNode& n) {
+    ++counts[static_cast<size_t>(n.op)];
+    if (n.op == OpType::kScan) scan_rows += n.table_rows;
+  });
+  std::vector<double> f;
+  for (double c : counts) f.push_back(c);
+  f.push_back(static_cast<double>(node.NodeCount()));
+  f.push_back(static_cast<double>(node.Depth()));
+  f.push_back(std::log1p(scan_rows));
+  f.push_back(std::log1p(node.est_card));
+  f.push_back(node.row_width);
+  return f;
+}
+
+void LearnedCostModel::ObserveTarget(const PlanNode& root, double target) {
+  Sample s;
+  s.template_sig = root.TemplateSignature();
+  s.template_features = NodeFeatures(root);
+  s.generic_features = GenericPlanFeatures(root);
+  s.true_cost = target;
+  samples_.push_back(std::move(s));
+}
+
+void LearnedCostModel::Observe(const PlanNode& root,
+                               const engine::CostModel& cost_model) {
+  root.Visit([&](const PlanNode& n) {
+    Sample s;
+    s.template_sig = n.TemplateSignature();
+    s.template_features = NodeFeatures(n);
+    s.generic_features = GenericPlanFeatures(n);
+    s.true_cost = cost_model.PlanCost(n, engine::CardSource::kTrue);
+    samples_.push_back(std::move(s));
+  });
+}
+
+common::Status LearnedCostModel::Train() {
+  if (samples_.empty()) {
+    return common::Status::FailedPrecondition("no cost observations");
+  }
+  common::Rng rng(options_.seed);
+
+  // Global model over generic features (log target).
+  ml::Dataset global_train;
+  for (const Sample& s : samples_) {
+    global_train.Add(s.generic_features, std::log1p(s.true_cost));
+  }
+  ml::GradientBoostedTrees global(
+      {.num_rounds = options_.global_rounds, .max_depth = 4,
+       .seed = rng.engine()()});
+  ADS_RETURN_IF_ERROR(global.Fit(global_train));
+  global_ = std::move(global);
+
+  // Group samples per template.
+  std::map<uint64_t, std::vector<const Sample*>> by_template;
+  for (const Sample& s : samples_) {
+    by_template[s.template_sig].push_back(&s);
+  }
+
+  micro_.clear();
+  for (auto& [sig, group] : by_template) {
+    if (group.size() < options_.min_samples) continue;
+    size_t arity = group[0]->template_features.size();
+    std::vector<size_t> idx(group.size());
+    for (size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+    rng.Shuffle(idx);
+    size_t holdout = std::max<size_t>(
+        2, static_cast<size_t>(options_.holdout_fraction *
+                               static_cast<double>(group.size())));
+    if (holdout >= group.size()) holdout = group.size() / 2;
+
+    ml::Dataset train;
+    for (size_t i = holdout; i < idx.size(); ++i) {
+      const Sample* s = group[idx[i]];
+      if (s->template_features.size() != arity) continue;
+      train.Add(s->template_features, std::log1p(s->true_cost));
+    }
+    if (train.size() < 3) continue;
+    ml::LinearRegressor model(options_.ridge);
+    if (!model.Fit(train).ok()) continue;
+
+    // Ensemble weight from holdout errors of micro vs global.
+    double err_micro = 0.0;
+    double err_global = 0.0;
+    size_t n = 0;
+    for (size_t i = 0; i < holdout; ++i) {
+      const Sample* s = group[idx[i]];
+      if (s->template_features.size() != arity) continue;
+      double truth = std::log1p(s->true_cost);
+      err_micro += std::abs(model.Predict(s->template_features) - truth);
+      err_global += std::abs(global_.Predict(s->generic_features) - truth);
+      ++n;
+    }
+    if (n == 0) continue;
+    double alpha =
+        (err_micro + err_global) > 0.0
+            ? err_global / (err_micro + err_global)
+            : 0.5;
+    micro_[sig] = Micromodel{std::move(model), arity, alpha};
+  }
+  trained_ = true;
+  return common::Status::Ok();
+}
+
+std::optional<double> LearnedCostModel::Cost(const PlanNode& node) const {
+  if (!trained_) return std::nullopt;
+  double global_pred = std::expm1(global_.Predict(GenericPlanFeatures(node)));
+  auto it = micro_.find(node.TemplateSignature());
+  if (it != micro_.end()) {
+    std::vector<double> f = NodeFeatures(node);
+    if (f.size() == it->second.feature_arity) {
+      double micro_pred = std::expm1(it->second.regressor.Predict(f));
+      ++hits_micro_;
+      double a = it->second.alpha;
+      return std::max(0.0, a * micro_pred + (1.0 - a) * global_pred);
+    }
+  }
+  ++hits_global_;
+  return std::max(0.0, global_pred);
+}
+
+double LearnedCostModel::MicromodelHitRate() const {
+  size_t total = hits_micro_ + hits_global_;
+  if (total == 0) return 0.0;
+  return static_cast<double>(hits_micro_) / static_cast<double>(total);
+}
+
+}  // namespace ads::learned

@@ -1,0 +1,86 @@
+#ifndef ADS_LEARNED_COST_MODELS_H_
+#define ADS_LEARNED_COST_MODELS_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/cost.h"
+#include "ml/forest.h"
+#include "ml/linear.h"
+
+namespace ads::learned {
+
+/// Engine-agnostic features of a plan subtree for the global cost model:
+/// operator mix, shape, and volume statistics.
+std::vector<double> GenericPlanFeatures(const engine::PlanNode& node);
+
+struct CostModelOptions {
+  size_t min_samples = 8;
+  double holdout_fraction = 0.3;
+  double ridge = 1e-3;
+  size_t global_rounds = 40;
+  uint64_t seed = 1;
+};
+
+/// Learned cost models in the paper's arrangement ([46]): per-template
+/// micromodels where history exists, one global model for coverage, and a
+/// meta ensemble that combines both predictions weighted by their measured
+/// holdout accuracy. Implements engine::CostProvider so the optimizer can
+/// consult it without being modified.
+class LearnedCostModel : public engine::CostProvider {
+ public:
+  explicit LearnedCostModel(CostModelOptions options = CostModelOptions())
+      : options_(options) {}
+
+  /// Records training data from one executed (annotated) plan: every
+  /// subtree contributes (features -> true subtree cost).
+  void Observe(const engine::PlanNode& root,
+               const engine::CostModel& cost_model);
+
+  /// Records one ROOT-level sample with a measured target (e.g. the job's
+  /// simulated execution time). Use either Observe or ObserveTarget
+  /// consistently — the model learns whatever target it is fed.
+  void ObserveTarget(const engine::PlanNode& root, double target);
+
+  /// Trains micromodels + global model + ensemble weights from the
+  /// observations accumulated so far.
+  common::Status Train();
+
+  /// CostProvider: ensemble prediction of the subtree's true cost, or
+  /// nullopt before training.
+  std::optional<double> Cost(const engine::PlanNode& node) const override;
+
+  bool trained() const { return trained_; }
+  size_t micromodel_count() const { return micro_.size(); }
+  /// Fraction of Cost() calls served with a micromodel in the ensemble
+  /// (coverage accounting; resets are not needed for the benches).
+  double MicromodelHitRate() const;
+
+ private:
+  struct Sample {
+    uint64_t template_sig = 0;
+    std::vector<double> template_features;
+    std::vector<double> generic_features;
+    double true_cost = 0.0;
+  };
+  struct Micromodel {
+    ml::LinearRegressor regressor;
+    size_t feature_arity = 0;
+    /// Ensemble weight on the micromodel (vs the global model).
+    double alpha = 0.5;
+  };
+
+  CostModelOptions options_;
+  std::vector<Sample> samples_;
+  std::map<uint64_t, Micromodel> micro_;
+  ml::GradientBoostedTrees global_;
+  bool trained_ = false;
+  mutable size_t hits_micro_ = 0;
+  mutable size_t hits_global_ = 0;
+};
+
+}  // namespace ads::learned
+
+#endif  // ADS_LEARNED_COST_MODELS_H_

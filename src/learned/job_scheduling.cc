@@ -1,0 +1,191 @@
+#include "learned/job_scheduling.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <queue>
+
+namespace ads::learned {
+
+const char* SchedulingPolicyName(SchedulingPolicy policy) {
+  switch (policy) {
+    case SchedulingPolicy::kFifo:
+      return "fifo";
+    case SchedulingPolicy::kCriticalPath:
+      return "critical_path";
+    case SchedulingPolicy::kShortestFirst:
+      return "shortest_first";
+    case SchedulingPolicy::kShortestPipelineFirst:
+      return "shortest_pipeline_first";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Downstream work per job: its own duration plus the heaviest chain of
+/// dependents (computed over the reverse DAG).
+common::Result<std::vector<double>> DownstreamWork(
+    const std::vector<ScheduledJob>& jobs) {
+  size_t n = jobs.size();
+  std::vector<std::vector<int>> consumers(n);
+  std::vector<int> outdegree(n, 0);
+  for (size_t j = 0; j < n; ++j) {
+    for (int dep : jobs[j].deps) {
+      if (dep < 0 || static_cast<size_t>(dep) >= n) {
+        return common::Status::InvalidArgument("dependency out of range");
+      }
+      consumers[static_cast<size_t>(dep)].push_back(static_cast<int>(j));
+      ++outdegree[static_cast<size_t>(dep)];
+    }
+  }
+  // Reverse-topological accumulation (Kahn on the reverse graph).
+  std::vector<double> down(n, 0.0);
+  std::vector<int> remaining = outdegree;
+  std::queue<int> ready;
+  for (size_t j = 0; j < n; ++j) {
+    down[j] = jobs[j].duration;
+    if (remaining[j] == 0) ready.push(static_cast<int>(j));
+  }
+  size_t processed = 0;
+  while (!ready.empty()) {
+    int j = ready.front();
+    ready.pop();
+    ++processed;
+    for (int dep : jobs[static_cast<size_t>(j)].deps) {
+      down[static_cast<size_t>(dep)] =
+          std::max(down[static_cast<size_t>(dep)],
+                   jobs[static_cast<size_t>(dep)].duration +
+                       down[static_cast<size_t>(j)]);
+      if (--remaining[static_cast<size_t>(dep)] == 0) ready.push(dep);
+    }
+  }
+  if (processed != n) {
+    return common::Status::InvalidArgument("dependency cycle detected");
+  }
+  return down;
+}
+
+}  // namespace
+
+common::Result<ScheduleOutcome> SchedulePipelines(
+    const std::vector<ScheduledJob>& jobs, int slots,
+    SchedulingPolicy policy) {
+  if (jobs.empty()) {
+    return common::Status::InvalidArgument("no jobs to schedule");
+  }
+  if (slots <= 0) {
+    return common::Status::InvalidArgument("need at least one slot");
+  }
+  auto down = DownstreamWork(jobs);
+  if (!down.ok()) return down.status();
+
+  size_t n = jobs.size();
+  // Total work per pipeline (standalone jobs form their own "pipeline").
+  std::map<int, double> pipeline_work;
+  for (const ScheduledJob& job : jobs) {
+    if (job.pipeline >= 0) pipeline_work[job.pipeline] += job.duration;
+  }
+  auto priority = [&](size_t j) {
+    switch (policy) {
+      case SchedulingPolicy::kFifo:
+        return -static_cast<double>(j);
+      case SchedulingPolicy::kCriticalPath:
+        return (*down)[j];
+      case SchedulingPolicy::kShortestFirst:
+        return -jobs[j].duration;
+      case SchedulingPolicy::kShortestPipelineFirst:
+        return jobs[j].pipeline >= 0
+                   ? -pipeline_work[jobs[j].pipeline]
+                   : -jobs[j].duration;
+    }
+    return 0.0;
+  };
+
+  std::vector<int> pending_deps(n, 0);
+  for (size_t j = 0; j < n; ++j) {
+    pending_deps[j] = static_cast<int>(jobs[j].deps.size());
+  }
+  std::vector<std::vector<int>> consumers(n);
+  for (size_t j = 0; j < n; ++j) {
+    for (int dep : jobs[j].deps) {
+      consumers[static_cast<size_t>(dep)].push_back(static_cast<int>(j));
+    }
+  }
+
+  // Ready pool ordered by priority (ties by index for determinism).
+  auto better = [&](size_t a, size_t b) {
+    double pa = priority(a);
+    double pb = priority(b);
+    if (pa != pb) return pa > pb;
+    return a < b;
+  };
+  std::vector<size_t> ready_pool;
+  for (size_t j = 0; j < n; ++j) {
+    if (pending_deps[j] == 0) ready_pool.push_back(j);
+  }
+
+  // Running jobs as (finish time, job) min-heap.
+  using Running = std::pair<double, size_t>;
+  std::priority_queue<Running, std::vector<Running>, std::greater<>> running;
+  std::vector<double> completion(n, 0.0);
+  double now = 0.0;
+  size_t done = 0;
+
+  auto launch_ready = [&]() {
+    std::sort(ready_pool.begin(), ready_pool.end(), better);
+    while (!ready_pool.empty() &&
+           running.size() < static_cast<size_t>(slots)) {
+      size_t j = ready_pool.front();
+      ready_pool.erase(ready_pool.begin());
+      running.emplace(now + jobs[j].duration, j);
+    }
+  };
+
+  launch_ready();
+  while (done < n) {
+    if (running.empty()) {
+      return common::Status::Internal("scheduler stalled (bad DAG)");
+    }
+    auto [finish, j] = running.top();
+    running.pop();
+    now = finish;
+    completion[j] = finish;
+    ++done;
+    for (int c : consumers[j]) {
+      if (--pending_deps[static_cast<size_t>(c)] == 0) {
+        ready_pool.push_back(static_cast<size_t>(c));
+      }
+    }
+    launch_ready();
+  }
+
+  ScheduleOutcome out;
+  out.policy = policy;
+  double job_sum = 0.0;
+  std::map<int, double> pipeline_finish;
+  size_t pipeline_or_standalone = 0;
+  for (size_t j = 0; j < n; ++j) {
+    out.makespan = std::max(out.makespan, completion[j]);
+    job_sum += completion[j];
+    if (jobs[j].pipeline >= 0) {
+      double& f = pipeline_finish[jobs[j].pipeline];
+      f = std::max(f, completion[j]);
+    } else {
+      ++pipeline_or_standalone;  // standalone jobs count as 1-job pipelines
+    }
+  }
+  double pipe_sum = 0.0;
+  for (size_t j = 0; j < n; ++j) {
+    if (jobs[j].pipeline < 0) pipe_sum += completion[j];
+  }
+  for (const auto& [id, finish] : pipeline_finish) pipe_sum += finish;
+  pipeline_or_standalone += pipeline_finish.size();
+  out.mean_job_completion = job_sum / static_cast<double>(n);
+  out.mean_pipeline_completion =
+      pipe_sum / static_cast<double>(std::max<size_t>(1,
+                                                      pipeline_or_standalone));
+  return out;
+}
+
+}  // namespace ads::learned

@@ -1,0 +1,102 @@
+#include "learned/pipeline_opt.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.h"
+
+namespace ads::learned {
+
+using engine::PlanNode;
+
+PipelineOptimizationResult PipelineOptimizer::Optimize(
+    const std::vector<const PlanNode*>& job_plans,
+    const engine::CostModel& cost_model) const {
+  PipelineOptimizationResult result;
+  for (const PlanNode* plan : job_plans) {
+    ADS_CHECK(plan != nullptr) << "null pipeline plan";
+    result.cost_before +=
+        cost_model.PlanCost(*plan, engine::CardSource::kTrue);
+  }
+
+  // Pipeline-aware statistics: which subexpressions recur across the
+  // pipeline's consumer jobs.
+  struct Shared {
+    const PlanNode* example = nullptr;
+    size_t consumers = 0;
+  };
+  std::map<uint64_t, Shared> shared;
+  for (size_t j = 0; j < job_plans.size(); ++j) {
+    std::map<uint64_t, bool> seen_in_job;
+    job_plans[j]->Visit([&](const PlanNode& n) {
+      if (n.NodeCount() < 2) return;
+      uint64_t sig = n.StrictSignature();
+      if (seen_in_job.count(sig) > 0) return;  // count once per job
+      seen_in_job[sig] = true;
+      Shared& s = shared[sig];
+      if (s.example == nullptr) s.example = &n;
+      ++s.consumers;
+    });
+  }
+
+  // Build the pushed set (skip subexpressions nested inside a pushed one:
+  // the outermost shared subtree subsumes its parts).
+  std::vector<MaterializedView> views;
+  std::vector<const PlanNode*> pushed_examples;
+  // Order by descending node count so outer subtrees are considered first.
+  std::vector<std::pair<uint64_t, const Shared*>> ranked;
+  for (const auto& [sig, s] : shared) {
+    if (s.consumers >= options_.min_consumers) ranked.emplace_back(sig, &s);
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) {
+              return a.second->example->NodeCount() >
+                     b.second->example->NodeCount();
+            });
+  for (const auto& [sig, s] : ranked) {
+    bool nested = false;
+    for (const PlanNode* outer : pushed_examples) {
+      outer->Visit([&](const PlanNode& inner) {
+        if (&inner != outer && inner.StrictSignature() == sig) nested = true;
+      });
+      if (nested) break;
+    }
+    if (nested) continue;
+    MaterializedView view;
+    view.strict_signature = sig;
+    view.name = "pipe_view_" + std::to_string(views.size());
+    view.rows = s->example->true_card;
+    view.row_width = s->example->row_width;
+    views.push_back(view);
+    pushed_examples.push_back(s->example);
+  }
+
+  // Producer-side cost: compute each pushed subexpression once and write
+  // its output.
+  double producer_cost = 0.0;
+  for (const PlanNode* ex : pushed_examples) {
+    producer_cost += cost_model.PlanCost(*ex, engine::CardSource::kTrue);
+    producer_cost += ex->true_card * ex->row_width *
+                     options_.write_cost_per_byte;
+  }
+
+  // Rewrite consumers against the pushed views.
+  double consumer_cost = 0.0;
+  for (const PlanNode* plan : job_plans) {
+    size_t rewrites = 0;
+    auto rewritten = ReuseManager::Rewrite(*plan, views, &rewrites);
+    engine::AnnotateTrueCardinality(*rewritten);
+    consumer_cost +=
+        cost_model.PlanCost(*rewritten, engine::CardSource::kTrue);
+    result.optimized_plans.push_back(std::move(rewritten));
+  }
+
+  result.cost_after = producer_cost + consumer_cost;
+  result.subexpressions_pushed = views.size();
+  result.producer_outputs = std::move(views);
+  // If pushing did not pay off (write costs exceeded the sharing), report
+  // honestly; callers may choose to keep the original plans.
+  return result;
+}
+
+}  // namespace ads::learned

@@ -1,0 +1,61 @@
+#ifndef ADS_LEARNED_PIPELINE_OPT_H_
+#define ADS_LEARNED_PIPELINE_OPT_H_
+
+#include <memory>
+#include <vector>
+
+#include "engine/cost.h"
+#include "engine/plan.h"
+#include "learned/reuse.h"
+
+namespace ads::learned {
+
+/// Outcome of optimizing one pipeline.
+struct PipelineOptimizationResult {
+  /// Total true cost of running the pipeline's jobs independently.
+  double cost_before = 0.0;
+  /// Cost after pushing shared subexpressions to the producer: each shared
+  /// computation runs once (plus a materialization write), consumers read
+  /// the result.
+  double cost_after = 0.0;
+  /// Common subexpressions pushed to the producer.
+  size_t subexpressions_pushed = 0;
+  /// The rewritten consumer plans, in input order.
+  std::vector<std::unique_ptr<engine::PlanNode>> optimized_plans;
+  /// What the producer must additionally materialize.
+  std::vector<MaterializedView> producer_outputs;
+
+  double Improvement() const {
+    return cost_before <= 0.0 ? 0.0 : 1.0 - cost_after / cost_before;
+  }
+};
+
+struct PipelineOptimizerOptions {
+  /// Cost units to write one byte of a pushed subexpression's output.
+  double write_cost_per_byte = 2.0e-6;
+  /// Minimum consumers that must share a subexpression before it is pushed.
+  size_t min_consumers = 2;
+};
+
+/// Pipemizer ([14]): optimizes a recurring pipeline of jobs jointly,
+/// collecting pipeline-aware statistics and pushing subexpressions that
+/// several consumer jobs compute into their shared producer so they are
+/// computed once.
+class PipelineOptimizer {
+ public:
+  explicit PipelineOptimizer(
+      PipelineOptimizerOptions options = PipelineOptimizerOptions())
+      : options_(options) {}
+
+  /// Optimizes one pipeline given its jobs' (annotated) plans.
+  PipelineOptimizationResult Optimize(
+      const std::vector<const engine::PlanNode*>& job_plans,
+      const engine::CostModel& cost_model) const;
+
+ private:
+  PipelineOptimizerOptions options_;
+};
+
+}  // namespace ads::learned
+
+#endif  // ADS_LEARNED_PIPELINE_OPT_H_

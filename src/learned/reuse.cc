@@ -1,0 +1,339 @@
+#include "learned/reuse.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace ads::learned {
+
+using engine::PlanNode;
+
+void ReuseManager::ObserveJob(uint64_t job_id, const PlanNode& plan,
+                              const engine::CostModel& cost_model) {
+  ++observed_jobs_;
+  plan.Visit([&](const PlanNode& n) {
+    if (n.NodeCount() < 2) return;  // bare scans are not worth materializing
+    uint64_t sig = n.StrictSignature();
+    CandidateState& state = candidates_[sig];
+    if (state.stats.job_count == 0) {
+      state.stats.strict_signature = sig;
+      state.stats.rows = n.true_card;
+      state.stats.row_width = n.row_width;
+      state.stats.compute_cost =
+          cost_model.PlanCost(n, engine::CardSource::kTrue);
+      state.stats.node_count = n.NodeCount();
+      // Record nested subexpression signatures for subsumption checks.
+      n.Visit([&](const PlanNode& inner) {
+        if (&inner == &n || inner.NodeCount() < 2) return;
+        state.child_signatures.push_back(inner.StrictSignature());
+      });
+    }
+    if (std::find(state.jobs.begin(), state.jobs.end(), job_id) ==
+        state.jobs.end()) {
+      state.jobs.push_back(job_id);
+      state.stats.job_count = state.jobs.size();
+    }
+  });
+
+  // Containment candidates: Filter-over-Scan templates, widened per
+  // instance into an umbrella.
+  plan.Visit([&](const PlanNode& n) {
+    if (n.op != engine::OpType::kFilter ||
+        n.children[0]->op != engine::OpType::kScan) {
+      return;
+    }
+    FilterTemplateState& ft = filter_templates_[n.TemplateSignature()];
+    if (ft.jobs.empty()) {
+      ft.table = n.children[0]->table;
+      ft.table_rows = n.children[0]->table_rows;
+      ft.row_width = n.row_width;
+      ft.umbrella = n.predicates;
+    } else if (ft.valid) {
+      if (ft.umbrella.size() != n.predicates.size()) {
+        ft.valid = false;
+      } else {
+        for (size_t i = 0; i < ft.umbrella.size() && ft.valid; ++i) {
+          engine::Predicate& u = ft.umbrella[i];
+          const engine::Predicate& p = n.predicates[i];
+          if (u.column != p.column || u.op != p.op) {
+            ft.valid = false;
+            break;
+          }
+          switch (u.op) {
+            case engine::CompareOp::kLess:
+            case engine::CompareOp::kLessEqual:
+              u.value = std::max(u.value, p.value);
+              break;
+            case engine::CompareOp::kGreater:
+            case engine::CompareOp::kGreaterEqual:
+              u.value = std::min(u.value, p.value);
+              break;
+            case engine::CompareOp::kEqual:
+              // Equality umbrellas only hold for identical literals.
+              if (u.value != p.value) ft.valid = false;
+              break;
+          }
+          u.true_selectivity = std::max(u.true_selectivity,
+                                        p.true_selectivity);
+        }
+      }
+    }
+    if (std::find(ft.jobs.begin(), ft.jobs.end(), job_id) == ft.jobs.end()) {
+      ft.jobs.push_back(job_id);
+    }
+  });
+}
+
+std::vector<MaterializedView> ReuseManager::SelectContainmentViews(
+    double budget_bytes, size_t min_jobs) const {
+  std::vector<const FilterTemplateState*> ranked;
+  for (const auto& [sig, ft] : filter_templates_) {
+    (void)sig;
+    if (ft.valid && ft.jobs.size() >= min_jobs) ranked.push_back(&ft);
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const FilterTemplateState* a, const FilterTemplateState* b) {
+              return a->jobs.size() > b->jobs.size();
+            });
+  std::vector<MaterializedView> out;
+  double used = 0.0;
+  for (const FilterTemplateState* ft : ranked) {
+    double sel = 1.0;
+    for (const engine::Predicate& p : ft->umbrella) {
+      sel *= p.true_selectivity;
+    }
+    MaterializedView view;
+    view.table = ft->table;
+    view.table_rows = ft->table_rows;
+    view.predicates = ft->umbrella;
+    view.rows = std::max(1.0, ft->table_rows * sel);
+    view.row_width = ft->row_width;
+    view.name = "cview_" + std::to_string(out.size());
+    // Strict signature of the umbrella itself, so instances that EQUAL the
+    // umbrella rewrite via the exact path too.
+    auto scan = std::make_unique<PlanNode>();
+    scan->op = engine::OpType::kScan;
+    scan->table = ft->table;
+    scan->table_rows = ft->table_rows;
+    auto umbrella_node =
+        engine::MakeFilter(std::move(scan), ft->umbrella);
+    view.strict_signature = umbrella_node->StrictSignature();
+    double bytes = view.rows * view.row_width;
+    if (used + bytes > budget_bytes) continue;
+    used += bytes;
+    out.push_back(std::move(view));
+  }
+  return out;
+}
+
+std::vector<ViewCandidate> ReuseManager::Candidates(size_t min_jobs) const {
+  std::vector<ViewCandidate> out;
+  for (const auto& [sig, state] : candidates_) {
+    (void)sig;
+    if (state.stats.job_count >= min_jobs) out.push_back(state.stats);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ViewCandidate& a, const ViewCandidate& b) {
+              return a.Utility() > b.Utility();
+            });
+  return out;
+}
+
+std::vector<MaterializedView> ReuseManager::SelectViews(
+    double budget_bytes, size_t min_jobs) const {
+  // Order by utility per byte (density), greedily pack the budget,
+  // skipping candidates nested inside an already-selected view.
+  std::vector<const CandidateState*> ranked;
+  for (const auto& [sig, state] : candidates_) {
+    (void)sig;
+    if (state.stats.job_count >= min_jobs && state.stats.Utility() > 0.0) {
+      ranked.push_back(&state);
+    }
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const CandidateState* a, const CandidateState* b) {
+              double da = a->stats.Utility() / std::max(1.0, a->stats.bytes());
+              double db = b->stats.Utility() / std::max(1.0, b->stats.bytes());
+              return da > db;
+            });
+  std::vector<MaterializedView> selected;
+  std::vector<const CandidateState*> selected_states;
+  double used = 0.0;
+  for (const CandidateState* c : ranked) {
+    if (used + c->stats.bytes() > budget_bytes) continue;
+    bool nested = false;
+    for (const CandidateState* s : selected_states) {
+      if (std::find(s->child_signatures.begin(), s->child_signatures.end(),
+                    c->stats.strict_signature) != s->child_signatures.end()) {
+        nested = true;
+        break;
+      }
+    }
+    if (nested) continue;
+    MaterializedView view;
+    view.strict_signature = c->stats.strict_signature;
+    view.name = "view_" + std::to_string(selected.size());
+    view.rows = c->stats.rows;
+    view.row_width = c->stats.row_width;
+    used += c->stats.bytes();
+    selected.push_back(view);
+    selected_states.push_back(c);
+  }
+  return selected;
+}
+
+namespace {
+
+std::unique_ptr<PlanNode> RewriteNode(
+    const PlanNode& node, const std::vector<MaterializedView>& views,
+    size_t* rewrites) {
+  uint64_t sig = node.StrictSignature();
+  for (const MaterializedView& view : views) {
+    if (view.strict_signature == sig) {
+      auto scan = std::make_unique<PlanNode>();
+      scan->op = engine::OpType::kScan;
+      scan->table = view.name;
+      scan->table_rows = view.rows;
+      scan->row_width = view.row_width;
+      scan->true_card = view.rows;
+      scan->est_card = view.rows;  // views have exact statistics
+      if (rewrites != nullptr) ++*rewrites;
+      return scan;
+    }
+  }
+  auto copy = std::make_unique<PlanNode>();
+  *copy = PlanNode{};
+  copy->op = node.op;
+  copy->table = node.table;
+  copy->table_rows = node.table_rows;
+  copy->predicates = node.predicates;
+  copy->columns = node.columns;
+  copy->row_width = node.row_width;
+  copy->join = node.join;
+  copy->agg = node.agg;
+  copy->true_card = node.true_card;
+  copy->est_card = node.est_card;
+  for (const auto& child : node.children) {
+    copy->children.push_back(RewriteNode(*child, views, rewrites));
+  }
+  return copy;
+}
+
+/// True if the view's umbrella predicate `v` is implied by query predicate
+/// `q` (same column/op, q at least as restrictive).
+bool Implies(const engine::Predicate& q, const engine::Predicate& v) {
+  if (q.column != v.column || q.op != v.op) return false;
+  switch (v.op) {
+    case engine::CompareOp::kLess:
+    case engine::CompareOp::kLessEqual:
+      return q.value <= v.value;
+    case engine::CompareOp::kGreater:
+    case engine::CompareOp::kGreaterEqual:
+      return q.value >= v.value;
+    case engine::CompareOp::kEqual:
+      return q.value == v.value;
+  }
+  return false;
+}
+
+std::unique_ptr<PlanNode> MakeViewScan(const MaterializedView& view) {
+  auto scan = std::make_unique<PlanNode>();
+  scan->op = engine::OpType::kScan;
+  scan->table = view.name;
+  scan->table_rows = view.rows;
+  scan->row_width = view.row_width;
+  scan->true_card = view.rows;
+  scan->est_card = view.rows;
+  return scan;
+}
+
+std::unique_ptr<PlanNode> RewriteContainmentNode(
+    const PlanNode& node, const std::vector<MaterializedView>& views,
+    size_t* exact, size_t* contained) {
+  uint64_t sig = node.StrictSignature();
+  for (const MaterializedView& view : views) {
+    if (view.strict_signature == sig) {
+      if (exact != nullptr) ++*exact;
+      return MakeViewScan(view);
+    }
+  }
+  // Containment: Filter(Scan(T), q) where some view (T, v) has every
+  // umbrella predicate implied by a query predicate.
+  if (node.op == engine::OpType::kFilter &&
+      node.children[0]->op == engine::OpType::kScan) {
+    const std::string& table = node.children[0]->table;
+    for (const MaterializedView& view : views) {
+      if (view.table != table || view.predicates.empty()) continue;
+      // Match every view predicate to an implying query predicate.
+      std::vector<int> matched_view_pred(node.predicates.size(), -1);
+      bool all_implied = true;
+      for (size_t vi = 0; vi < view.predicates.size() && all_implied; ++vi) {
+        bool found = false;
+        for (size_t qi = 0; qi < node.predicates.size(); ++qi) {
+          if (matched_view_pred[qi] >= 0) continue;
+          if (Implies(node.predicates[qi], view.predicates[vi])) {
+            matched_view_pred[qi] = static_cast<int>(vi);
+            found = true;
+            break;
+          }
+        }
+        all_implied = found;
+      }
+      if (!all_implied) continue;
+      // Residual predicates re-filter the view. For predicates matched to
+      // an umbrella predicate, the residual's TRUE selectivity is
+      // conditional: q_sel / v_sel (the view already removed the rest).
+      std::vector<engine::Predicate> residual;
+      for (size_t qi = 0; qi < node.predicates.size(); ++qi) {
+        engine::Predicate p = node.predicates[qi];
+        if (matched_view_pred[qi] >= 0) {
+          const engine::Predicate& v =
+              view.predicates[static_cast<size_t>(matched_view_pred[qi])];
+          if (p.value == v.value) continue;  // fully answered by the view
+          p.true_selectivity =
+              std::min(1.0, p.true_selectivity /
+                                std::max(1e-12, v.true_selectivity));
+        }
+        residual.push_back(std::move(p));
+      }
+      if (contained != nullptr) ++*contained;
+      auto scan = MakeViewScan(view);
+      if (residual.empty()) return scan;
+      auto filter = engine::MakeFilter(std::move(scan), std::move(residual));
+      filter->row_width = view.row_width;
+      return filter;
+    }
+  }
+  auto copy = std::make_unique<PlanNode>();
+  copy->op = node.op;
+  copy->table = node.table;
+  copy->table_rows = node.table_rows;
+  copy->predicates = node.predicates;
+  copy->columns = node.columns;
+  copy->row_width = node.row_width;
+  copy->join = node.join;
+  copy->agg = node.agg;
+  copy->true_card = node.true_card;
+  copy->est_card = node.est_card;
+  for (const auto& child : node.children) {
+    copy->children.push_back(
+        RewriteContainmentNode(*child, views, exact, contained));
+  }
+  return copy;
+}
+
+}  // namespace
+
+std::unique_ptr<PlanNode> ReuseManager::Rewrite(
+    const PlanNode& plan, const std::vector<MaterializedView>& views,
+    size_t* rewrites) {
+  return RewriteNode(plan, views, rewrites);
+}
+
+std::unique_ptr<PlanNode> ReuseManager::RewriteWithContainment(
+    const PlanNode& plan, const std::vector<MaterializedView>& views,
+    size_t* exact, size_t* contained) {
+  return RewriteContainmentNode(plan, views, exact, contained);
+}
+
+}  // namespace ads::learned

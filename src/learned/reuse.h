@@ -1,0 +1,125 @@
+#ifndef ADS_LEARNED_REUSE_H_
+#define ADS_LEARNED_REUSE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/cost.h"
+#include "engine/plan.h"
+
+namespace ads::learned {
+
+/// A subexpression observed across jobs, keyed by its strict signature
+/// (CloudViews' lightweight hash: identical computation, including
+/// literals).
+struct ViewCandidate {
+  uint64_t strict_signature = 0;
+  /// Distinct jobs containing the subexpression.
+  size_t job_count = 0;
+  /// Output of the subexpression (true values from execution).
+  double rows = 0.0;
+  double row_width = 100.0;
+  /// Compute cost of producing it once.
+  double compute_cost = 0.0;
+  size_t node_count = 0;
+
+  double bytes() const { return rows * row_width; }
+  /// Net benefit of materializing: every occurrence after the first reads
+  /// the view instead of recomputing.
+  double Utility() const {
+    return job_count <= 1 ? 0.0
+                          : static_cast<double>(job_count - 1) * compute_cost;
+  }
+};
+
+/// A selected materialized view. Exact (syntactic) views match subtrees by
+/// strict signature. CONTAINMENT views additionally describe their
+/// definition — Filter(Scan(table), predicates) with umbrella literals — so
+/// tighter filter instances can be answered from the view with residual
+/// predicates (the paper's "semantically ... contained subexpressions"
+/// extension of CloudViews).
+struct MaterializedView {
+  uint64_t strict_signature = 0;
+  std::string name;
+  double rows = 0.0;
+  double row_width = 100.0;
+  /// Containment definition (empty table = exact-match-only view).
+  std::string table;
+  double table_rows = 0.0;
+  std::vector<engine::Predicate> predicates;  // umbrella bounds
+};
+
+/// CloudViews ([21, 22, 43]): signature-based detection of common
+/// subexpressions across jobs, budgeted materialized-view selection, and
+/// plan rewriting that swaps matching subtrees for view scans.
+class ReuseManager {
+ public:
+  /// Ingests one executed (annotated) job plan.
+  void ObserveJob(uint64_t job_id, const engine::PlanNode& plan,
+                  const engine::CostModel& cost_model);
+
+  /// Candidates appearing in at least `min_jobs` distinct jobs, by
+  /// descending utility.
+  std::vector<ViewCandidate> Candidates(size_t min_jobs = 2) const;
+
+  /// Greedy utility-density selection under a storage budget. Candidates
+  /// nested inside an already-selected candidate are skipped (the larger
+  /// view subsumes them).
+  std::vector<MaterializedView> SelectViews(double budget_bytes,
+                                            size_t min_jobs = 2) const;
+
+  /// Containment views: for recurring Filter(Scan) TEMPLATES (same shape,
+  /// varying literals), materializes the umbrella — the widest observed
+  /// bound per predicate — so every tighter instance can read the view
+  /// with residual predicates. Returns views under the storage budget,
+  /// by descending recurrence.
+  std::vector<MaterializedView> SelectContainmentViews(
+      double budget_bytes, size_t min_jobs = 2) const;
+
+  /// Rewrites a plan against a view set: any subtree whose strict
+  /// signature matches a view becomes a scan of that view. Returns the
+  /// rewritten plan (true/estimated cards re-annotated on the new scans);
+  /// `rewrites` (optional) counts the replacements.
+  static std::unique_ptr<engine::PlanNode> Rewrite(
+      const engine::PlanNode& plan, const std::vector<MaterializedView>& views,
+      size_t* rewrites = nullptr);
+
+  /// Like Rewrite, but additionally serves Filter(Scan) subtrees CONTAINED
+  /// in a view's umbrella: the subtree becomes Filter(Scan(view), residual
+  /// predicates) with conditional true selectivities, so true cardinality
+  /// is preserved. `exact`/`contained` (optional) count the two kinds.
+  static std::unique_ptr<engine::PlanNode> RewriteWithContainment(
+      const engine::PlanNode& plan, const std::vector<MaterializedView>& views,
+      size_t* exact = nullptr, size_t* contained = nullptr);
+
+  size_t observed_jobs() const { return observed_jobs_; }
+
+ private:
+  struct CandidateState {
+    ViewCandidate stats;
+    std::vector<uint64_t> jobs;            // distinct jobs seen (capped)
+    std::vector<uint64_t> child_signatures;  // strict sigs of nested subtrees
+  };
+
+  /// Per-template (shape, not literals) state of Filter(Scan) subtrees for
+  /// umbrella/containment views.
+  struct FilterTemplateState {
+    std::string table;
+    double table_rows = 0.0;
+    double row_width = 100.0;
+    std::vector<engine::Predicate> umbrella;  // widest bound + max true sel
+    std::vector<uint64_t> jobs;
+    bool valid = true;  // false if instances disagree structurally
+  };
+
+  std::map<uint64_t, CandidateState> candidates_;
+  std::map<uint64_t, FilterTemplateState> filter_templates_;
+  size_t observed_jobs_ = 0;
+};
+
+}  // namespace ads::learned
+
+#endif  // ADS_LEARNED_REUSE_H_

@@ -1,0 +1,126 @@
+#include "learned/steering.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace ads::learned {
+
+using engine::RuleConfig;
+
+SteeringController::SteeringController(SteeringOptions options)
+    : options_(options) {}
+
+SteeringController::TemplateState& SteeringController::StateFor(
+    uint64_t template_sig) {
+  auto it = states_.find(template_sig);
+  if (it != states_.end()) return it->second;
+  TemplateState state;
+  state.epsilon = options_.epsilon;
+  Arm def;
+  def.config = RuleConfig::Default();
+  state.arms.push_back(def);
+  for (const RuleConfig& n : RuleConfig::Default().Neighbors()) {
+    Arm arm;
+    arm.config = n;
+    state.arms.push_back(arm);
+  }
+  return states_.emplace(template_sig, std::move(state)).first->second;
+}
+
+int SteeringController::ArmIndexOf(const TemplateState& state,
+                                   const RuleConfig& config) {
+  for (size_t i = 0; i < state.arms.size(); ++i) {
+    if (state.arms[i].config == config) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+RuleConfig SteeringController::ChooseConfig(uint64_t template_sig,
+                                            common::Rng& rng) {
+  TemplateState& state = StateFor(template_sig);
+  const Arm& def = state.arms[0];
+  double eps = state.epsilon;
+  state.epsilon *= options_.epsilon_decay;
+
+  // Until the default arm has a trusted baseline, run the default — never
+  // experiment before knowing what "no regression" means.
+  if (def.trials < options_.min_trials) return def.config;
+
+  if (rng.Bernoulli(eps)) {
+    // Explore a uniformly random non-blacklisted arm.
+    std::vector<size_t> open;
+    for (size_t i = 0; i < state.arms.size(); ++i) {
+      if (!state.arms[i].blacklisted) open.push_back(i);
+    }
+    size_t pick = open[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(open.size()) - 1))];
+    return state.arms[pick].config;
+  }
+  return BestConfig(template_sig);
+}
+
+RuleConfig SteeringController::BestConfig(uint64_t template_sig) const {
+  auto it = states_.find(template_sig);
+  if (it == states_.end()) return RuleConfig::Default();
+  const TemplateState& state = it->second;
+  const Arm& def = state.arms[0];
+  int best = 0;
+  double best_mean = def.mean_runtime;
+  for (size_t i = 1; i < state.arms.size(); ++i) {
+    const Arm& arm = state.arms[i];
+    if (arm.blacklisted || arm.trials < options_.min_trials) continue;
+    // Validation threshold: adopt only a clear improvement.
+    if (arm.mean_runtime < def.mean_runtime * options_.adoption_ratio &&
+        arm.mean_runtime < best_mean) {
+      best = static_cast<int>(i);
+      best_mean = arm.mean_runtime;
+    }
+  }
+  return state.arms[static_cast<size_t>(best)].config;
+}
+
+void SteeringController::ObserveRuntime(uint64_t template_sig,
+                                        const RuleConfig& config,
+                                        double runtime) {
+  TemplateState& state = StateFor(template_sig);
+  int idx = ArmIndexOf(state, config);
+  if (idx < 0) return;  // a config outside the incremental-step arm set
+  Arm& arm = state.arms[static_cast<size_t>(idx)];
+  ++arm.trials;
+  arm.mean_runtime += (runtime - arm.mean_runtime) /
+                      static_cast<double>(arm.trials);
+  // Regression guard: condemn arms that run worse than default.
+  const Arm& def = state.arms[0];
+  if (idx != 0 && !arm.blacklisted && arm.trials >= options_.min_trials &&
+      def.trials >= options_.min_trials &&
+      arm.mean_runtime > def.mean_runtime * options_.regression_guard_ratio) {
+    arm.blacklisted = true;
+    ++regressions_prevented_;
+  }
+}
+
+size_t SteeringController::templates_steered() const {
+  size_t n = 0;
+  for (const auto& [sig, state] : states_) {
+    (void)sig;
+    const Arm& def = state.arms[0];
+    for (size_t i = 1; i < state.arms.size(); ++i) {
+      const Arm& arm = state.arms[i];
+      if (!arm.blacklisted && arm.trials >= options_.min_trials &&
+          arm.mean_runtime < def.mean_runtime * options_.adoption_ratio) {
+        ++n;
+        break;
+      }
+    }
+  }
+  return n;
+}
+
+double SteeringController::DefaultMeanRuntime(uint64_t template_sig) const {
+  auto it = states_.find(template_sig);
+  if (it == states_.end()) return 0.0;
+  return it->second.arms[0].mean_runtime;
+}
+
+}  // namespace ads::learned

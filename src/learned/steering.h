@@ -1,0 +1,80 @@
+#ifndef ADS_LEARNED_STEERING_H_
+#define ADS_LEARNED_STEERING_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "engine/rules.h"
+
+namespace ads::learned {
+
+struct SteeringOptions {
+  /// Exploration probability and its per-decision decay.
+  double epsilon = 0.2;
+  double epsilon_decay = 0.999;
+  /// Trials of an arm before its mean is trusted for exploitation or
+  /// condemnation.
+  size_t min_trials = 3;
+  /// An arm whose mean runtime exceeds default * this ratio (after
+  /// min_trials) is blacklisted — the regression guard.
+  double regression_guard_ratio = 1.1;
+  /// An arm is only exploited if its mean beats default * this ratio
+  /// (the validation threshold before steering away from default).
+  double adoption_ratio = 0.95;
+};
+
+/// Bao-style query-optimizer steering, with the production adjustments the
+/// paper describes ([35, 51]):
+///  - steering is limited to SMALL INCREMENTAL STEPS: the candidate arms
+///    are the default rule config plus its Hamming-distance-1 neighbors
+///    (one rule flipped), keeping decisions interpretable and debuggable;
+///  - a contextual-bandit-style explore/exploit loop minimizes
+///    pre-production experimentation cost;
+///  - a validation guard blacklists any arm that regresses versus the
+///    default, and never steers away without evidence of improvement.
+class SteeringController {
+ public:
+  explicit SteeringController(SteeringOptions options = SteeringOptions());
+
+  /// Picks the rule config to run the next instance of this template with.
+  engine::RuleConfig ChooseConfig(uint64_t template_sig, common::Rng& rng);
+
+  /// Feeds back the observed runtime of a (template, config) execution.
+  void ObserveRuntime(uint64_t template_sig, const engine::RuleConfig& config,
+                      double runtime);
+
+  /// The config the controller currently believes best for the template
+  /// (pure exploitation).
+  engine::RuleConfig BestConfig(uint64_t template_sig) const;
+
+  size_t regressions_prevented() const { return regressions_prevented_; }
+  size_t templates_steered() const;
+  /// Mean runtime of the default arm for a template (0 if unseen).
+  double DefaultMeanRuntime(uint64_t template_sig) const;
+
+ private:
+  struct Arm {
+    engine::RuleConfig config;
+    size_t trials = 0;
+    double mean_runtime = 0.0;
+    bool blacklisted = false;
+  };
+  struct TemplateState {
+    std::vector<Arm> arms;  // arm 0 is the default config
+    double epsilon;
+  };
+
+  TemplateState& StateFor(uint64_t template_sig);
+  static int ArmIndexOf(const TemplateState& state,
+                        const engine::RuleConfig& config);
+
+  SteeringOptions options_;
+  std::map<uint64_t, TemplateState> states_;
+  size_t regressions_prevented_ = 0;
+};
+
+}  // namespace ads::learned
+
+#endif  // ADS_LEARNED_STEERING_H_

@@ -1,0 +1,105 @@
+#include "ml/algorithm_store.h"
+
+#include <algorithm>
+
+#include "ml/forest.h"
+#include "ml/knn.h"
+#include "ml/linear.h"
+#include "ml/mlp.h"
+#include "ml/tree.h"
+
+namespace ads::ml {
+
+AlgorithmStore AlgorithmStore::Default() {
+  AlgorithmStore store;
+  ADS_CHECK_OK(store.Register(
+      "linear_regression",
+      "Ridge/OLS linear regression; the default for telemetry relationships",
+      {"regression", "interpretable", "telemetry", "cheap"},
+      [] { return std::make_unique<LinearRegressor>(); }));
+  ADS_CHECK_OK(store.Register(
+      "regression_tree",
+      "CART regression tree; interpretable splits for knob/threshold effects",
+      {"regression", "interpretable", "nonlinear"},
+      [] { return std::make_unique<RegressionTree>(); }));
+  ADS_CHECK_OK(store.Register(
+      "random_forest",
+      "Bagged trees; robust nonlinear regressor for noisy system metrics",
+      {"regression", "nonlinear", "robust"},
+      [] { return std::make_unique<RandomForestRegressor>(); }));
+  ADS_CHECK_OK(store.Register(
+      "gradient_boosting",
+      "Boosted trees; strongest accuracy/cost ratio for surrogate models",
+      {"regression", "nonlinear", "surrogate", "tuning"},
+      [] { return std::make_unique<GradientBoostedTrees>(); }));
+  ADS_CHECK_OK(store.Register(
+      "knn",
+      "k-nearest neighbours; match-to-similar for segment transfer",
+      {"regression", "segments", "transfer"},
+      [] { return std::make_unique<KnnRegressor>(); }));
+  ADS_CHECK_OK(store.Register(
+      "mlp",
+      "Small neural network; for surfaces simple models underfit (costly)",
+      {"regression", "nonlinear", "expensive"},
+      [] { return std::make_unique<MlpRegressor>(); }));
+  return store;
+}
+
+common::Status AlgorithmStore::Register(const std::string& name,
+                                        const std::string& description,
+                                        std::vector<std::string> tags,
+                                        RegressorFactory factory) {
+  if (entries_.count(name) > 0) {
+    return common::Status::AlreadyExists("algorithm already registered: " +
+                                         name);
+  }
+  if (!factory) {
+    return common::Status::InvalidArgument("null factory for " + name);
+  }
+  Entry entry;
+  entry.info = {name, description, std::move(tags)};
+  entry.factory = std::move(factory);
+  entries_[name] = std::move(entry);
+  return common::Status::Ok();
+}
+
+common::Result<std::unique_ptr<Regressor>> AlgorithmStore::Create(
+    const std::string& name) const {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return common::Status::NotFound("unknown algorithm: " + name);
+  }
+  return it->second.factory();
+}
+
+std::vector<AlgorithmStore::AlgorithmInfo> AlgorithmStore::SearchByTag(
+    const std::string& tag) const {
+  std::vector<AlgorithmInfo> out;
+  for (const auto& [name, entry] : entries_) {
+    if (std::find(entry.info.tags.begin(), entry.info.tags.end(), tag) !=
+        entry.info.tags.end()) {
+      out.push_back(entry.info);
+    }
+  }
+  return out;
+}
+
+std::vector<AlgorithmStore::AlgorithmInfo> AlgorithmStore::SearchByKeyword(
+    const std::string& keyword) const {
+  std::vector<AlgorithmInfo> out;
+  for (const auto& [name, entry] : entries_) {
+    if (entry.info.name.find(keyword) != std::string::npos ||
+        entry.info.description.find(keyword) != std::string::npos) {
+      out.push_back(entry.info);
+    }
+  }
+  return out;
+}
+
+std::vector<AlgorithmStore::AlgorithmInfo> AlgorithmStore::List() const {
+  std::vector<AlgorithmInfo> out;
+  for (const auto& [name, entry] : entries_) out.push_back(entry.info);
+  return out;
+}
+
+}  // namespace ads::ml

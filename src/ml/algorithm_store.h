@@ -1,0 +1,66 @@
+#ifndef ADS_ML_ALGORITHM_STORE_H_
+#define ADS_ML_ALGORITHM_STORE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ml/model.h"
+
+namespace ads::ml {
+
+/// The paper's Direction 1 "AlgorithmStore" ("analogous to a GitHub for
+/// models"): a searchable catalog of algorithm templates so previously
+/// developed solutions can be discovered and adapted to new scenarios.
+///
+/// Entries are factories (an algorithm, not a trained model) annotated
+/// with free-form tags and a description; discovery is by tag or by
+/// keyword over name/description.
+class AlgorithmStore {
+ public:
+  using RegressorFactory = std::function<std::unique_ptr<Regressor>()>;
+
+  struct AlgorithmInfo {
+    std::string name;
+    std::string description;
+    std::vector<std::string> tags;
+  };
+
+  /// A store preloaded with this library's regressor families, tagged by
+  /// the scenarios the paper applies them to.
+  static AlgorithmStore Default();
+
+  /// Registers an algorithm. Fails on duplicate names.
+  common::Status Register(const std::string& name,
+                          const std::string& description,
+                          std::vector<std::string> tags,
+                          RegressorFactory factory);
+
+  /// Instantiates a registered algorithm by exact name.
+  common::Result<std::unique_ptr<Regressor>> Create(
+      const std::string& name) const;
+
+  /// All algorithms carrying the tag, sorted by name.
+  std::vector<AlgorithmInfo> SearchByTag(const std::string& tag) const;
+
+  /// Case-sensitive substring search over name and description.
+  std::vector<AlgorithmInfo> SearchByKeyword(const std::string& keyword) const;
+
+  std::vector<AlgorithmInfo> List() const;
+  size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    AlgorithmInfo info;
+    RegressorFactory factory;
+  };
+
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace ads::ml
+
+#endif  // ADS_ML_ALGORITHM_STORE_H_

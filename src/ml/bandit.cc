@@ -1,0 +1,110 @@
+#include "ml/bandit.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace ads::ml {
+
+EpsilonGreedyBandit::EpsilonGreedyBandit(size_t num_arms, double epsilon,
+                                         double decay)
+    : epsilon_(epsilon), decay_(decay), means_(num_arms, 0.0),
+      counts_(num_arms, 0) {
+  ADS_CHECK(num_arms > 0) << "bandit needs at least one arm";
+}
+
+size_t EpsilonGreedyBandit::Select(common::Rng& rng) {
+  size_t choice;
+  if (rng.Bernoulli(epsilon_)) {
+    choice = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(means_.size()) - 1));
+  } else {
+    choice = BestArm();
+  }
+  epsilon_ *= decay_;
+  return choice;
+}
+
+size_t EpsilonGreedyBandit::BestArm() const {
+  size_t best = 0;
+  for (size_t a = 1; a < means_.size(); ++a) {
+    if (means_[a] > means_[best]) best = a;
+  }
+  return best;
+}
+
+void EpsilonGreedyBandit::Update(size_t arm, double reward) {
+  ADS_CHECK(arm < means_.size()) << "bandit arm out of range";
+  ++counts_[arm];
+  means_[arm] += (reward - means_[arm]) / static_cast<double>(counts_[arm]);
+}
+
+LinUcbBandit::LinUcbBandit(size_t num_arms, size_t context_dim, double alpha,
+                           double ridge)
+    : context_dim_(context_dim), alpha_(alpha) {
+  ADS_CHECK(num_arms > 0) << "bandit needs at least one arm";
+  ADS_CHECK(context_dim > 0) << "bandit needs a nonempty context";
+  arms_.reserve(num_arms);
+  for (size_t i = 0; i < num_arms; ++i) {
+    Arm arm;
+    arm.a = common::Matrix::Identity(context_dim).Scale(ridge);
+    arm.b.assign(context_dim, 0.0);
+    arms_.push_back(std::move(arm));
+  }
+}
+
+double LinUcbBandit::Ucb(const Arm& arm,
+                         const std::vector<double>& context) const {
+  // theta = A^-1 b; bonus = alpha * sqrt(x^T A^-1 x).
+  auto theta = arm.a.CholeskySolve(arm.b);
+  ADS_CHECK(theta.ok()) << "LinUCB A matrix not SPD";
+  auto ainv_x = arm.a.CholeskySolve(context);
+  ADS_CHECK(ainv_x.ok()) << "LinUCB A matrix not SPD";
+  double mean = common::Dot(*theta, context);
+  double width = std::sqrt(std::max(0.0, common::Dot(context, *ainv_x)));
+  return mean + alpha_ * width;
+}
+
+size_t LinUcbBandit::Select(const std::vector<double>& context) const {
+  ADS_CHECK(context.size() == context_dim_) << "context arity mismatch";
+  size_t best = 0;
+  double best_ucb = -1e300;
+  for (size_t a = 0; a < arms_.size(); ++a) {
+    double u = Ucb(arms_[a], context);
+    if (u > best_ucb) {
+      best_ucb = u;
+      best = a;
+    }
+  }
+  return best;
+}
+
+double LinUcbBandit::PredictReward(size_t arm,
+                                   const std::vector<double>& context) const {
+  ADS_CHECK(arm < arms_.size()) << "bandit arm out of range";
+  ADS_CHECK(context.size() == context_dim_) << "context arity mismatch";
+  auto theta = arms_[arm].a.CholeskySolve(arms_[arm].b);
+  ADS_CHECK(theta.ok()) << "LinUCB A matrix not SPD";
+  return common::Dot(*theta, context);
+}
+
+common::Status LinUcbBandit::Update(size_t arm,
+                                    const std::vector<double>& context,
+                                    double reward) {
+  if (arm >= arms_.size()) {
+    return common::Status::OutOfRange("bandit arm out of range");
+  }
+  if (context.size() != context_dim_) {
+    return common::Status::InvalidArgument("context arity mismatch");
+  }
+  Arm& a = arms_[arm];
+  for (size_t i = 0; i < context_dim_; ++i) {
+    a.b[i] += reward * context[i];
+    for (size_t j = 0; j < context_dim_; ++j) {
+      a.a.At(i, j) += context[i] * context[j];
+    }
+  }
+  return common::Status::Ok();
+}
+
+}  // namespace ads::ml

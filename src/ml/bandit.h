@@ -1,0 +1,76 @@
+#ifndef ADS_ML_BANDIT_H_
+#define ADS_ML_BANDIT_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace ads::ml {
+
+/// Epsilon-greedy multi-armed bandit over a fixed arm set. The paper's
+/// steering work uses bandits to minimize pre-production experimentation
+/// cost when searching rule configurations.
+class EpsilonGreedyBandit {
+ public:
+  /// epsilon: exploration probability; decays by `decay` per selection.
+  EpsilonGreedyBandit(size_t num_arms, double epsilon = 0.1,
+                      double decay = 1.0);
+
+  /// Picks an arm (explore with prob epsilon, else exploit best mean).
+  size_t Select(common::Rng& rng);
+  /// Records the observed reward for an arm.
+  void Update(size_t arm, double reward);
+
+  size_t num_arms() const { return means_.size(); }
+  double mean(size_t arm) const { return means_[arm]; }
+  size_t pulls(size_t arm) const { return counts_[arm]; }
+  /// Arm with the highest posterior mean (ties to the lowest index).
+  size_t BestArm() const;
+
+ private:
+  double epsilon_;
+  double decay_;
+  std::vector<double> means_;
+  std::vector<size_t> counts_;
+};
+
+/// LinUCB contextual bandit: one ridge model per arm over a shared context,
+/// selecting by optimistic upper confidence bound. This is the contextual
+/// bandit the paper cites for steering query optimizers with low
+/// experimentation cost.
+class LinUcbBandit {
+ public:
+  /// alpha: exploration width; ridge: regularization of per-arm models.
+  LinUcbBandit(size_t num_arms, size_t context_dim, double alpha = 1.0,
+               double ridge = 1.0);
+
+  /// Picks the arm with the highest UCB for this context.
+  size_t Select(const std::vector<double>& context) const;
+  /// Point estimate of an arm's reward for a context (no bonus).
+  double PredictReward(size_t arm, const std::vector<double>& context) const;
+  /// Records the reward observed after playing `arm` in `context`.
+  common::Status Update(size_t arm, const std::vector<double>& context,
+                        double reward);
+
+  size_t num_arms() const { return arms_.size(); }
+  size_t context_dim() const { return context_dim_; }
+
+ private:
+  struct Arm {
+    common::Matrix a;         // d x d: ridge*I + sum x x^T
+    std::vector<double> b;    // d: sum reward * x
+  };
+
+  double Ucb(const Arm& arm, const std::vector<double>& context) const;
+
+  size_t context_dim_;
+  double alpha_;
+  std::vector<Arm> arms_;
+};
+
+}  // namespace ads::ml
+
+#endif  // ADS_ML_BANDIT_H_

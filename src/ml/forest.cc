@@ -1,0 +1,210 @@
+#include "ml/forest.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace ads::ml {
+
+common::Status RandomForestRegressor::Fit(const Dataset& data) {
+  if (data.empty()) {
+    return common::Status::InvalidArgument("forest fit on empty data");
+  }
+  trees_.clear();
+  common::Rng rng(options_.seed);
+  size_t d = data.dimensions();
+  size_t per_split = options_.features_per_split;
+  if (per_split == 0) {
+    per_split = std::max<size_t>(
+        1, static_cast<size_t>(std::sqrt(static_cast<double>(d))));
+  }
+  size_t sample_n = std::max<size_t>(
+      1, static_cast<size_t>(options_.sample_fraction *
+                             static_cast<double>(data.size())));
+  for (size_t t = 0; t < options_.num_trees; ++t) {
+    std::vector<size_t> bootstrap(sample_n);
+    for (auto& i : bootstrap) {
+      i = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(data.size()) - 1));
+    }
+    Dataset sample = data.Filter(bootstrap);
+    RegressionTree::Options topt;
+    topt.max_depth = options_.max_depth;
+    topt.min_samples_leaf = options_.min_samples_leaf;
+    topt.features_per_split = per_split;
+    topt.seed = rng.engine()();
+    RegressionTree tree(topt);
+    ADS_RETURN_IF_ERROR(tree.Fit(sample));
+    trees_.push_back(std::move(tree));
+  }
+  return common::Status::Ok();
+}
+
+double RandomForestRegressor::Predict(
+    const std::vector<double>& features) const {
+  ADS_CHECK(fitted()) << "predict on unfitted forest";
+  double s = 0.0;
+  for (const auto& t : trees_) s += t.Predict(features);
+  return s / static_cast<double>(trees_.size());
+}
+
+double RandomForestRegressor::InferenceCost() const {
+  double c = 0.0;
+  for (const auto& t : trees_) c += t.InferenceCost();
+  return c;
+}
+
+std::string RandomForestRegressor::Serialize() const {
+  std::ostringstream os;
+  os << "forest\n" << trees_.size() << "\n";
+  for (const auto& t : trees_) os << t.Serialize();
+  return os.str();
+}
+
+common::Result<RandomForestRegressor> RandomForestRegressor::Deserialize(
+    const std::string& body) {
+  std::istringstream is(body);
+  size_t count = 0;
+  if (!(is >> count)) {
+    return common::Status::InvalidArgument("bad forest blob");
+  }
+  std::string rest;
+  std::getline(is, rest);  // consume end of count line
+  std::vector<RegressionTree> trees;
+  for (size_t t = 0; t < count; ++t) {
+    std::string tag;
+    if (!std::getline(is, tag) || tag != "tree") {
+      return common::Status::InvalidArgument("forest blob missing tree tag");
+    }
+    // Tree body: node count line + that many node lines.
+    std::string count_line;
+    if (!std::getline(is, count_line)) {
+      return common::Status::InvalidArgument("truncated forest blob");
+    }
+    size_t node_count = std::strtoull(count_line.c_str(), nullptr, 10);
+    std::ostringstream tree_body;
+    tree_body << count_line << "\n";
+    for (size_t i = 0; i < node_count; ++i) {
+      std::string line;
+      if (!std::getline(is, line)) {
+        return common::Status::InvalidArgument("truncated forest blob");
+      }
+      tree_body << line << "\n";
+    }
+    auto tree = RegressionTree::Deserialize(tree_body.str());
+    if (!tree.ok()) return tree.status();
+    trees.push_back(std::move(tree).value());
+  }
+  RandomForestRegressor forest;
+  forest.SetTrees(std::move(trees));
+  return forest;
+}
+
+common::Status GradientBoostedTrees::Fit(const Dataset& data) {
+  if (data.empty()) {
+    return common::Status::InvalidArgument("gbt fit on empty data");
+  }
+  trees_.clear();
+  base_prediction_ = 0.0;
+  for (size_t i = 0; i < data.size(); ++i) base_prediction_ += data.label(i);
+  base_prediction_ /= static_cast<double>(data.size());
+
+  std::vector<double> current(data.size(), base_prediction_);
+  common::Rng rng(options_.seed);
+  for (size_t round = 0; round < options_.num_rounds; ++round) {
+    // Fit a tree to the residuals.
+    Dataset residuals(data.feature_names());
+    for (size_t i = 0; i < data.size(); ++i) {
+      residuals.Add(data.row(i), data.label(i) - current[i]);
+    }
+    RegressionTree::Options topt;
+    topt.max_depth = options_.max_depth;
+    topt.min_samples_leaf = options_.min_samples_leaf;
+    topt.seed = rng.engine()();
+    RegressionTree tree(topt);
+    ADS_RETURN_IF_ERROR(tree.Fit(residuals));
+    for (size_t i = 0; i < data.size(); ++i) {
+      current[i] += options_.learning_rate * tree.Predict(data.row(i));
+    }
+    trees_.push_back(std::move(tree));
+  }
+  fitted_ = true;
+  return common::Status::Ok();
+}
+
+double GradientBoostedTrees::Predict(
+    const std::vector<double>& features) const {
+  ADS_CHECK(fitted_) << "predict on unfitted gbt";
+  double y = base_prediction_;
+  for (const auto& t : trees_) {
+    y += options_.learning_rate * t.Predict(features);
+  }
+  return y;
+}
+
+double GradientBoostedTrees::InferenceCost() const {
+  double c = 1.0;
+  for (const auto& t : trees_) c += t.InferenceCost();
+  return c;
+}
+
+void GradientBoostedTrees::SetModel(double base, double learning_rate,
+                                    std::vector<RegressionTree> trees) {
+  base_prediction_ = base;
+  options_.learning_rate = learning_rate;
+  trees_ = std::move(trees);
+  fitted_ = true;
+}
+
+std::string GradientBoostedTrees::Serialize() const {
+  std::ostringstream os;
+  os.precision(17);
+  os << "gbt\n" << base_prediction_ << " " << options_.learning_rate << " "
+     << trees_.size() << "\n";
+  for (const auto& t : trees_) os << t.Serialize();
+  return os.str();
+}
+
+common::Result<GradientBoostedTrees> GradientBoostedTrees::Deserialize(
+    const std::string& body) {
+  std::istringstream is(body);
+  double base = 0.0;
+  double lr = 0.0;
+  size_t count = 0;
+  if (!(is >> base >> lr >> count)) {
+    return common::Status::InvalidArgument("bad gbt blob");
+  }
+  std::string rest;
+  std::getline(is, rest);
+  std::vector<RegressionTree> trees;
+  for (size_t t = 0; t < count; ++t) {
+    std::string tag;
+    if (!std::getline(is, tag) || tag != "tree") {
+      return common::Status::InvalidArgument("gbt blob missing tree tag");
+    }
+    std::string count_line;
+    if (!std::getline(is, count_line)) {
+      return common::Status::InvalidArgument("truncated gbt blob");
+    }
+    size_t node_count = std::strtoull(count_line.c_str(), nullptr, 10);
+    std::ostringstream tree_body;
+    tree_body << count_line << "\n";
+    for (size_t i = 0; i < node_count; ++i) {
+      std::string line;
+      if (!std::getline(is, line)) {
+        return common::Status::InvalidArgument("truncated gbt blob");
+      }
+      tree_body << line << "\n";
+    }
+    auto tree = RegressionTree::Deserialize(tree_body.str());
+    if (!tree.ok()) return tree.status();
+    trees.push_back(std::move(tree).value());
+  }
+  GradientBoostedTrees gbt;
+  gbt.SetModel(base, lr, std::move(trees));
+  return gbt;
+}
+
+}  // namespace ads::ml

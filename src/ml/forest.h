@@ -1,0 +1,88 @@
+#ifndef ADS_ML_FOREST_H_
+#define ADS_ML_FOREST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ml/tree.h"
+
+namespace ads::ml {
+
+struct RandomForestOptions {
+  size_t num_trees = 30;
+  int max_depth = 8;
+  size_t min_samples_leaf = 3;
+  /// Fraction of rows bootstrapped per tree.
+  double sample_fraction = 0.8;
+  /// Features considered per split; 0 = sqrt(d).
+  size_t features_per_split = 0;
+  uint64_t seed = 1;
+};
+
+/// Bagged random forest of regression trees.
+class RandomForestRegressor : public Regressor {
+ public:
+  using Options = RandomForestOptions;
+
+  explicit RandomForestRegressor(Options options = Options()) : options_(options) {}
+
+  common::Status Fit(const Dataset& data) override;
+  double Predict(const std::vector<double>& features) const override;
+  std::string TypeName() const override { return "forest"; }
+  std::string Serialize() const override;
+  double InferenceCost() const override;
+
+  static common::Result<RandomForestRegressor> Deserialize(
+      const std::string& body);
+
+  bool fitted() const { return !trees_.empty(); }
+  size_t tree_count() const { return trees_.size(); }
+  void SetTrees(std::vector<RegressionTree> trees) {
+    trees_ = std::move(trees);
+  }
+
+ private:
+  Options options_;
+  std::vector<RegressionTree> trees_;
+};
+
+struct GradientBoostedTreesOptions {
+  size_t num_rounds = 50;
+  double learning_rate = 0.1;
+  int max_depth = 4;
+  size_t min_samples_leaf = 3;
+  uint64_t seed = 1;
+};
+
+/// Gradient-boosted regression trees with squared loss.
+class GradientBoostedTrees : public Regressor {
+ public:
+  using Options = GradientBoostedTreesOptions;
+
+  explicit GradientBoostedTrees(Options options = Options()) : options_(options) {}
+
+  common::Status Fit(const Dataset& data) override;
+  double Predict(const std::vector<double>& features) const override;
+  std::string TypeName() const override { return "gbt"; }
+  std::string Serialize() const override;
+  double InferenceCost() const override;
+
+  static common::Result<GradientBoostedTrees> Deserialize(
+      const std::string& body);
+
+  bool fitted() const { return fitted_; }
+  size_t tree_count() const { return trees_.size(); }
+  void SetModel(double base, double learning_rate,
+                std::vector<RegressionTree> trees);
+
+ private:
+  Options options_;
+  bool fitted_ = false;
+  double base_prediction_ = 0.0;
+  std::vector<RegressionTree> trees_;
+};
+
+}  // namespace ads::ml
+
+#endif  // ADS_ML_FOREST_H_

@@ -1,0 +1,110 @@
+#include "ml/kmeans.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace ads::ml {
+namespace {
+
+double Dist2(const std::vector<double>& a, const std::vector<double>& b) {
+  double d = 0.0;
+  for (size_t j = 0; j < a.size(); ++j) {
+    double delta = a[j] - b[j];
+    d += delta * delta;
+  }
+  return d;
+}
+
+}  // namespace
+
+common::Status KMeans::Fit(const std::vector<std::vector<double>>& points) {
+  if (points.size() < options_.k || options_.k == 0) {
+    return common::Status::InvalidArgument(
+        "kmeans needs at least k points and k >= 1");
+  }
+  common::Rng rng(options_.seed);
+  size_t n = points.size();
+
+  // k-means++ seeding.
+  centroids_.clear();
+  centroids_.push_back(
+      points[static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(n) - 1))]);
+  std::vector<double> min_d2(n, std::numeric_limits<double>::infinity());
+  while (centroids_.size() < options_.k) {
+    for (size_t i = 0; i < n; ++i) {
+      min_d2[i] = std::min(min_d2[i], Dist2(points[i], centroids_.back()));
+    }
+    double total = 0.0;
+    for (double d : min_d2) total += d;
+    if (total <= 0.0) {
+      // All remaining points coincide with a centroid; duplicate one.
+      centroids_.push_back(centroids_.back());
+      continue;
+    }
+    double u = rng.Uniform(0.0, total);
+    double acc = 0.0;
+    size_t chosen = n - 1;
+    for (size_t i = 0; i < n; ++i) {
+      acc += min_d2[i];
+      if (u <= acc) {
+        chosen = i;
+        break;
+      }
+    }
+    centroids_.push_back(points[chosen]);
+  }
+
+  labels_.assign(n, 0);
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    bool changed = false;
+    for (size_t i = 0; i < n; ++i) {
+      size_t best = Assign(points[i]);
+      if (best != labels_[i]) {
+        labels_[i] = best;
+        changed = true;
+      }
+    }
+    // Recompute centroids.
+    std::vector<std::vector<double>> sums(
+        options_.k, std::vector<double>(points[0].size(), 0.0));
+    std::vector<size_t> counts(options_.k, 0);
+    for (size_t i = 0; i < n; ++i) {
+      ++counts[labels_[i]];
+      for (size_t j = 0; j < points[i].size(); ++j) {
+        sums[labels_[i]][j] += points[i][j];
+      }
+    }
+    for (size_t c = 0; c < options_.k; ++c) {
+      if (counts[c] == 0) continue;  // empty cluster keeps its centroid
+      for (size_t j = 0; j < sums[c].size(); ++j) {
+        centroids_[c][j] = sums[c][j] / static_cast<double>(counts[c]);
+      }
+    }
+    if (!changed && iter > 0) break;
+  }
+
+  inertia_ = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    inertia_ += Dist2(points[i], centroids_[labels_[i]]);
+  }
+  return common::Status::Ok();
+}
+
+size_t KMeans::Assign(const std::vector<double>& point) const {
+  ADS_CHECK(fitted()) << "assign on unfitted kmeans";
+  size_t best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (size_t c = 0; c < centroids_.size(); ++c) {
+    double d = Dist2(point, centroids_[c]);
+    if (d < best_d) {
+      best_d = d;
+      best = c;
+    }
+  }
+  return best;
+}
+
+}  // namespace ads::ml

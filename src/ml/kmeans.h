@@ -1,0 +1,50 @@
+#ifndef ADS_ML_KMEANS_H_
+#define ADS_ML_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ads::ml {
+
+struct KMeansOptions {
+  size_t k = 4;
+  int max_iterations = 100;
+  uint64_t seed = 1;
+};
+
+/// Lloyd's k-means with k-means++ seeding. Used for the "segment model"
+/// granularity in the paper's Insight 2 (stratify customers, model per
+/// cluster).
+class KMeans {
+ public:
+  using Options = KMeansOptions;
+
+  explicit KMeans(Options options = Options()) : options_(options) {}
+
+  /// Clusters the points. Fails if fewer points than clusters.
+  common::Status Fit(const std::vector<std::vector<double>>& points);
+
+  /// Index of the nearest centroid.
+  size_t Assign(const std::vector<double>& point) const;
+
+  bool fitted() const { return !centroids_.empty(); }
+  const std::vector<std::vector<double>>& centroids() const {
+    return centroids_;
+  }
+  /// Cluster assignment of each training point.
+  const std::vector<size_t>& labels() const { return labels_; }
+  /// Total within-cluster sum of squared distances at convergence.
+  double inertia() const { return inertia_; }
+
+ private:
+  Options options_;
+  std::vector<std::vector<double>> centroids_;
+  std::vector<size_t> labels_;
+  double inertia_ = 0.0;
+};
+
+}  // namespace ads::ml
+
+#endif  // ADS_ML_KMEANS_H_

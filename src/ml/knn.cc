@@ -1,0 +1,73 @@
+#include "ml/knn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace ads::ml {
+
+common::Status KnnRegressor::Fit(const Dataset& data) {
+  if (data.empty()) {
+    return common::Status::InvalidArgument("knn fit on empty data");
+  }
+  if (k_ == 0) {
+    return common::Status::InvalidArgument("knn requires k >= 1");
+  }
+  data_ = data;
+  ADS_RETURN_IF_ERROR(standardizer_.Fit(data));
+  standardized_rows_.clear();
+  standardized_rows_.reserve(data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    standardized_rows_.push_back(standardizer_.Transform(data.row(i)));
+  }
+  return common::Status::Ok();
+}
+
+std::vector<size_t> KnnRegressor::Neighbors(
+    const std::vector<double>& features) const {
+  ADS_CHECK(fitted()) << "neighbors on unfitted knn";
+  std::vector<double> q = standardizer_.Transform(features);
+  std::vector<std::pair<double, size_t>> dists;
+  dists.reserve(standardized_rows_.size());
+  for (size_t i = 0; i < standardized_rows_.size(); ++i) {
+    double d = 0.0;
+    for (size_t j = 0; j < q.size(); ++j) {
+      double delta = standardized_rows_[i][j] - q[j];
+      d += delta * delta;
+    }
+    dists.emplace_back(d, i);
+  }
+  size_t k = std::min(k_, dists.size());
+  std::partial_sort(dists.begin(), dists.begin() + static_cast<long>(k),
+                    dists.end());
+  std::vector<size_t> out(k);
+  for (size_t i = 0; i < k; ++i) out[i] = dists[i].second;
+  return out;
+}
+
+double KnnRegressor::Predict(const std::vector<double>& features) const {
+  std::vector<size_t> nn = Neighbors(features);
+  double s = 0.0;
+  for (size_t i : nn) s += data_.label(i);
+  return s / static_cast<double>(nn.size());
+}
+
+double KnnRegressor::InferenceCost() const {
+  return static_cast<double>(data_.size() * data_.dimensions());
+}
+
+std::string KnnRegressor::Serialize() const {
+  std::ostringstream os;
+  os.precision(17);
+  os << "knn\n" << k_ << " " << data_.size() << " " << data_.dimensions()
+     << "\n";
+  for (size_t i = 0; i < data_.size(); ++i) {
+    for (double v : data_.row(i)) os << v << " ";
+    os << data_.label(i) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace ads::ml

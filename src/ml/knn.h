@@ -1,0 +1,38 @@
+#ifndef ADS_ML_KNN_H_
+#define ADS_ML_KNN_H_
+
+#include <string>
+#include <vector>
+
+#include "ml/model.h"
+
+namespace ads::ml {
+
+/// k-nearest-neighbours regressor (Euclidean, standardized features).
+/// Used as the "match a new customer to similar existing customers"
+/// primitive in the Doppler-style SKU recommender.
+class KnnRegressor : public Regressor {
+ public:
+  explicit KnnRegressor(size_t k = 5) : k_(k) {}
+
+  common::Status Fit(const Dataset& data) override;
+  double Predict(const std::vector<double>& features) const override;
+  std::string TypeName() const override { return "knn"; }
+  std::string Serialize() const override;
+  double InferenceCost() const override;
+
+  /// Indices of the k nearest training rows for a query (nearest first).
+  std::vector<size_t> Neighbors(const std::vector<double>& features) const;
+
+  bool fitted() const { return !data_.empty(); }
+
+ private:
+  size_t k_;
+  Dataset data_;
+  Standardizer standardizer_;
+  std::vector<std::vector<double>> standardized_rows_;
+};
+
+}  // namespace ads::ml
+
+#endif  // ADS_ML_KNN_H_

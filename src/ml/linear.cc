@@ -1,0 +1,129 @@
+#include "ml/linear.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/matrix.h"
+
+namespace ads::ml {
+
+common::Status LinearRegressor::Fit(const Dataset& data) {
+  if (data.empty()) {
+    return common::Status::InvalidArgument("linear fit on empty data");
+  }
+  size_t n = data.size();
+  size_t d = data.dimensions();
+  common::Matrix x(n, d + 1);
+  for (size_t i = 0; i < n; ++i) {
+    x.At(i, 0) = 1.0;
+    for (size_t j = 0; j < d; ++j) x.At(i, j + 1) = data.row(i)[j];
+  }
+  // Note: ridge in SolveLeastSquares also penalizes the intercept column;
+  // compensate by solving with per-column penalty via augmented rows is
+  // overkill here — the penalty on the intercept is negligible for the
+  // telemetry scales involved, and zero-ridge fits are exact.
+  auto beta = common::SolveLeastSquares(x, data.labels(), ridge_);
+  if (!beta.ok()) return beta.status();
+  intercept_ = (*beta)[0];
+  weights_.assign(beta->begin() + 1, beta->end());
+  return common::Status::Ok();
+}
+
+double LinearRegressor::Predict(const std::vector<double>& features) const {
+  ADS_CHECK(fitted()) << "predict on unfitted linear model";
+  ADS_CHECK(features.size() == weights_.size())
+      << "linear predict arity mismatch";
+  double y = intercept_;
+  for (size_t j = 0; j < weights_.size(); ++j) y += weights_[j] * features[j];
+  return y;
+}
+
+double LinearRegressor::InferenceCost() const {
+  return static_cast<double>(2 * weights_.size() + 1);
+}
+
+void LinearRegressor::SetCoefficients(double intercept,
+                                      std::vector<double> weights) {
+  intercept_ = intercept;
+  weights_ = std::move(weights);
+}
+
+std::string LinearRegressor::Serialize() const {
+  std::ostringstream os;
+  os.precision(17);
+  os << "linear\n" << intercept_ << "\n" << weights_.size();
+  for (double w : weights_) os << " " << w;
+  os << "\n";
+  return os.str();
+}
+
+common::Result<LinearRegressor> LinearRegressor::Deserialize(
+    const std::string& body) {
+  std::istringstream is(body);
+  double intercept = 0.0;
+  size_t n = 0;
+  if (!(is >> intercept >> n)) {
+    return common::Status::InvalidArgument("bad linear model blob");
+  }
+  std::vector<double> w(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (!(is >> w[i])) {
+      return common::Status::InvalidArgument("truncated linear model blob");
+    }
+  }
+  LinearRegressor model;
+  model.SetCoefficients(intercept, std::move(w));
+  return model;
+}
+
+namespace {
+double Sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+}  // namespace
+
+common::Status LogisticRegressor::Fit(const Dataset& data) {
+  if (data.empty()) {
+    return common::Status::InvalidArgument("logistic fit on empty data");
+  }
+  for (size_t i = 0; i < data.size(); ++i) {
+    double y = data.label(i);
+    if (y != 0.0 && y != 1.0) {
+      return common::Status::InvalidArgument(
+          "logistic labels must be 0 or 1");
+    }
+  }
+  size_t n = data.size();
+  size_t d = data.dimensions();
+  intercept_ = 0.0;
+  weights_.assign(d, 0.0);
+  double inv_n = 1.0 / static_cast<double>(n);
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    double grad0 = 0.0;
+    std::vector<double> grad(d, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      double z = intercept_;
+      for (size_t j = 0; j < d; ++j) z += weights_[j] * data.row(i)[j];
+      double err = Sigmoid(z) - data.label(i);
+      grad0 += err;
+      for (size_t j = 0; j < d; ++j) grad[j] += err * data.row(i)[j];
+    }
+    intercept_ -= options_.learning_rate * grad0 * inv_n;
+    for (size_t j = 0; j < d; ++j) {
+      weights_[j] -= options_.learning_rate *
+                     (grad[j] * inv_n + options_.l2 * weights_[j]);
+    }
+  }
+  return common::Status::Ok();
+}
+
+double LogisticRegressor::PredictProbability(
+    const std::vector<double>& features) const {
+  ADS_CHECK(fitted()) << "predict on unfitted logistic model";
+  ADS_CHECK(features.size() == weights_.size())
+      << "logistic predict arity mismatch";
+  double z = intercept_;
+  for (size_t j = 0; j < weights_.size(); ++j) z += weights_[j] * features[j];
+  return Sigmoid(z);
+}
+
+}  // namespace ads::ml

@@ -1,0 +1,71 @@
+#ifndef ADS_ML_LINEAR_H_
+#define ADS_ML_LINEAR_H_
+
+#include <string>
+#include <vector>
+
+#include "ml/model.h"
+
+namespace ads::ml {
+
+/// Ordinary/ridge least-squares linear regression. The workhorse model of
+/// the paper's Insight 1 ("simple ML models tend to overrule complex deep
+/// learning models"): interpretable coefficients, closed-form training.
+class LinearRegressor : public Regressor {
+ public:
+  /// ridge: L2 penalty applied to the non-intercept weights.
+  explicit LinearRegressor(double ridge = 0.0) : ridge_(ridge) {}
+
+  common::Status Fit(const Dataset& data) override;
+  double Predict(const std::vector<double>& features) const override;
+  std::string TypeName() const override { return "linear"; }
+  std::string Serialize() const override;
+  double InferenceCost() const override;
+
+  /// Reconstructs from Serialize() output (body after the type tag).
+  static common::Result<LinearRegressor> Deserialize(const std::string& body);
+
+  bool fitted() const { return !weights_.empty(); }
+  double intercept() const { return intercept_; }
+  const std::vector<double>& weights() const { return weights_; }
+
+  /// Directly installs coefficients (used by deserialization and tests).
+  void SetCoefficients(double intercept, std::vector<double> weights);
+
+ private:
+  double ridge_;
+  double intercept_ = 0.0;
+  std::vector<double> weights_;
+};
+
+struct LogisticOptions {
+  double learning_rate = 0.1;
+  int epochs = 200;
+  double l2 = 1e-4;
+};
+
+/// Binary logistic regression trained by gradient descent. Used for
+/// validation/guard models (e.g. "will this plan regress?").
+class LogisticRegressor : public Classifier {
+ public:
+  using Options = LogisticOptions;
+
+  explicit LogisticRegressor(Options options = Options()) : options_(options) {}
+
+  common::Status Fit(const Dataset& data) override;
+  double PredictProbability(const std::vector<double>& features) const override;
+  std::string TypeName() const override { return "logistic"; }
+
+  bool fitted() const { return !weights_.empty(); }
+  const std::vector<double>& weights() const { return weights_; }
+  double intercept() const { return intercept_; }
+
+ private:
+  Options options_;
+  double intercept_ = 0.0;
+  std::vector<double> weights_;
+};
+
+}  // namespace ads::ml
+
+#endif  // ADS_ML_LINEAR_H_

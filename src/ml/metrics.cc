@@ -1,0 +1,86 @@
+#include "ml/metrics.h"
+
+#include <algorithm>
+
+namespace ads::ml {
+
+double ConfusionMatrix::Accuracy() const {
+  size_t n = total();
+  if (n == 0) return 0.0;
+  return static_cast<double>(true_positive + true_negative) /
+         static_cast<double>(n);
+}
+
+double ConfusionMatrix::Precision() const {
+  size_t denom = true_positive + false_positive;
+  if (denom == 0) return 0.0;
+  return static_cast<double>(true_positive) / static_cast<double>(denom);
+}
+
+double ConfusionMatrix::Recall() const {
+  size_t denom = true_positive + false_negative;
+  if (denom == 0) return 0.0;
+  return static_cast<double>(true_positive) / static_cast<double>(denom);
+}
+
+double ConfusionMatrix::F1() const {
+  double p = Precision();
+  double r = Recall();
+  if (p + r <= 0.0) return 0.0;
+  return 2.0 * p * r / (p + r);
+}
+
+common::Result<ConfusionMatrix> Confusion(const std::vector<double>& probs,
+                                          const std::vector<double>& labels,
+                                          double threshold) {
+  if (probs.size() != labels.size()) {
+    return common::Status::InvalidArgument("confusion length mismatch");
+  }
+  ConfusionMatrix cm;
+  for (size_t i = 0; i < probs.size(); ++i) {
+    bool pred = probs[i] >= threshold;
+    bool truth = labels[i] >= 0.5;
+    if (pred && truth) ++cm.true_positive;
+    if (pred && !truth) ++cm.false_positive;
+    if (!pred && truth) ++cm.false_negative;
+    if (!pred && !truth) ++cm.true_negative;
+  }
+  return cm;
+}
+
+common::Result<double> AreaUnderRoc(const std::vector<double>& probs,
+                                    const std::vector<double>& labels) {
+  if (probs.size() != labels.size()) {
+    return common::Status::InvalidArgument("auc length mismatch");
+  }
+  // Rank-sum (Mann-Whitney) formulation with midranks for ties.
+  std::vector<size_t> order(probs.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return probs[a] < probs[b]; });
+  double rank_sum_pos = 0.0;
+  size_t n_pos = 0;
+  size_t n_neg = 0;
+  size_t i = 0;
+  while (i < order.size()) {
+    size_t j = i;
+    while (j < order.size() && probs[order[j]] == probs[order[i]]) ++j;
+    double midrank = 0.5 * static_cast<double>(i + 1 + j);  // ranks are 1-based
+    for (size_t k = i; k < j; ++k) {
+      if (labels[order[k]] >= 0.5) {
+        rank_sum_pos += midrank;
+        ++n_pos;
+      } else {
+        ++n_neg;
+      }
+    }
+    i = j;
+  }
+  if (n_pos == 0 || n_neg == 0) return 0.5;
+  double auc = (rank_sum_pos -
+                static_cast<double>(n_pos) * (static_cast<double>(n_pos) + 1) / 2.0) /
+               (static_cast<double>(n_pos) * static_cast<double>(n_neg));
+  return auc;
+}
+
+}  // namespace ads::ml

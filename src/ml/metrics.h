@@ -1,0 +1,40 @@
+#ifndef ADS_ML_METRICS_H_
+#define ADS_ML_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ads::ml {
+
+/// Binary-classification confusion counts.
+struct ConfusionMatrix {
+  size_t true_positive = 0;
+  size_t false_positive = 0;
+  size_t true_negative = 0;
+  size_t false_negative = 0;
+
+  size_t total() const {
+    return true_positive + false_positive + true_negative + false_negative;
+  }
+  double Accuracy() const;
+  double Precision() const;
+  double Recall() const;
+  double F1() const;
+};
+
+/// Builds a confusion matrix from probabilities and 0/1 labels at the given
+/// threshold. Lengths must match.
+common::Result<ConfusionMatrix> Confusion(const std::vector<double>& probs,
+                                          const std::vector<double>& labels,
+                                          double threshold = 0.5);
+
+/// Area under the ROC curve via the rank statistic. Returns 0.5 when one
+/// class is absent.
+common::Result<double> AreaUnderRoc(const std::vector<double>& probs,
+                                    const std::vector<double>& labels);
+
+}  // namespace ads::ml
+
+#endif  // ADS_ML_METRICS_H_

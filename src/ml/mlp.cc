@@ -1,0 +1,229 @@
+#include "ml/mlp.h"
+
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace ads::ml {
+
+common::Status MlpRegressor::Fit(const Dataset& data) {
+  if (data.empty()) {
+    return common::Status::InvalidArgument("mlp fit on empty data");
+  }
+  ADS_RETURN_IF_ERROR(input_standardizer_.Fit(data));
+  common::RunningMoments label_stats;
+  for (size_t i = 0; i < data.size(); ++i) label_stats.Add(data.label(i));
+  label_mean_ = label_stats.mean();
+  label_scale_ = label_stats.stddev() > 1e-12 ? label_stats.stddev() : 1.0;
+
+  // Layer sizes: input -> hidden... -> 1.
+  std::vector<size_t> sizes;
+  sizes.push_back(data.dimensions());
+  for (size_t h : options_.hidden_layers) sizes.push_back(h);
+  sizes.push_back(1);
+
+  common::Rng rng(options_.seed);
+  layers_.clear();
+  for (size_t l = 0; l + 1 < sizes.size(); ++l) {
+    Layer layer;
+    double scale = std::sqrt(2.0 / static_cast<double>(sizes[l]));
+    layer.weights.assign(sizes[l + 1], std::vector<double>(sizes[l]));
+    layer.biases.assign(sizes[l + 1], 0.0);
+    for (auto& row : layer.weights) {
+      for (auto& w : row) w = rng.Normal(0.0, scale);
+    }
+    layers_.push_back(std::move(layer));
+  }
+
+  // Velocity buffers for momentum.
+  std::vector<Layer> velocity = layers_;
+  for (auto& layer : velocity) {
+    for (auto& row : layer.weights) std::fill(row.begin(), row.end(), 0.0);
+    std::fill(layer.biases.begin(), layer.biases.end(), 0.0);
+  }
+
+  std::vector<size_t> order(data.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(order);
+    for (size_t start = 0; start < order.size();
+         start += options_.batch_size) {
+      size_t end = std::min(order.size(), start + options_.batch_size);
+      // Accumulated gradients.
+      std::vector<Layer> grad = velocity;  // same shape
+      for (auto& layer : grad) {
+        for (auto& row : layer.weights) std::fill(row.begin(), row.end(), 0.0);
+        std::fill(layer.biases.begin(), layer.biases.end(), 0.0);
+      }
+      for (size_t k = start; k < end; ++k) {
+        size_t i = order[k];
+        std::vector<double> x = input_standardizer_.Transform(data.row(i));
+        double y = (data.label(i) - label_mean_) / label_scale_;
+        std::vector<std::vector<double>> acts;
+        std::vector<double> out = Forward(x, &acts);
+        // Backprop: delta at output (squared loss, linear output).
+        std::vector<double> delta = {out[0] - y};
+        for (size_t l = layers_.size(); l > 0; --l) {
+          const Layer& layer = layers_[l - 1];
+          const std::vector<double>& input = acts[l - 1];
+          Layer& g = grad[l - 1];
+          std::vector<double> prev_delta(input.size(), 0.0);
+          for (size_t o = 0; o < layer.weights.size(); ++o) {
+            g.biases[o] += delta[o];
+            for (size_t in = 0; in < input.size(); ++in) {
+              g.weights[o][in] += delta[o] * input[in];
+              prev_delta[in] += delta[o] * layer.weights[o][in];
+            }
+          }
+          if (l > 1) {
+            // tanh derivative on the previous activation.
+            for (size_t in = 0; in < prev_delta.size(); ++in) {
+              double a = acts[l - 1][in];
+              prev_delta[in] *= (1.0 - a * a);
+            }
+          }
+          delta = std::move(prev_delta);
+        }
+      }
+      double inv = 1.0 / static_cast<double>(end - start);
+      for (size_t l = 0; l < layers_.size(); ++l) {
+        for (size_t o = 0; o < layers_[l].weights.size(); ++o) {
+          velocity[l].biases[o] = options_.momentum * velocity[l].biases[o] -
+                                  options_.learning_rate *
+                                      grad[l].biases[o] * inv;
+          layers_[l].biases[o] += velocity[l].biases[o];
+          for (size_t in = 0; in < layers_[l].weights[o].size(); ++in) {
+            velocity[l].weights[o][in] =
+                options_.momentum * velocity[l].weights[o][in] -
+                options_.learning_rate * grad[l].weights[o][in] * inv;
+            layers_[l].weights[o][in] += velocity[l].weights[o][in];
+          }
+        }
+      }
+    }
+  }
+  fitted_ = true;
+  return common::Status::Ok();
+}
+
+std::vector<double> MlpRegressor::Forward(
+    const std::vector<double>& x,
+    std::vector<std::vector<double>>* activations) const {
+  std::vector<double> cur = x;
+  if (activations != nullptr) activations->push_back(cur);
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    const Layer& layer = layers_[l];
+    std::vector<double> next(layer.weights.size());
+    for (size_t o = 0; o < layer.weights.size(); ++o) {
+      double z = layer.biases[o];
+      for (size_t in = 0; in < cur.size(); ++in) {
+        z += layer.weights[o][in] * cur[in];
+      }
+      next[o] = (l + 1 < layers_.size()) ? std::tanh(z) : z;
+    }
+    cur = std::move(next);
+    if (activations != nullptr && l + 1 < layers_.size()) {
+      activations->push_back(cur);
+    }
+  }
+  return cur;
+}
+
+double MlpRegressor::Predict(const std::vector<double>& features) const {
+  ADS_CHECK(fitted_) << "predict on unfitted mlp";
+  std::vector<double> x = input_standardizer_.Transform(features);
+  std::vector<double> out = Forward(x, nullptr);
+  return out[0] * label_scale_ + label_mean_;
+}
+
+size_t MlpRegressor::parameter_count() const {
+  size_t n = 0;
+  for (const auto& layer : layers_) {
+    n += layer.biases.size();
+    for (const auto& row : layer.weights) n += row.size();
+  }
+  return n;
+}
+
+double MlpRegressor::InferenceCost() const {
+  return static_cast<double>(2 * parameter_count());
+}
+
+common::Result<MlpRegressor> MlpRegressor::Deserialize(
+    const std::string& body) {
+  std::istringstream is(body);
+  size_t layer_count = 0;
+  if (!(is >> layer_count)) {
+    return common::Status::InvalidArgument("bad mlp blob");
+  }
+  MlpRegressor model;
+  if (!(is >> model.label_mean_ >> model.label_scale_)) {
+    return common::Status::InvalidArgument("bad mlp label stats");
+  }
+  size_t dims = 0;
+  if (!(is >> dims)) {
+    return common::Status::InvalidArgument("bad mlp standardizer");
+  }
+  std::vector<double> means(dims);
+  std::vector<double> scales(dims);
+  for (size_t j = 0; j < dims; ++j) {
+    if (!(is >> means[j] >> scales[j])) {
+      return common::Status::InvalidArgument("truncated mlp standardizer");
+    }
+  }
+  model.input_standardizer_.SetMoments(std::move(means), std::move(scales));
+  for (size_t l = 0; l < layer_count; ++l) {
+    size_t out_dim = 0;
+    size_t in_dim = 0;
+    if (!(is >> out_dim >> in_dim)) {
+      return common::Status::InvalidArgument("truncated mlp layer header");
+    }
+    Layer layer;
+    layer.weights.assign(out_dim, std::vector<double>(in_dim));
+    layer.biases.assign(out_dim, 0.0);
+    for (size_t o = 0; o < out_dim; ++o) {
+      if (!(is >> layer.biases[o])) {
+        return common::Status::InvalidArgument("truncated mlp biases");
+      }
+      for (size_t in = 0; in < in_dim; ++in) {
+        if (!(is >> layer.weights[o][in])) {
+          return common::Status::InvalidArgument("truncated mlp weights");
+        }
+      }
+    }
+    model.layers_.push_back(std::move(layer));
+  }
+  model.fitted_ = true;
+  return model;
+}
+
+std::string MlpRegressor::Serialize() const {
+  std::ostringstream os;
+  os.precision(17);
+  os << "mlp\n" << layers_.size() << "\n";
+  os << label_mean_ << " " << label_scale_ << "\n";
+  const auto& means = input_standardizer_.means();
+  const auto& scales = input_standardizer_.scales();
+  os << means.size();
+  for (size_t j = 0; j < means.size(); ++j) {
+    os << " " << means[j] << " " << scales[j];
+  }
+  os << "\n";
+  for (const auto& layer : layers_) {
+    os << layer.weights.size() << " "
+       << (layer.weights.empty() ? 0 : layer.weights[0].size()) << "\n";
+    for (size_t o = 0; o < layer.weights.size(); ++o) {
+      os << layer.biases[o];
+      for (double w : layer.weights[o]) os << " " << w;
+      os << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace ads::ml

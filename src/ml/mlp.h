@@ -1,0 +1,65 @@
+#ifndef ADS_ML_MLP_H_
+#define ADS_ML_MLP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ml/model.h"
+
+namespace ads::ml {
+
+struct MlpOptions {
+  std::vector<size_t> hidden_layers = {32, 32};
+  double learning_rate = 0.01;
+  double momentum = 0.9;
+  int epochs = 200;
+  size_t batch_size = 32;
+  uint64_t seed = 1;
+};
+
+/// A small fully-connected neural network regressor (tanh hidden layers,
+/// linear output, SGD with momentum). This is the "complex deep learning
+/// model" counterpart in the paper's Insight 1 ablation: it can fit harder
+/// surfaces but costs far more to train and serve, and is harder to debug.
+class MlpRegressor : public Regressor {
+ public:
+  using Options = MlpOptions;
+
+  explicit MlpRegressor(Options options = Options()) : options_(options) {}
+
+  common::Status Fit(const Dataset& data) override;
+  double Predict(const std::vector<double>& features) const override;
+  std::string TypeName() const override { return "mlp"; }
+  std::string Serialize() const override;
+  double InferenceCost() const override;
+
+  /// Reconstructs from Serialize() output (body after the type tag).
+  static common::Result<MlpRegressor> Deserialize(const std::string& body);
+
+  bool fitted() const { return fitted_; }
+  /// Total number of trainable parameters.
+  size_t parameter_count() const;
+
+ private:
+  struct Layer {
+    // weights[out][in], biases[out].
+    std::vector<std::vector<double>> weights;
+    std::vector<double> biases;
+  };
+
+  std::vector<double> Forward(const std::vector<double>& x,
+                              std::vector<std::vector<double>>* activations)
+      const;
+
+  Options options_;
+  bool fitted_ = false;
+  std::vector<Layer> layers_;
+  Standardizer input_standardizer_;
+  double label_mean_ = 0.0;
+  double label_scale_ = 1.0;
+};
+
+}  // namespace ads::ml
+
+#endif  // ADS_ML_MLP_H_

@@ -1,0 +1,53 @@
+#include "ml/model.h"
+
+#include <memory>
+
+#include "ml/forest.h"
+#include "ml/linear.h"
+#include "ml/mlp.h"
+#include "ml/tree.h"
+
+namespace ads::ml {
+
+common::Result<std::unique_ptr<Regressor>> DeserializeRegressor(
+    const std::string& blob) {
+  size_t newline = blob.find('\n');
+  if (newline == std::string::npos) {
+    return common::Status::InvalidArgument("model blob missing type tag");
+  }
+  std::string tag = blob.substr(0, newline);
+  std::string body = blob.substr(newline + 1);
+  if (tag == "linear") {
+    auto m = LinearRegressor::Deserialize(body);
+    if (!m.ok()) return m.status();
+    return std::unique_ptr<Regressor>(
+        std::make_unique<LinearRegressor>(std::move(m).value()));
+  }
+  if (tag == "tree") {
+    auto m = RegressionTree::Deserialize(body);
+    if (!m.ok()) return m.status();
+    return std::unique_ptr<Regressor>(
+        std::make_unique<RegressionTree>(std::move(m).value()));
+  }
+  if (tag == "forest") {
+    auto m = RandomForestRegressor::Deserialize(body);
+    if (!m.ok()) return m.status();
+    return std::unique_ptr<Regressor>(
+        std::make_unique<RandomForestRegressor>(std::move(m).value()));
+  }
+  if (tag == "gbt") {
+    auto m = GradientBoostedTrees::Deserialize(body);
+    if (!m.ok()) return m.status();
+    return std::unique_ptr<Regressor>(
+        std::make_unique<GradientBoostedTrees>(std::move(m).value()));
+  }
+  if (tag == "mlp") {
+    auto m = MlpRegressor::Deserialize(body);
+    if (!m.ok()) return m.status();
+    return std::unique_ptr<Regressor>(
+        std::make_unique<MlpRegressor>(std::move(m).value()));
+  }
+  return common::Status::Unimplemented("unsupported model family: " + tag);
+}
+
+}  // namespace ads::ml

@@ -1,0 +1,75 @@
+#ifndef ADS_ML_MODEL_H_
+#define ADS_ML_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ml/dataset.h"
+
+namespace ads::ml {
+
+/// A trainable regression model. This is the "generic container" interface
+/// from the paper's standardization direction: every model — regardless of
+/// family — trains from a Dataset, predicts from a feature vector, and
+/// serializes to a portable text form so it can move between the training
+/// and serving sides of the feedback loop.
+class Regressor {
+ public:
+  virtual ~Regressor() = default;
+
+  /// Trains on the dataset. Returns an error (and leaves the model unfitted)
+  /// if the data is unusable (empty, wrong arity, ...).
+  virtual common::Status Fit(const Dataset& data) = 0;
+
+  /// Predicts the label for one feature vector. Requires a fitted model.
+  virtual double Predict(const std::vector<double>& features) const = 0;
+
+  /// Model family name, e.g. "linear", "tree", "forest".
+  virtual std::string TypeName() const = 0;
+
+  /// Portable text serialization (the ONNX stand-in).
+  virtual std::string Serialize() const = 0;
+
+  /// Rough cost accounting used by the simplicity ablation: the number of
+  /// scalar operations one Predict performs.
+  virtual double InferenceCost() const = 0;
+
+  /// Batch helper.
+  std::vector<double> PredictBatch(
+      const std::vector<std::vector<double>>& rows) const {
+    std::vector<double> out;
+    out.reserve(rows.size());
+    for (const auto& r : rows) out.push_back(Predict(r));
+    return out;
+  }
+};
+
+/// A trainable binary classifier producing P(label == 1).
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Trains on the dataset; labels must be 0 or 1.
+  virtual common::Status Fit(const Dataset& data) = 0;
+  /// Returns P(label == 1 | features).
+  virtual double PredictProbability(
+      const std::vector<double>& features) const = 0;
+  virtual std::string TypeName() const = 0;
+
+  /// Hard decision at the 0.5 threshold.
+  bool PredictLabel(const std::vector<double>& features) const {
+    return PredictProbability(features) >= 0.5;
+  }
+};
+
+/// Reconstructs a regressor from the output of Regressor::Serialize().
+/// Supports the families that the model registry ships across systems:
+/// linear, tree, forest, gbt.
+common::Result<std::unique_ptr<Regressor>> DeserializeRegressor(
+    const std::string& blob);
+
+}  // namespace ads::ml
+
+#endif  // ADS_ML_MODEL_H_

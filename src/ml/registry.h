@@ -1,0 +1,83 @@
+#ifndef ADS_ML_REGISTRY_H_
+#define ADS_ML_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "ml/model.h"
+
+namespace ads::ml {
+
+/// Versioned model registry with deploy/rollback and flighting, the MLOps
+/// surface the paper's Insight 3 calls indispensable: every ML solution
+/// needs tracking/versioning for continuous integration, a monitoring hook,
+/// and a rollback mechanism that reacts fast.
+///
+/// Models are stored in their portable serialized form (the "generic
+/// container"), so the registry is independent of model family.
+class ModelRegistry {
+ public:
+  /// One stored model version.
+  struct Version {
+    uint32_t version = 0;
+    std::string blob;
+    /// Free-form training metadata (e.g. validation error) for audits.
+    std::map<std::string, double> metrics;
+  };
+
+  /// Registers a new version of `name`; returns the assigned version
+  /// number (starting at 1). Does not change the deployed version.
+  uint32_t Register(const std::string& name, std::string blob,
+                    std::map<std::string, double> metrics = {});
+
+  /// Marks a version as deployed. Fails if it does not exist.
+  common::Status Deploy(const std::string& name, uint32_t version);
+
+  /// Reverts to the previously deployed version. Fails if there is no
+  /// deployment history to revert to.
+  common::Status Rollback(const std::string& name);
+
+  /// The deployed version number (0 if none deployed).
+  uint32_t DeployedVersion(const std::string& name) const;
+  /// The deployed model blob.
+  common::Result<std::string> DeployedBlob(const std::string& name) const;
+  /// Materializes the deployed model.
+  common::Result<std::unique_ptr<Regressor>> DeployedModel(
+      const std::string& name) const;
+
+  /// Starts a flight (A/B test): fraction of traffic goes to `treatment`.
+  common::Status StartFlight(const std::string& name, uint32_t treatment,
+                             double fraction);
+  /// Ends the flight; if promote, the treatment becomes deployed.
+  common::Status EndFlight(const std::string& name, bool promote);
+  bool FlightActive(const std::string& name) const;
+
+  /// Version serving one request under the current flight split.
+  uint32_t ServingVersion(const std::string& name, common::Rng& rng) const;
+
+  /// All stored versions of a model (empty if unknown).
+  std::vector<uint32_t> Versions(const std::string& name) const;
+  common::Result<Version> GetVersion(const std::string& name,
+                                     uint32_t version) const;
+
+ private:
+  struct Entry {
+    std::vector<Version> versions;
+    uint32_t deployed = 0;
+    std::vector<uint32_t> deploy_history;
+    // Flight state.
+    bool flight_active = false;
+    uint32_t flight_treatment = 0;
+    double flight_fraction = 0.0;
+  };
+
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace ads::ml
+
+#endif  // ADS_ML_REGISTRY_H_

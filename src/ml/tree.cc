@@ -1,0 +1,189 @@
+#include "ml/tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace ads::ml {
+namespace {
+
+double MeanOf(const Dataset& data, const std::vector<size_t>& idx) {
+  double s = 0.0;
+  for (size_t i : idx) s += data.label(i);
+  return idx.empty() ? 0.0 : s / static_cast<double>(idx.size());
+}
+
+}  // namespace
+
+common::Status RegressionTree::Fit(const Dataset& data) {
+  if (data.empty()) {
+    return common::Status::InvalidArgument("tree fit on empty data");
+  }
+  nodes_.clear();
+  std::vector<size_t> indices(data.size());
+  std::iota(indices.begin(), indices.end(), 0);
+  common::Rng rng(options_.seed);
+  Build(data, indices, 0, rng);
+  return common::Status::Ok();
+}
+
+int RegressionTree::Build(const Dataset& data, std::vector<size_t>& indices,
+                          int depth, common::Rng& rng) {
+  int node_id = static_cast<int>(nodes_.size());
+  nodes_.push_back(Node{});
+  nodes_[node_id].value = MeanOf(data, indices);
+
+  if (depth >= options_.max_depth ||
+      indices.size() < 2 * options_.min_samples_leaf) {
+    return node_id;
+  }
+
+  // Pick the candidate feature set.
+  size_t d = data.dimensions();
+  std::vector<size_t> features(d);
+  std::iota(features.begin(), features.end(), 0);
+  if (options_.features_per_split > 0 && options_.features_per_split < d) {
+    rng.Shuffle(features);
+    features.resize(options_.features_per_split);
+  }
+
+  // Total sum/sumsq for variance-reduction bookkeeping.
+  double total_sum = 0.0;
+  for (size_t i : indices) total_sum += data.label(i);
+  double n_total = static_cast<double>(indices.size());
+
+  double best_gain = 1e-12;
+  int best_feature = -1;
+  double best_threshold = 0.0;
+
+  std::vector<std::pair<double, double>> vals;  // (feature value, label)
+  vals.reserve(indices.size());
+  for (size_t f : features) {
+    vals.clear();
+    for (size_t i : indices) vals.emplace_back(data.row(i)[f], data.label(i));
+    std::sort(vals.begin(), vals.end());
+    if (vals.front().first == vals.back().first) continue;  // constant
+
+    // Candidate positions: all boundaries, or thinned to quantiles.
+    size_t n = vals.size();
+    size_t step = 1;
+    if (options_.max_candidates_per_feature > 0 &&
+        n > options_.max_candidates_per_feature) {
+      step = n / options_.max_candidates_per_feature;
+    }
+    double left_sum = 0.0;
+    size_t last_scanned = 0;
+    for (size_t pos = options_.min_samples_leaf;
+         pos + options_.min_samples_leaf <= n; pos += step) {
+      for (size_t k = last_scanned; k < pos; ++k) left_sum += vals[k].second;
+      last_scanned = pos;
+      if (vals[pos - 1].first == vals[pos].first) continue;  // not a boundary
+      double n_left = static_cast<double>(pos);
+      double n_right = n_total - n_left;
+      double right_sum = total_sum - left_sum;
+      // Variance reduction is equivalent to maximizing
+      // sum_l^2/n_l + sum_r^2/n_r.
+      double score = left_sum * left_sum / n_left +
+                     right_sum * right_sum / n_right -
+                     total_sum * total_sum / n_total;
+      if (score > best_gain) {
+        best_gain = score;
+        best_feature = static_cast<int>(f);
+        best_threshold = 0.5 * (vals[pos - 1].first + vals[pos].first);
+      }
+    }
+  }
+
+  if (best_feature < 0) return node_id;  // no useful split
+
+  std::vector<size_t> left_idx;
+  std::vector<size_t> right_idx;
+  for (size_t i : indices) {
+    if (data.row(i)[static_cast<size_t>(best_feature)] <= best_threshold) {
+      left_idx.push_back(i);
+    } else {
+      right_idx.push_back(i);
+    }
+  }
+  if (left_idx.size() < options_.min_samples_leaf ||
+      right_idx.size() < options_.min_samples_leaf) {
+    return node_id;
+  }
+
+  nodes_[node_id].feature = best_feature;
+  nodes_[node_id].threshold = best_threshold;
+  int left = Build(data, left_idx, depth + 1, rng);
+  nodes_[node_id].left = left;
+  int right = Build(data, right_idx, depth + 1, rng);
+  nodes_[node_id].right = right;
+  return node_id;
+}
+
+double RegressionTree::Predict(const std::vector<double>& features) const {
+  ADS_CHECK(fitted()) << "predict on unfitted tree";
+  int cur = 0;
+  while (nodes_[cur].feature >= 0) {
+    size_t f = static_cast<size_t>(nodes_[cur].feature);
+    ADS_CHECK(f < features.size()) << "tree predict arity mismatch";
+    cur = features[f] <= nodes_[cur].threshold ? nodes_[cur].left
+                                               : nodes_[cur].right;
+  }
+  return nodes_[cur].value;
+}
+
+int RegressionTree::depth() const {
+  if (nodes_.empty()) return 0;
+  // Iterative depth computation over the arena.
+  std::vector<std::pair<int, int>> stack = {{0, 1}};
+  int max_depth = 0;
+  while (!stack.empty()) {
+    auto [id, d] = stack.back();
+    stack.pop_back();
+    max_depth = std::max(max_depth, d);
+    if (nodes_[static_cast<size_t>(id)].feature >= 0) {
+      stack.push_back({nodes_[static_cast<size_t>(id)].left, d + 1});
+      stack.push_back({nodes_[static_cast<size_t>(id)].right, d + 1});
+    }
+  }
+  return max_depth;
+}
+
+double RegressionTree::InferenceCost() const {
+  return static_cast<double>(depth());
+}
+
+std::string RegressionTree::Serialize() const {
+  std::ostringstream os;
+  os.precision(17);
+  os << "tree\n" << nodes_.size() << "\n";
+  for (const Node& n : nodes_) {
+    os << n.feature << " " << n.threshold << " " << n.value << " " << n.left
+       << " " << n.right << "\n";
+  }
+  return os.str();
+}
+
+common::Result<RegressionTree> RegressionTree::Deserialize(
+    const std::string& body) {
+  std::istringstream is(body);
+  size_t count = 0;
+  if (!(is >> count)) {
+    return common::Status::InvalidArgument("bad tree blob");
+  }
+  std::vector<Node> nodes(count);
+  for (size_t i = 0; i < count; ++i) {
+    Node& n = nodes[i];
+    if (!(is >> n.feature >> n.threshold >> n.value >> n.left >> n.right)) {
+      return common::Status::InvalidArgument("truncated tree blob");
+    }
+  }
+  RegressionTree tree;
+  tree.SetNodes(std::move(nodes));
+  return tree;
+}
+
+}  // namespace ads::ml

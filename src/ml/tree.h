@@ -1,0 +1,69 @@
+#ifndef ADS_ML_TREE_H_
+#define ADS_ML_TREE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ml/model.h"
+
+namespace ads::ml {
+
+struct RegressionTreeOptions {
+  int max_depth = 8;
+  size_t min_samples_leaf = 3;
+  /// Consider at most this many split candidates per feature (quantile
+  /// thinning); 0 means all midpoints.
+  size_t max_candidates_per_feature = 32;
+  /// If positive, consider only this many random features per split
+  /// (for random forests). 0 means all features.
+  size_t features_per_split = 0;
+  /// Seed for feature subsampling when features_per_split > 0.
+  uint64_t seed = 0;
+};
+
+/// CART regression tree (variance-reduction splits). Together with
+/// LinearRegressor, this is the other "simple model" family the paper
+/// reports as covering most production engagements.
+class RegressionTree : public Regressor {
+ public:
+  using Options = RegressionTreeOptions;
+
+  explicit RegressionTree(Options options = Options()) : options_(options) {}
+
+  common::Status Fit(const Dataset& data) override;
+  double Predict(const std::vector<double>& features) const override;
+  std::string TypeName() const override { return "tree"; }
+  std::string Serialize() const override;
+  double InferenceCost() const override;
+
+  static common::Result<RegressionTree> Deserialize(const std::string& body);
+
+  bool fitted() const { return !nodes_.empty(); }
+  size_t node_count() const { return nodes_.size(); }
+  int depth() const;
+
+  /// One tree node; leaves have feature == -1.
+  struct Node {
+    int feature = -1;       // split feature, or -1 for leaf
+    double threshold = 0.0; // go left if x[feature] <= threshold
+    double value = 0.0;     // leaf prediction (mean of samples)
+    int left = -1;
+    int right = -1;
+  };
+  const std::vector<Node>& nodes() const { return nodes_; }
+
+  /// Installs a prebuilt node arena (deserialization).
+  void SetNodes(std::vector<Node> nodes) { nodes_ = std::move(nodes); }
+
+ private:
+  int Build(const Dataset& data, std::vector<size_t>& indices, int depth,
+            common::Rng& rng);
+
+  Options options_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace ads::ml
+
+#endif  // ADS_ML_TREE_H_

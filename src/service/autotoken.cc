@@ -1,0 +1,49 @@
+#include "service/autotoken.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ads::service {
+
+void AutoToken::Observe(uint64_t template_sig,
+                        const std::vector<double>& features,
+                        double peak_tokens) {
+  samples_[template_sig].push_back(Sample{features, peak_tokens});
+}
+
+common::Status AutoToken::Train() {
+  models_.clear();
+  for (const auto& [sig, group] : samples_) {
+    if (group.size() < options_.min_samples) continue;
+    size_t arity = group[0].features.size();
+    ml::Dataset data;
+    for (const Sample& s : group) {
+      if (s.features.size() != arity) continue;
+      data.Add(s.features, s.peak);
+    }
+    if (data.size() < 3) continue;
+    ml::LinearRegressor model(options_.ridge);
+    if (model.Fit(data).ok()) {
+      models_[sig] = std::move(model);
+    }
+  }
+  return common::Status::Ok();
+}
+
+common::Result<double> AutoToken::PredictPeak(
+    uint64_t template_sig, const std::vector<double>& features) const {
+  auto it = models_.find(template_sig);
+  if (it == models_.end()) {
+    return common::Status::NotFound("no AutoToken model for template");
+  }
+  double pred = it->second.Predict(features);
+  return std::max(1.0, pred * options_.safety_margin);
+}
+
+size_t AutoToken::observations() const {
+  size_t n = 0;
+  for (const auto& [sig, group] : samples_) n += group.size();
+  return n;
+}
+
+}  // namespace ads::service

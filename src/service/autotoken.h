@@ -1,0 +1,59 @@
+#ifndef ADS_SERVICE_AUTOTOKEN_H_
+#define ADS_SERVICE_AUTOTOKEN_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/status.h"
+#include "ml/linear.h"
+
+namespace ads::service {
+
+struct AutoTokenOptions {
+  size_t min_samples = 6;
+  double ridge = 1e-3;
+  /// Safety margin multiplier on predictions (under-allocation makes jobs
+  /// queue; over-allocation wastes tokens).
+  double safety_margin = 1.1;
+};
+
+/// AutoToken ([45]): predicts the peak resource tokens (parallelism) a
+/// recurring job will need, so serverless big-data jobs can be admitted
+/// with the right allocation instead of user guesses. One micromodel per
+/// job template; unseen templates return NotFound and fall back to the
+/// platform default.
+class AutoToken {
+ public:
+  explicit AutoToken(AutoTokenOptions options = AutoTokenOptions())
+      : options_(options) {}
+
+  /// Records one observed execution of a template.
+  void Observe(uint64_t template_sig, const std::vector<double>& features,
+               double peak_tokens);
+
+  /// Trains per-template models on the accumulated observations.
+  common::Status Train();
+
+  /// Predicted peak tokens (with safety margin). NotFound for templates
+  /// without a model.
+  common::Result<double> PredictPeak(uint64_t template_sig,
+                                     const std::vector<double>& features) const;
+
+  size_t model_count() const { return models_.size(); }
+  size_t observations() const;
+
+ private:
+  struct Sample {
+    std::vector<double> features;
+    double peak = 0.0;
+  };
+
+  AutoTokenOptions options_;
+  std::map<uint64_t, std::vector<Sample>> samples_;
+  std::map<uint64_t, ml::LinearRegressor> models_;
+};
+
+}  // namespace ads::service
+
+#endif  // ADS_SERVICE_AUTOTOKEN_H_

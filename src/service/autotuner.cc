@@ -1,0 +1,144 @@
+#include "service/autotuner.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "ml/dataset.h"
+
+namespace ads::service {
+
+using workload::KnobSpec;
+using workload::ResponseSurface;
+
+std::vector<double> IterativeTuner::Normalize(
+    const ResponseSurface& surface, const std::vector<double>& config) {
+  std::vector<double> out(config.size());
+  for (size_t i = 0; i < config.size(); ++i) {
+    const KnobSpec& k = surface.knobs()[i];
+    out[i] = (config[i] - k.min_value) /
+             std::max(1e-12, k.max_value - k.min_value);
+  }
+  return out;
+}
+
+common::Status IterativeTuner::TrainGlobalPrior(
+    const std::vector<std::pair<std::vector<double>, double>>& samples) {
+  if (samples.size() < 10) {
+    return common::Status::InvalidArgument(
+        "prior needs at least 10 samples");
+  }
+  ml::Dataset data;
+  for (const auto& [config, throughput] : samples) {
+    data.Add(config, throughput);
+  }
+  ml::GradientBoostedTrees prior({.num_rounds = options_.surrogate_rounds,
+                                  .max_depth = 4});
+  ADS_RETURN_IF_ERROR(prior.Fit(data));
+  prior_ = std::move(prior);
+  has_prior_ = true;
+  return common::Status::Ok();
+}
+
+std::vector<double> IterativeTuner::PriorBestConfig(
+    const ResponseSurface& surface, common::Rng& rng) const {
+  ADS_CHECK(has_prior_) << "no prior trained";
+  std::vector<double> best = surface.DefaultConfig();
+  double best_pred = prior_.Predict(Normalize(surface, best));
+  for (size_t c = 0; c < 400; ++c) {
+    std::vector<double> candidate;
+    for (const KnobSpec& k : surface.knobs()) {
+      candidate.push_back(rng.Uniform(k.min_value, k.max_value));
+    }
+    double pred = prior_.Predict(Normalize(surface, candidate));
+    if (pred > best_pred) {
+      best_pred = pred;
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+common::Result<TuneResult> IterativeTuner::Tune(
+    const ResponseSurface& surface, size_t budget, common::Rng& rng,
+    bool use_prior) const {
+  if (budget == 0) {
+    return common::Status::InvalidArgument("zero tuning budget");
+  }
+  TuneResult result;
+  ml::Dataset history;
+  std::vector<double> incumbent;
+  double incumbent_observed = -1.0;
+
+  auto evaluate = [&](const std::vector<double>& config) {
+    std::vector<double> clamped = surface.Clamp(config);
+    double observed = surface.MeasureThroughput(clamped, rng);
+    history.Add(Normalize(surface, clamped), observed);
+    if (observed > incumbent_observed) {
+      incumbent_observed = observed;
+      incumbent = clamped;
+    }
+    result.incumbent_curve.push_back(surface.TrueThroughput(incumbent));
+    ++result.evaluations;
+  };
+
+  auto random_config = [&]() {
+    std::vector<double> c;
+    for (const KnobSpec& k : surface.knobs()) {
+      c.push_back(rng.Uniform(k.min_value, k.max_value));
+    }
+    return c;
+  };
+
+  // Seeding: always try the shipped default; with a prior, its favorite.
+  evaluate(surface.DefaultConfig());
+  if (use_prior && has_prior_ && result.evaluations < budget) {
+    evaluate(PriorBestConfig(surface, rng));
+  }
+  while (result.evaluations < budget &&
+         result.evaluations < options_.initial_random + 1) {
+    evaluate(random_config());
+  }
+
+  while (result.evaluations < budget) {
+    if (rng.Bernoulli(options_.exploration)) {
+      evaluate(random_config());
+      continue;
+    }
+    // Fit the surrogate to everything seen so far (fine-tuning: local
+    // observations dominate as they accumulate).
+    ml::GradientBoostedTrees surrogate(
+        {.num_rounds = options_.surrogate_rounds, .max_depth = 3});
+    if (!surrogate.Fit(history).ok()) {
+      evaluate(random_config());
+      continue;
+    }
+    std::vector<double> best_candidate = random_config();
+    double best_pred = -1e300;
+    for (size_t c = 0; c < options_.candidates_per_iteration; ++c) {
+      std::vector<double> candidate;
+      if (c % 2 == 0 || incumbent.empty()) {
+        candidate = random_config();
+      } else {
+        candidate = incumbent;
+        for (size_t i = 0; i < candidate.size(); ++i) {
+          const KnobSpec& k = surface.knobs()[i];
+          candidate[i] += rng.Normal(
+              0.0, options_.perturbation * (k.max_value - k.min_value));
+        }
+        candidate = surface.Clamp(candidate);
+      }
+      double pred = surrogate.Predict(Normalize(surface, candidate));
+      if (pred > best_pred) {
+        best_pred = pred;
+        best_candidate = candidate;
+      }
+    }
+    evaluate(best_candidate);
+  }
+
+  result.best_config = incumbent;
+  result.best_true_throughput = surface.TrueThroughput(incumbent);
+  return result;
+}
+
+}  // namespace ads::service

@@ -1,0 +1,78 @@
+#ifndef ADS_SERVICE_AUTOTUNER_H_
+#define ADS_SERVICE_AUTOTUNER_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "ml/forest.h"
+#include "workload/response_surface.h"
+
+namespace ads::service {
+
+struct TunerOptions {
+  /// Random probes before the surrogate takes over.
+  size_t initial_random = 5;
+  /// Candidate configurations scored by the surrogate per iteration.
+  size_t candidates_per_iteration = 150;
+  /// Probability of evaluating a random candidate instead of the
+  /// surrogate's pick (exploration).
+  double exploration = 0.15;
+  /// Perturbation width (fraction of knob range) around the incumbent.
+  double perturbation = 0.15;
+  size_t surrogate_rounds = 30;
+};
+
+/// One tuning run's outcome.
+struct TuneResult {
+  std::vector<double> best_config;
+  /// Noise-free throughput of the final incumbent.
+  double best_true_throughput = 0.0;
+  /// Noise-free throughput of the incumbent after each evaluation
+  /// (the convergence curve).
+  std::vector<double> incumbent_curve;
+  size_t evaluations = 0;
+};
+
+/// MLOS-style iterative configuration tuner ([9], §4.3): a surrogate-model
+/// search over a black-box benchmark, optionally warm-started from a
+/// GLOBAL PRIOR model trained on other applications' benchmark data. The
+/// paper's pattern: "start with a global model trained on multiple
+/// benchmark queries ... fine-tuned for each application as more
+/// observational data becomes available".
+class IterativeTuner {
+ public:
+  explicit IterativeTuner(TunerOptions options = TunerOptions())
+      : options_(options) {}
+
+  /// Trains the global prior from pooled (normalized config -> measured
+  /// throughput) samples of OTHER applications in the same family.
+  common::Status TrainGlobalPrior(
+      const std::vector<std::pair<std::vector<double>, double>>& samples);
+  bool has_prior() const { return has_prior_; }
+
+  /// The prior's favorite configuration on this surface's knob space
+  /// (argmax of the prior over random candidates).
+  std::vector<double> PriorBestConfig(const workload::ResponseSurface& surface,
+                                      common::Rng& rng) const;
+
+  /// Runs `budget` noisy benchmark evaluations against the surface.
+  common::Result<TuneResult> Tune(const workload::ResponseSurface& surface,
+                                  size_t budget, common::Rng& rng,
+                                  bool use_prior) const;
+
+  /// Normalizes a config to [0,1]^d for model features.
+  static std::vector<double> Normalize(const workload::ResponseSurface& surface,
+                                       const std::vector<double>& config);
+
+ private:
+  TunerOptions options_;
+  bool has_prior_ = false;
+  ml::GradientBoostedTrees prior_;
+};
+
+}  // namespace ads::service
+
+#endif  // ADS_SERVICE_AUTOTUNER_H_

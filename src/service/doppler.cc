@@ -1,0 +1,121 @@
+#include "service/doppler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace ads::service {
+
+using workload::CustomerProfile;
+using workload::SkuOffering;
+
+common::Status SkuRecommender::Train(
+    const std::vector<CustomerProfile>& labeled,
+    const std::vector<SkuOffering>& skus) {
+  if (labeled.size() < options_.neighbors) {
+    return common::Status::InvalidArgument(
+        "need at least `neighbors` labeled customers");
+  }
+  if (skus.empty()) {
+    return common::Status::InvalidArgument("no SKU offerings");
+  }
+  skus_ = skus;
+  training_ = labeled;
+
+  ml::Dataset data;
+  std::vector<std::vector<double>> points;
+  for (const CustomerProfile& c : labeled) {
+    data.Add(c.features, static_cast<double>(c.true_sku));
+    points.push_back(c.features);
+  }
+  knn_ = ml::KnnRegressor(options_.neighbors);
+  ADS_RETURN_IF_ERROR(knn_.Fit(data));
+  segments_ = ml::KMeans({.k = options_.segments, .seed = options_.seed});
+  ADS_RETURN_IF_ERROR(segments_.Fit(points));
+  trained_ = true;
+  return common::Status::Ok();
+}
+
+common::Result<size_t> SkuRecommender::SegmentOf(
+    const CustomerProfile& customer) const {
+  if (!trained_) {
+    return common::Status::FailedPrecondition("recommender not trained");
+  }
+  return segments_.Assign(customer.features);
+}
+
+common::Result<std::vector<SkuRecommender::RankedSku>>
+SkuRecommender::RankSkus(const CustomerProfile& customer) const {
+  if (!trained_) {
+    return common::Status::FailedPrecondition("recommender not trained");
+  }
+  // Segment vote: what SKU did similar customers end up on?
+  std::vector<size_t> nn = knn_.Neighbors(customer.features);
+  std::map<int, double> votes;
+  for (size_t i : nn) {
+    votes[training_[i].true_sku] += 1.0;
+  }
+
+  std::vector<RankedSku> ranked;
+  for (const SkuOffering& sku : skus_) {
+    RankedSku r;
+    r.sku_id = sku.id;
+    r.monthly_price = sku.price_per_month;
+    // Worst overshoot of measured needs vs capacity across dimensions.
+    double worst_ratio = 0.0;
+    for (size_t f = 0; f < sku.capacity.size(); ++f) {
+      double need = customer.features[f] * options_.headroom;
+      worst_ratio =
+          std::max(worst_ratio, need / std::max(1e-9, sku.capacity[f]));
+    }
+    r.covers_needs = worst_ratio <= 1.0;
+    // Measured features are noisy: a borderline overshoot (within the
+    // profiling tool's error) must not hard-disqualify a SKU — that is
+    // exactly where the segment knowledge (what similar customers truly
+    // needed) should decide.
+    double coverage_score;
+    if (worst_ratio <= 1.0) {
+      coverage_score = 1.0;
+    } else if (worst_ratio <= 1.10) {
+      coverage_score = 0.0;  // borderline: defer to the neighbor votes
+    } else {
+      coverage_score = -10.0;  // clearly too small
+    }
+    double vote = votes.count(sku.id) > 0 ? votes[sku.id] : 0.0;
+    double price_penalty =
+        (0.5 + 0.5 * customer.price_sensitivity) *
+        std::log1p(sku.price_per_month) * 0.15;
+    r.score = vote + coverage_score - price_penalty;
+    ranked.push_back(r);
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const RankedSku& a, const RankedSku& b) {
+              return a.score > b.score;
+            });
+  return ranked;
+}
+
+common::Result<int> SkuRecommender::Recommend(
+    const CustomerProfile& customer) const {
+  auto ranked = RankSkus(customer);
+  if (!ranked.ok()) return ranked.status();
+  // Explainable final rule: the top of the price-performance ranking
+  // (votes + coverage + price, highest first).
+  return (*ranked)[0].sku_id;
+}
+
+common::Result<double> SkuRecommender::EvaluateAccuracy(
+    const std::vector<CustomerProfile>& test) const {
+  if (test.empty()) {
+    return common::Status::InvalidArgument("empty test set");
+  }
+  size_t correct = 0;
+  for (const CustomerProfile& c : test) {
+    auto rec = Recommend(c);
+    if (!rec.ok()) return rec.status();
+    if (*rec == c.true_sku) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(test.size());
+}
+
+}  // namespace ads::service

@@ -1,0 +1,72 @@
+#ifndef ADS_SERVICE_DOPPLER_H_
+#define ADS_SERVICE_DOPPLER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "ml/kmeans.h"
+#include "ml/knn.h"
+#include "workload/usage_gen.h"
+
+namespace ads::service {
+
+struct DopplerOptions {
+  size_t neighbors = 9;
+  size_t segments = 5;
+  /// Headroom applied to measured needs when checking SKU coverage
+  /// (capacity must exceed needs by this factor).
+  double headroom = 1.0;
+  uint64_t seed = 1;
+};
+
+/// Doppler ([6]): SKU recommendation for migrating on-prem databases to
+/// the cloud. Combines SEGMENT knowledge (new customers inherit decisions
+/// of similar existing customers, via k-means segments + kNN votes) with a
+/// per-customer PRICE-PERFORMANCE curve that ranks all SKUs for the final,
+/// explainable recommendation.
+class SkuRecommender {
+ public:
+  explicit SkuRecommender(DopplerOptions options = DopplerOptions())
+      : options_(options) {}
+
+  /// Trains on migrated customers with known good SKUs.
+  common::Status Train(const std::vector<workload::CustomerProfile>& labeled,
+                       const std::vector<workload::SkuOffering>& skus);
+
+  bool trained() const { return trained_; }
+
+  /// Recommended SKU id for a new customer.
+  common::Result<int> Recommend(
+      const workload::CustomerProfile& customer) const;
+
+  /// Full price-performance ranking (best first) with scores: the
+  /// explainable artifact shown to the customer.
+  struct RankedSku {
+    int sku_id = 0;
+    double score = 0.0;
+    bool covers_needs = false;
+    double monthly_price = 0.0;
+  };
+  common::Result<std::vector<RankedSku>> RankSkus(
+      const workload::CustomerProfile& customer) const;
+
+  /// Segment id a customer falls into (k-means over features).
+  common::Result<size_t> SegmentOf(
+      const workload::CustomerProfile& customer) const;
+
+  /// Accuracy against ground truth on a test set.
+  common::Result<double> EvaluateAccuracy(
+      const std::vector<workload::CustomerProfile>& test) const;
+
+ private:
+  DopplerOptions options_;
+  bool trained_ = false;
+  std::vector<workload::SkuOffering> skus_;
+  ml::KnnRegressor knn_;       // regresses the SKU id (votes via neighbors)
+  ml::KMeans segments_;
+  std::vector<workload::CustomerProfile> training_;
+};
+
+}  // namespace ads::service
+
+#endif  // ADS_SERVICE_DOPPLER_H_

@@ -1,0 +1,142 @@
+#include "service/moneyball.h"
+
+#include <algorithm>
+
+#include "ml/forecast.h"
+
+namespace ads::service {
+
+const char* PausePolicyName(PausePolicy policy) {
+  switch (policy) {
+    case PausePolicy::kAlwaysOn:
+      return "always_on";
+    case PausePolicy::kReactive:
+      return "reactive";
+    case PausePolicy::kPredictive:
+      return "predictive";
+  }
+  return "?";
+}
+
+bool ServerlessManager::IsPredictable(
+    const workload::UsageTrace& trace) const {
+  // A trace is predictable if it follows either a daily or a weekly
+  // seasonal pattern (weekly catches the quiet-weekend archetype).
+  return ml::IsPredictable(trace.values, options_.period,
+                           options_.mape_threshold) ||
+         ml::IsPredictable(trace.values, options_.period * 7,
+                           options_.mape_threshold);
+}
+
+double ServerlessManager::PredictableFraction(
+    const std::vector<workload::UsageTrace>& traces) const {
+  if (traces.empty()) return 0.0;
+  size_t n = 0;
+  for (const auto& t : traces) {
+    if (IsPredictable(t)) ++n;
+  }
+  return static_cast<double>(n) / static_cast<double>(traces.size());
+}
+
+common::Result<PauseOutcome> ServerlessManager::Simulate(
+    const workload::UsageTrace& trace, PausePolicy policy) const {
+  if (trace.values.size() <= options_.warmup_hours) {
+    return common::Status::InvalidArgument(
+        "trace shorter than the warmup window");
+  }
+  PauseOutcome out;
+  out.policy = policy;
+
+  bool predictive = policy == PausePolicy::kPredictive && IsPredictable(trace);
+  ml::SeasonalNaiveForecaster forecaster(options_.period);
+  if (predictive) {
+    std::vector<double> warmup(trace.values.begin(),
+                               trace.values.begin() +
+                                   static_cast<long>(options_.warmup_hours));
+    if (!forecaster.Fit(warmup).ok()) predictive = false;
+  }
+
+  bool resumed = true;
+  size_t consecutive_idle = 0;
+  size_t billed = 0;
+  size_t cold_starts = 0;
+  size_t scored = 0;
+  size_t active = 0;
+  for (size_t h = options_.warmup_hours; h < trace.values.size(); ++h) {
+    bool will_be_active = trace.values[h] >= options_.idle_threshold;
+
+    // Decide this hour's state BEFORE seeing the hour's traffic.
+    if (policy == PausePolicy::kAlwaysOn) {
+      resumed = true;
+    } else if (predictive) {
+      double predicted = forecaster.Forecast(1);
+      bool predicted_active = predicted >= options_.idle_threshold;
+      resumed = predicted_active;
+    } else {
+      // Reactive: pause after enough idle; a paused database resumes only
+      // when traffic actually arrives (cold start, handled below).
+      if (resumed && consecutive_idle >= options_.idle_hours_to_pause) {
+        resumed = false;
+      }
+    }
+
+    ++scored;
+    if (will_be_active) ++active;
+    if (will_be_active && !resumed) {
+      // User hits a paused database: cold start, it resumes for this hour.
+      ++cold_starts;
+      resumed = true;
+      consecutive_idle = 0;
+    }
+    if (resumed) ++billed;
+    if (will_be_active) {
+      consecutive_idle = 0;
+    } else {
+      ++consecutive_idle;
+    }
+    if (predictive) forecaster.Update(trace.values[h]);
+  }
+  out.hours = scored;
+  out.active_hours = active;
+  out.billed_fraction =
+      scored == 0 ? 0.0
+                  : static_cast<double>(billed) / static_cast<double>(scored);
+  out.cold_start_rate =
+      active == 0 ? 0.0
+                  : static_cast<double>(cold_starts) /
+                        static_cast<double>(active);
+  return out;
+}
+
+common::Result<PauseOutcome> ServerlessManager::SimulateFleet(
+    const std::vector<workload::UsageTrace>& traces,
+    PausePolicy policy) const {
+  if (traces.empty()) {
+    return common::Status::InvalidArgument("no traces");
+  }
+  PauseOutcome agg;
+  agg.policy = policy;
+  size_t billed = 0;
+  size_t cold = 0;
+  for (const auto& trace : traces) {
+    auto out = Simulate(trace, policy);
+    if (!out.ok()) return out.status();
+    agg.hours += out->hours;
+    agg.active_hours += out->active_hours;
+    billed += static_cast<size_t>(out->billed_fraction *
+                                  static_cast<double>(out->hours) + 0.5);
+    cold += static_cast<size_t>(out->cold_start_rate *
+                                static_cast<double>(out->active_hours) + 0.5);
+  }
+  agg.billed_fraction =
+      agg.hours == 0 ? 0.0
+                     : static_cast<double>(billed) /
+                           static_cast<double>(agg.hours);
+  agg.cold_start_rate =
+      agg.active_hours == 0 ? 0.0
+                            : static_cast<double>(cold) /
+                                  static_cast<double>(agg.active_hours);
+  return agg;
+}
+
+}  // namespace ads::service

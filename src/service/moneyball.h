@@ -1,0 +1,82 @@
+#ifndef ADS_SERVICE_MONEYBALL_H_
+#define ADS_SERVICE_MONEYBALL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "workload/usage_gen.h"
+
+namespace ads::service {
+
+/// Pause/resume policies for a serverless database.
+enum class PausePolicy {
+  /// Never pause: zero cold starts, maximum COGS.
+  kAlwaysOn,
+  /// Pause after `idle_hours_to_pause` consecutive idle hours, resume on
+  /// the first active hour (that hour suffers a cold start).
+  kReactive,
+  /// Forecast the next hour from the trace's history (seasonal naive on a
+  /// daily period); stay resumed for predicted-active hours, pause for
+  /// predicted-idle ones. Unpredictable traces fall back to reactive.
+  kPredictive,
+};
+
+const char* PausePolicyName(PausePolicy policy);
+
+struct MoneyballOptions {
+  /// Activity below this level counts as idle.
+  double idle_threshold = 5.0;
+  /// Reactive: consecutive idle hours before pausing.
+  size_t idle_hours_to_pause = 2;
+  /// Predictability test: seasonal-naive backtest MAPE threshold.
+  double mape_threshold = 0.25;
+  size_t period = 24;
+  /// Hours of history the predictive policy trains on before scoring.
+  size_t warmup_hours = 24 * 14;
+};
+
+/// Outcome of one policy over one or many traces.
+struct PauseOutcome {
+  PausePolicy policy = PausePolicy::kAlwaysOn;
+  /// Billed (resumed) hours as a fraction of total hours — the COGS side.
+  double billed_fraction = 1.0;
+  /// Cold starts per active hour — the QoS side of the Pareto curve.
+  double cold_start_rate = 0.0;
+  size_t hours = 0;
+  size_t active_hours = 0;
+};
+
+/// Moneyball ([41]): manages serverless database pause/resume using per-
+/// database usage forecasts. Reproduces the paper's headline analysis:
+/// what fraction of usage is predictable, and the QoS/COGS Pareto curve.
+class ServerlessManager {
+ public:
+  explicit ServerlessManager(MoneyballOptions options = MoneyballOptions())
+      : options_(options) {}
+
+  /// Is this trace predictable per the forecast-backtest criterion?
+  bool IsPredictable(const workload::UsageTrace& trace) const;
+
+  /// Fraction of traces that are predictable (the paper reports 77%).
+  double PredictableFraction(
+      const std::vector<workload::UsageTrace>& traces) const;
+
+  /// Replays one trace under a policy, scoring hours after the warmup.
+  common::Result<PauseOutcome> Simulate(const workload::UsageTrace& trace,
+                                        PausePolicy policy) const;
+
+  /// Aggregates a policy over a fleet (weighted by scored hours).
+  common::Result<PauseOutcome> SimulateFleet(
+      const std::vector<workload::UsageTrace>& traces,
+      PausePolicy policy) const;
+
+  const MoneyballOptions& options() const { return options_; }
+
+ private:
+  MoneyballOptions options_;
+};
+
+}  // namespace ads::service
+
+#endif  // ADS_SERVICE_MONEYBALL_H_

@@ -1,0 +1,108 @@
+#include "service/seagull.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ads::service {
+
+const char* BackupMethodName(BackupMethod method) {
+  switch (method) {
+    case BackupMethod::kPreviousDay:
+      return "previous_day";
+    case BackupMethod::kHourOfDayMean:
+      return "hour_of_day_mean";
+    case BackupMethod::kWeightedHourOfDayMean:
+      return "weighted_hour_mean";
+  }
+  return "?";
+}
+
+common::Result<int> ChooseBackupHour(const std::vector<double>& history,
+                                     BackupMethod method) {
+  size_t days = history.size() / 24;
+  size_t need_days = method == BackupMethod::kPreviousDay ? 2 : 7;
+  if (days < need_days) {
+    return common::Status::InvalidArgument(
+        "not enough backup-scheduling history");
+  }
+  std::vector<double> predicted(24, 0.0);
+  switch (method) {
+    case BackupMethod::kPreviousDay: {
+      size_t start = (days - 1) * 24;
+      for (size_t h = 0; h < 24; ++h) predicted[h] = history[start + h];
+      break;
+    }
+    case BackupMethod::kHourOfDayMean: {
+      std::vector<size_t> counts(24, 0);
+      for (size_t i = 0; i < history.size(); ++i) {
+        predicted[i % 24] += history[i];
+        ++counts[i % 24];
+      }
+      for (size_t h = 0; h < 24; ++h) {
+        predicted[h] /= static_cast<double>(std::max<size_t>(1, counts[h]));
+      }
+      break;
+    }
+    case BackupMethod::kWeightedHourOfDayMean: {
+      // Exponential decay by day: recent days weigh more.
+      constexpr double kDecay = 0.85;
+      std::vector<double> weights(24, 0.0);
+      for (size_t i = 0; i < history.size(); ++i) {
+        size_t day = i / 24;
+        double w = std::pow(kDecay, static_cast<double>(days - 1 - day));
+        predicted[i % 24] += w * history[i];
+        weights[i % 24] += w;
+      }
+      for (size_t h = 0; h < 24; ++h) {
+        predicted[h] /= std::max(1e-12, weights[h]);
+      }
+      break;
+    }
+  }
+  int best = 0;
+  for (int h = 1; h < 24; ++h) {
+    if (predicted[static_cast<size_t>(h)] < predicted[static_cast<size_t>(best)]) {
+      best = h;
+    }
+  }
+  return best;
+}
+
+common::Result<BackupEvaluation> EvaluateBackupScheduling(
+    const std::vector<workload::ServerLoadTrace>& traces, BackupMethod method,
+    double tolerance) {
+  if (traces.empty()) {
+    return common::Status::InvalidArgument("no traces to evaluate");
+  }
+  BackupEvaluation eval;
+  eval.method = method;
+  double ratio_sum = 0.0;
+  size_t correct = 0;
+  size_t scored = 0;
+  for (const workload::ServerLoadTrace& trace : traces) {
+    if (trace.values.size() < 24 * 8) continue;
+    size_t holdout_start = trace.values.size() - 24;
+    std::vector<double> history(trace.values.begin(),
+                                trace.values.begin() +
+                                    static_cast<long>(holdout_start));
+    auto hour = ChooseBackupHour(history, method);
+    if (!hour.ok()) continue;
+    double chosen_load = trace.values[holdout_start + static_cast<size_t>(*hour)];
+    double min_load = trace.values[holdout_start];
+    for (size_t h = 0; h < 24; ++h) {
+      min_load = std::min(min_load, trace.values[holdout_start + h]);
+    }
+    ++scored;
+    ratio_sum += chosen_load / std::max(1e-9, min_load);
+    if (chosen_load <= min_load * (1.0 + tolerance)) ++correct;
+  }
+  if (scored == 0) {
+    return common::Status::FailedPrecondition("no scorable traces");
+  }
+  eval.servers = scored;
+  eval.accuracy = static_cast<double>(correct) / static_cast<double>(scored);
+  eval.mean_load_ratio = ratio_sum / static_cast<double>(scored);
+  return eval;
+}
+
+}  // namespace ads::service

@@ -1,0 +1,52 @@
+#ifndef ADS_SERVICE_SEAGULL_H_
+#define ADS_SERVICE_SEAGULL_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "workload/usage_gen.h"
+
+namespace ads::service {
+
+/// How the backup scheduler predicts tomorrow's hourly load.
+enum class BackupMethod {
+  /// The paper's simple heuristic: tomorrow looks like yesterday (reaches
+  /// ~96% for servers with stable patterns).
+  kPreviousDay,
+  /// Per-server individual model: mean load per hour-of-day over the full
+  /// history (the ML approach, ~99%).
+  kHourOfDayMean,
+  /// Exponentially weighted per-hour mean (recency-aware variant).
+  kWeightedHourOfDayMean,
+};
+
+const char* BackupMethodName(BackupMethod method);
+
+/// Picks the backup hour (0-23) for a server given its hourly load history
+/// (most recent last; length must cover at least 2 days for kPreviousDay
+/// and 7 days for the mean-based methods).
+common::Result<int> ChooseBackupHour(const std::vector<double>& history,
+                                     BackupMethod method);
+
+/// Evaluation of a method over a fleet: a decision is CORRECT when the
+/// chosen hour's load on the (held-out) next day is within `tolerance` of
+/// that day's true minimum — the paper's low-load-window accuracy.
+struct BackupEvaluation {
+  BackupMethod method = BackupMethod::kPreviousDay;
+  double accuracy = 0.0;
+  /// Mean of (load at chosen hour) / (true min load) on the held-out day.
+  double mean_load_ratio = 0.0;
+  size_t servers = 0;
+};
+
+/// Splits each trace into history (all but the last day) and a held-out
+/// final day, schedules on the history, scores on the held-out day.
+common::Result<BackupEvaluation> EvaluateBackupScheduling(
+    const std::vector<workload::ServerLoadTrace>& traces, BackupMethod method,
+    double tolerance = 0.25);
+
+}  // namespace ads::service
+
+#endif  // ADS_SERVICE_SEAGULL_H_

@@ -1,0 +1,66 @@
+#include "telemetry/metric.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace ads::telemetry {
+
+std::vector<MetricPoint> Rollup(const std::vector<MetricPoint>& points,
+                                double window, Aggregation agg) {
+  ADS_CHECK(window > 0.0) << "rollup window must be positive";
+  std::vector<MetricPoint> out;
+  if (points.empty()) return out;
+  double start = points[0].time;
+  size_t i = 0;
+  while (i < points.size()) {
+    double wstart = start + window * std::floor((points[i].time - start) / window);
+    double wend = wstart + window;
+    double sum = 0.0;
+    double mn = points[i].value;
+    double mx = points[i].value;
+    double last = points[i].value;
+    size_t count = 0;
+    while (i < points.size() && points[i].time < wend) {
+      sum += points[i].value;
+      mn = std::min(mn, points[i].value);
+      mx = std::max(mx, points[i].value);
+      last = points[i].value;
+      ++count;
+      ++i;
+    }
+    double v = 0.0;
+    switch (agg) {
+      case Aggregation::kMean:
+        v = sum / static_cast<double>(count);
+        break;
+      case Aggregation::kSum:
+        v = sum;
+        break;
+      case Aggregation::kMax:
+        v = mx;
+        break;
+      case Aggregation::kMin:
+        v = mn;
+        break;
+      case Aggregation::kCount:
+        v = static_cast<double>(count);
+        break;
+      case Aggregation::kLast:
+        v = last;
+        break;
+    }
+    out.push_back({wstart, v});
+  }
+  return out;
+}
+
+std::vector<double> Values(const std::vector<MetricPoint>& points) {
+  std::vector<double> out;
+  out.reserve(points.size());
+  for (const MetricPoint& p : points) out.push_back(p.value);
+  return out;
+}
+
+}  // namespace ads::telemetry

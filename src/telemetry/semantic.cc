@@ -1,0 +1,80 @@
+#include "telemetry/semantic.h"
+
+#include "common/logging.h"
+
+namespace ads::telemetry {
+namespace {
+std::string Key(const std::string& platform, const std::string& native) {
+  return platform + '\0' + native;
+}
+}  // namespace
+
+SemanticCatalog SemanticCatalog::Default() {
+  SemanticCatalog c;
+  c.DefineCanonical("system.cpu.utilization", "fraction");
+  c.DefineCanonical("system.memory.usage", "bytes");
+  c.DefineCanonical("system.disk.io", "bytes/s");
+  c.DefineCanonical("system.network.io", "bytes/s");
+  c.DefineCanonical("container.running.count", "containers");
+  c.DefineCanonical("task.execution.time", "seconds");
+  c.DefineCanonical("storage.temp.usage", "bytes");
+  c.DefineCanonical("db.active.sessions", "sessions");
+  c.DefineCanonical("cluster.pending.requests", "requests");
+  ADS_CHECK_OK(c.MapNative("windows", "\\Processor(_Total)\\% Processor Time",
+                           "system.cpu.utilization"));
+  ADS_CHECK_OK(c.MapNative("linux", "node_cpu_seconds_total",
+                           "system.cpu.utilization"));
+  ADS_CHECK_OK(c.MapNative("windows", "\\Memory\\Committed Bytes",
+                           "system.memory.usage"));
+  ADS_CHECK_OK(c.MapNative("linux", "node_memory_Active_bytes",
+                           "system.memory.usage"));
+  ADS_CHECK_OK(c.MapNative("windows", "\\PhysicalDisk(_Total)\\Disk Bytes/sec",
+                           "system.disk.io"));
+  ADS_CHECK_OK(c.MapNative("linux", "node_disk_io_bytes_total",
+                           "system.disk.io"));
+  return c;
+}
+
+void SemanticCatalog::DefineCanonical(const std::string& canonical_name,
+                                      const std::string& unit) {
+  canonical_units_[canonical_name] = unit;
+}
+
+common::Status SemanticCatalog::MapNative(const std::string& platform,
+                                          const std::string& native_name,
+                                          const std::string& canonical_name) {
+  if (canonical_units_.find(canonical_name) == canonical_units_.end()) {
+    return common::Status::NotFound("canonical metric not defined: " +
+                                    canonical_name);
+  }
+  native_to_canonical_[Key(platform, native_name)] = canonical_name;
+  return common::Status::Ok();
+}
+
+common::Result<std::string> SemanticCatalog::Resolve(
+    const std::string& platform, const std::string& native_name) const {
+  auto it = native_to_canonical_.find(Key(platform, native_name));
+  if (it == native_to_canonical_.end()) {
+    return common::Status::NotFound("no semantic mapping for " + platform +
+                                    ":" + native_name);
+  }
+  return it->second;
+}
+
+common::Result<std::string> SemanticCatalog::UnitOf(
+    const std::string& canonical_name) const {
+  auto it = canonical_units_.find(canonical_name);
+  if (it == canonical_units_.end()) {
+    return common::Status::NotFound("canonical metric not defined: " +
+                                    canonical_name);
+  }
+  return it->second;
+}
+
+std::vector<std::string> SemanticCatalog::CanonicalNames() const {
+  std::vector<std::string> out;
+  for (const auto& [name, unit] : canonical_units_) out.push_back(name);
+  return out;
+}
+
+}  // namespace ads::telemetry

@@ -1,0 +1,51 @@
+#ifndef ADS_TELEMETRY_SEMANTIC_H_
+#define ADS_TELEMETRY_SEMANTIC_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ads::telemetry {
+
+/// Cross-platform semantic metric catalog (the paper's Direction 2):
+/// platform-specific counter names ("\\Processor(_Total)\\% Processor Time"
+/// on Windows, "node_cpu_seconds_total" on Linux) map to one canonical name
+/// with one meaning, so models trained against the canonical schema are
+/// reusable across services and platforms.
+class SemanticCatalog {
+ public:
+  /// Builds a catalog preloaded with the common OS/engine counters used by
+  /// the simulators in this library.
+  static SemanticCatalog Default();
+
+  /// Registers a canonical metric. Overwrites an existing unit.
+  void DefineCanonical(const std::string& canonical_name,
+                       const std::string& unit);
+
+  /// Maps a (platform, native_name) pair to a canonical metric. Fails if
+  /// the canonical name is not defined.
+  common::Status MapNative(const std::string& platform,
+                           const std::string& native_name,
+                           const std::string& canonical_name);
+
+  /// Resolves a native counter to its canonical name.
+  common::Result<std::string> Resolve(const std::string& platform,
+                                      const std::string& native_name) const;
+
+  /// Unit of a canonical metric.
+  common::Result<std::string> UnitOf(const std::string& canonical_name) const;
+
+  /// All canonical names, sorted.
+  std::vector<std::string> CanonicalNames() const;
+
+ private:
+  std::map<std::string, std::string> canonical_units_;
+  // (platform + '\0' + native) -> canonical
+  std::map<std::string, std::string> native_to_canonical_;
+};
+
+}  // namespace ads::telemetry
+
+#endif  // ADS_TELEMETRY_SEMANTIC_H_

@@ -1,0 +1,74 @@
+#include "telemetry/store.h"
+
+#include <algorithm>
+
+namespace ads::telemetry {
+
+common::Status TelemetryStore::Record(const std::string& name,
+                                      const LabelSet& labels, double time,
+                                      double value) {
+  auto& points = series_[SeriesKey{name, labels}];
+  if (!points.empty() && time < points.back().time) {
+    return common::Status::InvalidArgument(
+        "out-of-order sample for metric " + name);
+  }
+  points.push_back({time, value});
+  return common::Status::Ok();
+}
+
+std::vector<MetricPoint> TelemetryStore::Query(const std::string& name,
+                                               const LabelSet& labels,
+                                               double t_begin,
+                                               double t_end) const {
+  auto it = series_.find(SeriesKey{name, labels});
+  if (it == series_.end()) return {};
+  const auto& points = it->second;
+  auto lo = std::lower_bound(points.begin(), points.end(), t_begin,
+                             [](const MetricPoint& p, double t) {
+                               return p.time < t;
+                             });
+  auto hi = std::lower_bound(points.begin(), points.end(), t_end,
+                             [](const MetricPoint& p, double t) {
+                               return p.time < t;
+                             });
+  return std::vector<MetricPoint>(lo, hi);
+}
+
+std::vector<MetricPoint> TelemetryStore::QueryAll(
+    const std::string& name, const LabelSet& labels) const {
+  auto it = series_.find(SeriesKey{name, labels});
+  if (it == series_.end()) return {};
+  return it->second;
+}
+
+std::vector<MetricSeries> TelemetryStore::Select(
+    const std::string& name, const LabelSet& selector) const {
+  std::vector<MetricSeries> out;
+  for (const auto& [key, points] : series_) {
+    if (key.name != name) continue;
+    bool match = true;
+    for (const auto& [k, v] : selector) {
+      auto it = key.labels.find(k);
+      if (it == key.labels.end() || it->second != v) {
+        match = false;
+        break;
+      }
+    }
+    if (match) {
+      MetricSeries s;
+      s.name = key.name;
+      s.labels = key.labels;
+      s.points = points;
+      out.push_back(std::move(s));
+    }
+  }
+  return out;
+}
+
+size_t TelemetryStore::sample_count() const {
+  size_t n = 0;
+  for (const auto& [key, points] : series_) n += points.size();
+  return n;
+}
+
+}  // namespace ads::telemetry

@@ -1,0 +1,57 @@
+#ifndef ADS_TELEMETRY_STORE_H_
+#define ADS_TELEMETRY_STORE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "telemetry/metric.h"
+
+namespace ads::telemetry {
+
+/// In-memory time-series store: the library's stand-in for Kusto/monitoring
+/// pipelines. Simulators record into it; the autonomous components query it.
+/// Samples are expected in nondecreasing time order per series (checked).
+class TelemetryStore {
+ public:
+  /// Appends one sample to the series identified by (name, labels).
+  common::Status Record(const std::string& name, const LabelSet& labels,
+                        double time, double value);
+
+  /// Returns samples of one exact series in [t_begin, t_end).
+  /// Unknown series yield an empty vector.
+  std::vector<MetricPoint> Query(const std::string& name,
+                                 const LabelSet& labels, double t_begin,
+                                 double t_end) const;
+
+  /// All samples of one exact series.
+  std::vector<MetricPoint> QueryAll(const std::string& name,
+                                    const LabelSet& labels) const;
+
+  /// Returns every series with this metric name whose labels contain all
+  /// entries of `selector` (sub-match, Prometheus-style).
+  std::vector<MetricSeries> Select(const std::string& name,
+                                   const LabelSet& selector) const;
+
+  /// Number of distinct stored series.
+  size_t series_count() const { return series_.size(); }
+  /// Total stored samples.
+  size_t sample_count() const;
+
+ private:
+  struct SeriesKey {
+    std::string name;
+    LabelSet labels;
+    bool operator<(const SeriesKey& o) const {
+      if (name != o.name) return name < o.name;
+      return labels < o.labels;
+    }
+  };
+
+  std::map<SeriesKey, std::vector<MetricPoint>> series_;
+};
+
+}  // namespace ads::telemetry
+
+#endif  // ADS_TELEMETRY_STORE_H_

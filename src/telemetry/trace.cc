@@ -1,0 +1,25 @@
+#include "telemetry/trace.h"
+
+namespace ads::telemetry {
+
+std::vector<const TraceEvent*> TraceLog::OfKind(const std::string& kind) const {
+  std::vector<const TraceEvent*> out;
+  for (const TraceEvent& e : events_) {
+    if (e.kind == kind) out.push_back(&e);
+  }
+  return out;
+}
+
+std::vector<const TraceEvent*> TraceLog::WithAttribute(
+    const std::string& kind, const std::string& key,
+    const std::string& value) const {
+  std::vector<const TraceEvent*> out;
+  for (const TraceEvent& e : events_) {
+    if (e.kind != kind) continue;
+    auto it = e.attributes.find(key);
+    if (it != e.attributes.end() && it->second == value) out.push_back(&e);
+  }
+  return out;
+}
+
+}  // namespace ads::telemetry

@@ -1,0 +1,44 @@
+#ifndef ADS_TELEMETRY_TRACE_H_
+#define ADS_TELEMETRY_TRACE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ads::telemetry {
+
+/// One structured workload-trace event (job submitted, stage finished, ...).
+/// String attributes carry identity (job id, template signature); numeric
+/// metrics carry measurements (runtime, bytes). This is the engine-agnostic
+/// "workload representation" substrate the learned components consume.
+struct TraceEvent {
+  double time = 0.0;
+  std::string kind;
+  std::map<std::string, std::string> attributes;
+  std::map<std::string, double> metrics;
+};
+
+/// Append-only structured event log.
+class TraceLog {
+ public:
+  void Append(TraceEvent event) { events_.push_back(std::move(event)); }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  size_t size() const { return events_.size(); }
+
+  /// All events of one kind, in order.
+  std::vector<const TraceEvent*> OfKind(const std::string& kind) const;
+
+  /// All events of one kind with a given attribute value.
+  std::vector<const TraceEvent*> WithAttribute(const std::string& kind,
+                                               const std::string& key,
+                                               const std::string& value) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace ads::telemetry
+
+#endif  // ADS_TELEMETRY_TRACE_H_

@@ -1,0 +1,47 @@
+#include "workload/arrival.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace ads::workload {
+
+double ArrivalProcess::RateAt(double t_seconds) const {
+  double hours = t_seconds / 3600.0;
+  double hour_of_day = std::fmod(hours, 24.0);
+  int day = static_cast<int>(hours / 24.0);
+  int day_of_week = day % 7;
+  double phase = 2.0 * M_PI * (hour_of_day - options_.peak_hour) / 24.0;
+  // Cosine bump: 1 at the peak hour, trough_fraction at the antipode.
+  double shape = 0.5 * (1.0 + std::cos(phase));
+  double rate = options_.peak_rate_per_hour *
+                (options_.trough_fraction +
+                 (1.0 - options_.trough_fraction) * shape);
+  if (day_of_week >= 5) rate *= options_.weekend_factor;
+  return rate;
+}
+
+std::vector<double> ArrivalProcess::Sample(double horizon_seconds) {
+  ADS_CHECK(horizon_seconds > 0.0) << "horizon must be positive";
+  // Thinning against the peak rate.
+  double max_rate = options_.peak_rate_per_hour;  // events per hour
+  double max_rate_per_sec = max_rate / 3600.0;
+  std::vector<double> out;
+  double t = 0.0;
+  while (true) {
+    t += rng_.Exponential(max_rate_per_sec);
+    if (t >= horizon_seconds) break;
+    if (rng_.Uniform() <= RateAt(t) / max_rate) out.push_back(t);
+  }
+  return out;
+}
+
+std::vector<double> ArrivalProcess::HourlyRates(double horizon_seconds) const {
+  std::vector<double> out;
+  for (double t = 0.0; t < horizon_seconds; t += 3600.0) {
+    out.push_back(RateAt(t + 1800.0));  // midpoint of the hour
+  }
+  return out;
+}
+
+}  // namespace ads::workload

@@ -1,0 +1,49 @@
+#ifndef ADS_WORKLOAD_ARRIVAL_H_
+#define ADS_WORKLOAD_ARRIVAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ads::workload {
+
+/// Diurnal (and optionally weekly) arrival-rate profile. Rates are events
+/// per hour; the process is an inhomogeneous Poisson process realized by
+/// thinning.
+struct ArrivalOptions {
+  /// Mean arrivals per hour at the daily peak.
+  double peak_rate_per_hour = 60.0;
+  /// Ratio of the trough rate to the peak rate.
+  double trough_fraction = 0.2;
+  /// Hour of day (0-24) at which the rate peaks.
+  double peak_hour = 14.0;
+  /// Weekend rate multiplier (days 5 and 6 of each week).
+  double weekend_factor = 0.5;
+  uint64_t seed = 1;
+};
+
+/// Generates event timestamps (in seconds) over [0, horizon_seconds).
+class ArrivalProcess {
+ public:
+  explicit ArrivalProcess(ArrivalOptions options = ArrivalOptions())
+      : options_(options), rng_(options.seed) {}
+
+  /// Instantaneous rate (events/hour) at absolute time t (seconds).
+  double RateAt(double t_seconds) const;
+
+  /// Samples all arrival times in [0, horizon_seconds), sorted.
+  std::vector<double> Sample(double horizon_seconds);
+
+  /// Expected arrivals per hour bucket over the horizon (for forecasting
+  /// benchmarks: the deterministic rate, not a sample).
+  std::vector<double> HourlyRates(double horizon_seconds) const;
+
+ private:
+  ArrivalOptions options_;
+  common::Rng rng_;
+};
+
+}  // namespace ads::workload
+
+#endif  // ADS_WORKLOAD_ARRIVAL_H_

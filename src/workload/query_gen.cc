@@ -1,0 +1,341 @@
+#include "workload/query_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace ads::workload {
+
+using engine::AggSpec;
+using engine::ColumnSpec;
+using engine::CompareOp;
+using engine::JoinSpec;
+using engine::MakeAggregate;
+using engine::MakeFilter;
+using engine::MakeJoin;
+using engine::MakeScan;
+using engine::PlanNode;
+using engine::Predicate;
+using engine::TableSpec;
+
+QueryGenerator::QueryGenerator(QueryGenOptions options)
+    : options_(options), rng_(options.seed) {
+  ADS_CHECK(options_.num_tables >= 2) << "need at least two tables";
+  BuildCatalog();
+  BuildFragments();
+  BuildTemplates();
+}
+
+void QueryGenerator::BuildCatalog() {
+  for (size_t t = 0; t < options_.num_tables; ++t) {
+    TableSpec table;
+    table.name = "t" + std::to_string(t);
+    table.rows = std::floor(rng_.LogNormal(13.0, 1.0));  // ~1e5..5e6
+    table.rows = std::clamp(table.rows, 5e4, 2e7);
+    size_t cols = static_cast<size_t>(rng_.UniformInt(4, 6));
+    for (size_t c = 0; c < cols; ++c) {
+      ColumnSpec col;
+      col.name = table.name + "_c" + std::to_string(c);
+      col.min_value = 0.0;
+      col.max_value = 1e4;
+      col.distinct_values = static_cast<size_t>(
+          rng_.UniformInt(10, static_cast<int64_t>(table.rows) / 10));
+      col.skew = rng_.Bernoulli(0.4) ? rng_.Uniform(0.3, 1.5) : 0.0;
+      table.columns.push_back(col);
+    }
+    catalog_.AddTable(table);
+  }
+}
+
+double QueryGenerator::TrueSelectivity(const ColumnSpec& col, CompareOp op,
+                                       double value) const {
+  double frac = (value - col.min_value) /
+                std::max(1e-12, col.max_value - col.min_value);
+  frac = std::clamp(frac, 0.0, 1.0);
+  // Skew concentrates mass at small values: P(x <= v) rises faster than
+  // the uniform fraction.
+  double le = std::pow(frac, 1.0 / (1.0 + col.skew));
+  double floor_sel = 1e-6;
+  switch (op) {
+    case CompareOp::kLess:
+    case CompareOp::kLessEqual:
+      return std::max(le, floor_sel);
+    case CompareOp::kGreater:
+    case CompareOp::kGreaterEqual:
+      return std::max(1.0 - le, floor_sel);
+    case CompareOp::kEqual:
+      return std::max(
+          std::pow(1.0 / static_cast<double>(std::max<size_t>(
+                             1, col.distinct_values)),
+                   1.0 / (1.0 + col.skew)),
+          floor_sel);
+  }
+  return 1.0;
+}
+
+void QueryGenerator::BuildFragments() {
+  std::vector<std::string> names = catalog_.TableNames();
+  for (size_t f = 0; f < options_.num_shared_fragments; ++f) {
+    FragmentSpec frag;
+    // Shared fragments sit on the LARGE fact tables (pick the biggest of a
+    // few random candidates): that is where recomputation hurts and where
+    // CloudViews-style reuse pays off.
+    frag.table = names[static_cast<size_t>(
+        rng_.UniformInt(0, static_cast<int64_t>(names.size()) - 1))];
+    for (int probe = 0; probe < 4; ++probe) {
+      const std::string& other = names[static_cast<size_t>(
+          rng_.UniformInt(0, static_cast<int64_t>(names.size()) - 1))];
+      if (catalog_.FindTable(other)->rows >
+          catalog_.FindTable(frag.table)->rows) {
+        frag.table = other;
+      }
+    }
+    const TableSpec* table = catalog_.FindTable(frag.table);
+    // One or two predicates with FIXED literals: every embedding of this
+    // fragment is byte-identical, so strict signatures match (CloudViews).
+    // Predicates use DISTINCT columns so nature never states a logical
+    // contradiction (x <= a AND x >= b with b > a).
+    size_t preds = std::min<size_t>(
+        table->columns.size(), static_cast<size_t>(rng_.UniformInt(1, 2)));
+    std::vector<size_t> col_idx(table->columns.size());
+    for (size_t i = 0; i < col_idx.size(); ++i) col_idx[i] = i;
+    rng_.Shuffle(col_idx);
+    for (size_t p = 0; p < preds; ++p) {
+      const ColumnSpec& col = table->columns[col_idx[p]];
+      Predicate pred;
+      pred.column = col.name;
+      // Fragments are SELECTIVE extracts (the common cleansing/filter
+      // prelude of production pipelines): their outputs are much smaller
+      // than their inputs, which is what makes materializing them pay.
+      // ">= high" predicates stay selective even on skewed columns
+      // (skew concentrates mass at small values).
+      pred.op = CompareOp::kGreaterEqual;
+      pred.value = rng_.Uniform(8500.0, 9700.0);
+      pred.true_selectivity = TrueSelectivity(col, pred.op, pred.value);
+      frag.predicates.push_back(pred);
+    }
+    // Join key: the highest-NDV column of the fragment table.
+    const ColumnSpec* best = &table->columns[0];
+    for (const ColumnSpec& c : table->columns) {
+      if (c.distinct_values > best->distinct_values) best = &c;
+    }
+    frag.join_key = best->name;
+    fragments_.push_back(std::move(frag));
+  }
+}
+
+std::unique_ptr<PlanNode> QueryGenerator::SharedFragment(int fragment_id) {
+  ADS_CHECK(fragment_id >= 0 &&
+            static_cast<size_t>(fragment_id) < fragments_.size())
+      << "bad fragment id";
+  const FragmentSpec& frag = fragments_[static_cast<size_t>(fragment_id)];
+  auto scan = MakeScan(*catalog_.FindTable(frag.table));
+  return MakeFilter(std::move(scan), frag.predicates);
+}
+
+void QueryGenerator::BuildTemplates() {
+  std::vector<std::string> names = catalog_.TableNames();
+  for (size_t t = 0; t < options_.num_templates; ++t) {
+    TemplateSpec tmpl;
+    tmpl.id = t;
+    // Whether this template embeds a shared fragment decides its shape:
+    // fragment consumers are "report" jobs whose dominant input IS the
+    // shared extract, so their own (main) table is a smaller one.
+    bool wants_fragment =
+        rng_.Bernoulli(options_.shared_fragment_fraction) &&
+        !fragments_.empty();
+    std::string main = names[static_cast<size_t>(
+        rng_.UniformInt(0, static_cast<int64_t>(names.size()) - 1))];
+    if (wants_fragment) {
+      for (int probe = 0; probe < 2; ++probe) {
+        const std::string& other = names[static_cast<size_t>(
+            rng_.UniformInt(0, static_cast<int64_t>(names.size()) - 1))];
+        if (catalog_.FindTable(other)->rows < catalog_.FindTable(main)->rows) {
+          main = other;
+        }
+      }
+    }
+    tmpl.tables.push_back(main);
+    const TableSpec* main_table = catalog_.FindTable(main);
+
+    size_t preds = static_cast<size_t>(rng_.UniformInt(1, 3));
+    for (size_t p = 0; p < preds && p < main_table->columns.size(); ++p) {
+      const ColumnSpec& col = main_table->columns[p];
+      PredicateSlot slot;
+      slot.column = col.name;
+      slot.op = rng_.Bernoulli(0.7) ? CompareOp::kLessEqual
+                                    : CompareOp::kGreaterEqual;
+      double a = rng_.Uniform(500.0, 9500.0);
+      double b = std::min(1e4, a + rng_.Uniform(100.0, 2000.0));
+      slot.lo = a;
+      slot.hi = b;
+      tmpl.predicates.push_back(slot);
+    }
+    tmpl.correlation = tmpl.predicates.size() >= 2
+                           ? rng_.Uniform(0.0, 0.7)
+                           : 0.0;
+
+    // Shared fragment join.
+    if (wants_fragment) {
+      tmpl.fragment_id = static_cast<int>(rng_.UniformInt(
+          0, static_cast<int64_t>(fragments_.size()) - 1));
+      const FragmentSpec& frag = fragments_[static_cast<size_t>(
+          tmpl.fragment_id)];
+      JoinSpec join;
+      join.left_key = main_table->columns[0].name;
+      join.right_key = frag.join_key;
+      tmpl.joins.push_back(join);
+      tmpl.join_error.push_back(rng_.LogNormal(0.0, 1.0));
+    }
+
+    // Optional second join with a dimension-style table.
+    if (rng_.Bernoulli(0.5)) {
+      std::string other = names[static_cast<size_t>(
+          rng_.UniformInt(0, static_cast<int64_t>(names.size()) - 1))];
+      if (other != main) {
+        tmpl.tables.push_back(other);
+        const TableSpec* other_table = catalog_.FindTable(other);
+        JoinSpec join;
+        join.left_key = main_table->columns[1 % main_table->columns.size()].name;
+        join.right_key = other_table->columns[0].name;
+        tmpl.joins.push_back(join);
+        tmpl.join_error.push_back(rng_.LogNormal(0.0, 1.0));
+      }
+    }
+
+    if (rng_.Bernoulli(0.6)) {
+      tmpl.has_aggregate = true;
+      tmpl.agg.group_keys = {
+          main_table->columns[main_table->columns.size() - 1].name};
+      tmpl.agg.true_distinct_ratio = std::clamp(
+          rng_.LogNormal(-3.0, 1.0), 1e-4, 0.5);
+    }
+    templates_.push_back(std::move(tmpl));
+  }
+}
+
+std::unique_ptr<PlanNode> QueryGenerator::BuildPlan(const TemplateSpec& tmpl) {
+  const TableSpec* main_table = catalog_.FindTable(tmpl.tables[0]);
+  ADS_CHECK(main_table != nullptr) << "template references unknown table";
+
+  // Draw literals and compute hidden true selectivities with the
+  // template's correlation applied.
+  std::vector<Predicate> predicates;
+  std::vector<double> truths;
+  for (const PredicateSlot& slot : tmpl.predicates) {
+    const ColumnSpec* col = catalog_.FindColumnGlobal(slot.column);
+    Predicate p;
+    p.column = slot.column;
+    p.op = slot.op;
+    p.value = rng_.Uniform(slot.lo, slot.hi);
+    p.true_selectivity = TrueSelectivity(*col, p.op, p.value);
+    truths.push_back(p.true_selectivity);
+    predicates.push_back(p);
+  }
+  if (truths.size() >= 2 && tmpl.correlation > 0.0) {
+    double prod = 1.0;
+    double mn = 1.0;
+    for (double s : truths) {
+      prod *= s;
+      mn = std::min(mn, s);
+    }
+    double conj = std::pow(prod, 1.0 - tmpl.correlation) *
+                  std::pow(mn, tmpl.correlation);
+    // Distribute the joint selectivity across the predicates so that the
+    // product of per-predicate truths equals the correlated joint truth.
+    double adjust = std::pow(conj / prod,
+                             1.0 / static_cast<double>(truths.size()));
+    for (Predicate& p : predicates) {
+      p.true_selectivity = std::min(1.0, p.true_selectivity * adjust);
+    }
+  }
+
+  std::unique_ptr<PlanNode> plan =
+      MakeFilter(MakeScan(*main_table), std::move(predicates));
+
+  size_t join_index = 0;
+  if (tmpl.fragment_id >= 0) {
+    auto frag = SharedFragment(tmpl.fragment_id);
+    JoinSpec join = tmpl.joins[join_index];
+    const ColumnSpec* lk = catalog_.FindColumnGlobal(join.left_key);
+    const ColumnSpec* rk = catalog_.FindColumnGlobal(join.right_key);
+    size_t ndv = std::max(lk->distinct_values, rk->distinct_values);
+    join.true_selectivity_factor =
+        tmpl.join_error[join_index] / static_cast<double>(ndv);
+    plan = MakeJoin(std::move(plan), std::move(frag), join);
+    ++join_index;
+  }
+  for (size_t t = 1; t < tmpl.tables.size(); ++t) {
+    const TableSpec* other = catalog_.FindTable(tmpl.tables[t]);
+    JoinSpec join = tmpl.joins[join_index];
+    const ColumnSpec* lk = catalog_.FindColumnGlobal(join.left_key);
+    const ColumnSpec* rk = catalog_.FindColumnGlobal(join.right_key);
+    size_t ndv = std::max(lk->distinct_values, rk->distinct_values);
+    join.true_selectivity_factor =
+        tmpl.join_error[join_index] / static_cast<double>(ndv);
+    plan = MakeJoin(std::move(plan), MakeScan(*other), join);
+    ++join_index;
+  }
+
+  if (tmpl.has_aggregate) {
+    plan = MakeAggregate(std::move(plan), tmpl.agg);
+  }
+  engine::AnnotateTrueCardinality(*plan);
+  return plan;
+}
+
+JobInstance QueryGenerator::InstantiateTemplate(size_t template_id) {
+  ADS_CHECK(template_id < templates_.size()) << "bad template id";
+  JobInstance job;
+  job.job_id = next_job_id_++;
+  job.template_id = template_id;
+  job.recurring = true;
+  job.fragment_id = templates_[template_id].fragment_id;
+  job.plan = BuildPlan(templates_[template_id]);
+  return job;
+}
+
+JobInstance QueryGenerator::NextJob() {
+  if (rng_.Bernoulli(options_.recurring_fraction)) {
+    size_t tmpl = static_cast<size_t>(rng_.Zipf(
+        static_cast<int64_t>(templates_.size()),
+        options_.template_popularity_skew));
+    return InstantiateTemplate(tmpl);
+  }
+  // Ad-hoc one-off job: a throwaway template that is never reused.
+  TemplateSpec once;
+  once.id = JobInstance::kAdHoc;
+  std::vector<std::string> names = catalog_.TableNames();
+  once.tables.push_back(names[static_cast<size_t>(
+      rng_.UniformInt(0, static_cast<int64_t>(names.size()) - 1))]);
+  const TableSpec* table = catalog_.FindTable(once.tables[0]);
+  PredicateSlot slot;
+  slot.column = table->columns[static_cast<size_t>(rng_.UniformInt(
+      0, static_cast<int64_t>(table->columns.size()) - 1))].name;
+  slot.op = CompareOp::kLessEqual;
+  slot.lo = 500.0;
+  slot.hi = 9500.0;
+  once.predicates.push_back(slot);
+  if (rng_.Bernoulli(0.4)) {
+    once.has_aggregate = true;
+    once.agg.group_keys = {table->columns[0].name};
+    once.agg.true_distinct_ratio = 0.05;
+  }
+  JobInstance job;
+  job.job_id = next_job_id_++;
+  job.template_id = JobInstance::kAdHoc;
+  job.recurring = false;
+  job.fragment_id = -1;
+  job.plan = BuildPlan(once);
+  // Ad-hoc scripts have one-off shapes (distinct projection lists, UDF
+  // names, output schemas). Model that with a job-unique projection so
+  // ad-hoc jobs do not structurally collide into recurring templates.
+  job.plan = engine::MakeProject(std::move(job.plan),
+                                 {"adhoc_out_" + std::to_string(job.job_id)},
+                                 80.0);
+  engine::AnnotateTrueCardinality(*job.plan);
+  return job;
+}
+
+}  // namespace ads::workload

@@ -1,0 +1,111 @@
+#ifndef ADS_WORKLOAD_QUERY_GEN_H_
+#define ADS_WORKLOAD_QUERY_GEN_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "engine/catalog.h"
+#include "engine/plan.h"
+
+namespace ads::workload {
+
+struct QueryGenOptions {
+  size_t num_tables = 8;
+  size_t num_templates = 40;
+  /// Fraction of job instances drawn from recurring templates (the paper:
+  /// over 60% of SCOPE jobs recur).
+  double recurring_fraction = 0.65;
+  /// Fraction of templates built on top of one of the shared subexpression
+  /// fragments (the paper: ~40% of jobs share common subexpressions).
+  double shared_fragment_fraction = 0.45;
+  size_t num_shared_fragments = 6;
+  /// Zipf skew of template popularity.
+  double template_popularity_skew = 1.1;
+  uint64_t seed = 1;
+};
+
+/// One generated job.
+struct JobInstance {
+  uint64_t job_id = 0;
+  /// Template the job instantiates; kAdHoc for one-off jobs.
+  size_t template_id = 0;
+  bool recurring = false;
+  /// Id of the shared fragment embedded in the plan, or -1.
+  int fragment_id = -1;
+  std::unique_ptr<engine::PlanNode> plan;
+
+  static constexpr size_t kAdHoc = static_cast<size_t>(-1);
+};
+
+/// Generates a synthetic catalog plus a stream of jobs with the recurrence
+/// structure the paper reports for production workloads. The generator is
+/// "nature": it decides true selectivities (skew, per-template correlation,
+/// join errors) that the engine's uniformity-based estimator gets wrong in
+/// a *consistent, learnable* way — which is exactly the opening for the
+/// per-template micromodels.
+class QueryGenerator {
+ public:
+  explicit QueryGenerator(QueryGenOptions options = QueryGenOptions());
+
+  const engine::Catalog& catalog() const { return catalog_; }
+  size_t num_templates() const { return templates_.size(); }
+
+  /// Draws the next job: recurring template (Zipf-popular) with fresh
+  /// literals, or a one-off ad-hoc job.
+  JobInstance NextJob();
+
+  /// Instantiates a specific template with fresh literals.
+  JobInstance InstantiateTemplate(size_t template_id);
+
+  /// The exact shared fragment subplan (same literals every time), as used
+  /// inside generated plans. Fragment ids are [0, num_shared_fragments).
+  std::unique_ptr<engine::PlanNode> SharedFragment(int fragment_id);
+
+ private:
+  struct PredicateSlot {
+    std::string column;
+    engine::CompareOp op;
+    /// Literal range the template draws from.
+    double lo, hi;
+  };
+  struct TemplateSpec {
+    size_t id = 0;
+    /// Tables joined, in order (first is the probe side).
+    std::vector<std::string> tables;
+    std::vector<PredicateSlot> predicates;  // on the first table
+    /// Correlation exponent c in [0,1]: the true conjunction selectivity is
+    /// (prod s_i)^(1-c) * (min s_i)^c. Hidden from the engine.
+    double correlation = 0.0;
+    /// Per-join multiplicative error vs the NDV heuristic (hidden).
+    std::vector<double> join_error;
+    std::vector<engine::JoinSpec> joins;
+    bool has_aggregate = false;
+    engine::AggSpec agg;
+    int fragment_id = -1;  // shared fragment joined in, or -1
+  };
+
+  void BuildCatalog();
+  void BuildFragments();
+  void BuildTemplates();
+  double TrueSelectivity(const engine::ColumnSpec& col, engine::CompareOp op,
+                         double value) const;
+  std::unique_ptr<engine::PlanNode> BuildPlan(const TemplateSpec& tmpl);
+
+  QueryGenOptions options_;
+  common::Rng rng_;
+  engine::Catalog catalog_;
+  std::vector<TemplateSpec> templates_;
+  struct FragmentSpec {
+    std::string table;
+    std::vector<engine::Predicate> predicates;  // fixed literals
+    std::string join_key;  // column other templates join against
+  };
+  std::vector<FragmentSpec> fragments_;
+  uint64_t next_job_id_ = 1;
+};
+
+}  // namespace ads::workload
+
+#endif  // ADS_WORKLOAD_QUERY_GEN_H_

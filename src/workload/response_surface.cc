@@ -1,0 +1,124 @@
+#include "workload/response_surface.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace ads::workload {
+
+ResponseSurface::ResponseSurface(std::vector<KnobSpec> knobs, uint64_t seed)
+    : knobs_(std::move(knobs)) {
+  ADS_CHECK(!knobs_.empty()) << "surface needs at least one knob";
+  common::Rng rng(seed);
+  size_t d = knobs_.size();
+  optimum_.resize(d);
+  curvature_.resize(d);
+  for (size_t i = 0; i < d; ++i) {
+    // Optimum away from the default, somewhere in the middle 70% of range.
+    optimum_[i] = knobs_[i].min_value +
+                  rng.Uniform(0.15, 0.85) *
+                      (knobs_[i].max_value - knobs_[i].min_value);
+    curvature_[i] = rng.Uniform(0.15, 0.7);
+  }
+  interaction_.assign(d, std::vector<double>(d, 0.0));
+  for (size_t i = 0; i < d; ++i) {
+    for (size_t j = i + 1; j < d; ++j) {
+      if (rng.Bernoulli(0.4)) {
+        interaction_[i][j] = rng.Uniform(-0.4, 0.4);
+      }
+    }
+  }
+  peak_ = rng.Uniform(800.0, 1500.0);
+}
+
+std::vector<double> ResponseSurface::Clamp(
+    const std::vector<double>& config) const {
+  ADS_CHECK(config.size() == knobs_.size()) << "config arity mismatch";
+  std::vector<double> out(config.size());
+  for (size_t i = 0; i < config.size(); ++i) {
+    out[i] = std::clamp(config[i], knobs_[i].min_value, knobs_[i].max_value);
+  }
+  return out;
+}
+
+double ResponseSurface::TrueThroughput(
+    const std::vector<double>& config) const {
+  std::vector<double> x = Clamp(config);
+  size_t d = knobs_.size();
+  // Normalize deviations to [0,1] per knob.
+  std::vector<double> z(d);
+  for (size_t i = 0; i < d; ++i) {
+    double range = knobs_[i].max_value - knobs_[i].min_value;
+    z[i] = (x[i] - optimum_[i]) / std::max(1e-12, range);
+  }
+  double penalty = 0.0;
+  for (size_t i = 0; i < d; ++i) {
+    penalty += curvature_[i] * z[i] * z[i];
+    for (size_t j = i + 1; j < d; ++j) {
+      penalty += interaction_[i][j] * z[i] * z[j];
+    }
+  }
+  return std::max(peak_ * 0.05, peak_ * (1.0 - penalty));
+}
+
+double ResponseSurface::TrueLatency(const std::vector<double>& config) const {
+  // Latency inversely proportional to throughput, anchored at 1ms peak.
+  return 1000.0 / std::max(1.0, TrueThroughput(config));
+}
+
+double ResponseSurface::MeasureThroughput(const std::vector<double>& config,
+                                          common::Rng& rng) const {
+  double v = TrueThroughput(config);
+  return std::max(0.0, v * (1.0 + rng.Normal(0.0, noise_)));
+}
+
+std::vector<double> ResponseSurface::DefaultConfig() const {
+  std::vector<double> out;
+  for (const KnobSpec& k : knobs_) out.push_back(k.default_value);
+  return out;
+}
+
+void ResponseSurface::ShiftOptimumToward(const std::vector<double>& anchor,
+                                         double weight) {
+  ADS_CHECK(anchor.size() == optimum_.size()) << "anchor arity mismatch";
+  weight = std::clamp(weight, 0.0, 1.0);
+  for (size_t i = 0; i < optimum_.size(); ++i) {
+    double shifted = (1.0 - weight) * optimum_[i] + weight * anchor[i];
+    optimum_[i] =
+        std::clamp(shifted, knobs_[i].min_value, knobs_[i].max_value);
+  }
+}
+
+ResponseSurface MakeRedisSurface(uint64_t seed) {
+  std::vector<KnobSpec> knobs = {
+      {"vm.swappiness", 0, 100, 60},
+      {"net.core.somaxconn", 128, 65535, 4096},
+      {"vm.dirty_ratio", 1, 90, 20},
+      {"kernel.sched_latency_ns", 1e6, 6e7, 1.8e7},
+      {"redis.io_threads", 1, 16, 1},
+      {"redis.maxmemory_policy", 0, 7, 0},
+  };
+  return ResponseSurface(std::move(knobs), seed);
+}
+
+ResponseSurface MakeSparkSurface(uint64_t seed) {
+  std::vector<KnobSpec> knobs = {
+      {"spark.executor.instances", 2, 64, 8},
+      {"spark.executor.memory_gb", 2, 32, 4},
+      {"spark.sql.shuffle.partitions", 16, 1024, 200},
+      {"spark.shuffle.compress", 0, 1, 1},
+  };
+  return ResponseSurface(std::move(knobs), seed);
+}
+
+ResponseSurface MakeSparkSurfaceInFamily(uint64_t family_seed,
+                                         uint64_t app_seed,
+                                         double family_weight) {
+  ResponseSurface anchor_surface = MakeSparkSurface(family_seed);
+  ResponseSurface app = MakeSparkSurface(app_seed);
+  app.ShiftOptimumToward(anchor_surface.optimum(), family_weight);
+  return app;
+}
+
+}  // namespace ads::workload

@@ -1,0 +1,88 @@
+#ifndef ADS_WORKLOAD_RESPONSE_SURFACE_H_
+#define ADS_WORKLOAD_RESPONSE_SURFACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace ads::workload {
+
+/// Description of one tunable knob.
+struct KnobSpec {
+  std::string name;
+  double min_value = 0.0;
+  double max_value = 1.0;
+  double default_value = 0.5;
+};
+
+/// A black-box knob -> performance surface: the stand-in for "run the Redis
+/// benchmark on a VM with these kernel parameters" (MLOS) or "run the Spark
+/// job with this executor config". Quadratic bowl with pairwise
+/// interactions around a hidden optimum, plus observation noise.
+class ResponseSurface {
+ public:
+  ResponseSurface(std::vector<KnobSpec> knobs, uint64_t seed);
+
+  size_t dimensions() const { return knobs_.size(); }
+  const std::vector<KnobSpec>& knobs() const { return knobs_; }
+
+  /// Noise-free throughput (ops/s); higher is better.
+  double TrueThroughput(const std::vector<double>& config) const;
+  /// Noise-free latency (ms); lower is better; inversely tied to throughput.
+  double TrueLatency(const std::vector<double>& config) const;
+
+  /// One noisy benchmark observation of throughput (an "experiment run").
+  double MeasureThroughput(const std::vector<double>& config,
+                           common::Rng& rng) const;
+
+  /// The hidden optimal configuration.
+  const std::vector<double>& optimum() const { return optimum_; }
+  /// Throughput at the optimum (noise-free).
+  double peak_throughput() const { return peak_; }
+  /// Default configuration (the knobs' shipped defaults).
+  std::vector<double> DefaultConfig() const;
+
+  /// Clamps a configuration into the knob ranges.
+  std::vector<double> Clamp(const std::vector<double>& config) const;
+
+  /// Relative measurement noise (stddev as a fraction of the value).
+  void set_noise(double noise) { noise_ = noise; }
+
+  /// Moves the hidden optimum toward `anchor` by `weight` in [0,1]
+  /// (1 = exactly the anchor). Used to build FAMILIES of related
+  /// applications whose optima share structure — what a global tuning
+  /// prior can learn.
+  void ShiftOptimumToward(const std::vector<double>& anchor, double weight);
+
+ private:
+  std::vector<KnobSpec> knobs_;
+  std::vector<double> optimum_;
+  std::vector<double> curvature_;                 // per-knob quadratic penalty
+  std::vector<std::vector<double>> interaction_;  // pairwise terms
+  double peak_ = 1000.0;
+  double noise_ = 0.03;
+};
+
+/// Six OS/VM-level knobs for a Redis-like workload (the MLOS scenario).
+ResponseSurface MakeRedisSurface(uint64_t seed);
+
+/// Four Spark-application knobs: executors, executor memory, partitions,
+/// shuffle compression (the auto-tuning scenario). Different applications
+/// (seeds) have different optima; the shared structure is what a global
+/// model can learn.
+ResponseSurface MakeSparkSurface(uint64_t seed);
+
+/// A Spark surface whose optimum is correlated across a family: all
+/// applications with the same family_seed have optima near a common
+/// anchor, with per-application deviation. The global prior model of the
+/// auto-tuner trains on some family members and transfers to others.
+ResponseSurface MakeSparkSurfaceInFamily(uint64_t family_seed,
+                                         uint64_t app_seed,
+                                         double family_weight = 0.75);
+
+}  // namespace ads::workload
+
+#endif  // ADS_WORKLOAD_RESPONSE_SURFACE_H_

@@ -1,0 +1,201 @@
+#include "workload/usage_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace ads::workload {
+
+const char* UsagePatternName(UsagePattern p) {
+  switch (p) {
+    case UsagePattern::kDiurnal:
+      return "diurnal";
+    case UsagePattern::kWeekly:
+      return "weekly";
+    case UsagePattern::kSteady:
+      return "steady";
+    case UsagePattern::kBursty:
+      return "bursty";
+    case UsagePattern::kIrregular:
+      return "irregular";
+  }
+  return "?";
+}
+
+std::vector<UsageTrace> GenerateUsageTraces(size_t count,
+                                            UsageGenOptions options) {
+  ADS_CHECK(options.mixture.size() == 5) << "mixture needs 5 weights";
+  common::Rng rng(options.seed);
+  std::vector<UsageTrace> traces;
+  traces.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    UsageTrace trace;
+    trace.id = static_cast<int>(i);
+    trace.pattern = static_cast<UsagePattern>(rng.Categorical(options.mixture));
+    common::Rng local = rng.Fork();
+    double base = local.Uniform(20.0, 200.0);
+    // Amplitude can exceed the base: clipping at zero produces genuinely
+    // idle night hours, which is what pause/resume policies exploit.
+    double amp = base * local.Uniform(0.9, 1.4);
+    double phase = local.Uniform(0.0, 24.0);
+    trace.values.reserve(options.hours);
+    // Burst state for the bursty archetype.
+    bool bursting = false;
+    for (size_t h = 0; h < options.hours; ++h) {
+      double hod = static_cast<double>(h % 24);
+      int dow = static_cast<int>(h / 24) % 7;
+      double v = base;
+      switch (trace.pattern) {
+        case UsagePattern::kDiurnal:
+          v = base + amp * std::sin(2.0 * M_PI * (hod - phase) / 24.0);
+          break;
+        case UsagePattern::kWeekly:
+          v = base + amp * std::sin(2.0 * M_PI * (hod - phase) / 24.0);
+          if (dow >= 5) v *= 0.25;  // quiet weekends
+          break;
+        case UsagePattern::kSteady:
+          v = base;
+          break;
+        case UsagePattern::kBursty:
+          if (local.Bernoulli(bursting ? 0.7 : 0.05)) {
+            bursting = true;
+          } else {
+            bursting = false;
+          }
+          v = bursting ? base * local.Uniform(3.0, 8.0)
+                       : base * local.Uniform(0.0, 0.08);
+          break;
+        case UsagePattern::kIrregular:
+          v = local.Uniform(0.0, 2.0 * base);
+          break;
+      }
+      if (trace.pattern == UsagePattern::kDiurnal ||
+          trace.pattern == UsagePattern::kWeekly ||
+          trace.pattern == UsagePattern::kSteady) {
+        v *= local.Uniform(1.0 - options.noise, 1.0 + options.noise);
+      }
+      trace.values.push_back(std::max(0.0, v));
+    }
+    traces.push_back(std::move(trace));
+  }
+  return traces;
+}
+
+std::vector<ServerLoadTrace> GenerateServerLoads(size_t count,
+                                                 ServerLoadOptions options) {
+  common::Rng rng(options.seed);
+  std::vector<ServerLoadTrace> traces;
+  traces.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    ServerLoadTrace trace;
+    trace.id = static_cast<int>(i);
+    trace.stable = rng.Bernoulli(options.stable_fraction);
+    trace.true_low_hour = static_cast<int>(rng.UniformInt(0, 23));
+    common::Rng local = rng.Fork();
+    double base = local.Uniform(30.0, 100.0);
+    double valley_depth = base * local.Uniform(0.6, 0.9);
+    trace.values.reserve(options.hours);
+    int anomaly_hour = -1;
+    for (size_t h = 0; h < options.hours; ++h) {
+      if (h % 24 == 0) {
+        // The final day stays anomaly-free: it is the clean evaluation day
+        // against which scheduling decisions are scored (a transient dip
+        // there would randomize the scoring of every method).
+        bool last_day = h + 24 >= options.hours;
+        anomaly_hour = !last_day &&
+                               local.Bernoulli(options.anomaly_probability_per_day)
+                           ? static_cast<int>(local.UniformInt(0, 23))
+                           : -1;
+      }
+      double v;
+      if (trace.stable) {
+        double hod = static_cast<double>(h % 24);
+        // Cosine valley centered on the true low hour.
+        double dist = std::cos(2.0 * M_PI * (hod - trace.true_low_hour) / 24.0);
+        v = base - valley_depth * 0.5 * (1.0 + dist);
+        v *= local.Uniform(1.0 - options.noise, 1.0 + options.noise);
+        if (static_cast<int>(h % 24) == anomaly_hour) v *= 0.03;
+      } else {
+        v = local.Uniform(0.1 * base, 1.5 * base);
+      }
+      trace.values.push_back(std::max(0.5, v));
+    }
+    traces.push_back(std::move(trace));
+  }
+  return traces;
+}
+
+std::vector<SkuOffering> MakeSkuLadder(const CustomerGenOptions& options) {
+  std::vector<SkuOffering> skus;
+  double cpu = 4.0;
+  double mem = 16.0;
+  double iops = 5.0;
+  double storage = 0.5;
+  double price = 150.0;
+  for (size_t i = 0; i < options.num_skus; ++i) {
+    SkuOffering sku;
+    sku.id = static_cast<int>(i);
+    sku.name = "GP_S" + std::to_string(i + 1);
+    sku.capacity = {cpu, mem, iops, storage};
+    sku.price_per_month = price;
+    skus.push_back(sku);
+    cpu *= 2.0;
+    mem *= 2.0;
+    iops *= 2.0;
+    storage *= 2.0;
+    price *= 1.9;  // sublinear price scaling up the ladder
+  }
+  return skus;
+}
+
+std::vector<CustomerProfile> GenerateCustomers(
+    size_t count, const std::vector<SkuOffering>& skus,
+    CustomerGenOptions options) {
+  ADS_CHECK(!skus.empty()) << "need SKUs to target";
+  common::Rng rng(options.seed);
+  std::vector<CustomerProfile> customers;
+  customers.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    CustomerProfile c;
+    c.id = static_cast<int>(i);
+    // Draw needs around one SKU archetype at 50-90% of its capacity.
+    size_t archetype = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(skus.size()) - 1));
+    const SkuOffering& sku = skus[archetype];
+    c.true_needs.resize(sku.capacity.size());
+    c.features.resize(sku.capacity.size());
+    for (size_t f = 0; f < sku.capacity.size(); ++f) {
+      double frac = rng.Uniform(0.5, 0.9);
+      double noise = rng.Normal(0.0, options.noise * frac);
+      // Clamp below full capacity so every customer is coverable by some
+      // SKU and the ground-truth label is well defined.
+      double u = std::clamp(frac + noise, 0.05, 0.98);
+      c.true_needs[f] = sku.capacity[f] * u;
+      // What the profiling tool reports (Doppler's input).
+      c.features[f] = std::max(
+          0.01, c.true_needs[f] *
+                    (1.0 + rng.Normal(0.0, options.measurement_noise)));
+    }
+    c.price_sensitivity = rng.Uniform(0.0, 1.0);
+    // Ground truth: the cheapest SKU that covers every TRUE need.
+    c.true_sku = static_cast<int>(skus.size()) - 1;
+    for (const SkuOffering& candidate : skus) {
+      bool fits = true;
+      for (size_t f = 0; f < candidate.capacity.size(); ++f) {
+        if (c.true_needs[f] > candidate.capacity[f]) {
+          fits = false;
+          break;
+        }
+      }
+      if (fits) {
+        c.true_sku = candidate.id;
+        break;
+      }
+    }
+    customers.push_back(std::move(c));
+  }
+  return customers;
+}
+
+}  // namespace ads::workload

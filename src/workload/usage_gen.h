@@ -1,0 +1,112 @@
+#ifndef ADS_WORKLOAD_USAGE_GEN_H_
+#define ADS_WORKLOAD_USAGE_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ads::workload {
+
+/// Behavioural archetypes of synthetic service-layer traces. The mixture
+/// weights are chosen so that roughly the paper's 77% of serverless usage
+/// is predictable (diurnal + weekly + steady), with the remainder bursty
+/// or irregular.
+enum class UsagePattern { kDiurnal, kWeekly, kSteady, kBursty, kIrregular };
+
+const char* UsagePatternName(UsagePattern p);
+
+/// One database/server trace with its hidden archetype.
+struct UsageTrace {
+  int id = 0;
+  UsagePattern pattern = UsagePattern::kDiurnal;
+  /// Hourly activity values (requests, CPU, etc.), length = hours.
+  std::vector<double> values;
+};
+
+struct UsageGenOptions {
+  size_t hours = 24 * 28;  // four weeks
+  /// Mixture weights over {diurnal, weekly, steady, bursty, irregular}.
+  /// Defaults put ~77% of traces in the predictable archetypes.
+  std::vector<double> mixture = {0.40, 0.22, 0.15, 0.13, 0.10};
+  double noise = 0.05;  // relative noise on structured patterns
+  uint64_t seed = 1;
+};
+
+/// Generates serverless-database activity traces (Moneyball substrate).
+std::vector<UsageTrace> GenerateUsageTraces(size_t count,
+                                            UsageGenOptions options);
+
+/// Per-server load curve for backup scheduling (Seagull substrate): daily
+/// or weekly seasonality with a pronounced nightly low-load valley whose
+/// position is the hidden ground truth.
+struct ServerLoadTrace {
+  int id = 0;
+  /// Hour of day (0-23) at which load is truly lowest, on average.
+  int true_low_hour = 3;
+  /// Whether the server follows a stable pattern at all.
+  bool stable = true;
+  std::vector<double> values;  // hourly load
+};
+
+struct ServerLoadOptions {
+  size_t hours = 24 * 21;  // three weeks
+  /// Fraction of servers with a stable daily pattern.
+  double stable_fraction = 0.95;
+  double noise = 0.08;
+  /// Probability that a given day contains a one-off anomalous dip at a
+  /// random hour (maintenance, outage). Anomalies are what fool the
+  /// previous-day heuristic but not the multi-day models.
+  double anomaly_probability_per_day = 0.15;
+  uint64_t seed = 1;
+};
+
+std::vector<ServerLoadTrace> GenerateServerLoads(size_t count,
+                                                 ServerLoadOptions options);
+
+/// A customer's on-prem resource profile plus ground truth for SKU
+/// recommendation (Doppler substrate).
+struct CustomerProfile {
+  int id = 0;
+  /// MEASURED features (what a profiling tool reports — noisy):
+  /// cpu_cores, memory_gb, iops_k, storage_tb (in that order).
+  std::vector<double> features;
+  /// The customer's actual resource needs (hidden from recommenders).
+  std::vector<double> true_needs;
+  /// The SKU this customer's workload actually needs (ground truth,
+  /// derived from true_needs).
+  int true_sku = 0;
+  /// Price sensitivity in [0,1]: 1 = pure cost minimizer.
+  double price_sensitivity = 0.5;
+};
+
+/// Cloud SKU offerings with capacities and price.
+struct SkuOffering {
+  int id = 0;
+  std::string name;
+  std::vector<double> capacity;  // same feature order as CustomerProfile
+  double price_per_month = 0.0;
+};
+
+struct CustomerGenOptions {
+  size_t num_skus = 5;
+  double noise = 0.15;
+  /// Relative error of the profiling measurement vs true needs: the reason
+  /// a pure coverage rule on measured features errs near SKU boundaries.
+  double measurement_noise = 0.04;
+  uint64_t seed = 1;
+};
+
+/// Returns the SKU ladder (increasing capacity/price).
+std::vector<SkuOffering> MakeSkuLadder(const CustomerGenOptions& options);
+
+/// Generates customers clustered around SKU-shaped archetypes; true_sku is
+/// the cheapest SKU whose capacity covers the customer's needs.
+std::vector<CustomerProfile> GenerateCustomers(
+    size_t count, const std::vector<SkuOffering>& skus,
+    CustomerGenOptions options);
+
+}  // namespace ads::workload
+
+#endif  // ADS_WORKLOAD_USAGE_GEN_H_

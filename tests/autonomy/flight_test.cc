@@ -1,0 +1,118 @@
+#include "autonomy/flight.h"
+
+#include <gtest/gtest.h>
+
+#include "ml/linear.h"
+
+namespace ads::autonomy {
+namespace {
+
+std::string BlobWithSlope(double slope) {
+  ml::LinearRegressor m;
+  m.SetCoefficients(0.0, {slope});
+  return m.Serialize();
+}
+
+class FlightTest : public ::testing::Test {
+ protected:
+  FlightTest() {
+    registry_.Register("m", BlobWithSlope(1.0));  // v1: control
+    registry_.Register("m", BlobWithSlope(2.0));  // v2: treatment
+    ADS_CHECK_OK(registry_.Deploy("m", 1));
+  }
+
+  ml::ModelRegistry registry_;
+};
+
+TEST_F(FlightTest, StartRequiresDeployedControlAndDistinctTreatment) {
+  FlightEvaluator eval(&registry_, "m");
+  EXPECT_FALSE(eval.Start(1).ok());  // equals control
+  EXPECT_TRUE(eval.Start(2).ok());
+  ml::ModelRegistry empty;
+  empty.Register("x", BlobWithSlope(1.0));
+  FlightEvaluator no_control(&empty, "x");
+  EXPECT_FALSE(no_control.Start(1).ok());
+}
+
+TEST_F(FlightTest, BetterTreatmentGetsPromoted) {
+  FlightEvaluator eval(&registry_, "m",
+                       {.traffic_fraction = 0.5, .min_samples_per_arm = 20});
+  ASSERT_TRUE(eval.Start(2).ok());
+  common::Rng rng(1);
+  FlightEvaluator::Decision d = FlightEvaluator::Decision::kPending;
+  for (int i = 0; i < 500 && d == FlightEvaluator::Decision::kPending; ++i) {
+    uint32_t v = eval.Route(rng);
+    // Treatment halves the serving error.
+    double err = v == 2 ? 0.5 : 1.0;
+    d = eval.RecordError(v, err);
+  }
+  EXPECT_EQ(d, FlightEvaluator::Decision::kPromoted);
+  EXPECT_EQ(registry_.DeployedVersion("m"), 2u);
+  EXPECT_FALSE(registry_.FlightActive("m"));
+}
+
+TEST_F(FlightTest, WorseTreatmentGetsAborted) {
+  FlightEvaluator eval(&registry_, "m",
+                       {.traffic_fraction = 0.5, .min_samples_per_arm = 20});
+  ASSERT_TRUE(eval.Start(2).ok());
+  common::Rng rng(2);
+  FlightEvaluator::Decision d = FlightEvaluator::Decision::kPending;
+  for (int i = 0; i < 500 && d == FlightEvaluator::Decision::kPending; ++i) {
+    uint32_t v = eval.Route(rng);
+    double err = v == 2 ? 2.0 : 1.0;  // treatment regresses
+    d = eval.RecordError(v, err);
+  }
+  EXPECT_EQ(d, FlightEvaluator::Decision::kAborted);
+  EXPECT_EQ(registry_.DeployedVersion("m"), 1u);
+  EXPECT_FALSE(registry_.FlightActive("m"));
+}
+
+TEST_F(FlightTest, ComparableArmsStayPending) {
+  FlightEvaluator eval(&registry_, "m",
+                       {.traffic_fraction = 0.5,
+                        .min_samples_per_arm = 20,
+                        .promote_ratio = 0.9,
+                        .abort_ratio = 1.2});
+  ASSERT_TRUE(eval.Start(2).ok());
+  common::Rng rng(3);
+  FlightEvaluator::Decision d = FlightEvaluator::Decision::kPending;
+  for (int i = 0; i < 300; ++i) {
+    uint32_t v = eval.Route(rng);
+    d = eval.RecordError(v, 1.0);  // identical error
+    ASSERT_EQ(d, FlightEvaluator::Decision::kPending);
+  }
+  EXPECT_GT(eval.control_samples(), 20u);
+  EXPECT_GT(eval.treatment_samples(), 20u);
+  EXPECT_TRUE(registry_.FlightActive("m"));  // still collecting
+}
+
+TEST_F(FlightTest, NoDecisionBeforeMinSamples) {
+  FlightEvaluator eval(&registry_, "m",
+                       {.traffic_fraction = 0.5, .min_samples_per_arm = 50});
+  ASSERT_TRUE(eval.Start(2).ok());
+  common::Rng rng(4);
+  for (int i = 0; i < 40; ++i) {
+    uint32_t v = eval.Route(rng);
+    EXPECT_EQ(eval.RecordError(v, v == 2 ? 0.1 : 1.0),
+              FlightEvaluator::Decision::kPending);
+  }
+}
+
+TEST_F(FlightTest, RouteAfterDecisionServesDeployedVersion) {
+  FlightEvaluator eval(&registry_, "m",
+                       {.traffic_fraction = 0.5, .min_samples_per_arm = 5});
+  ASSERT_TRUE(eval.Start(2).ok());
+  common::Rng rng(5);
+  FlightEvaluator::Decision d = FlightEvaluator::Decision::kPending;
+  for (int i = 0; i < 200 && d == FlightEvaluator::Decision::kPending; ++i) {
+    uint32_t v = eval.Route(rng);
+    d = eval.RecordError(v, v == 2 ? 0.1 : 1.0);
+  }
+  ASSERT_EQ(d, FlightEvaluator::Decision::kPromoted);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(eval.Route(rng), 2u);
+  }
+}
+
+}  // namespace
+}  // namespace ads::autonomy

@@ -1,0 +1,83 @@
+#include "common/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ads::common {
+namespace {
+
+TEST(EventQueueTest, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(3.0, [&](SimTime) { order.push_back(3); });
+  q.ScheduleAt(1.0, [&](SimTime) { order.push_back(1); });
+  q.ScheduleAt(2.0, [&](SimTime) { order.push_back(2); });
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueueTest, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(5.0, [&](SimTime) { order.push_back(1); });
+  q.ScheduleAt(5.0, [&](SimTime) { order.push_back(2); });
+  q.ScheduleAt(5.0, [&](SimTime) { order.push_back(3); });
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, ScheduleAfterUsesCurrentTime) {
+  EventQueue q;
+  std::vector<SimTime> times;
+  q.ScheduleAt(10.0, [&](SimTime t) {
+    times.push_back(t);
+    q.ScheduleAfter(5.0, [&](SimTime t2) { times.push_back(t2); });
+  });
+  q.RunAll();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 10.0);
+  EXPECT_DOUBLE_EQ(times[1], 15.0);
+}
+
+TEST(EventQueueTest, RunUntilStopsAtHorizon) {
+  EventQueue q;
+  int fired = 0;
+  q.ScheduleAt(1.0, [&](SimTime) { ++fired; });
+  q.ScheduleAt(2.0, [&](SimTime) { ++fired; });
+  q.ScheduleAt(10.0, [&](SimTime) { ++fired; });
+  q.RunUntil(5.0);
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(q.now(), 5.0);
+  EXPECT_EQ(q.pending(), 1u);
+  q.RunUntil(10.0);  // inclusive horizon
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(EventQueueTest, EventsCanCascade) {
+  EventQueue q;
+  int depth = 0;
+  std::function<void(SimTime)> chain = [&](SimTime) {
+    if (++depth < 5) q.ScheduleAfter(1.0, chain);
+  };
+  q.ScheduleAt(0.0, chain);
+  q.RunAll();
+  EXPECT_EQ(depth, 5);
+  EXPECT_DOUBLE_EQ(q.now(), 4.0);
+}
+
+TEST(EventQueueTest, StepReturnsFalseWhenEmpty) {
+  EventQueue q;
+  EXPECT_FALSE(q.Step());
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, TimeHelpers) {
+  EXPECT_DOUBLE_EQ(Minutes(2), 120.0);
+  EXPECT_DOUBLE_EQ(Hours(1), 3600.0);
+  EXPECT_DOUBLE_EQ(Days(1), 86400.0);
+}
+
+}  // namespace
+}  // namespace ads::common

@@ -1,0 +1,178 @@
+#include "common/simplex.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ads::common {
+namespace {
+
+TEST(SimplexTest, SimpleTwoVariableMax) {
+  // max 3x + 2y s.t. x + y <= 4, x + 3y <= 6 -> x=4, y=0, obj=12.
+  LinearProgram lp;
+  lp.objective = {3, 2};
+  lp.constraints.push_back({{1, 1}, ConstraintSense::kLessEqual, 4});
+  lp.constraints.push_back({{1, 3}, ConstraintSense::kLessEqual, 6});
+  auto sol = SolveLp(lp);
+  ASSERT_TRUE(sol.ok());
+  ASSERT_EQ(sol->status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol->objective, 12.0, 1e-7);
+  EXPECT_NEAR(sol->x[0], 4.0, 1e-7);
+  EXPECT_NEAR(sol->x[1], 0.0, 1e-7);
+}
+
+TEST(SimplexTest, InteriorOptimum) {
+  // max x + y s.t. x <= 2, y <= 3, x + y <= 4 -> obj 4 on segment.
+  LinearProgram lp;
+  lp.objective = {1, 1};
+  lp.constraints.push_back({{1, 0}, ConstraintSense::kLessEqual, 2});
+  lp.constraints.push_back({{0, 1}, ConstraintSense::kLessEqual, 3});
+  lp.constraints.push_back({{1, 1}, ConstraintSense::kLessEqual, 4});
+  auto sol = SolveLp(lp);
+  ASSERT_TRUE(sol.ok());
+  ASSERT_EQ(sol->status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol->objective, 4.0, 1e-7);
+}
+
+TEST(SimplexTest, GreaterEqualAndEquality) {
+  // min x + 2y s.t. x + y >= 3, x == 1  ->  y = 2, obj = 5.
+  // As maximization: max -(x + 2y).
+  LinearProgram lp;
+  lp.objective = {-1, -2};
+  lp.constraints.push_back({{1, 1}, ConstraintSense::kGreaterEqual, 3});
+  lp.constraints.push_back({{1, 0}, ConstraintSense::kEqual, 1});
+  auto sol = SolveLp(lp);
+  ASSERT_TRUE(sol.ok());
+  ASSERT_EQ(sol->status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol->x[0], 1.0, 1e-7);
+  EXPECT_NEAR(sol->x[1], 2.0, 1e-7);
+  EXPECT_NEAR(sol->objective, -5.0, 1e-7);
+}
+
+TEST(SimplexTest, DetectsInfeasible) {
+  LinearProgram lp;
+  lp.objective = {1};
+  lp.constraints.push_back({{1}, ConstraintSense::kLessEqual, 1});
+  lp.constraints.push_back({{1}, ConstraintSense::kGreaterEqual, 2});
+  auto sol = SolveLp(lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_EQ(sol->status, LpStatus::kInfeasible);
+}
+
+TEST(SimplexTest, DetectsUnbounded) {
+  LinearProgram lp;
+  lp.objective = {1, 0};
+  lp.constraints.push_back({{0, 1}, ConstraintSense::kLessEqual, 5});
+  auto sol = SolveLp(lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_EQ(sol->status, LpStatus::kUnbounded);
+}
+
+TEST(SimplexTest, NegativeRhsNormalized) {
+  // x - y <= -1  (i.e. y >= x + 1), max x s.t. y <= 3 -> x = 2.
+  LinearProgram lp;
+  lp.objective = {1, 0};
+  lp.constraints.push_back({{1, -1}, ConstraintSense::kLessEqual, -1});
+  lp.constraints.push_back({{0, 1}, ConstraintSense::kLessEqual, 3});
+  auto sol = SolveLp(lp);
+  ASSERT_TRUE(sol.ok());
+  ASSERT_EQ(sol->status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol->objective, 2.0, 1e-7);
+}
+
+TEST(SimplexTest, DegenerateProblemTerminates) {
+  // Multiple constraints meeting at the same vertex (degeneracy).
+  LinearProgram lp;
+  lp.objective = {1, 1};
+  lp.constraints.push_back({{1, 0}, ConstraintSense::kLessEqual, 1});
+  lp.constraints.push_back({{1, 0}, ConstraintSense::kLessEqual, 1});
+  lp.constraints.push_back({{1, 1}, ConstraintSense::kLessEqual, 1});
+  auto sol = SolveLp(lp);
+  ASSERT_TRUE(sol.ok());
+  ASSERT_EQ(sol->status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol->objective, 1.0, 1e-7);
+}
+
+TEST(SimplexTest, RejectsArityMismatch) {
+  LinearProgram lp;
+  lp.objective = {1, 2};
+  lp.constraints.push_back({{1}, ConstraintSense::kLessEqual, 1});
+  auto sol = SolveLp(lp);
+  EXPECT_FALSE(sol.ok());
+  EXPECT_EQ(sol.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SimplexTest, RejectsEmptyObjective) {
+  LinearProgram lp;
+  auto sol = SolveLp(lp);
+  EXPECT_FALSE(sol.ok());
+}
+
+// Property sweep: on random bounded-feasible LPs, the simplex optimum must
+// (a) satisfy every constraint and (b) dominate many random feasible points.
+class SimplexProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexProperty, OptimumIsFeasibleAndDominates) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 1000 + 17);
+  size_t n = static_cast<size_t>(rng.UniformInt(2, 4));
+  size_t m = static_cast<size_t>(rng.UniformInt(2, 5));
+  LinearProgram lp;
+  lp.objective.resize(n);
+  for (auto& c : lp.objective) c = rng.Uniform(-1.0, 2.0);
+  // Constraints a.x <= b with a >= 0, b > 0 keep the region bounded in the
+  // positive orthant as long as every variable appears; add a box to be sure.
+  for (size_t i = 0; i < m; ++i) {
+    LpConstraint c;
+    c.coeffs.resize(n);
+    for (auto& v : c.coeffs) v = rng.Uniform(0.0, 1.0);
+    c.sense = ConstraintSense::kLessEqual;
+    c.rhs = rng.Uniform(1.0, 10.0);
+    lp.constraints.push_back(std::move(c));
+  }
+  for (size_t j = 0; j < n; ++j) {
+    LpConstraint box;
+    box.coeffs.assign(n, 0.0);
+    box.coeffs[j] = 1.0;
+    box.sense = ConstraintSense::kLessEqual;
+    box.rhs = 20.0;
+    lp.constraints.push_back(std::move(box));
+  }
+
+  auto sol = SolveLp(lp);
+  ASSERT_TRUE(sol.ok());
+  ASSERT_EQ(sol->status, LpStatus::kOptimal);
+
+  auto feasible = [&](const std::vector<double>& x) {
+    for (const auto& c : lp.constraints) {
+      double lhs = 0.0;
+      for (size_t j = 0; j < n; ++j) lhs += c.coeffs[j] * x[j];
+      if (lhs > c.rhs + 1e-6) return false;
+    }
+    for (double v : x) {
+      if (v < -1e-6) return false;
+    }
+    return true;
+  };
+  EXPECT_TRUE(feasible(sol->x));
+
+  double opt = 0.0;
+  for (size_t j = 0; j < n; ++j) opt += lp.objective[j] * sol->x[j];
+  EXPECT_NEAR(opt, sol->objective, 1e-6);
+
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<double> x(n);
+    for (auto& v : x) v = rng.Uniform(0.0, 20.0);
+    if (!feasible(x)) continue;
+    double obj = 0.0;
+    for (size_t j = 0; j < n; ++j) obj += lp.objective[j] * x[j];
+    EXPECT_LE(obj, sol->objective + 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomLps, SimplexProperty, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace ads::common

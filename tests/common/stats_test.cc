@@ -1,0 +1,155 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ads::common {
+namespace {
+
+TEST(RunningMomentsTest, BasicMoments) {
+  RunningMoments m;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) m.Add(v);
+  EXPECT_EQ(m.count(), 4u);
+  EXPECT_DOUBLE_EQ(m.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(m.variance(), 1.25);
+  EXPECT_DOUBLE_EQ(m.min(), 1.0);
+  EXPECT_DOUBLE_EQ(m.max(), 4.0);
+  EXPECT_DOUBLE_EQ(m.sum(), 10.0);
+}
+
+TEST(RunningMomentsTest, EmptyIsZero) {
+  RunningMoments m;
+  EXPECT_EQ(m.count(), 0u);
+  EXPECT_DOUBLE_EQ(m.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(m.variance(), 0.0);
+}
+
+TEST(RunningMomentsTest, MergeMatchesSequential) {
+  RunningMoments a;
+  RunningMoments b;
+  RunningMoments all;
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    double v = rng.Normal(3.0, 2.0);
+    if (i % 2 == 0) {
+      a.Add(v);
+    } else {
+      b.Add(v);
+    }
+    all.Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningMomentsTest, MergeWithEmpty) {
+  RunningMoments a;
+  a.Add(1.0);
+  a.Add(3.0);
+  RunningMoments empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(QuantileSketchTest, MedianAndTails) {
+  QuantileSketch q;
+  for (int i = 1; i <= 101; ++i) q.Add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(q.Median(), 51.0);
+  EXPECT_DOUBLE_EQ(q.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(q.Quantile(1.0), 101.0);
+  EXPECT_NEAR(q.Quantile(0.99), 100.0, 1.0);
+}
+
+TEST(QuantileSketchTest, EmptyReturnsZero) {
+  QuantileSketch q;
+  EXPECT_DOUBLE_EQ(q.Quantile(0.5), 0.0);
+}
+
+TEST(QuantileSketchTest, InterleavedAddAndQuery) {
+  QuantileSketch q;
+  q.Add(10.0);
+  EXPECT_DOUBLE_EQ(q.Median(), 10.0);
+  q.Add(20.0);
+  q.Add(0.0);
+  EXPECT_DOUBLE_EQ(q.Median(), 10.0);
+}
+
+TEST(HistogramTest, BucketsAndFractions) {
+  Histogram h(0.0, 10.0, 5);
+  h.Add(1.0);   // bucket 0
+  h.Add(3.0);   // bucket 1
+  h.Add(3.5);   // bucket 1
+  h.Add(9.9);   // bucket 4
+  h.Add(-5.0);  // clamps to 0
+  h.Add(50.0);  // clamps to 4
+  EXPECT_EQ(h.total(), 6u);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 2u);
+  EXPECT_EQ(h.count(4), 2u);
+  EXPECT_DOUBLE_EQ(h.Fraction(1), 2.0 / 6.0);
+  EXPECT_DOUBLE_EQ(h.BucketLow(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.BucketHigh(1), 4.0);
+}
+
+TEST(CorrelationTest, PerfectAndInverse) {
+  std::vector<double> x = {1, 2, 3, 4, 5};
+  std::vector<double> y = {2, 4, 6, 8, 10};
+  std::vector<double> z = {10, 8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-12);
+  EXPECT_NEAR(PearsonCorrelation(x, z), -1.0, 1e-12);
+}
+
+TEST(CorrelationTest, DegenerateIsZero) {
+  std::vector<double> x = {1, 1, 1};
+  std::vector<double> y = {2, 5, 9};
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(x, y), 0.0);
+}
+
+TEST(ErrorMetricsTest, KnownValues) {
+  std::vector<double> truth = {10, 20, 30};
+  std::vector<double> pred = {12, 18, 33};
+  EXPECT_NEAR(MeanAbsoluteError(truth, pred), (2 + 2 + 3) / 3.0, 1e-12);
+  EXPECT_NEAR(RootMeanSquaredError(truth, pred),
+              std::sqrt((4 + 4 + 9) / 3.0), 1e-12);
+  EXPECT_NEAR(MeanAbsolutePercentageError(truth, pred),
+              (0.2 + 0.1 + 0.1) / 3.0, 1e-12);
+}
+
+TEST(ErrorMetricsTest, MapeSkipsNearZeroTruth) {
+  std::vector<double> truth = {0.0, 10.0};
+  std::vector<double> pred = {5.0, 11.0};
+  EXPECT_NEAR(MeanAbsolutePercentageError(truth, pred), 0.1, 1e-12);
+}
+
+TEST(ErrorMetricsTest, RSquaredPerfectFitIsOne) {
+  std::vector<double> truth = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(RSquared(truth, truth), 1.0);
+}
+
+TEST(ErrorMetricsTest, RSquaredMeanPredictorIsZero) {
+  std::vector<double> truth = {1, 2, 3, 4};
+  std::vector<double> pred = {2.5, 2.5, 2.5, 2.5};
+  EXPECT_NEAR(RSquared(truth, pred), 0.0, 1e-12);
+}
+
+TEST(QErrorTest, SymmetricAndFloored) {
+  EXPECT_DOUBLE_EQ(QError(100, 10), 10.0);
+  EXPECT_DOUBLE_EQ(QError(10, 100), 10.0);
+  EXPECT_DOUBLE_EQ(QError(100, 100), 1.0);
+  EXPECT_DOUBLE_EQ(QError(0.0, 0.0), 1.0);  // floor clamps both to 1
+}
+
+}  // namespace
+}  // namespace ads::common

@@ -1,0 +1,204 @@
+#include "engine/executor.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/optimizer.h"
+#include "tests/engine/test_world.h"
+
+namespace ads::engine {
+namespace {
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  ExecutorTest() : catalog_(TestCatalog()), optimizer_(&catalog_) {}
+
+  StageGraph CompiledPlan() {
+    auto plan = optimizer_.Optimize(*TestJoinAggPlan(catalog_),
+                                    RuleConfig::Default());
+    return CompileToStages(*plan, cost_, CardSource::kTrue);
+  }
+
+  Catalog catalog_;
+  Optimizer optimizer_;
+  CostModel cost_;
+};
+
+TEST_F(ExecutorTest, CompileProducesTopologicalDag) {
+  StageGraph g = CompiledPlan();
+  ASSERT_GE(g.size(), 2u);
+  EXPECT_EQ(g.final_stage, static_cast<int>(g.size()) - 1);
+  for (const Stage& s : g.stages) {
+    for (int in : s.inputs) {
+      EXPECT_LT(in, s.id);  // inputs come earlier
+    }
+  }
+}
+
+TEST_F(ExecutorTest, BroadcastJoinKeepsProbePipelineIntact) {
+  // Default config broadcasts the small customers side, so the probe
+  // pipeline (scan+filter+join) is a single stage.
+  StageGraph g = CompiledPlan();
+  bool has_bjoin_pipeline = false;
+  for (const Stage& s : g.stages) {
+    if (s.label.find("bjoin") != std::string::npos) has_bjoin_pipeline = true;
+  }
+  EXPECT_TRUE(has_bjoin_pipeline);
+}
+
+TEST_F(ExecutorTest, ShuffleJoinCreatesSeparateStage) {
+  auto plan = optimizer_.Optimize(
+      *TestJoinAggPlan(catalog_),
+      RuleConfig::Default().With(RuleId::kBroadcastJoin, false));
+  StageGraph g = CompileToStages(*plan, cost_, CardSource::kTrue);
+  bool has_join_stage = false;
+  for (const Stage& s : g.stages) {
+    if (s.label == "join") has_join_stage = true;
+  }
+  EXPECT_TRUE(has_join_stage);
+}
+
+TEST_F(ExecutorTest, MakespanAtLeastCriticalWork) {
+  StageGraph g = CompiledPlan();
+  JobSimulator sim;
+  JobRun run = sim.Execute(g, 42);
+  EXPECT_GT(run.makespan, 0.0);
+  EXPECT_GT(run.total_compute, 0.0);
+  EXPECT_EQ(run.stage_runs.size(), g.size());
+  // Stage starts respect dependencies.
+  std::map<int, double> start;
+  std::map<int, double> end;
+  for (const StageRun& r : run.stage_runs) {
+    start[r.stage] = r.start;
+    end[r.stage] = r.end;
+  }
+  for (const Stage& s : g.stages) {
+    for (int in : s.inputs) {
+      EXPECT_GE(start[s.id], end[in] - 1e-9);
+    }
+  }
+}
+
+TEST_F(ExecutorTest, DeterministicGivenSeed) {
+  StageGraph g = CompiledPlan();
+  JobSimulator sim;
+  EXPECT_DOUBLE_EQ(sim.Execute(g, 7).makespan, sim.Execute(g, 7).makespan);
+}
+
+TEST_F(ExecutorTest, TempStorageTrackedPerMachine) {
+  StageGraph g = CompiledPlan();
+  JobSimulator sim;
+  JobRun run = sim.Execute(g, 1);
+  // Some stage wrote shuffle output.
+  double total_peak = 0.0;
+  for (const auto& [m, peak] : run.peak_temp_bytes) total_peak += peak;
+  EXPECT_GT(total_peak, 0.0);
+}
+
+TEST_F(ExecutorTest, CheckpointFreesTempImmediately) {
+  StageGraph g = CompiledPlan();
+  JobSimulator sim;
+  JobRun base = sim.Execute(g, 1);
+  // Checkpoint every non-final stage: all temp goes away.
+  std::set<int> all;
+  for (const Stage& s : g.stages) {
+    if (s.id != g.final_stage) all.insert(s.id);
+  }
+  JobRun ck = sim.Execute(g, 1, all);
+  EXPECT_LT(ck.PeakTempOnBusiestMachine() + 1e-9,
+            base.PeakTempOnBusiestMachine() + 1.0);
+  EXPECT_DOUBLE_EQ(ck.PeakTempOnBusiestMachine(), 0.0);
+}
+
+TEST_F(ExecutorTest, MustRerunPropagatesUpstream) {
+  StageGraph g = CompiledPlan();
+  // No checkpoints: everything reruns.
+  std::vector<bool> rerun = g.MustRerun({});
+  for (const Stage& s : g.stages) {
+    EXPECT_TRUE(rerun[static_cast<size_t>(s.id)]);
+  }
+  // Checkpointing every input of the final stage: only the final reruns.
+  std::set<int> cut(g.stages[static_cast<size_t>(g.final_stage)].inputs.begin(),
+                    g.stages[static_cast<size_t>(g.final_stage)].inputs.end());
+  rerun = g.MustRerun(cut);
+  size_t rerun_count = 0;
+  for (bool b : rerun) rerun_count += b ? 1 : 0;
+  EXPECT_EQ(rerun_count, 1u);
+  EXPECT_TRUE(rerun[static_cast<size_t>(g.final_stage)]);
+}
+
+TEST_F(ExecutorTest, RestartTimeShrinksWithCheckpoints) {
+  StageGraph g = CompiledPlan();
+  JobSimulator sim;
+  double full = sim.RestartTime(g, 3, {});
+  std::set<int> cut(g.stages[static_cast<size_t>(g.final_stage)].inputs.begin(),
+                    g.stages[static_cast<size_t>(g.final_stage)].inputs.end());
+  double with_ck = sim.RestartTime(g, 3, cut);
+  EXPECT_LT(with_ck, full);
+}
+
+TEST_F(ExecutorTest, LevelCutsAreValidAndOrdered) {
+  StageGraph g = CompiledPlan();
+  int max_depth = g.MaxDepth();
+  EXPECT_GE(max_depth, 1);
+  for (int level = 0; level < max_depth; ++level) {
+    std::set<int> cut = g.LevelCut(level);
+    // A level cut guards everything at or below the level: restart work
+    // must not exceed the no-checkpoint restart work.
+    EXPECT_LE(g.RestartWork(cut), g.RestartWork({}) + 1e-9);
+  }
+}
+
+TEST_F(ExecutorTest, RestartWorkMonotoneInCheckpoints) {
+  StageGraph g = CompiledPlan();
+  std::set<int> cut;
+  double prev = g.RestartWork(cut);
+  for (const Stage& s : g.stages) {
+    if (s.id == g.final_stage) continue;
+    cut.insert(s.id);
+    double now = g.RestartWork(cut);
+    EXPECT_LE(now, prev + 1e-9);
+    prev = now;
+  }
+}
+
+TEST_F(ExecutorTest, FailureFreeRateMatchesBaseMakespan) {
+  StageGraph g = CompiledPlan();
+  JobSimulator sim;
+  double base = sim.Execute(g, 5).makespan;
+  double expected = sim.ExpectedRuntimeWithFailures(g, 5, 0.0, {}, 8);
+  EXPECT_NEAR(expected, base, base * 0.05);
+}
+
+TEST_F(ExecutorTest, FailuresInflateExpectedRuntime) {
+  StageGraph g = CompiledPlan();
+  JobSimulator sim;
+  double base = sim.Execute(g, 5).makespan;
+  // A failure rate high enough that most trials fail mid-job.
+  double rate = 3600.0 / base * 4.0;  // ~4 failures per makespan
+  double with_failures = sim.ExpectedRuntimeWithFailures(g, 5, rate, {}, 64);
+  EXPECT_GT(with_failures, base * 1.2);
+}
+
+TEST_F(ExecutorTest, CheckpointsReduceExpectedRuntimeUnderFailures) {
+  StageGraph g = CompiledPlan();
+  JobSimulator sim;
+  double base = sim.Execute(g, 5).makespan;
+  double rate = 3600.0 / base * 4.0;
+  std::set<int> cut(g.stages[static_cast<size_t>(g.final_stage)].inputs.begin(),
+                    g.stages[static_cast<size_t>(g.final_stage)].inputs.end());
+  double unprotected = sim.ExpectedRuntimeWithFailures(g, 5, rate, {}, 128);
+  double protected_run = sim.ExpectedRuntimeWithFailures(g, 5, rate, cut, 128);
+  EXPECT_LT(protected_run, unprotected);
+}
+
+TEST_F(ExecutorTest, TempOverflowDetected) {
+  StageGraph g = CompiledPlan();
+  ExecutorOptions opt;
+  opt.temp_capacity_bytes = 1.0;  // absurdly small
+  JobSimulator sim(opt);
+  JobRun run = sim.Execute(g, 1);
+  EXPECT_GT(run.temp_overflows, 0);
+}
+
+}  // namespace
+}  // namespace ads::engine

@@ -1,0 +1,97 @@
+#include "engine/plan_io.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/engine/test_world.h"
+#include "workload/query_gen.h"
+
+namespace ads::engine {
+namespace {
+
+TEST(PlanIoTest, RoundTripPreservesSignatureAndAnnotations) {
+  Catalog catalog = TestCatalog();
+  auto plan = TestJoinAggPlan(catalog);
+  AnnotateTrueCardinality(*plan);
+  plan->est_card = 123.0;
+  std::string text = SerializePlan(*plan);
+  auto restored = DeserializePlan(text);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ((*restored)->StrictSignature(), plan->StrictSignature());
+  EXPECT_EQ((*restored)->TemplateSignature(), plan->TemplateSignature());
+  EXPECT_EQ((*restored)->NodeCount(), plan->NodeCount());
+  EXPECT_DOUBLE_EQ((*restored)->true_card, plan->true_card);
+  EXPECT_DOUBLE_EQ((*restored)->est_card, 123.0);
+}
+
+TEST(PlanIoTest, RoundTripPreservesHiddenSelectivities) {
+  Catalog catalog = TestCatalog();
+  auto plan = TestJoinAggPlan(catalog);
+  std::string text = SerializePlan(*plan);
+  auto restored = DeserializePlan(text);
+  ASSERT_TRUE(restored.ok());
+  // Re-derive true cardinalities from the deserialized hidden parameters:
+  // they must match the original's derivation exactly.
+  AnnotateTrueCardinality(*plan);
+  AnnotateTrueCardinality(**restored);
+  EXPECT_DOUBLE_EQ((*restored)->true_card, plan->true_card);
+}
+
+TEST(PlanIoTest, AllOperatorsSurvive) {
+  Catalog catalog = TestCatalog();
+  auto scan1 = MakeScan(*catalog.FindTable("orders"));
+  auto scan2 = MakeScan(*catalog.FindTable("customers"));
+  auto united = MakeUnion(std::move(scan1), std::move(scan2));
+  auto sorted = MakeSort(std::move(united), {"o_key", "o_price"});
+  auto projected = MakeProject(std::move(sorted), {"o_key"}, 8.0);
+  std::string text = SerializePlan(*projected);
+  auto restored = DeserializePlan(text);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ((*restored)->StrictSignature(), projected->StrictSignature());
+  EXPECT_EQ((*restored)->children[0]->columns.size(), 2u);
+}
+
+TEST(PlanIoTest, BroadcastStrategySurvives) {
+  Catalog catalog = TestCatalog();
+  JoinSpec join{"o_cust", "c_key", 1e-4, JoinStrategy::kBroadcast};
+  auto plan = MakeJoin(MakeScan(*catalog.FindTable("orders")),
+                       MakeScan(*catalog.FindTable("customers")), join);
+  auto restored = DeserializePlan(SerializePlan(*plan));
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ((*restored)->join.strategy, JoinStrategy::kBroadcast);
+  EXPECT_DOUBLE_EQ((*restored)->join.true_selectivity_factor, 1e-4);
+}
+
+TEST(PlanIoTest, RejectsMalformedInput) {
+  EXPECT_FALSE(DeserializePlan("").ok());
+  EXPECT_FALSE(DeserializePlan("0 Quantum table=x\n").ok());
+  EXPECT_FALSE(DeserializePlan("0 Scan\n").ok());          // missing table
+  EXPECT_FALSE(DeserializePlan("0 Filter preds=a:le:1:1\n").ok());  // no child
+  EXPECT_FALSE(DeserializePlan("not a plan at all").ok());
+  // Trailing garbage after a complete tree.
+  Catalog catalog = TestCatalog();
+  auto plan = MakeScan(*catalog.FindTable("orders"));
+  std::string text = SerializePlan(*plan) + "0 Scan table=extra rows=1\n";
+  EXPECT_FALSE(DeserializePlan(text).ok());
+}
+
+// Property sweep: every generated workload plan round-trips losslessly.
+class PlanIoProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PlanIoProperty, GeneratedPlansRoundTrip) {
+  workload::QueryGenerator gen(
+      {.num_templates = 10, .seed = 400 + static_cast<uint64_t>(GetParam())});
+  for (int j = 0; j < 10; ++j) {
+    auto job = gen.NextJob();
+    auto restored = DeserializePlan(SerializePlan(*job.plan));
+    ASSERT_TRUE(restored.ok());
+    EXPECT_EQ((*restored)->StrictSignature(), job.plan->StrictSignature());
+    AnnotateTrueCardinality(**restored);
+    AnnotateTrueCardinality(*job.plan);
+    EXPECT_DOUBLE_EQ((*restored)->true_card, job.plan->true_card);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPlans, PlanIoProperty, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace ads::engine

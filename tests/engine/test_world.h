@@ -1,0 +1,67 @@
+#ifndef ADS_TESTS_ENGINE_TEST_WORLD_H_
+#define ADS_TESTS_ENGINE_TEST_WORLD_H_
+
+#include <memory>
+
+#include "engine/catalog.h"
+#include "engine/plan.h"
+
+namespace ads::engine {
+
+/// A small fixed catalog shared by the engine tests:
+///   orders(1e6 rows):  o_key(ndv 1e6), o_cust(ndv 1e4), o_price, o_status
+///   customers(1e4):    c_key(ndv 1e4), c_region(ndv 50)
+///   lineitems(6e6):    l_order(ndv 1e6), l_qty, l_ship
+inline Catalog TestCatalog() {
+  Catalog catalog;
+  TableSpec orders;
+  orders.name = "orders";
+  orders.rows = 1e6;
+  orders.columns = {
+      {"o_key", 0, 1e6, 1000000, 0.0},
+      {"o_cust", 0, 1e4, 10000, 0.0},
+      {"o_price", 0, 1000, 1000, 1.2},  // skewed
+      {"o_status", 0, 10, 10, 0.0},
+  };
+  TableSpec customers;
+  customers.name = "customers";
+  customers.rows = 1e4;
+  customers.columns = {
+      {"c_key", 0, 1e4, 10000, 0.0},
+      {"c_region", 0, 50, 50, 0.0},
+  };
+  TableSpec lineitems;
+  lineitems.name = "lineitems";
+  lineitems.rows = 6e6;
+  lineitems.columns = {
+      {"l_order", 0, 1e6, 1000000, 0.0},
+      {"l_qty", 0, 50, 50, 0.8},
+      {"l_ship", 0, 365, 365, 0.0},
+  };
+  catalog.AddTable(orders);
+  catalog.AddTable(customers);
+  catalog.AddTable(lineitems);
+  return catalog;
+}
+
+/// Filter(orders.o_price <= 100 [true sel .3]) under a join with customers,
+/// aggregated by region. A typical recurring-job shape.
+inline std::unique_ptr<PlanNode> TestJoinAggPlan(const Catalog& catalog) {
+  auto orders = MakeScan(*catalog.FindTable("orders"));
+  Predicate p{"o_price", CompareOp::kLessEqual, 100.0, 0.3};
+  auto filtered = MakeFilter(std::move(orders), {p});
+  auto customers = MakeScan(*catalog.FindTable("customers"));
+  JoinSpec join;
+  join.left_key = "o_cust";
+  join.right_key = "c_key";
+  join.true_selectivity_factor = 1.0 / 1e4;
+  auto joined = MakeJoin(std::move(filtered), std::move(customers), join);
+  AggSpec agg;
+  agg.group_keys = {"c_region"};
+  agg.true_distinct_ratio = 50.0 / (0.3 * 1e6);
+  return MakeAggregate(std::move(joined), agg);
+}
+
+}  // namespace ads::engine
+
+#endif  // ADS_TESTS_ENGINE_TEST_WORLD_H_

@@ -1,0 +1,102 @@
+#include "infra/power.h"
+
+#include <gtest/gtest.h>
+
+namespace ads::infra {
+namespace {
+
+SkuSpec PowerSku(const std::string& name, double idle, double busy,
+                 double slope, int slots = 32) {
+  SkuSpec sku;
+  sku.name = name;
+  sku.idle_watts = idle;
+  sku.busy_watts = busy;
+  sku.cpu_per_container = slope;
+  sku.default_max_containers = slots;
+  return sku;
+}
+
+TEST(PowerManagerTest, CapsKeepEveryRackUnderTheLimit) {
+  Cluster cluster;
+  cluster.AddMachines(PowerSku("gen4", 100, 400, 0.05), 4, /*racks=*/2);
+  cluster.AddMachines(PowerSku("gen5", 120, 500, 0.03), 4, /*racks=*/2);
+  constexpr double kCap = 1600.0;
+  auto config = PowerManager::CapForPower(cluster, kCap);
+  ASSERT_TRUE(config.ok());
+  for (int rack = 0; rack <= cluster.max_rack(); ++rack) {
+    EXPECT_LE(PowerManager::WorstCaseRackPower(cluster, rack, *config),
+              kCap + 1e-6);
+  }
+  // Caps are meaningful (non-zero capacity survives).
+  EXPECT_GT(config->max_containers_per_sku.at("gen4"), 0);
+  EXPECT_GT(config->max_containers_per_sku.at("gen5"), 0);
+}
+
+TEST(PowerManagerTest, GenerousCapHitsSlotOrUtilizationBound) {
+  Cluster cluster;
+  cluster.AddMachines(PowerSku("gen4", 100, 400, 0.05, /*slots=*/10), 2);
+  auto config = PowerManager::CapForPower(cluster, 1e9);
+  ASSERT_TRUE(config.ok());
+  // slot bound 10 < utilization bound 20 -> cap = 10.
+  EXPECT_EQ(config->max_containers_per_sku.at("gen4"), 10);
+}
+
+TEST(PowerManagerTest, UtilizationBoundKeepsLinearRegion) {
+  Cluster cluster;
+  cluster.AddMachines(PowerSku("gen4", 100, 400, 0.1, /*slots=*/64), 2);
+  auto config = PowerManager::CapForPower(cluster, 1e9);
+  ASSERT_TRUE(config.ok());
+  // utilization bound 1/0.1 = 10 < 64 slots.
+  EXPECT_EQ(config->max_containers_per_sku.at("gen4"), 10);
+}
+
+TEST(PowerManagerTest, TighterCapMeansSmallerCaps) {
+  Cluster cluster;
+  cluster.AddMachines(PowerSku("gen4", 100, 400, 0.05), 4, /*racks=*/1);
+  auto generous = PowerManager::CapForPower(cluster, 1500.0);
+  auto tight = PowerManager::CapForPower(cluster, 700.0);
+  ASSERT_TRUE(generous.ok());
+  ASSERT_TRUE(tight.ok());
+  EXPECT_LT(tight->max_containers_per_sku.at("gen4"),
+            generous->max_containers_per_sku.at("gen4"));
+}
+
+TEST(PowerManagerTest, InfeasibleIdlePowerFails) {
+  Cluster cluster;
+  cluster.AddMachines(PowerSku("gen4", 500, 900, 0.05), 4, /*racks=*/1);
+  auto config = PowerManager::CapForPower(cluster, 1000.0);  // idle = 2000
+  EXPECT_FALSE(config.ok());
+  EXPECT_EQ(config.status().code(), common::StatusCode::kFailedPrecondition);
+}
+
+TEST(PowerManagerTest, EmptyClusterRejected) {
+  Cluster cluster;
+  EXPECT_FALSE(PowerManager::CapForPower(cluster, 1000.0).ok());
+}
+
+TEST(PowerManagerTest, LearnedSlopesOverrideSpecs) {
+  Cluster cluster;
+  cluster.AddMachines(PowerSku("gen4", 100, 400, 0.05), 2, /*racks=*/1);
+  // Learned slope says the machines are twice as hungry per container.
+  auto spec_based = PowerManager::CapForPower(cluster, 1200.0);
+  auto learned = PowerManager::CapForPower(cluster, 1200.0, {{"gen4", 0.10}});
+  ASSERT_TRUE(spec_based.ok());
+  ASSERT_TRUE(learned.ok());
+  EXPECT_LT(learned->max_containers_per_sku.at("gen4"),
+            spec_based->max_containers_per_sku.at("gen4"));
+}
+
+TEST(PowerManagerTest, ViolatingRacksAudit) {
+  Cluster cluster;
+  cluster.AddMachines(PowerSku("gen4", 100, 400, 0.05), 2, /*racks=*/2);
+  // Rack 0 machine fully loaded; rack 1 idle.
+  cluster.machine(0).StartContainer();
+  for (int i = 0; i < 19; ++i) cluster.machine(0).StartContainer();
+  auto violating = PowerManager::ViolatingRacks(cluster, 250.0);
+  ASSERT_EQ(violating.size(), 1u);
+  EXPECT_EQ(violating[0], 0);
+  EXPECT_TRUE(PowerManager::ViolatingRacks(cluster, 10000.0).empty());
+}
+
+}  // namespace
+}  // namespace ads::infra

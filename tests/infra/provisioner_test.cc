@@ -1,0 +1,118 @@
+#include "infra/provisioner.h"
+
+#include <gtest/gtest.h>
+
+#include "infra/pool_sim.h"
+
+namespace ads::infra {
+namespace {
+
+TEST(ProvisionerTest, ColdRequestsHaveCreationLatency) {
+  common::EventQueue queue;
+  ClusterProvisioner prov(&queue, 1);
+  double wait = -1.0;
+  prov.RequestCluster([&](double w) { wait = w; });
+  queue.RunAll();
+  EXPECT_GT(wait, 10.0);  // lognormal(5, .5) median ~148s
+  EXPECT_EQ(prov.requests_served(), 1u);
+}
+
+TEST(ProvisionerTest, WarmPoolServesFast) {
+  common::EventQueue queue;
+  ClusterProvisioner prov(&queue, 1);
+  prov.SetWarmPoolTarget(2);
+  queue.RunUntil(common::Hours(1));  // let the pool fill
+  EXPECT_EQ(prov.warm_available(), 2);
+  double wait = -1.0;
+  prov.RequestCluster([&](double w) { wait = w; });
+  queue.RunUntil(common::Hours(2));
+  EXPECT_DOUBLE_EQ(wait, 5.0);  // warm handoff
+}
+
+TEST(ProvisionerTest, PoolRefillsAfterConsumption) {
+  common::EventQueue queue;
+  ClusterProvisioner prov(&queue, 1);
+  prov.SetWarmPoolTarget(1);
+  queue.RunUntil(common::Hours(1));
+  prov.RequestCluster([](double) {});
+  queue.RunUntil(common::Hours(2));
+  EXPECT_EQ(prov.warm_available(), 1);
+}
+
+TEST(ProvisionerTest, WarmIdleCostAccrues) {
+  common::EventQueue queue;
+  ProvisionerOptions opt;
+  opt.warm_cost_per_hour = 10.0;
+  ClusterProvisioner prov(&queue, 1, opt);
+  prov.SetWarmPoolTarget(3);
+  queue.RunUntil(common::Hours(5));
+  // ~3 warm clusters for ~5 hours (minus startup) at $10/h each.
+  EXPECT_GT(prov.WarmIdleCost(), 100.0);
+  EXPECT_LT(prov.WarmIdleCost(), 160.0);
+}
+
+TEST(ProvisionerTest, ZeroTargetNeverHoldsWarm) {
+  common::EventQueue queue;
+  ClusterProvisioner prov(&queue, 1);
+  queue.RunUntil(common::Hours(10));
+  EXPECT_EQ(prov.warm_available(), 0);
+  EXPECT_NEAR(prov.WarmIdleCost(), 0.0, 1e-9);
+}
+
+TEST(PoolSimTest, ParallelBeatsSerial) {
+  PoolInitSimulator sim;
+  auto serial = sim.Simulate(RequestPolicy::kSerial, 2000, 1);
+  auto parallel = sim.Simulate(RequestPolicy::kParallel, 2000, 1);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_LT(parallel->p99, serial->p99);
+  EXPECT_LT(parallel->p50, serial->p50);
+}
+
+TEST(PoolSimTest, HedgingCutsTheTail) {
+  PoolInitSimulator sim;
+  auto parallel = sim.Simulate(RequestPolicy::kParallel, 4000, 1);
+  auto hedged = sim.Simulate(RequestPolicy::kHedged, 4000, 1);
+  ASSERT_TRUE(parallel.ok());
+  ASSERT_TRUE(hedged.ok());
+  EXPECT_LT(hedged->p99, parallel->p99);
+  // Hedging costs extra requests.
+  EXPECT_GT(hedged->mean_requests_issued, parallel->mean_requests_issued);
+}
+
+TEST(PoolSimTest, RetryBoundsByTimeoutChains) {
+  PoolSimOptions opt;
+  opt.retry_timeout = 45.0;
+  PoolInitSimulator sim(opt);
+  auto retry = sim.Simulate(RequestPolicy::kRetryOnTimeout, 4000, 1);
+  auto parallel = sim.Simulate(RequestPolicy::kParallel, 4000, 1);
+  ASSERT_TRUE(retry.ok());
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_LT(retry->p99, parallel->p99);
+  EXPECT_GT(retry->mean_requests_issued, parallel->mean_requests_issued);
+}
+
+TEST(PoolSimTest, DeriveBestPolicyPicksLowestP99) {
+  PoolInitSimulator sim;
+  auto best = sim.DeriveBestPolicy(2000, 7);
+  ASSERT_TRUE(best.ok());
+  // With a heavy tail, the tail-aware policies must win over serial.
+  EXPECT_NE(best->policy, RequestPolicy::kSerial);
+  EXPECT_NE(best->policy, RequestPolicy::kParallel);
+}
+
+TEST(PoolSimTest, ValidatesArguments) {
+  PoolInitSimulator sim;
+  EXPECT_FALSE(sim.Simulate(RequestPolicy::kSerial, 0, 1).ok());
+  PoolSimOptions bad;
+  bad.vms_per_cluster = 0;
+  EXPECT_FALSE(PoolInitSimulator(bad).Simulate(RequestPolicy::kSerial, 10, 1).ok());
+}
+
+TEST(PoolSimTest, PolicyNamesAreStable) {
+  EXPECT_STREQ(RequestPolicyName(RequestPolicy::kSerial), "serial");
+  EXPECT_STREQ(RequestPolicyName(RequestPolicy::kHedged), "hedged");
+}
+
+}  // namespace
+}  // namespace ads::infra

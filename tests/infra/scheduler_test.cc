@@ -1,0 +1,127 @@
+#include "infra/scheduler.h"
+
+#include <gtest/gtest.h>
+
+namespace ads::infra {
+namespace {
+
+SkuSpec SmallSku(const std::string& name = "gen4") {
+  SkuSpec sku;
+  sku.name = name;
+  sku.default_max_containers = 4;
+  sku.cpu_per_container = 0.2;
+  sku.util_knee = 0.6;
+  sku.slowdown_per_util = 3.0;
+  sku.temp_storage_gb = 10.0;
+  return sku;
+}
+
+TEST(SchedulerTest, RunsSubmittedTasksToCompletion) {
+  Cluster cluster;
+  cluster.AddMachines(SmallSku(), 2);
+  common::EventQueue queue;
+  telemetry::TelemetryStore store;
+  ClusterScheduler sched(&cluster, &queue, &store, 1);
+  for (uint64_t i = 0; i < 6; ++i) {
+    sched.Submit({.id = i, .base_duration = 10.0});
+  }
+  queue.RunAll();
+  EXPECT_EQ(sched.completed_tasks(), 6u);
+  EXPECT_EQ(sched.queued_tasks(), 0u);
+  EXPECT_GT(sched.task_latency().Quantile(0.5), 9.0);
+}
+
+TEST(SchedulerTest, QueuesWhenAtCapacity) {
+  Cluster cluster;
+  cluster.AddMachines(SmallSku(), 1);  // 4 slots total
+  common::EventQueue queue;
+  ClusterScheduler sched(&cluster, &queue, nullptr, 1);
+  for (uint64_t i = 0; i < 10; ++i) {
+    sched.Submit({.id = i, .base_duration = 10.0});
+  }
+  EXPECT_EQ(sched.queued_tasks(), 6u);
+  queue.RunAll();
+  EXPECT_EQ(sched.completed_tasks(), 10u);
+  // Queued tasks waited for slots, so their latency exceeds execution time.
+  EXPECT_GT(sched.task_latency().Quantile(0.99), 15.0);
+}
+
+TEST(SchedulerTest, RespectsConfiguredCap) {
+  Cluster cluster;
+  cluster.AddMachines(SmallSku(), 1);
+  common::EventQueue queue;
+  ClusterScheduler sched(&cluster, &queue, nullptr, 1);
+  SchedulerConfig config;
+  config.max_containers_per_sku["gen4"] = 2;
+  sched.SetConfig(config);
+  for (uint64_t i = 0; i < 4; ++i) {
+    sched.Submit({.id = i, .base_duration = 10.0});
+  }
+  EXPECT_EQ(cluster.machine(0).running_containers(), 2);
+  EXPECT_EQ(sched.queued_tasks(), 2u);
+  queue.RunAll();
+  EXPECT_EQ(sched.completed_tasks(), 4u);
+}
+
+TEST(SchedulerTest, BalancesAcrossMachines) {
+  Cluster cluster;
+  cluster.AddMachines(SmallSku(), 4);
+  common::EventQueue queue;
+  ClusterScheduler sched(&cluster, &queue, nullptr, 1);
+  for (uint64_t i = 0; i < 4; ++i) {
+    sched.Submit({.id = i, .base_duration = 100.0});
+  }
+  // Least-utilized placement puts exactly one task per machine.
+  for (size_t i = 0; i < cluster.size(); ++i) {
+    EXPECT_EQ(cluster.machine(i).running_containers(), 1);
+  }
+  queue.RunAll();
+}
+
+TEST(SchedulerTest, TempStorageGatesPlacement) {
+  Cluster cluster;
+  cluster.AddMachines(SmallSku(), 1);
+  common::EventQueue queue;
+  ClusterScheduler sched(&cluster, &queue, nullptr, 1);
+  sched.Submit({.id = 1, .base_duration = 10.0, .temp_storage_gb = 8.0});
+  sched.Submit({.id = 2, .base_duration = 10.0, .temp_storage_gb = 8.0});
+  EXPECT_EQ(sched.queued_tasks(), 1u);  // second does not fit 10 GB disk
+  queue.RunAll();
+  EXPECT_EQ(sched.completed_tasks(), 2u);
+  EXPECT_DOUBLE_EQ(cluster.machine(0).temp_storage_used_gb(), 0.0);
+}
+
+TEST(SchedulerTest, HighLoadCreatesHotspotsAndSlowdown) {
+  Cluster cluster;
+  SkuSpec sku = SmallSku();
+  sku.default_max_containers = 5;  // allows util up to 1.0
+  cluster.AddMachines(sku, 1);
+  common::EventQueue queue;
+  ClusterScheduler sched(&cluster, &queue, nullptr, 1);
+  for (uint64_t i = 0; i < 5; ++i) {
+    sched.Submit({.id = i, .base_duration = 10.0});
+  }
+  queue.RunAll();
+  EXPECT_EQ(sched.HotspotCount(0.9), 1);
+  // The last-placed task started at util 1.0 -> slowdown 1 + 3*0.4 = 2.2.
+  EXPECT_GT(sched.task_latency().Quantile(1.0), 20.0);
+}
+
+TEST(SchedulerTest, TelemetrySamplesRecorded) {
+  Cluster cluster;
+  cluster.AddMachines(SmallSku(), 2);
+  common::EventQueue queue;
+  telemetry::TelemetryStore store;
+  ClusterScheduler sched(&cluster, &queue, &store, 1);
+  sched.Submit({.id = 1, .base_duration = 10.0});
+  sched.SampleTelemetry();
+  auto series = store.Select("system.cpu.utilization", {});
+  EXPECT_EQ(series.size(), 2u);
+  auto containers = store.Select("container.running.count", {});
+  EXPECT_EQ(containers.size(), 2u);
+  queue.RunAll();
+  EXPECT_FALSE(store.Select("task.execution.time", {}).empty());
+}
+
+}  // namespace
+}  // namespace ads::infra

@@ -1,0 +1,107 @@
+#include "learned/card_models.h"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "engine/optimizer.h"
+#include "learned/workload_analysis.h"
+#include "workload/query_gen.h"
+
+namespace ads::learned {
+namespace {
+
+// Trains micromodels from a training stream, then checks q-error on a
+// fresh test stream against the default estimator.
+TEST(CardModelsTest, MicromodelsBeatDefaultEstimatorOnRecurringJobs) {
+  workload::QueryGenerator gen({.num_templates = 15,
+                                .recurring_fraction = 1.0,
+                                .seed = 1});
+  engine::Optimizer optimizer(&gen.catalog());
+  WorkloadAnalyzer analyzer;
+  for (int i = 0; i < 400; ++i) {
+    auto job = gen.NextJob();
+    auto plan = optimizer.Optimize(*job.plan, engine::RuleConfig::Default());
+    analyzer.ObserveJob(job.job_id, *plan, 1.0);
+  }
+  CardinalityModelStore store({.min_samples = 8});
+  ASSERT_TRUE(store.Train(analyzer.node_observations()).ok());
+  EXPECT_GT(store.retained_models(), 0u);
+  EXPECT_LE(store.retained_models(), store.candidate_templates());
+
+  // Fresh jobs: compare root q-errors with and without the provider.
+  common::RunningMoments q_default;
+  common::RunningMoments q_learned;
+  engine::Optimizer learned_optimizer(&gen.catalog());
+  learned_optimizer.SetCardinalityProvider(&store);
+  for (int i = 0; i < 120; ++i) {
+    auto job = gen.NextJob();
+    auto plan_d = optimizer.Optimize(*job.plan, engine::RuleConfig::Default());
+    auto plan_l =
+        learned_optimizer.Optimize(*job.plan, engine::RuleConfig::Default());
+    plan_d->Visit([&](const engine::PlanNode& n) {
+      q_default.Add(common::QError(n.true_card, n.est_card));
+    });
+    plan_l->Visit([&](const engine::PlanNode& n) {
+      q_learned.Add(common::QError(n.true_card, n.est_card));
+    });
+  }
+  EXPECT_LT(q_learned.mean(), q_default.mean());
+}
+
+TEST(CardModelsTest, RetentionDiscardsUselessModels) {
+  // Build observations where the default estimate is already perfect:
+  // learned models cannot beat it, so retention should discard them.
+  std::map<uint64_t, std::vector<CardObservation>> obs;
+  common::Rng rng(2);
+  for (int i = 0; i < 40; ++i) {
+    CardObservation o;
+    double card = rng.Uniform(100, 10000);
+    o.features = {rng.Uniform(0, 1), 10.0};
+    o.true_card = card;
+    o.default_estimate = card;  // perfect default
+    obs[42].push_back(o);
+  }
+  CardinalityModelStore store({.min_samples = 8});
+  ASSERT_TRUE(store.Train(obs).ok());
+  EXPECT_EQ(store.retained_models(), 0u);
+  EXPECT_EQ(store.discarded_models(), 1u);
+}
+
+TEST(CardModelsTest, KeepsModelWhenDefaultIsBad) {
+  // Truth is a clean function of the feature; default is off by 10x.
+  std::map<uint64_t, std::vector<CardObservation>> obs;
+  common::Rng rng(3);
+  for (int i = 0; i < 60; ++i) {
+    CardObservation o;
+    double x = rng.Uniform(1, 10);
+    o.features = {x};
+    o.true_card = 1000.0 * x;
+    o.default_estimate = 100.0 * x;
+    obs[7].push_back(o);
+  }
+  CardinalityModelStore store({.min_samples = 8});
+  ASSERT_TRUE(store.Train(obs).ok());
+  EXPECT_EQ(store.retained_models(), 1u);
+  EXPECT_LT(store.mean_learned_qerror(), store.mean_default_qerror());
+}
+
+TEST(CardModelsTest, TooFewSamplesNotTrained) {
+  std::map<uint64_t, std::vector<CardObservation>> obs;
+  for (int i = 0; i < 3; ++i) {
+    obs[1].push_back({{1.0}, 100.0, 10.0});
+  }
+  CardinalityModelStore store({.min_samples = 8});
+  ASSERT_TRUE(store.Train(obs).ok());
+  EXPECT_EQ(store.retained_models(), 0u);
+  EXPECT_EQ(store.candidate_templates(), 0u);
+}
+
+TEST(CardModelsTest, EstimateReturnsNulloptForUnknownTemplate) {
+  CardinalityModelStore store;
+  workload::QueryGenerator gen({.seed = 4});
+  auto job = gen.InstantiateTemplate(0);
+  EXPECT_FALSE(store.Estimate(*job.plan).has_value());
+}
+
+}  // namespace
+}  // namespace ads::learned

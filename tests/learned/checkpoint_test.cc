@@ -1,0 +1,153 @@
+#include "learned/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/learned/harness.h"
+
+namespace ads::learned {
+namespace {
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  CheckpointTest()
+      : gen_({.num_templates = 10, .recurring_fraction = 1.0, .seed = 1}) {}
+
+  workload::QueryGenerator gen_;
+  engine::CostModel cost_;
+};
+
+TEST_F(CheckpointTest, StagePredictorLearnsWorkAndBytes) {
+  auto jobs = RunJobs(gen_, 60, cost_);
+  std::vector<StageObservation> observations;
+  for (const auto& ej : jobs) {
+    for (const engine::Stage& s : ej.stages.stages) {
+      StageObservation obs;
+      obs.features = StageFeatures(ej.stages, s);
+      obs.actual_work = s.work;
+      obs.actual_output_bytes = s.output_bytes;
+      observations.push_back(std::move(obs));
+    }
+  }
+  StagePredictor predictor;
+  ASSERT_TRUE(predictor.Train(observations).ok());
+  // In-sample sanity: predictions within an order of magnitude mostly.
+  double log_err = 0.0;
+  for (const auto& obs : observations) {
+    double pred = predictor.PredictWork(obs.features);
+    log_err += std::abs(std::log1p(pred) - std::log1p(obs.actual_work));
+  }
+  log_err /= static_cast<double>(observations.size());
+  EXPECT_LT(log_err, 1.0);
+}
+
+TEST_F(CheckpointTest, PredictorRejectsTinyTrainingSet) {
+  StagePredictor predictor;
+  std::vector<StageObservation> few(3);
+  for (auto& o : few) o.features = {1, 2, 3, 4, 5, 6};
+  EXPECT_FALSE(predictor.Train(few).ok());
+  EXPECT_FALSE(predictor.trained());
+}
+
+TEST_F(CheckpointTest, OracleChoiceReducesRestartWork) {
+  auto jobs = RunJobs(gen_, 20, cost_);
+  std::vector<const engine::StageGraph*> graphs;
+  for (const auto& ej : jobs) graphs.push_back(&ej.stages);
+  CheckpointOptimizer optimizer({.budget_bytes = 1e12});
+  auto choices = optimizer.Choose(graphs);
+  ASSERT_TRUE(choices.ok());
+  ASSERT_FALSE(choices->empty());
+  for (const CheckpointChoice& c : *choices) {
+    const engine::StageGraph& g = *graphs[c.job_index];
+    EXPECT_LT(g.RestartWork(c.stages), g.RestartWork({}));
+    EXPECT_GT(c.saved_work, 0.0);
+  }
+}
+
+TEST_F(CheckpointTest, BudgetLimitsSelection) {
+  auto jobs = RunJobs(gen_, 20, cost_);
+  std::vector<const engine::StageGraph*> graphs;
+  for (const auto& ej : jobs) graphs.push_back(&ej.stages);
+  CheckpointOptimizer rich({.budget_bytes = 1e12});
+  CheckpointOptimizer poor({.budget_bytes = 1e4});
+  auto rich_choices = rich.Choose(graphs);
+  auto poor_choices = poor.Choose(graphs);
+  ASSERT_TRUE(rich_choices.ok());
+  ASSERT_TRUE(poor_choices.ok());
+  double rich_bytes = 0.0;
+  double poor_bytes = 0.0;
+  for (const auto& c : *rich_choices) rich_bytes += c.bytes;
+  for (const auto& c : *poor_choices) poor_bytes += c.bytes;
+  EXPECT_LE(poor_bytes, 1e4 + 1.0);
+  EXPECT_LE(poor_choices->size(), rich_choices->size());
+  EXPECT_GE(rich_bytes, poor_bytes);
+}
+
+TEST_F(CheckpointTest, PredictorDrivenChoicesStillHelp) {
+  auto train_jobs = RunJobs(gen_, 60, cost_, /*seed=*/1);
+  std::vector<StageObservation> observations;
+  for (const auto& ej : train_jobs) {
+    for (const engine::Stage& s : ej.stages.stages) {
+      StageObservation obs;
+      obs.features = StageFeatures(ej.stages, s);
+      obs.actual_work = s.work;
+      obs.actual_output_bytes = s.output_bytes;
+      observations.push_back(std::move(obs));
+    }
+  }
+  StagePredictor predictor;
+  ASSERT_TRUE(predictor.Train(observations).ok());
+
+  auto test_jobs = RunJobs(gen_, 15, cost_, /*seed=*/500);
+  std::vector<const engine::StageGraph*> graphs;
+  for (const auto& ej : test_jobs) graphs.push_back(&ej.stages);
+  CheckpointOptimizer optimizer({.budget_bytes = 1e12});
+  auto choices = optimizer.Choose(graphs, &predictor);
+  ASSERT_TRUE(choices.ok());
+  ASSERT_FALSE(choices->empty());
+  // Evaluate against ACTUAL restart work (not predictions).
+  double saved = 0.0;
+  double baseline = 0.0;
+  for (const auto& ej : test_jobs) baseline += ej.stages.RestartWork({});
+  double with_ck = baseline;
+  for (const CheckpointChoice& c : *choices) {
+    const engine::StageGraph& g = *graphs[c.job_index];
+    with_ck -= g.RestartWork({}) - g.RestartWork(c.stages);
+  }
+  saved = baseline - with_ck;
+  EXPECT_GT(saved / baseline, 0.2);
+}
+
+TEST_F(CheckpointTest, RestartWorkWeightedMatchesUnweighted) {
+  auto jobs = RunJobs(gen_, 3, cost_);
+  const engine::StageGraph& g = jobs[0].stages;
+  std::vector<double> work(g.stages.size());
+  for (const engine::Stage& s : g.stages) {
+    work[static_cast<size_t>(s.id)] = s.work;
+  }
+  std::set<int> cut = g.LevelCut(0);
+  EXPECT_NEAR(RestartWorkWeighted(g, work, cut), g.RestartWork(cut), 1e-9);
+}
+
+TEST_F(CheckpointTest, EmptyJobListRejected) {
+  CheckpointOptimizer optimizer;
+  EXPECT_FALSE(optimizer.Choose({}).ok());
+}
+
+TEST_F(CheckpointTest, CheckpointsFreeTempStorage) {
+  auto jobs = RunJobs(gen_, 10, cost_);
+  engine::JobSimulator sim;
+  CheckpointOptimizer optimizer({.budget_bytes = 1e12});
+  for (const auto& ej : jobs) {
+    std::vector<const engine::StageGraph*> one = {&ej.stages};
+    auto choices = optimizer.Choose(one);
+    ASSERT_TRUE(choices.ok());
+    if (choices->empty()) continue;
+    engine::JobRun base = sim.Execute(ej.stages, 1);
+    engine::JobRun ck = sim.Execute(ej.stages, 1, (*choices)[0].stages);
+    EXPECT_LE(ck.PeakTempOnBusiestMachine(),
+              base.PeakTempOnBusiestMachine() + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace ads::learned

@@ -1,0 +1,109 @@
+#include "learned/cost_models.h"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "engine/optimizer.h"
+#include "workload/query_gen.h"
+
+namespace ads::learned {
+namespace {
+
+class CostModelsTest : public ::testing::Test {
+ protected:
+  CostModelsTest()
+      : gen_({.num_templates = 12, .recurring_fraction = 1.0, .seed = 1}),
+        optimizer_(&gen_.catalog()) {}
+
+  std::unique_ptr<engine::PlanNode> NextOptimized() {
+    auto job = gen_.NextJob();
+    return optimizer_.Optimize(*job.plan, engine::RuleConfig::Default());
+  }
+
+  workload::QueryGenerator gen_;
+  engine::Optimizer optimizer_;
+  engine::CostModel cost_;
+};
+
+TEST_F(CostModelsTest, GenericFeaturesAreStableArity) {
+  auto a = NextOptimized();
+  auto b = NextOptimized();
+  EXPECT_EQ(GenericPlanFeatures(*a).size(), GenericPlanFeatures(*b).size());
+  EXPECT_EQ(GenericPlanFeatures(*a).size(), 12u);
+}
+
+TEST_F(CostModelsTest, LearnedCostBeatsDefaultCostAsRuntimePredictor) {
+  LearnedCostModel learned;
+  for (int i = 0; i < 250; ++i) {
+    auto plan = NextOptimized();
+    learned.Observe(*plan, cost_);
+  }
+  ASSERT_TRUE(learned.Train().ok());
+  EXPECT_GT(learned.micromodel_count(), 0u);
+
+  // On fresh jobs, compare |predicted - true| of the learned model at the
+  // root against the default analytical model fed with ESTIMATED cards
+  // (which is what a real optimizer has).
+  common::RunningMoments err_learned;
+  common::RunningMoments err_default;
+  for (int i = 0; i < 80; ++i) {
+    auto plan = NextOptimized();
+    double truth = cost_.PlanCost(*plan, engine::CardSource::kTrue);
+    auto pred = learned.Cost(*plan);
+    ASSERT_TRUE(pred.has_value());
+    double default_pred = cost_.PlanCost(*plan, engine::CardSource::kEstimated);
+    err_learned.Add(std::abs(std::log1p(*pred) - std::log1p(truth)));
+    err_default.Add(std::abs(std::log1p(default_pred) - std::log1p(truth)));
+  }
+  EXPECT_LT(err_learned.mean(), err_default.mean());
+}
+
+TEST_F(CostModelsTest, GlobalModelCoversUnseenTemplates) {
+  LearnedCostModel learned;
+  for (int i = 0; i < 150; ++i) {
+    auto plan = NextOptimized();
+    learned.Observe(*plan, cost_);
+  }
+  ASSERT_TRUE(learned.Train().ok());
+  // A template from a DIFFERENT generator (unseen signature).
+  workload::QueryGenerator other({.num_templates = 5, .seed = 77});
+  engine::Optimizer other_opt(&other.catalog());
+  auto job = other.NextJob();
+  auto plan = other_opt.Optimize(*job.plan, engine::RuleConfig::Default());
+  auto pred = learned.Cost(*plan);
+  ASSERT_TRUE(pred.has_value());  // coverage via the global model
+  EXPECT_GE(*pred, 0.0);
+  EXPECT_LT(learned.MicromodelHitRate(), 1.0);
+}
+
+TEST_F(CostModelsTest, UntrainedReturnsNullopt) {
+  LearnedCostModel learned;
+  auto plan = NextOptimized();
+  EXPECT_FALSE(learned.Cost(*plan).has_value());
+  EXPECT_FALSE(learned.trained());
+}
+
+TEST_F(CostModelsTest, TrainWithoutObservationsFails) {
+  LearnedCostModel learned;
+  EXPECT_FALSE(learned.Train().ok());
+}
+
+TEST_F(CostModelsTest, PluggedIntoCostModelAsProvider) {
+  LearnedCostModel learned;
+  for (int i = 0; i < 150; ++i) {
+    auto plan = NextOptimized();
+    learned.Observe(*plan, cost_);
+  }
+  ASSERT_TRUE(learned.Train().ok());
+  engine::CostModel with_provider;
+  with_provider.SetProvider(&learned);
+  auto plan = NextOptimized();
+  // Estimated-card costing is served by the learned provider at the root.
+  double provided = with_provider.PlanCost(*plan, engine::CardSource::kEstimated);
+  auto direct = learned.Cost(*plan);
+  ASSERT_TRUE(direct.has_value());
+  EXPECT_NEAR(provided, *direct, std::abs(*direct) * 1e-9);
+}
+
+}  // namespace
+}  // namespace ads::learned

@@ -1,0 +1,45 @@
+#ifndef ADS_TESTS_LEARNED_HARNESS_H_
+#define ADS_TESTS_LEARNED_HARNESS_H_
+
+#include <memory>
+#include <vector>
+
+#include "engine/executor.h"
+#include "engine/optimizer.h"
+#include "workload/query_gen.h"
+
+namespace ads::learned {
+
+/// One executed job for the learned-layer tests: the optimized plan
+/// (carrying est_card and true_card) plus its simulated run.
+struct ExecutedJob {
+  workload::JobInstance job;
+  std::unique_ptr<engine::PlanNode> optimized;
+  engine::StageGraph stages;
+  engine::JobRun run;
+};
+
+/// Generates, optimizes and "executes" `count` jobs from the generator.
+inline std::vector<ExecutedJob> RunJobs(workload::QueryGenerator& gen,
+                                        size_t count,
+                                        const engine::CostModel& cost_model,
+                                        uint64_t seed = 1) {
+  engine::Optimizer optimizer(&gen.catalog());
+  engine::JobSimulator simulator;
+  std::vector<ExecutedJob> out;
+  for (size_t i = 0; i < count; ++i) {
+    ExecutedJob ej;
+    ej.job = gen.NextJob();
+    ej.optimized =
+        optimizer.Optimize(*ej.job.plan, engine::RuleConfig::Default());
+    ej.stages = engine::CompileToStages(*ej.optimized, cost_model,
+                                        engine::CardSource::kTrue);
+    ej.run = simulator.Execute(ej.stages, seed + i);
+    out.push_back(std::move(ej));
+  }
+  return out;
+}
+
+}  // namespace ads::learned
+
+#endif  // ADS_TESTS_LEARNED_HARNESS_H_

@@ -1,0 +1,116 @@
+#include "learned/steering.h"
+
+#include <gtest/gtest.h>
+
+namespace ads::learned {
+namespace {
+
+using engine::RuleConfig;
+using engine::RuleId;
+
+// A synthetic runtime oracle: default takes 100s; flipping kBroadcastJoin
+// off helps (80s); flipping kEagerAggregation on hurts badly (150s);
+// everything else is neutral.
+double Oracle(const RuleConfig& config, common::Rng& rng) {
+  double t = 100.0;
+  if (!config.IsEnabled(RuleId::kBroadcastJoin)) t = 80.0;
+  if (config.IsEnabled(RuleId::kEagerAggregation)) t = 150.0;
+  return t + rng.Normal(0, 1.0);
+}
+
+TEST(SteeringTest, StartsWithDefaultUntilBaselineTrusted) {
+  SteeringController steering({.min_trials = 3});
+  common::Rng rng(1);
+  for (int i = 0; i < 3; ++i) {
+    RuleConfig c = steering.ChooseConfig(1, rng);
+    EXPECT_EQ(c, RuleConfig::Default());
+    steering.ObserveRuntime(1, c, 100.0);
+  }
+}
+
+TEST(SteeringTest, FindsBetterConfigAndAvoidsRegressions) {
+  SteeringController steering({.epsilon = 0.4, .min_trials = 3});
+  common::Rng rng(2);
+  constexpr uint64_t kSig = 99;
+  for (int i = 0; i < 400; ++i) {
+    RuleConfig c = steering.ChooseConfig(kSig, rng);
+    steering.ObserveRuntime(kSig, c, Oracle(c, rng));
+  }
+  RuleConfig best = steering.BestConfig(kSig);
+  EXPECT_FALSE(best.IsEnabled(RuleId::kBroadcastJoin));
+  EXPECT_FALSE(best.IsEnabled(RuleId::kEagerAggregation));
+  // The harmful arm was condemned.
+  EXPECT_GE(steering.regressions_prevented(), 1u);
+  EXPECT_EQ(steering.templates_steered(), 1u);
+}
+
+TEST(SteeringTest, LateDecisionsConvergeToWinner) {
+  SteeringController steering({.epsilon = 0.5, .epsilon_decay = 0.98,
+                               .min_trials = 2});
+  common::Rng rng(3);
+  constexpr uint64_t kSig = 7;
+  for (int i = 0; i < 500; ++i) {
+    RuleConfig c = steering.ChooseConfig(kSig, rng);
+    steering.ObserveRuntime(kSig, c, Oracle(c, rng));
+  }
+  // With decayed epsilon, the vast majority of fresh choices are the winner.
+  int winner = 0;
+  for (int i = 0; i < 100; ++i) {
+    RuleConfig c = steering.ChooseConfig(kSig, rng);
+    if (!c.IsEnabled(RuleId::kBroadcastJoin) &&
+        !c.IsEnabled(RuleId::kEagerAggregation)) {
+      ++winner;
+    }
+    steering.ObserveRuntime(kSig, c, Oracle(c, rng));
+  }
+  EXPECT_GT(winner, 85);
+}
+
+TEST(SteeringTest, NeverAdoptsWithoutClearImprovement) {
+  // All arms equal: steering must stay on the default.
+  SteeringController steering({.epsilon = 0.5, .min_trials = 3});
+  common::Rng rng(4);
+  constexpr uint64_t kSig = 55;
+  for (int i = 0; i < 300; ++i) {
+    RuleConfig c = steering.ChooseConfig(kSig, rng);
+    steering.ObserveRuntime(kSig, c, 100.0 + rng.Normal(0, 0.5));
+  }
+  EXPECT_EQ(steering.BestConfig(kSig), RuleConfig::Default());
+  EXPECT_EQ(steering.templates_steered(), 0u);
+}
+
+TEST(SteeringTest, TemplatesAreIndependent) {
+  SteeringController steering({.epsilon = 0.5, .min_trials = 2});
+  common::Rng rng(5);
+  // Template A: broadcast-off helps. Template B: all equal.
+  for (int i = 0; i < 300; ++i) {
+    RuleConfig ca = steering.ChooseConfig(1, rng);
+    steering.ObserveRuntime(1, ca, Oracle(ca, rng));
+    RuleConfig cb = steering.ChooseConfig(2, rng);
+    steering.ObserveRuntime(2, cb, 50.0);
+  }
+  EXPECT_FALSE(steering.BestConfig(1).IsEnabled(RuleId::kBroadcastJoin));
+  EXPECT_EQ(steering.BestConfig(2), RuleConfig::Default());
+}
+
+TEST(SteeringTest, UnknownTemplateGetsDefault) {
+  SteeringController steering;
+  EXPECT_EQ(steering.BestConfig(12345), RuleConfig::Default());
+  EXPECT_DOUBLE_EQ(steering.DefaultMeanRuntime(12345), 0.0);
+}
+
+TEST(SteeringTest, ObserveOutsideArmSetIsIgnored) {
+  SteeringController steering;
+  common::Rng rng(6);
+  steering.ChooseConfig(1, rng);
+  // Hamming distance 3 from default: not an arm.
+  RuleConfig far = RuleConfig::Default()
+                       .With(RuleId::kFilterMerge, false)
+                       .With(RuleId::kProjectMerge, false)
+                       .With(RuleId::kSortElimination, false);
+  steering.ObserveRuntime(1, far, 1.0);  // must not crash or distort arm 0
+  EXPECT_DOUBLE_EQ(steering.DefaultMeanRuntime(1), 0.0);
+}
+
+}  // namespace
+}  // namespace ads::learned

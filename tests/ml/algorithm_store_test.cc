@@ -1,0 +1,69 @@
+#include "ml/algorithm_store.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ml/linear.h"
+
+namespace ads::ml {
+namespace {
+
+TEST(AlgorithmStoreTest, DefaultCatalogIsPopulated) {
+  AlgorithmStore store = AlgorithmStore::Default();
+  EXPECT_GE(store.size(), 6u);
+  auto info = store.List();
+  EXPECT_EQ(info.size(), store.size());
+}
+
+TEST(AlgorithmStoreTest, CreateInstantiatesWorkingModel) {
+  AlgorithmStore store = AlgorithmStore::Default();
+  auto model = store.Create("linear_regression");
+  ASSERT_TRUE(model.ok());
+  common::Rng rng(1);
+  Dataset d({"x"});
+  for (int i = 0; i < 50; ++i) {
+    double x = rng.Uniform(0, 10);
+    d.Add({x}, 2.0 * x + 1.0);
+  }
+  ASSERT_TRUE((*model)->Fit(d).ok());
+  EXPECT_NEAR((*model)->Predict({5.0}), 11.0, 0.1);
+}
+
+TEST(AlgorithmStoreTest, SearchByTag) {
+  AlgorithmStore store = AlgorithmStore::Default();
+  auto interpretable = store.SearchByTag("interpretable");
+  EXPECT_GE(interpretable.size(), 2u);
+  for (const auto& info : interpretable) {
+    bool has = false;
+    for (const auto& t : info.tags) has |= (t == "interpretable");
+    EXPECT_TRUE(has);
+  }
+  EXPECT_TRUE(store.SearchByTag("quantum").empty());
+}
+
+TEST(AlgorithmStoreTest, SearchByKeyword) {
+  AlgorithmStore store = AlgorithmStore::Default();
+  auto hits = store.SearchByKeyword("tree");
+  EXPECT_GE(hits.size(), 1u);
+  EXPECT_TRUE(store.SearchByKeyword("zzzznothing").empty());
+}
+
+TEST(AlgorithmStoreTest, RegisterValidation) {
+  AlgorithmStore store;
+  ASSERT_TRUE(store
+                  .Register("custom", "a custom algorithm", {"x"},
+                            [] { return std::make_unique<LinearRegressor>(); })
+                  .ok());
+  // Duplicate name.
+  EXPECT_EQ(store
+                .Register("custom", "again", {},
+                          [] { return std::make_unique<LinearRegressor>(); })
+                .code(),
+            common::StatusCode::kAlreadyExists);
+  // Null factory.
+  EXPECT_FALSE(store.Register("broken", "no factory", {}, nullptr).ok());
+  EXPECT_FALSE(store.Create("missing").ok());
+}
+
+}  // namespace
+}  // namespace ads::ml

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ml/kmeans.h"
+#include "ml/knn.h"
+
+namespace ads::ml {
+namespace {
+
+std::vector<std::vector<double>> ThreeBlobs(common::Rng& rng, size_t per) {
+  std::vector<std::vector<double>> points;
+  const double centers[3][2] = {{0, 0}, {10, 0}, {0, 10}};
+  for (int c = 0; c < 3; ++c) {
+    for (size_t i = 0; i < per; ++i) {
+      points.push_back(
+          {centers[c][0] + rng.Normal(0, 0.5), centers[c][1] + rng.Normal(0, 0.5)});
+    }
+  }
+  return points;
+}
+
+TEST(KMeansTest, RecoversWellSeparatedBlobs) {
+  common::Rng rng(1);
+  auto points = ThreeBlobs(rng, 50);
+  KMeans km({.k = 3, .seed = 2});
+  ASSERT_TRUE(km.Fit(points).ok());
+  // All points of one blob share a cluster, and the three clusters differ.
+  size_t c0 = km.labels()[0];
+  size_t c1 = km.labels()[50];
+  size_t c2 = km.labels()[100];
+  EXPECT_NE(c0, c1);
+  EXPECT_NE(c1, c2);
+  EXPECT_NE(c0, c2);
+  for (size_t i = 0; i < 50; ++i) EXPECT_EQ(km.labels()[i], c0);
+  for (size_t i = 50; i < 100; ++i) EXPECT_EQ(km.labels()[i], c1);
+  for (size_t i = 100; i < 150; ++i) EXPECT_EQ(km.labels()[i], c2);
+}
+
+TEST(KMeansTest, AssignRoutesToNearestCentroid) {
+  common::Rng rng(3);
+  auto points = ThreeBlobs(rng, 30);
+  KMeans km({.k = 3, .seed = 4});
+  ASSERT_TRUE(km.Fit(points).ok());
+  EXPECT_EQ(km.Assign({0.2, -0.1}), km.labels()[0]);
+  EXPECT_EQ(km.Assign({9.8, 0.3}), km.labels()[30]);
+}
+
+TEST(KMeansTest, InertiaDecreasesWithMoreClusters) {
+  common::Rng rng(5);
+  auto points = ThreeBlobs(rng, 40);
+  KMeans k1({.k = 1, .seed = 6});
+  KMeans k3({.k = 3, .seed = 6});
+  ASSERT_TRUE(k1.Fit(points).ok());
+  ASSERT_TRUE(k3.Fit(points).ok());
+  EXPECT_LT(k3.inertia(), k1.inertia() * 0.2);
+}
+
+TEST(KMeansTest, RejectsTooFewPoints) {
+  KMeans km({.k = 5});
+  std::vector<std::vector<double>> points = {{1.0}, {2.0}};
+  EXPECT_FALSE(km.Fit(points).ok());
+}
+
+TEST(KMeansTest, HandlesDuplicatePoints) {
+  KMeans km({.k = 2, .seed = 1});
+  std::vector<std::vector<double>> points(10, std::vector<double>{1.0, 1.0});
+  ASSERT_TRUE(km.Fit(points).ok());
+  EXPECT_NEAR(km.inertia(), 0.0, 1e-12);
+}
+
+TEST(KnnTest, PredictsLocalMean) {
+  Dataset d({"x"});
+  for (int i = 0; i < 10; ++i) {
+    d.Add({static_cast<double>(i)}, static_cast<double>(i) * 10.0);
+  }
+  KnnRegressor knn(3);
+  ASSERT_TRUE(knn.Fit(d).ok());
+  // Neighbors of 5.1 are {5, 6, 4} -> mean 50.
+  EXPECT_NEAR(knn.Predict({5.1}), 50.0, 1e-9);
+}
+
+TEST(KnnTest, NeighborsOrderedByDistance) {
+  Dataset d({"x"});
+  for (double v : {0.0, 10.0, 20.0}) d.Add({v}, v);
+  KnnRegressor knn(2);
+  ASSERT_TRUE(knn.Fit(d).ok());
+  auto nn = knn.Neighbors({11.0});
+  ASSERT_EQ(nn.size(), 2u);
+  EXPECT_EQ(nn[0], 1u);
+  EXPECT_EQ(nn[1], 2u);
+}
+
+TEST(KnnTest, KLargerThanDataUsesAll) {
+  Dataset d({"x"});
+  d.Add({0.0}, 2.0);
+  d.Add({1.0}, 4.0);
+  KnnRegressor knn(10);
+  ASSERT_TRUE(knn.Fit(d).ok());
+  EXPECT_NEAR(knn.Predict({0.5}), 3.0, 1e-9);
+}
+
+TEST(KnnTest, RejectsEmptyDataAndZeroK) {
+  KnnRegressor knn(3);
+  EXPECT_FALSE(knn.Fit(Dataset()).ok());
+  KnnRegressor zero(0);
+  Dataset d({"x"});
+  d.Add({1.0}, 1.0);
+  EXPECT_FALSE(zero.Fit(d).ok());
+}
+
+TEST(KnnTest, StandardizationMakesScalesComparable) {
+  // Feature 2 has a huge scale; without standardization it would dominate.
+  Dataset d({"a", "b"});
+  d.Add({0.0, 0.0}, 0.0);
+  d.Add({1.0, 1e6}, 1.0);
+  d.Add({2.0, 0.0}, 2.0);
+  KnnRegressor knn(1);
+  ASSERT_TRUE(knn.Fit(d).ok());
+  // Query near row 2 in standardized space.
+  EXPECT_NEAR(knn.Predict({2.0, 0.0}), 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace ads::ml

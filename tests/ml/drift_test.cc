@@ -1,0 +1,100 @@
+#include "ml/drift.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace ads::ml {
+namespace {
+
+TEST(PsiTest, IdenticalDistributionsNearZero) {
+  common::Rng rng(1);
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 2000; ++i) {
+    a.push_back(rng.Normal(0, 1));
+    b.push_back(rng.Normal(0, 1));
+  }
+  auto psi = PopulationStabilityIndex(a, b);
+  ASSERT_TRUE(psi.ok());
+  EXPECT_LT(*psi, 0.05);
+}
+
+TEST(PsiTest, ShiftedDistributionsLarge) {
+  common::Rng rng(2);
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 2000; ++i) {
+    a.push_back(rng.Normal(0, 1));
+    b.push_back(rng.Normal(3, 1));
+  }
+  auto psi = PopulationStabilityIndex(a, b);
+  ASSERT_TRUE(psi.ok());
+  EXPECT_GT(*psi, 0.5);
+}
+
+TEST(PsiTest, RejectsEmptyInput) {
+  EXPECT_FALSE(PopulationStabilityIndex({}, {1.0}).ok());
+  EXPECT_FALSE(PopulationStabilityIndex({1.0}, {}).ok());
+}
+
+TEST(PsiTest, HandlesConstantSamples) {
+  std::vector<double> a(100, 5.0);
+  std::vector<double> b(100, 5.0);
+  auto psi = PopulationStabilityIndex(a, b);
+  ASSERT_TRUE(psi.ok());
+  EXPECT_NEAR(*psi, 0.0, 1e-9);
+}
+
+TEST(DriftDetectorTest, NoAlarmOnStableErrors) {
+  common::Rng rng(3);
+  DriftDetector det;
+  for (int i = 0; i < 500; ++i) {
+    det.Observe(std::abs(rng.Normal(0, 1)));
+  }
+  EXPECT_FALSE(det.alarmed());
+}
+
+TEST(DriftDetectorTest, AlarmsOnErrorJump) {
+  common::Rng rng(4);
+  DriftDetector det;
+  for (int i = 0; i < 100; ++i) det.Observe(std::abs(rng.Normal(0, 1)));
+  EXPECT_FALSE(det.alarmed());
+  bool alarmed = false;
+  for (int i = 0; i < 50; ++i) {
+    alarmed = det.Observe(std::abs(rng.Normal(0, 1)) + 10.0);
+  }
+  EXPECT_TRUE(alarmed);
+}
+
+TEST(DriftDetectorTest, ResetClearsAlarm) {
+  DriftDetector det({.baseline_window = 5, .recent_window = 3});
+  for (int i = 0; i < 5; ++i) det.Observe(1.0);
+  for (int i = 0; i < 3; ++i) det.Observe(100.0);
+  EXPECT_TRUE(det.alarmed());
+  det.Reset();
+  EXPECT_FALSE(det.alarmed());
+  EXPECT_FALSE(det.baseline_ready());
+}
+
+TEST(DriftDetectorTest, NoAlarmBeforeRecentWindowFull) {
+  DriftDetector det({.baseline_window = 5, .recent_window = 10});
+  for (int i = 0; i < 5; ++i) det.Observe(1.0);
+  for (int i = 0; i < 9; ++i) det.Observe(100.0);
+  EXPECT_FALSE(det.alarmed());
+  det.Observe(100.0);
+  EXPECT_TRUE(det.alarmed());
+}
+
+TEST(DriftDetectorTest, MinAbsoluteErrorGuardsNoise) {
+  // Baseline errors are zero; tiny recent errors must not alarm.
+  DriftDetector det({.baseline_window = 5,
+                     .recent_window = 3,
+                     .min_absolute_error = 0.1});
+  for (int i = 0; i < 5; ++i) det.Observe(0.0);
+  for (int i = 0; i < 3; ++i) det.Observe(0.01);
+  EXPECT_FALSE(det.alarmed());
+}
+
+}  // namespace
+}  // namespace ads::ml

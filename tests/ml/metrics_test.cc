@@ -1,0 +1,81 @@
+#include "ml/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace ads::ml {
+namespace {
+
+TEST(ConfusionTest, CountsCells) {
+  std::vector<double> probs = {0.9, 0.8, 0.2, 0.4, 0.6};
+  std::vector<double> labels = {1, 0, 0, 1, 1};
+  auto cm = Confusion(probs, labels);
+  ASSERT_TRUE(cm.ok());
+  EXPECT_EQ(cm->true_positive, 2u);   // 0.9, 0.6
+  EXPECT_EQ(cm->false_positive, 1u);  // 0.8
+  EXPECT_EQ(cm->true_negative, 1u);   // 0.2
+  EXPECT_EQ(cm->false_negative, 1u);  // 0.4
+  EXPECT_DOUBLE_EQ(cm->Accuracy(), 0.6);
+  EXPECT_DOUBLE_EQ(cm->Precision(), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(cm->Recall(), 2.0 / 3.0);
+  EXPECT_NEAR(cm->F1(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(ConfusionTest, ThresholdShiftsDecisions) {
+  std::vector<double> probs = {0.4, 0.6};
+  std::vector<double> labels = {1, 1};
+  auto strict = Confusion(probs, labels, 0.7);
+  ASSERT_TRUE(strict.ok());
+  EXPECT_EQ(strict->true_positive, 0u);
+  auto lax = Confusion(probs, labels, 0.3);
+  ASSERT_TRUE(lax.ok());
+  EXPECT_EQ(lax->true_positive, 2u);
+}
+
+TEST(ConfusionTest, RejectsLengthMismatch) {
+  EXPECT_FALSE(Confusion({0.5}, {1, 0}).ok());
+}
+
+TEST(ConfusionTest, EmptyMatrixMetricsAreZero) {
+  ConfusionMatrix cm;
+  EXPECT_DOUBLE_EQ(cm.Accuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.Precision(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.Recall(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.F1(), 0.0);
+}
+
+TEST(AucTest, PerfectSeparationIsOne) {
+  std::vector<double> probs = {0.1, 0.2, 0.8, 0.9};
+  std::vector<double> labels = {0, 0, 1, 1};
+  auto auc = AreaUnderRoc(probs, labels);
+  ASSERT_TRUE(auc.ok());
+  EXPECT_DOUBLE_EQ(*auc, 1.0);
+}
+
+TEST(AucTest, ReversedSeparationIsZero) {
+  std::vector<double> probs = {0.9, 0.8, 0.2, 0.1};
+  std::vector<double> labels = {0, 0, 1, 1};
+  auto auc = AreaUnderRoc(probs, labels);
+  ASSERT_TRUE(auc.ok());
+  EXPECT_DOUBLE_EQ(*auc, 0.0);
+}
+
+TEST(AucTest, TiesGetMidrank) {
+  std::vector<double> probs = {0.5, 0.5, 0.5, 0.5};
+  std::vector<double> labels = {0, 1, 0, 1};
+  auto auc = AreaUnderRoc(probs, labels);
+  ASSERT_TRUE(auc.ok());
+  EXPECT_DOUBLE_EQ(*auc, 0.5);
+}
+
+TEST(AucTest, SingleClassReturnsHalf) {
+  auto auc = AreaUnderRoc({0.1, 0.9}, {1, 1});
+  ASSERT_TRUE(auc.ok());
+  EXPECT_DOUBLE_EQ(*auc, 0.5);
+}
+
+TEST(AucTest, RejectsLengthMismatch) {
+  EXPECT_FALSE(AreaUnderRoc({0.5}, {1, 0}).ok());
+}
+
+}  // namespace
+}  // namespace ads::ml

@@ -1,0 +1,83 @@
+#include "ml/mlp.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "ml/linear.h"
+
+namespace ads::ml {
+namespace {
+
+TEST(MlpTest, FitsLinearFunction) {
+  common::Rng rng(1);
+  Dataset d({"x"});
+  for (int i = 0; i < 300; ++i) {
+    double x = rng.Uniform(-2, 2);
+    d.Add({x}, 3.0 * x + 1.0);
+  }
+  MlpRegressor mlp({.hidden_layers = {8}, .epochs = 300, .seed = 2});
+  ASSERT_TRUE(mlp.Fit(d).ok());
+  EXPECT_NEAR(mlp.Predict({1.0}), 4.0, 0.4);
+  EXPECT_NEAR(mlp.Predict({-1.0}), -2.0, 0.4);
+}
+
+TEST(MlpTest, FitsNonlinearFunctionBetterThanLinear) {
+  common::Rng rng(3);
+  Dataset d({"x"});
+  for (int i = 0; i < 600; ++i) {
+    double x = rng.Uniform(-3, 3);
+    d.Add({x}, std::sin(x) * 3.0);
+  }
+  MlpRegressor mlp({.hidden_layers = {16, 16}, .epochs = 400, .seed = 4});
+  LinearRegressor lin;
+  ASSERT_TRUE(mlp.Fit(d).ok());
+  ASSERT_TRUE(lin.Fit(d).ok());
+  std::vector<double> truth;
+  std::vector<double> mlp_pred;
+  std::vector<double> lin_pred;
+  for (double x = -2.5; x <= 2.5; x += 0.1) {
+    truth.push_back(std::sin(x) * 3.0);
+    mlp_pred.push_back(mlp.Predict({x}));
+    lin_pred.push_back(lin.Predict({x}));
+  }
+  EXPECT_LT(common::RootMeanSquaredError(truth, mlp_pred),
+            common::RootMeanSquaredError(truth, lin_pred) * 0.5);
+}
+
+TEST(MlpTest, DeterministicGivenSeed) {
+  common::Rng rng(5);
+  Dataset d({"x"});
+  for (int i = 0; i < 100; ++i) {
+    double x = rng.Uniform(-1, 1);
+    d.Add({x}, x * x);
+  }
+  MlpRegressor a({.hidden_layers = {4}, .epochs = 50, .seed = 9});
+  MlpRegressor b({.hidden_layers = {4}, .epochs = 50, .seed = 9});
+  ASSERT_TRUE(a.Fit(d).ok());
+  ASSERT_TRUE(b.Fit(d).ok());
+  EXPECT_DOUBLE_EQ(a.Predict({0.3}), b.Predict({0.3}));
+}
+
+TEST(MlpTest, RejectsEmptyData) {
+  MlpRegressor mlp;
+  EXPECT_FALSE(mlp.Fit(Dataset()).ok());
+}
+
+TEST(MlpTest, InferenceCostExceedsLinear) {
+  common::Rng rng(6);
+  Dataset d({"x", "y"});
+  for (int i = 0; i < 50; ++i) {
+    d.Add({rng.Uniform(), rng.Uniform()}, rng.Uniform());
+  }
+  MlpRegressor mlp({.hidden_layers = {32, 32}, .epochs = 2});
+  LinearRegressor lin;
+  ASSERT_TRUE(mlp.Fit(d).ok());
+  ASSERT_TRUE(lin.Fit(d).ok());
+  EXPECT_GT(mlp.InferenceCost(), 100.0 * lin.InferenceCost());
+}
+
+}  // namespace
+}  // namespace ads::ml

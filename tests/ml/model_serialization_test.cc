@@ -1,0 +1,81 @@
+#include "ml/model.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ml/forest.h"
+#include "ml/linear.h"
+#include "ml/mlp.h"
+#include "ml/tree.h"
+
+namespace ads::ml {
+namespace {
+
+Dataset SomeData(common::Rng& rng, size_t n = 200) {
+  Dataset d({"x1", "x2"});
+  for (size_t i = 0; i < n; ++i) {
+    double x1 = rng.Uniform(0, 10);
+    double x2 = rng.Uniform(0, 10);
+    d.Add({x1, x2}, x1 * 2.0 + (x2 > 5 ? 3.0 : 0.0) + rng.Normal(0, 0.1));
+  }
+  return d;
+}
+
+class RoundTripTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(RoundTripTest, FactoryReconstructsEveryFamily) {
+  common::Rng rng(11);
+  Dataset d = SomeData(rng);
+  std::unique_ptr<Regressor> model;
+  const std::string& family = GetParam();
+  if (family == "linear") {
+    model = std::make_unique<LinearRegressor>();
+  } else if (family == "tree") {
+    model = std::make_unique<RegressionTree>();
+  } else if (family == "forest") {
+    model = std::make_unique<RandomForestRegressor>(
+        RandomForestOptions{.num_trees = 5});
+  } else if (family == "mlp") {
+    model = std::make_unique<MlpRegressor>(
+        MlpOptions{.hidden_layers = {8}, .epochs = 30});
+  } else {
+    model = std::make_unique<GradientBoostedTrees>(
+        GradientBoostedTreesOptions{.num_rounds = 5});
+  }
+  ASSERT_TRUE(model->Fit(d).ok());
+  auto restored = DeserializeRegressor(model->Serialize());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ((*restored)->TypeName(), family);
+  for (int i = 0; i < 20; ++i) {
+    std::vector<double> x = {rng.Uniform(0, 10), rng.Uniform(0, 10)};
+    EXPECT_NEAR((*restored)->Predict(x), model->Predict(x),
+                std::abs(model->Predict(x)) * 1e-9 + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, RoundTripTest,
+                         ::testing::Values("linear", "tree", "forest", "gbt", "mlp"));
+
+TEST(DeserializeTest, RejectsUnknownFamily) {
+  auto r = DeserializeRegressor("quantum\n1 2 3\n");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), common::StatusCode::kUnimplemented);
+}
+
+TEST(DeserializeTest, RejectsMissingTag) {
+  EXPECT_FALSE(DeserializeRegressor("garbage-without-newline").ok());
+}
+
+TEST(MlpSerializationTest, BlobContainsAllParameters) {
+  common::Rng rng(12);
+  Dataset d = SomeData(rng, 100);
+  MlpRegressor mlp({.hidden_layers = {4}, .epochs = 5});
+  ASSERT_TRUE(mlp.Fit(d).ok());
+  std::string blob = mlp.Serialize();
+  EXPECT_EQ(blob.rfind("mlp\n", 0), 0u);
+  // 2 inputs -> 4 hidden -> 1 output: (2*4+4) + (4*1+1) = 17 parameters.
+  EXPECT_EQ(mlp.parameter_count(), 17u);
+}
+
+}  // namespace
+}  // namespace ads::ml

@@ -1,0 +1,188 @@
+#include "ml/tree.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "ml/forest.h"
+
+namespace ads::ml {
+namespace {
+
+// Piecewise-constant target that trees fit exactly.
+Dataset StepData(size_t n, common::Rng& rng, double noise = 0.0) {
+  Dataset d({"x1", "x2"});
+  for (size_t i = 0; i < n; ++i) {
+    double x1 = rng.Uniform(0, 10);
+    double x2 = rng.Uniform(0, 10);
+    double y = (x1 > 5 ? 10.0 : 0.0) + (x2 > 3 ? 5.0 : 0.0);
+    d.Add({x1, x2}, y + rng.Normal(0, noise));
+  }
+  return d;
+}
+
+// Smooth nonlinear target used for the ensemble comparisons.
+Dataset SmoothData(size_t n, common::Rng& rng, double noise = 0.1) {
+  Dataset d({"x1", "x2"});
+  for (size_t i = 0; i < n; ++i) {
+    double x1 = rng.Uniform(-3, 3);
+    double x2 = rng.Uniform(-3, 3);
+    double y = std::sin(x1) * 2.0 + x2 * x2 * 0.5;
+    d.Add({x1, x2}, y + rng.Normal(0, noise));
+  }
+  return d;
+}
+
+double TestRmse(const Regressor& model, const Dataset& test) {
+  std::vector<double> pred;
+  std::vector<double> truth;
+  for (size_t i = 0; i < test.size(); ++i) {
+    pred.push_back(model.Predict(test.row(i)));
+    truth.push_back(test.label(i));
+  }
+  return common::RootMeanSquaredError(truth, pred);
+}
+
+TEST(RegressionTreeTest, FitsStepFunctionExactly) {
+  common::Rng rng(1);
+  Dataset d = StepData(500, rng);
+  RegressionTree tree;
+  ASSERT_TRUE(tree.Fit(d).ok());
+  EXPECT_NEAR(tree.Predict({7.0, 5.0}), 15.0, 0.5);
+  EXPECT_NEAR(tree.Predict({1.0, 1.0}), 0.0, 0.5);
+  EXPECT_NEAR(tree.Predict({7.0, 1.0}), 10.0, 0.5);
+}
+
+TEST(RegressionTreeTest, DepthLimitRespected) {
+  common::Rng rng(2);
+  Dataset d = StepData(500, rng, 1.0);
+  RegressionTree tree({.max_depth = 2});
+  ASSERT_TRUE(tree.Fit(d).ok());
+  EXPECT_LE(tree.depth(), 3);  // root at depth 1, two split levels
+}
+
+TEST(RegressionTreeTest, SingleLeafForConstantLabels) {
+  Dataset d({"x"});
+  for (int i = 0; i < 20; ++i) d.Add({static_cast<double>(i)}, 7.0);
+  RegressionTree tree;
+  ASSERT_TRUE(tree.Fit(d).ok());
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_DOUBLE_EQ(tree.Predict({100.0}), 7.0);
+}
+
+TEST(RegressionTreeTest, MinSamplesLeafRespected) {
+  common::Rng rng(3);
+  Dataset d = StepData(40, rng);
+  RegressionTree tree({.min_samples_leaf = 20});
+  ASSERT_TRUE(tree.Fit(d).ok());
+  // Only the root split (20/20) is possible at best.
+  EXPECT_LE(tree.node_count(), 3u);
+}
+
+TEST(RegressionTreeTest, RejectsEmptyData) {
+  RegressionTree tree;
+  EXPECT_FALSE(tree.Fit(Dataset()).ok());
+}
+
+TEST(RegressionTreeTest, SerializeRoundTrip) {
+  common::Rng rng(4);
+  Dataset d = StepData(200, rng, 0.5);
+  RegressionTree tree;
+  ASSERT_TRUE(tree.Fit(d).ok());
+  auto restored = RegressionTree::Deserialize(
+      tree.Serialize().substr(std::string("tree\n").size()));
+  ASSERT_TRUE(restored.ok());
+  for (int i = 0; i < 20; ++i) {
+    std::vector<double> x = {rng.Uniform(0, 10), rng.Uniform(0, 10)};
+    EXPECT_DOUBLE_EQ(restored->Predict(x), tree.Predict(x));
+  }
+}
+
+TEST(RandomForestTest, BeatsSingleTreeOnSmoothTarget) {
+  common::Rng rng(5);
+  Dataset d = SmoothData(1200, rng);
+  common::Rng split_rng(6);
+  auto [train, test] = d.Split(0.8, split_rng);
+  RegressionTree tree({.max_depth = 4});
+  RandomForestRegressor forest({.num_trees = 40, .max_depth = 8});
+  ASSERT_TRUE(tree.Fit(train).ok());
+  ASSERT_TRUE(forest.Fit(train).ok());
+  EXPECT_LT(TestRmse(forest, test), TestRmse(tree, test));
+}
+
+TEST(RandomForestTest, DeterministicGivenSeed) {
+  common::Rng rng(7);
+  Dataset d = SmoothData(300, rng);
+  RandomForestRegressor f1({.num_trees = 10, .seed = 3});
+  RandomForestRegressor f2({.num_trees = 10, .seed = 3});
+  ASSERT_TRUE(f1.Fit(d).ok());
+  ASSERT_TRUE(f2.Fit(d).ok());
+  EXPECT_DOUBLE_EQ(f1.Predict({0.5, 0.5}), f2.Predict({0.5, 0.5}));
+}
+
+TEST(RandomForestTest, SerializeRoundTrip) {
+  common::Rng rng(8);
+  Dataset d = SmoothData(200, rng);
+  RandomForestRegressor forest({.num_trees = 5});
+  ASSERT_TRUE(forest.Fit(d).ok());
+  auto restored = RandomForestRegressor::Deserialize(
+      forest.Serialize().substr(std::string("forest\n").size()));
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->tree_count(), 5u);
+  for (int i = 0; i < 10; ++i) {
+    std::vector<double> x = {rng.Uniform(-3, 3), rng.Uniform(-3, 3)};
+    EXPECT_DOUBLE_EQ(restored->Predict(x), forest.Predict(x));
+  }
+}
+
+TEST(GradientBoostedTreesTest, ReducesTrainingErrorPerRound) {
+  common::Rng rng(9);
+  Dataset d = SmoothData(600, rng);
+  GradientBoostedTrees weak({.num_rounds = 2});
+  GradientBoostedTrees strong({.num_rounds = 60});
+  ASSERT_TRUE(weak.Fit(d).ok());
+  ASSERT_TRUE(strong.Fit(d).ok());
+  EXPECT_LT(TestRmse(strong, d), TestRmse(weak, d));
+}
+
+TEST(GradientBoostedTreesTest, PredictsConstantBaseBeforeTrees) {
+  Dataset d({"x"});
+  for (int i = 0; i < 30; ++i) d.Add({static_cast<double>(i)}, 4.0);
+  GradientBoostedTrees gbt({.num_rounds = 1});
+  ASSERT_TRUE(gbt.Fit(d).ok());
+  EXPECT_NEAR(gbt.Predict({5.0}), 4.0, 1e-9);
+}
+
+TEST(GradientBoostedTreesTest, SerializeRoundTrip) {
+  common::Rng rng(10);
+  Dataset d = SmoothData(300, rng);
+  GradientBoostedTrees gbt({.num_rounds = 8});
+  ASSERT_TRUE(gbt.Fit(d).ok());
+  auto restored = GradientBoostedTrees::Deserialize(
+      gbt.Serialize().substr(std::string("gbt\n").size()));
+  ASSERT_TRUE(restored.ok());
+  for (int i = 0; i < 10; ++i) {
+    std::vector<double> x = {rng.Uniform(-3, 3), rng.Uniform(-3, 3)};
+    EXPECT_NEAR(restored->Predict(x), gbt.Predict(x), 1e-9);
+  }
+}
+
+// Property sweep: on random step datasets, the tree's training RMSE never
+// exceeds the standard deviation of the labels (it can always fit the mean).
+class TreeFitProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(TreeFitProperty, NeverWorseThanMeanPredictor) {
+  common::Rng rng(static_cast<uint64_t>(GetParam()) + 100);
+  Dataset d = StepData(150 + GetParam() * 10, rng, 0.5);
+  RegressionTree tree;
+  ASSERT_TRUE(tree.Fit(d).ok());
+  common::RunningMoments label_stats;
+  for (size_t i = 0; i < d.size(); ++i) label_stats.Add(d.label(i));
+  EXPECT_LE(TestRmse(tree, d), label_stats.stddev() + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomDatasets, TreeFitProperty,
+                         ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace ads::ml

@@ -1,0 +1,132 @@
+#include "service/autotuner.h"
+
+#include <gtest/gtest.h>
+
+#include "service/autotoken.h"
+
+namespace ads::service {
+namespace {
+
+TEST(AutoTunerTest, TuningBeatsDefaultConfig) {
+  workload::ResponseSurface surface = workload::MakeRedisSurface(1);
+  IterativeTuner tuner;
+  common::Rng rng(2);
+  auto result = tuner.Tune(surface, 40, rng, /*use_prior=*/false);
+  ASSERT_TRUE(result.ok());
+  double default_tp = surface.TrueThroughput(surface.DefaultConfig());
+  EXPECT_GT(result->best_true_throughput, default_tp * 1.05);
+  EXPECT_EQ(result->evaluations, 40u);
+}
+
+TEST(AutoTunerTest, IncumbentCurveIsMonotone) {
+  workload::ResponseSurface surface = workload::MakeSparkSurface(3);
+  IterativeTuner tuner;
+  common::Rng rng(4);
+  auto result = tuner.Tune(surface, 30, rng, false);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->incumbent_curve.size(), 30u);
+  // The TRUE throughput of the incumbent can dip slightly when noise
+  // promotes a worse config, but should trend strongly upward.
+  EXPECT_GT(result->incumbent_curve.back(),
+            result->incumbent_curve.front() * 0.99);
+}
+
+TEST(AutoTunerTest, PriorWarmStartConvergesFaster) {
+  constexpr uint64_t kFamily = 77;
+  // Pool benchmark observations from sibling applications.
+  std::vector<std::pair<std::vector<double>, double>> pool;
+  common::Rng rng(5);
+  for (uint64_t app = 100; app < 108; ++app) {
+    workload::ResponseSurface sibling =
+        workload::MakeSparkSurfaceInFamily(kFamily, app);
+    for (int i = 0; i < 40; ++i) {
+      std::vector<double> config;
+      for (const auto& k : sibling.knobs()) {
+        config.push_back(rng.Uniform(k.min_value, k.max_value));
+      }
+      pool.emplace_back(IterativeTuner::Normalize(sibling, config),
+                        sibling.MeasureThroughput(config, rng));
+    }
+  }
+  IterativeTuner tuner;
+  ASSERT_TRUE(tuner.TrainGlobalPrior(pool).ok());
+  ASSERT_TRUE(tuner.has_prior());
+
+  // New application in the family, tight budget.
+  workload::ResponseSurface target =
+      workload::MakeSparkSurfaceInFamily(kFamily, 999);
+  double with_prior_sum = 0.0;
+  double without_prior_sum = 0.0;
+  for (uint64_t trial = 0; trial < 5; ++trial) {
+    common::Rng r1(10 + trial);
+    common::Rng r2(10 + trial);
+    auto with_prior = tuner.Tune(target, 8, r1, true);
+    auto without = tuner.Tune(target, 8, r2, false);
+    ASSERT_TRUE(with_prior.ok());
+    ASSERT_TRUE(without.ok());
+    with_prior_sum += with_prior->incumbent_curve[3];
+    without_prior_sum += without->incumbent_curve[3];
+  }
+  // Early in tuning, the global prior is a better starting point.
+  EXPECT_GT(with_prior_sum, without_prior_sum * 0.98);
+}
+
+TEST(AutoTunerTest, ValidatesArguments) {
+  workload::ResponseSurface surface = workload::MakeRedisSurface(6);
+  IterativeTuner tuner;
+  common::Rng rng(7);
+  EXPECT_FALSE(tuner.Tune(surface, 0, rng, false).ok());
+  EXPECT_FALSE(tuner.TrainGlobalPrior({}).ok());
+}
+
+TEST(AutoTokenTest, LearnsPeakParallelismPerTemplate) {
+  AutoToken at({.min_samples = 5, .safety_margin = 1.0});
+  common::Rng rng(8);
+  // Template 1: peak = 3 * input_gb; template 2: constant 10.
+  for (int i = 0; i < 30; ++i) {
+    double gb = rng.Uniform(1, 100);
+    at.Observe(1, {gb}, 3.0 * gb);
+    at.Observe(2, {gb}, 10.0);
+  }
+  ASSERT_TRUE(at.Train().ok());
+  EXPECT_EQ(at.model_count(), 2u);
+  auto p1 = at.PredictPeak(1, {50.0});
+  ASSERT_TRUE(p1.ok());
+  EXPECT_NEAR(*p1, 150.0, 20.0);
+  auto p2 = at.PredictPeak(2, {50.0});
+  ASSERT_TRUE(p2.ok());
+  EXPECT_NEAR(*p2, 10.0, 2.0);
+}
+
+TEST(AutoTokenTest, UnknownTemplateIsNotFound) {
+  AutoToken at;
+  EXPECT_EQ(at.PredictPeak(42, {1.0}).status().code(),
+            common::StatusCode::kNotFound);
+}
+
+TEST(AutoTokenTest, SafetyMarginApplied) {
+  AutoToken plain({.min_samples = 3, .safety_margin = 1.0});
+  AutoToken margin({.min_samples = 3, .safety_margin = 1.5});
+  for (int i = 0; i < 10; ++i) {
+    plain.Observe(1, {1.0 + i * 0.001}, 100.0);
+    margin.Observe(1, {1.0 + i * 0.001}, 100.0);
+  }
+  ASSERT_TRUE(plain.Train().ok());
+  ASSERT_TRUE(margin.Train().ok());
+  auto p = plain.PredictPeak(1, {1.0});
+  auto m = margin.PredictPeak(1, {1.0});
+  ASSERT_TRUE(p.ok());
+  ASSERT_TRUE(m.ok());
+  EXPECT_NEAR(*m / *p, 1.5, 0.01);
+}
+
+TEST(AutoTokenTest, TooFewSamplesNoModel) {
+  AutoToken at({.min_samples = 10});
+  for (int i = 0; i < 5; ++i) at.Observe(1, {1.0}, 5.0);
+  ASSERT_TRUE(at.Train().ok());
+  EXPECT_EQ(at.model_count(), 0u);
+  EXPECT_EQ(at.observations(), 5u);
+}
+
+}  // namespace
+}  // namespace ads::service

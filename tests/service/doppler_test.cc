@@ -1,0 +1,102 @@
+#include "service/doppler.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace ads::service {
+namespace {
+
+class DopplerTest : public ::testing::Test {
+ protected:
+  DopplerTest() {
+    workload::CustomerGenOptions opt;
+    opt.seed = 11;
+    skus_ = workload::MakeSkuLadder(opt);
+    auto all = workload::GenerateCustomers(1200, skus_, opt);
+    train_.assign(all.begin(), all.begin() + 1000);
+    test_.assign(all.begin() + 1000, all.end());
+  }
+
+  std::vector<workload::SkuOffering> skus_;
+  std::vector<workload::CustomerProfile> train_;
+  std::vector<workload::CustomerProfile> test_;
+};
+
+TEST_F(DopplerTest, AccuracyAbovePaperThreshold) {
+  SkuRecommender rec;
+  ASSERT_TRUE(rec.Train(train_, skus_).ok());
+  auto acc = rec.EvaluateAccuracy(test_);
+  ASSERT_TRUE(acc.ok());
+  // Paper: >95% recommendation accuracy.
+  EXPECT_GT(*acc, 0.95);
+}
+
+TEST_F(DopplerTest, RecommendedSkuCoversMeasuredNeedsWithinNoise) {
+  SkuRecommender rec;
+  ASSERT_TRUE(rec.Train(train_, skus_).ok());
+  for (const auto& c : test_) {
+    auto sku_id = rec.Recommend(c);
+    ASSERT_TRUE(sku_id.ok());
+    const auto& sku = skus_[static_cast<size_t>(*sku_id)];
+    // Measurements are noisy; a borderline overshoot within the profiling
+    // error is acceptable, a clear undersizing is not.
+    for (size_t f = 0; f < c.features.size(); ++f) {
+      EXPECT_LE(c.features[f], sku.capacity[f] * 1.10);
+    }
+  }
+}
+
+TEST_F(DopplerTest, RankingIsExplainable) {
+  SkuRecommender rec;
+  ASSERT_TRUE(rec.Train(train_, skus_).ok());
+  auto ranked = rec.RankSkus(test_[0]);
+  ASSERT_TRUE(ranked.ok());
+  EXPECT_EQ(ranked->size(), skus_.size());
+  // Scores descend; every entry carries price and coverage rationale.
+  for (size_t i = 1; i < ranked->size(); ++i) {
+    EXPECT_GE((*ranked)[i - 1].score, (*ranked)[i].score);
+  }
+  // The recommendation is the top of the ranking.
+  auto sku = rec.Recommend(test_[0]);
+  ASSERT_TRUE(sku.ok());
+  EXPECT_EQ((*ranked)[0].sku_id, *sku);
+}
+
+TEST_F(DopplerTest, SegmentsGroupSimilarCustomers) {
+  SkuRecommender rec({.segments = 5, .seed = 2});
+  ASSERT_TRUE(rec.Train(train_, skus_).ok());
+  // Two customers with nearly identical profiles share a segment.
+  workload::CustomerProfile a = test_[0];
+  workload::CustomerProfile b = a;
+  for (auto& f : b.features) f *= 1.01;
+  auto sa = rec.SegmentOf(a);
+  auto sb = rec.SegmentOf(b);
+  ASSERT_TRUE(sa.ok());
+  ASSERT_TRUE(sb.ok());
+  EXPECT_EQ(*sa, *sb);
+}
+
+TEST_F(DopplerTest, UntrainedFails) {
+  SkuRecommender rec;
+  EXPECT_FALSE(rec.Recommend(test_[0]).ok());
+  EXPECT_FALSE(rec.RankSkus(test_[0]).ok());
+  EXPECT_FALSE(rec.SegmentOf(test_[0]).ok());
+}
+
+TEST_F(DopplerTest, TrainingValidatesInput) {
+  SkuRecommender rec;
+  std::vector<workload::CustomerProfile> tiny(train_.begin(),
+                                              train_.begin() + 2);
+  EXPECT_FALSE(rec.Train(tiny, skus_).ok());
+  EXPECT_FALSE(rec.Train(train_, {}).ok());
+}
+
+TEST_F(DopplerTest, EvaluateRejectsEmptyTestSet) {
+  SkuRecommender rec;
+  ASSERT_TRUE(rec.Train(train_, skus_).ok());
+  EXPECT_FALSE(rec.EvaluateAccuracy({}).ok());
+}
+
+}  // namespace
+}  // namespace ads::service

@@ -1,0 +1,90 @@
+#include "service/moneyball.h"
+
+#include <gtest/gtest.h>
+
+namespace ads::service {
+namespace {
+
+std::vector<workload::UsageTrace> Fleet(uint64_t seed, size_t n = 200) {
+  return workload::GenerateUsageTraces(n, {.hours = 24 * 28, .seed = seed});
+}
+
+TEST(MoneyballTest, PredictableFractionNearPaper) {
+  ServerlessManager manager;
+  auto traces = Fleet(1, 400);
+  double fraction = manager.PredictableFraction(traces);
+  // The paper reports 77% of serverless usage is predictable.
+  EXPECT_GT(fraction, 0.65);
+  EXPECT_LT(fraction, 0.9);
+}
+
+TEST(MoneyballTest, AlwaysOnHasFullCostZeroColdStarts) {
+  ServerlessManager manager;
+  auto traces = Fleet(2, 20);
+  auto out = manager.SimulateFleet(traces, PausePolicy::kAlwaysOn);
+  ASSERT_TRUE(out.ok());
+  EXPECT_DOUBLE_EQ(out->billed_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(out->cold_start_rate, 0.0);
+}
+
+TEST(MoneyballTest, ReactiveSavesCostButCausesColdStarts) {
+  ServerlessManager manager;
+  auto traces = Fleet(3, 100);
+  auto reactive = manager.SimulateFleet(traces, PausePolicy::kReactive);
+  ASSERT_TRUE(reactive.ok());
+  EXPECT_LT(reactive->billed_fraction, 0.95);
+  EXPECT_GT(reactive->cold_start_rate, 0.0);
+}
+
+TEST(MoneyballTest, PredictiveDominatesReactiveOnColdStarts) {
+  ServerlessManager manager;
+  auto traces = Fleet(4, 150);
+  auto reactive = manager.SimulateFleet(traces, PausePolicy::kReactive);
+  auto predictive = manager.SimulateFleet(traces, PausePolicy::kPredictive);
+  ASSERT_TRUE(reactive.ok());
+  ASSERT_TRUE(predictive.ok());
+  // The ML policy trades: fewer cold starts at comparable or lower cost
+  // (the paper's Pareto improvement).
+  EXPECT_LT(predictive->cold_start_rate, reactive->cold_start_rate);
+  EXPECT_LT(predictive->billed_fraction, 1.0);
+}
+
+TEST(MoneyballTest, DiurnalTraceIsPredictable) {
+  auto traces = workload::GenerateUsageTraces(
+      50, {.hours = 24 * 28, .mixture = {1, 0, 0, 0, 0}, .seed = 5});
+  ServerlessManager manager;
+  for (const auto& t : traces) {
+    EXPECT_TRUE(manager.IsPredictable(t));
+  }
+}
+
+TEST(MoneyballTest, IrregularTraceIsNot) {
+  auto traces = workload::GenerateUsageTraces(
+      50, {.hours = 24 * 28, .mixture = {0, 0, 0, 0, 1}, .seed = 6});
+  ServerlessManager manager;
+  size_t predictable = 0;
+  for (const auto& t : traces) {
+    if (manager.IsPredictable(t)) ++predictable;
+  }
+  EXPECT_LT(predictable, 10u);
+}
+
+TEST(MoneyballTest, ShortTraceRejected) {
+  workload::UsageTrace t;
+  t.values.assign(10, 1.0);
+  ServerlessManager manager;
+  EXPECT_FALSE(manager.Simulate(t, PausePolicy::kAlwaysOn).ok());
+}
+
+TEST(MoneyballTest, EmptyFleetRejected) {
+  ServerlessManager manager;
+  EXPECT_FALSE(manager.SimulateFleet({}, PausePolicy::kAlwaysOn).ok());
+}
+
+TEST(MoneyballTest, PolicyNames) {
+  EXPECT_STREQ(PausePolicyName(PausePolicy::kAlwaysOn), "always_on");
+  EXPECT_STREQ(PausePolicyName(PausePolicy::kPredictive), "predictive");
+}
+
+}  // namespace
+}  // namespace ads::service

@@ -1,0 +1,79 @@
+#include "service/seagull.h"
+
+#include <gtest/gtest.h>
+
+namespace ads::service {
+namespace {
+
+TEST(SeagullTest, ChoosesValleyHourOnCleanPattern) {
+  // 14 days, clean valley at hour 4.
+  std::vector<double> history;
+  for (int d = 0; d < 14; ++d) {
+    for (int h = 0; h < 24; ++h) {
+      history.push_back(h == 4 ? 1.0 : 50.0 + (h % 5));
+    }
+  }
+  for (BackupMethod m : {BackupMethod::kPreviousDay,
+                         BackupMethod::kHourOfDayMean,
+                         BackupMethod::kWeightedHourOfDayMean}) {
+    auto hour = ChooseBackupHour(history, m);
+    ASSERT_TRUE(hour.ok());
+    EXPECT_EQ(*hour, 4) << BackupMethodName(m);
+  }
+}
+
+TEST(SeagullTest, RejectsShortHistory) {
+  std::vector<double> one_day(24, 1.0);
+  EXPECT_FALSE(ChooseBackupHour(one_day, BackupMethod::kPreviousDay).ok());
+  std::vector<double> three_days(72, 1.0);
+  EXPECT_TRUE(ChooseBackupHour(three_days, BackupMethod::kPreviousDay).ok());
+  EXPECT_FALSE(ChooseBackupHour(three_days, BackupMethod::kHourOfDayMean).ok());
+}
+
+TEST(SeagullTest, MeanMethodRobustToOneOffSpike) {
+  // Valley at hour 2, but yesterday had a one-off dip at hour 10.
+  std::vector<double> history;
+  for (int d = 0; d < 14; ++d) {
+    for (int h = 0; h < 24; ++h) {
+      double v = (h == 2) ? 5.0 : 50.0;
+      if (d == 13 && h == 10) v = 1.0;  // anomaly yesterday
+      if (d == 13 && h == 2) v = 60.0;  // valley masked yesterday
+      history.push_back(v);
+    }
+  }
+  auto heuristic = ChooseBackupHour(history, BackupMethod::kPreviousDay);
+  auto ml = ChooseBackupHour(history, BackupMethod::kHourOfDayMean);
+  ASSERT_TRUE(heuristic.ok());
+  ASSERT_TRUE(ml.ok());
+  EXPECT_EQ(*heuristic, 10);  // fooled by the anomaly
+  EXPECT_EQ(*ml, 2);          // robust
+}
+
+TEST(SeagullTest, FleetEvaluationOrdersMethodsLikePaper) {
+  auto traces = workload::GenerateServerLoads(
+      300, {.hours = 24 * 21, .stable_fraction = 0.97, .noise = 0.06,
+            .seed = 7});
+  auto ml = EvaluateBackupScheduling(traces, BackupMethod::kHourOfDayMean);
+  auto heuristic =
+      EvaluateBackupScheduling(traces, BackupMethod::kPreviousDay);
+  ASSERT_TRUE(ml.ok());
+  ASSERT_TRUE(heuristic.ok());
+  // Paper shape: ML ~99%, previous-day heuristic ~96%.
+  EXPECT_GT(ml->accuracy, heuristic->accuracy);
+  EXPECT_GT(ml->accuracy, 0.95);
+  EXPECT_GT(heuristic->accuracy, 0.80);
+  EXPECT_GE(ml->servers, 250u);
+}
+
+TEST(SeagullTest, EvaluationRejectsEmptyFleet) {
+  EXPECT_FALSE(EvaluateBackupScheduling({}, BackupMethod::kPreviousDay).ok());
+}
+
+TEST(SeagullTest, MethodNames) {
+  EXPECT_STREQ(BackupMethodName(BackupMethod::kPreviousDay), "previous_day");
+  EXPECT_STREQ(BackupMethodName(BackupMethod::kHourOfDayMean),
+               "hour_of_day_mean");
+}
+
+}  // namespace
+}  // namespace ads::service
