@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a1_simplicity.dir/bench_a1_simplicity.cpp.o"
+  "CMakeFiles/bench_a1_simplicity.dir/bench_a1_simplicity.cpp.o.d"
+  "bench_a1_simplicity"
+  "bench_a1_simplicity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a1_simplicity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

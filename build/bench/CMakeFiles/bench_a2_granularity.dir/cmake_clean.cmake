@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a2_granularity.dir/bench_a2_granularity.cpp.o"
+  "CMakeFiles/bench_a2_granularity.dir/bench_a2_granularity.cpp.o.d"
+  "bench_a2_granularity"
+  "bench_a2_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a2_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

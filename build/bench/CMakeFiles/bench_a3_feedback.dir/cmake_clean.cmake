@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a3_feedback.dir/bench_a3_feedback.cpp.o"
+  "CMakeFiles/bench_a3_feedback.dir/bench_a3_feedback.cpp.o.d"
+  "bench_a3_feedback"
+  "bench_a3_feedback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a3_feedback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_reuse.dir/bench_e11_reuse.cpp.o"
+  "CMakeFiles/bench_e11_reuse.dir/bench_e11_reuse.cpp.o.d"
+  "bench_e11_reuse"
+  "bench_e11_reuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e13_seagull.dir/bench_e13_seagull.cpp.o"
+  "CMakeFiles/bench_e13_seagull.dir/bench_e13_seagull.cpp.o.d"
+  "bench_e13_seagull"
+  "bench_e13_seagull.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e13_seagull.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e14_doppler.dir/bench_e14_doppler.cpp.o"
+  "CMakeFiles/bench_e14_doppler.dir/bench_e14_doppler.cpp.o.d"
+  "bench_e14_doppler"
+  "bench_e14_doppler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e14_doppler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

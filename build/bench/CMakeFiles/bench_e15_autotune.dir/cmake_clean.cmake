@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e15_autotune.dir/bench_e15_autotune.cpp.o"
+  "CMakeFiles/bench_e15_autotune.dir/bench_e15_autotune.cpp.o.d"
+  "bench_e15_autotune"
+  "bench_e15_autotune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e15_autotune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

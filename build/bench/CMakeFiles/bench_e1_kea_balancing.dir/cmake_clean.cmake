@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_kea_balancing.dir/bench_e1_kea_balancing.cpp.o"
+  "CMakeFiles/bench_e1_kea_balancing.dir/bench_e1_kea_balancing.cpp.o.d"
+  "bench_e1_kea_balancing"
+  "bench_e1_kea_balancing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_kea_balancing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

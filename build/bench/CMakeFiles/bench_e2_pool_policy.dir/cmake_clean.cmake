@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_pool_policy.dir/bench_e2_pool_policy.cpp.o"
+  "CMakeFiles/bench_e2_pool_policy.dir/bench_e2_pool_policy.cpp.o.d"
+  "bench_e2_pool_policy"
+  "bench_e2_pool_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_pool_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

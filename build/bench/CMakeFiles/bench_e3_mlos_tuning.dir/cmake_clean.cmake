@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_mlos_tuning.dir/bench_e3_mlos_tuning.cpp.o"
+  "CMakeFiles/bench_e3_mlos_tuning.dir/bench_e3_mlos_tuning.cpp.o.d"
+  "bench_e3_mlos_tuning"
+  "bench_e3_mlos_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_mlos_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

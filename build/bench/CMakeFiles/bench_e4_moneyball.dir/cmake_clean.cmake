@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_moneyball.dir/bench_e4_moneyball.cpp.o"
+  "CMakeFiles/bench_e4_moneyball.dir/bench_e4_moneyball.cpp.o.d"
+  "bench_e4_moneyball"
+  "bench_e4_moneyball.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_moneyball.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

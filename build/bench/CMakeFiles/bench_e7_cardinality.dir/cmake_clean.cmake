@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_cardinality.dir/bench_e7_cardinality.cpp.o"
+  "CMakeFiles/bench_e7_cardinality.dir/bench_e7_cardinality.cpp.o.d"
+  "bench_e7_cardinality"
+  "bench_e7_cardinality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_cardinality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

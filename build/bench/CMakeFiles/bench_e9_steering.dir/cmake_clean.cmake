@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_steering.dir/bench_e9_steering.cpp.o"
+  "CMakeFiles/bench_e9_steering.dir/bench_e9_steering.cpp.o.d"
+  "bench_e9_steering"
+  "bench_e9_steering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_steering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f2_pareto.dir/bench_f2_pareto.cpp.o"
+  "CMakeFiles/bench_f2_pareto.dir/bench_f2_pareto.cpp.o.d"
+  "bench_f2_pareto"
+  "bench_f2_pareto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f2_pareto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autonomous_fleet.dir/autonomous_fleet.cpp.o"
+  "CMakeFiles/autonomous_fleet.dir/autonomous_fleet.cpp.o.d"
+  "autonomous_fleet"
+  "autonomous_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autonomous_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

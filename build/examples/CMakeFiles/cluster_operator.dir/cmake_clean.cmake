@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_operator.dir/cluster_operator.cpp.o"
+  "CMakeFiles/cluster_operator.dir/cluster_operator.cpp.o.d"
+  "cluster_operator"
+  "cluster_operator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_operator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/learned/CMakeFiles/ads_learned.dir/DependInfo.cmake"
+  "/root/repo/build/src/service/CMakeFiles/ads_service.dir/DependInfo.cmake"
+  "/root/repo/build/src/infra/CMakeFiles/ads_infra.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ads_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/ads_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/autonomy/CMakeFiles/ads_autonomy.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/ads_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/ads_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ads_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

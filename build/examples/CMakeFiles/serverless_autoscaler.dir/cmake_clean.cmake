@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serverless_autoscaler.dir/serverless_autoscaler.cpp.o"
+  "CMakeFiles/serverless_autoscaler.dir/serverless_autoscaler.cpp.o.d"
+  "serverless_autoscaler"
+  "serverless_autoscaler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serverless_autoscaler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sku_advisor.dir/sku_advisor.cpp.o"
+  "CMakeFiles/sku_advisor.dir/sku_advisor.cpp.o.d"
+  "sku_advisor"
+  "sku_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sku_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/steering_session.dir/steering_session.cpp.o"
+  "CMakeFiles/steering_session.dir/steering_session.cpp.o.d"
+  "steering_session"
+  "steering_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/steering_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

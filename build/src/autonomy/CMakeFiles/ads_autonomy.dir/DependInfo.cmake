@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/autonomy/feedback.cc" "src/autonomy/CMakeFiles/ads_autonomy.dir/feedback.cc.o" "gcc" "src/autonomy/CMakeFiles/ads_autonomy.dir/feedback.cc.o.d"
+  "/root/repo/src/autonomy/flight.cc" "src/autonomy/CMakeFiles/ads_autonomy.dir/flight.cc.o" "gcc" "src/autonomy/CMakeFiles/ads_autonomy.dir/flight.cc.o.d"
+  "/root/repo/src/autonomy/monitor.cc" "src/autonomy/CMakeFiles/ads_autonomy.dir/monitor.cc.o" "gcc" "src/autonomy/CMakeFiles/ads_autonomy.dir/monitor.cc.o.d"
+  "/root/repo/src/autonomy/rai.cc" "src/autonomy/CMakeFiles/ads_autonomy.dir/rai.cc.o" "gcc" "src/autonomy/CMakeFiles/ads_autonomy.dir/rai.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ads_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/ads_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

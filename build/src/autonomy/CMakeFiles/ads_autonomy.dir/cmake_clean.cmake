@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ads_autonomy.dir/feedback.cc.o"
+  "CMakeFiles/ads_autonomy.dir/feedback.cc.o.d"
+  "CMakeFiles/ads_autonomy.dir/flight.cc.o"
+  "CMakeFiles/ads_autonomy.dir/flight.cc.o.d"
+  "CMakeFiles/ads_autonomy.dir/monitor.cc.o"
+  "CMakeFiles/ads_autonomy.dir/monitor.cc.o.d"
+  "CMakeFiles/ads_autonomy.dir/rai.cc.o"
+  "CMakeFiles/ads_autonomy.dir/rai.cc.o.d"
+  "libads_autonomy.a"
+  "libads_autonomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ads_autonomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ads_common.dir/event_queue.cc.o"
+  "CMakeFiles/ads_common.dir/event_queue.cc.o.d"
+  "CMakeFiles/ads_common.dir/logging.cc.o"
+  "CMakeFiles/ads_common.dir/logging.cc.o.d"
+  "CMakeFiles/ads_common.dir/matrix.cc.o"
+  "CMakeFiles/ads_common.dir/matrix.cc.o.d"
+  "CMakeFiles/ads_common.dir/rng.cc.o"
+  "CMakeFiles/ads_common.dir/rng.cc.o.d"
+  "CMakeFiles/ads_common.dir/simplex.cc.o"
+  "CMakeFiles/ads_common.dir/simplex.cc.o.d"
+  "CMakeFiles/ads_common.dir/stats.cc.o"
+  "CMakeFiles/ads_common.dir/stats.cc.o.d"
+  "CMakeFiles/ads_common.dir/status.cc.o"
+  "CMakeFiles/ads_common.dir/status.cc.o.d"
+  "CMakeFiles/ads_common.dir/table.cc.o"
+  "CMakeFiles/ads_common.dir/table.cc.o.d"
+  "libads_common.a"
+  "libads_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ads_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/cardinality.cc" "src/engine/CMakeFiles/ads_engine.dir/cardinality.cc.o" "gcc" "src/engine/CMakeFiles/ads_engine.dir/cardinality.cc.o.d"
+  "/root/repo/src/engine/catalog.cc" "src/engine/CMakeFiles/ads_engine.dir/catalog.cc.o" "gcc" "src/engine/CMakeFiles/ads_engine.dir/catalog.cc.o.d"
+  "/root/repo/src/engine/cost.cc" "src/engine/CMakeFiles/ads_engine.dir/cost.cc.o" "gcc" "src/engine/CMakeFiles/ads_engine.dir/cost.cc.o.d"
+  "/root/repo/src/engine/executor.cc" "src/engine/CMakeFiles/ads_engine.dir/executor.cc.o" "gcc" "src/engine/CMakeFiles/ads_engine.dir/executor.cc.o.d"
+  "/root/repo/src/engine/expr.cc" "src/engine/CMakeFiles/ads_engine.dir/expr.cc.o" "gcc" "src/engine/CMakeFiles/ads_engine.dir/expr.cc.o.d"
+  "/root/repo/src/engine/optimizer.cc" "src/engine/CMakeFiles/ads_engine.dir/optimizer.cc.o" "gcc" "src/engine/CMakeFiles/ads_engine.dir/optimizer.cc.o.d"
+  "/root/repo/src/engine/plan.cc" "src/engine/CMakeFiles/ads_engine.dir/plan.cc.o" "gcc" "src/engine/CMakeFiles/ads_engine.dir/plan.cc.o.d"
+  "/root/repo/src/engine/plan_io.cc" "src/engine/CMakeFiles/ads_engine.dir/plan_io.cc.o" "gcc" "src/engine/CMakeFiles/ads_engine.dir/plan_io.cc.o.d"
+  "/root/repo/src/engine/rules.cc" "src/engine/CMakeFiles/ads_engine.dir/rules.cc.o" "gcc" "src/engine/CMakeFiles/ads_engine.dir/rules.cc.o.d"
+  "/root/repo/src/engine/stage_graph.cc" "src/engine/CMakeFiles/ads_engine.dir/stage_graph.cc.o" "gcc" "src/engine/CMakeFiles/ads_engine.dir/stage_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ads_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ads_engine.dir/cardinality.cc.o"
+  "CMakeFiles/ads_engine.dir/cardinality.cc.o.d"
+  "CMakeFiles/ads_engine.dir/catalog.cc.o"
+  "CMakeFiles/ads_engine.dir/catalog.cc.o.d"
+  "CMakeFiles/ads_engine.dir/cost.cc.o"
+  "CMakeFiles/ads_engine.dir/cost.cc.o.d"
+  "CMakeFiles/ads_engine.dir/executor.cc.o"
+  "CMakeFiles/ads_engine.dir/executor.cc.o.d"
+  "CMakeFiles/ads_engine.dir/expr.cc.o"
+  "CMakeFiles/ads_engine.dir/expr.cc.o.d"
+  "CMakeFiles/ads_engine.dir/optimizer.cc.o"
+  "CMakeFiles/ads_engine.dir/optimizer.cc.o.d"
+  "CMakeFiles/ads_engine.dir/plan.cc.o"
+  "CMakeFiles/ads_engine.dir/plan.cc.o.d"
+  "CMakeFiles/ads_engine.dir/plan_io.cc.o"
+  "CMakeFiles/ads_engine.dir/plan_io.cc.o.d"
+  "CMakeFiles/ads_engine.dir/rules.cc.o"
+  "CMakeFiles/ads_engine.dir/rules.cc.o.d"
+  "CMakeFiles/ads_engine.dir/stage_graph.cc.o"
+  "CMakeFiles/ads_engine.dir/stage_graph.cc.o.d"
+  "libads_engine.a"
+  "libads_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ads_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/infra/autoscaler.cc" "src/infra/CMakeFiles/ads_infra.dir/autoscaler.cc.o" "gcc" "src/infra/CMakeFiles/ads_infra.dir/autoscaler.cc.o.d"
+  "/root/repo/src/infra/cluster.cc" "src/infra/CMakeFiles/ads_infra.dir/cluster.cc.o" "gcc" "src/infra/CMakeFiles/ads_infra.dir/cluster.cc.o.d"
+  "/root/repo/src/infra/pool_sim.cc" "src/infra/CMakeFiles/ads_infra.dir/pool_sim.cc.o" "gcc" "src/infra/CMakeFiles/ads_infra.dir/pool_sim.cc.o.d"
+  "/root/repo/src/infra/power.cc" "src/infra/CMakeFiles/ads_infra.dir/power.cc.o" "gcc" "src/infra/CMakeFiles/ads_infra.dir/power.cc.o.d"
+  "/root/repo/src/infra/provisioner.cc" "src/infra/CMakeFiles/ads_infra.dir/provisioner.cc.o" "gcc" "src/infra/CMakeFiles/ads_infra.dir/provisioner.cc.o.d"
+  "/root/repo/src/infra/scheduler.cc" "src/infra/CMakeFiles/ads_infra.dir/scheduler.cc.o" "gcc" "src/infra/CMakeFiles/ads_infra.dir/scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ads_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/ads_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/ads_telemetry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

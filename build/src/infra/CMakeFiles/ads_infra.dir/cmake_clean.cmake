@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ads_infra.dir/autoscaler.cc.o"
+  "CMakeFiles/ads_infra.dir/autoscaler.cc.o.d"
+  "CMakeFiles/ads_infra.dir/cluster.cc.o"
+  "CMakeFiles/ads_infra.dir/cluster.cc.o.d"
+  "CMakeFiles/ads_infra.dir/pool_sim.cc.o"
+  "CMakeFiles/ads_infra.dir/pool_sim.cc.o.d"
+  "CMakeFiles/ads_infra.dir/power.cc.o"
+  "CMakeFiles/ads_infra.dir/power.cc.o.d"
+  "CMakeFiles/ads_infra.dir/provisioner.cc.o"
+  "CMakeFiles/ads_infra.dir/provisioner.cc.o.d"
+  "CMakeFiles/ads_infra.dir/scheduler.cc.o"
+  "CMakeFiles/ads_infra.dir/scheduler.cc.o.d"
+  "libads_infra.a"
+  "libads_infra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ads_infra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

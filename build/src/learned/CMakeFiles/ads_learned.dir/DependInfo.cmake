@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/learned/card_models.cc" "src/learned/CMakeFiles/ads_learned.dir/card_models.cc.o" "gcc" "src/learned/CMakeFiles/ads_learned.dir/card_models.cc.o.d"
+  "/root/repo/src/learned/checkpoint.cc" "src/learned/CMakeFiles/ads_learned.dir/checkpoint.cc.o" "gcc" "src/learned/CMakeFiles/ads_learned.dir/checkpoint.cc.o.d"
+  "/root/repo/src/learned/cost_models.cc" "src/learned/CMakeFiles/ads_learned.dir/cost_models.cc.o" "gcc" "src/learned/CMakeFiles/ads_learned.dir/cost_models.cc.o.d"
+  "/root/repo/src/learned/job_scheduling.cc" "src/learned/CMakeFiles/ads_learned.dir/job_scheduling.cc.o" "gcc" "src/learned/CMakeFiles/ads_learned.dir/job_scheduling.cc.o.d"
+  "/root/repo/src/learned/pipeline_opt.cc" "src/learned/CMakeFiles/ads_learned.dir/pipeline_opt.cc.o" "gcc" "src/learned/CMakeFiles/ads_learned.dir/pipeline_opt.cc.o.d"
+  "/root/repo/src/learned/reuse.cc" "src/learned/CMakeFiles/ads_learned.dir/reuse.cc.o" "gcc" "src/learned/CMakeFiles/ads_learned.dir/reuse.cc.o.d"
+  "/root/repo/src/learned/steering.cc" "src/learned/CMakeFiles/ads_learned.dir/steering.cc.o" "gcc" "src/learned/CMakeFiles/ads_learned.dir/steering.cc.o.d"
+  "/root/repo/src/learned/workload_analysis.cc" "src/learned/CMakeFiles/ads_learned.dir/workload_analysis.cc.o" "gcc" "src/learned/CMakeFiles/ads_learned.dir/workload_analysis.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ads_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/ads_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/ads_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ads_learned.dir/card_models.cc.o"
+  "CMakeFiles/ads_learned.dir/card_models.cc.o.d"
+  "CMakeFiles/ads_learned.dir/checkpoint.cc.o"
+  "CMakeFiles/ads_learned.dir/checkpoint.cc.o.d"
+  "CMakeFiles/ads_learned.dir/cost_models.cc.o"
+  "CMakeFiles/ads_learned.dir/cost_models.cc.o.d"
+  "CMakeFiles/ads_learned.dir/job_scheduling.cc.o"
+  "CMakeFiles/ads_learned.dir/job_scheduling.cc.o.d"
+  "CMakeFiles/ads_learned.dir/pipeline_opt.cc.o"
+  "CMakeFiles/ads_learned.dir/pipeline_opt.cc.o.d"
+  "CMakeFiles/ads_learned.dir/reuse.cc.o"
+  "CMakeFiles/ads_learned.dir/reuse.cc.o.d"
+  "CMakeFiles/ads_learned.dir/steering.cc.o"
+  "CMakeFiles/ads_learned.dir/steering.cc.o.d"
+  "CMakeFiles/ads_learned.dir/workload_analysis.cc.o"
+  "CMakeFiles/ads_learned.dir/workload_analysis.cc.o.d"
+  "libads_learned.a"
+  "libads_learned.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ads_learned.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

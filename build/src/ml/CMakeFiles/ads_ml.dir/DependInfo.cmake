@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/algorithm_store.cc" "src/ml/CMakeFiles/ads_ml.dir/algorithm_store.cc.o" "gcc" "src/ml/CMakeFiles/ads_ml.dir/algorithm_store.cc.o.d"
+  "/root/repo/src/ml/bandit.cc" "src/ml/CMakeFiles/ads_ml.dir/bandit.cc.o" "gcc" "src/ml/CMakeFiles/ads_ml.dir/bandit.cc.o.d"
+  "/root/repo/src/ml/dataset.cc" "src/ml/CMakeFiles/ads_ml.dir/dataset.cc.o" "gcc" "src/ml/CMakeFiles/ads_ml.dir/dataset.cc.o.d"
+  "/root/repo/src/ml/drift.cc" "src/ml/CMakeFiles/ads_ml.dir/drift.cc.o" "gcc" "src/ml/CMakeFiles/ads_ml.dir/drift.cc.o.d"
+  "/root/repo/src/ml/forecast.cc" "src/ml/CMakeFiles/ads_ml.dir/forecast.cc.o" "gcc" "src/ml/CMakeFiles/ads_ml.dir/forecast.cc.o.d"
+  "/root/repo/src/ml/forest.cc" "src/ml/CMakeFiles/ads_ml.dir/forest.cc.o" "gcc" "src/ml/CMakeFiles/ads_ml.dir/forest.cc.o.d"
+  "/root/repo/src/ml/kmeans.cc" "src/ml/CMakeFiles/ads_ml.dir/kmeans.cc.o" "gcc" "src/ml/CMakeFiles/ads_ml.dir/kmeans.cc.o.d"
+  "/root/repo/src/ml/knn.cc" "src/ml/CMakeFiles/ads_ml.dir/knn.cc.o" "gcc" "src/ml/CMakeFiles/ads_ml.dir/knn.cc.o.d"
+  "/root/repo/src/ml/linear.cc" "src/ml/CMakeFiles/ads_ml.dir/linear.cc.o" "gcc" "src/ml/CMakeFiles/ads_ml.dir/linear.cc.o.d"
+  "/root/repo/src/ml/metrics.cc" "src/ml/CMakeFiles/ads_ml.dir/metrics.cc.o" "gcc" "src/ml/CMakeFiles/ads_ml.dir/metrics.cc.o.d"
+  "/root/repo/src/ml/mlp.cc" "src/ml/CMakeFiles/ads_ml.dir/mlp.cc.o" "gcc" "src/ml/CMakeFiles/ads_ml.dir/mlp.cc.o.d"
+  "/root/repo/src/ml/model.cc" "src/ml/CMakeFiles/ads_ml.dir/model.cc.o" "gcc" "src/ml/CMakeFiles/ads_ml.dir/model.cc.o.d"
+  "/root/repo/src/ml/registry.cc" "src/ml/CMakeFiles/ads_ml.dir/registry.cc.o" "gcc" "src/ml/CMakeFiles/ads_ml.dir/registry.cc.o.d"
+  "/root/repo/src/ml/tree.cc" "src/ml/CMakeFiles/ads_ml.dir/tree.cc.o" "gcc" "src/ml/CMakeFiles/ads_ml.dir/tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ads_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

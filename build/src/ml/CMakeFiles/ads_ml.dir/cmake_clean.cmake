@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ads_ml.dir/algorithm_store.cc.o"
+  "CMakeFiles/ads_ml.dir/algorithm_store.cc.o.d"
+  "CMakeFiles/ads_ml.dir/bandit.cc.o"
+  "CMakeFiles/ads_ml.dir/bandit.cc.o.d"
+  "CMakeFiles/ads_ml.dir/dataset.cc.o"
+  "CMakeFiles/ads_ml.dir/dataset.cc.o.d"
+  "CMakeFiles/ads_ml.dir/drift.cc.o"
+  "CMakeFiles/ads_ml.dir/drift.cc.o.d"
+  "CMakeFiles/ads_ml.dir/forecast.cc.o"
+  "CMakeFiles/ads_ml.dir/forecast.cc.o.d"
+  "CMakeFiles/ads_ml.dir/forest.cc.o"
+  "CMakeFiles/ads_ml.dir/forest.cc.o.d"
+  "CMakeFiles/ads_ml.dir/kmeans.cc.o"
+  "CMakeFiles/ads_ml.dir/kmeans.cc.o.d"
+  "CMakeFiles/ads_ml.dir/knn.cc.o"
+  "CMakeFiles/ads_ml.dir/knn.cc.o.d"
+  "CMakeFiles/ads_ml.dir/linear.cc.o"
+  "CMakeFiles/ads_ml.dir/linear.cc.o.d"
+  "CMakeFiles/ads_ml.dir/metrics.cc.o"
+  "CMakeFiles/ads_ml.dir/metrics.cc.o.d"
+  "CMakeFiles/ads_ml.dir/mlp.cc.o"
+  "CMakeFiles/ads_ml.dir/mlp.cc.o.d"
+  "CMakeFiles/ads_ml.dir/model.cc.o"
+  "CMakeFiles/ads_ml.dir/model.cc.o.d"
+  "CMakeFiles/ads_ml.dir/registry.cc.o"
+  "CMakeFiles/ads_ml.dir/registry.cc.o.d"
+  "CMakeFiles/ads_ml.dir/tree.cc.o"
+  "CMakeFiles/ads_ml.dir/tree.cc.o.d"
+  "libads_ml.a"
+  "libads_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ads_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/service/autotoken.cc" "src/service/CMakeFiles/ads_service.dir/autotoken.cc.o" "gcc" "src/service/CMakeFiles/ads_service.dir/autotoken.cc.o.d"
+  "/root/repo/src/service/autotuner.cc" "src/service/CMakeFiles/ads_service.dir/autotuner.cc.o" "gcc" "src/service/CMakeFiles/ads_service.dir/autotuner.cc.o.d"
+  "/root/repo/src/service/doppler.cc" "src/service/CMakeFiles/ads_service.dir/doppler.cc.o" "gcc" "src/service/CMakeFiles/ads_service.dir/doppler.cc.o.d"
+  "/root/repo/src/service/moneyball.cc" "src/service/CMakeFiles/ads_service.dir/moneyball.cc.o" "gcc" "src/service/CMakeFiles/ads_service.dir/moneyball.cc.o.d"
+  "/root/repo/src/service/seagull.cc" "src/service/CMakeFiles/ads_service.dir/seagull.cc.o" "gcc" "src/service/CMakeFiles/ads_service.dir/seagull.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ads_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/ads_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ads_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/ads_engine.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

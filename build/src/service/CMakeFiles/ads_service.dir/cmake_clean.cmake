@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ads_service.dir/autotoken.cc.o"
+  "CMakeFiles/ads_service.dir/autotoken.cc.o.d"
+  "CMakeFiles/ads_service.dir/autotuner.cc.o"
+  "CMakeFiles/ads_service.dir/autotuner.cc.o.d"
+  "CMakeFiles/ads_service.dir/doppler.cc.o"
+  "CMakeFiles/ads_service.dir/doppler.cc.o.d"
+  "CMakeFiles/ads_service.dir/moneyball.cc.o"
+  "CMakeFiles/ads_service.dir/moneyball.cc.o.d"
+  "CMakeFiles/ads_service.dir/seagull.cc.o"
+  "CMakeFiles/ads_service.dir/seagull.cc.o.d"
+  "libads_service.a"
+  "libads_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ads_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/telemetry/metric.cc" "src/telemetry/CMakeFiles/ads_telemetry.dir/metric.cc.o" "gcc" "src/telemetry/CMakeFiles/ads_telemetry.dir/metric.cc.o.d"
+  "/root/repo/src/telemetry/semantic.cc" "src/telemetry/CMakeFiles/ads_telemetry.dir/semantic.cc.o" "gcc" "src/telemetry/CMakeFiles/ads_telemetry.dir/semantic.cc.o.d"
+  "/root/repo/src/telemetry/store.cc" "src/telemetry/CMakeFiles/ads_telemetry.dir/store.cc.o" "gcc" "src/telemetry/CMakeFiles/ads_telemetry.dir/store.cc.o.d"
+  "/root/repo/src/telemetry/trace.cc" "src/telemetry/CMakeFiles/ads_telemetry.dir/trace.cc.o" "gcc" "src/telemetry/CMakeFiles/ads_telemetry.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ads_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ads_telemetry.dir/metric.cc.o"
+  "CMakeFiles/ads_telemetry.dir/metric.cc.o.d"
+  "CMakeFiles/ads_telemetry.dir/semantic.cc.o"
+  "CMakeFiles/ads_telemetry.dir/semantic.cc.o.d"
+  "CMakeFiles/ads_telemetry.dir/store.cc.o"
+  "CMakeFiles/ads_telemetry.dir/store.cc.o.d"
+  "CMakeFiles/ads_telemetry.dir/trace.cc.o"
+  "CMakeFiles/ads_telemetry.dir/trace.cc.o.d"
+  "libads_telemetry.a"
+  "libads_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ads_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/arrival.cc" "src/workload/CMakeFiles/ads_workload.dir/arrival.cc.o" "gcc" "src/workload/CMakeFiles/ads_workload.dir/arrival.cc.o.d"
+  "/root/repo/src/workload/pipeline_gen.cc" "src/workload/CMakeFiles/ads_workload.dir/pipeline_gen.cc.o" "gcc" "src/workload/CMakeFiles/ads_workload.dir/pipeline_gen.cc.o.d"
+  "/root/repo/src/workload/query_gen.cc" "src/workload/CMakeFiles/ads_workload.dir/query_gen.cc.o" "gcc" "src/workload/CMakeFiles/ads_workload.dir/query_gen.cc.o.d"
+  "/root/repo/src/workload/response_surface.cc" "src/workload/CMakeFiles/ads_workload.dir/response_surface.cc.o" "gcc" "src/workload/CMakeFiles/ads_workload.dir/response_surface.cc.o.d"
+  "/root/repo/src/workload/usage_gen.cc" "src/workload/CMakeFiles/ads_workload.dir/usage_gen.cc.o" "gcc" "src/workload/CMakeFiles/ads_workload.dir/usage_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ads_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/ads_engine.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

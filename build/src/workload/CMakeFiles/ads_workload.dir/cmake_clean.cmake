@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ads_workload.dir/arrival.cc.o"
+  "CMakeFiles/ads_workload.dir/arrival.cc.o.d"
+  "CMakeFiles/ads_workload.dir/pipeline_gen.cc.o"
+  "CMakeFiles/ads_workload.dir/pipeline_gen.cc.o.d"
+  "CMakeFiles/ads_workload.dir/query_gen.cc.o"
+  "CMakeFiles/ads_workload.dir/query_gen.cc.o.d"
+  "CMakeFiles/ads_workload.dir/response_surface.cc.o"
+  "CMakeFiles/ads_workload.dir/response_surface.cc.o.d"
+  "CMakeFiles/ads_workload.dir/usage_gen.cc.o"
+  "CMakeFiles/ads_workload.dir/usage_gen.cc.o.d"
+  "libads_workload.a"
+  "libads_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ads_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autonomy_flight_test.dir/autonomy/flight_test.cc.o"
+  "CMakeFiles/autonomy_flight_test.dir/autonomy/flight_test.cc.o.d"
+  "autonomy_flight_test"
+  "autonomy_flight_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autonomy_flight_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autonomy_test.dir/autonomy/autonomy_test.cc.o"
+  "CMakeFiles/autonomy_test.dir/autonomy/autonomy_test.cc.o.d"
+  "autonomy_test"
+  "autonomy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autonomy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

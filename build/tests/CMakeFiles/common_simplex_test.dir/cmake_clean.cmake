@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_simplex_test.dir/common/simplex_test.cc.o"
+  "CMakeFiles/common_simplex_test.dir/common/simplex_test.cc.o.d"
+  "common_simplex_test"
+  "common_simplex_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_simplex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_cardinality_cost_test.dir/engine/cardinality_cost_test.cc.o"
+  "CMakeFiles/engine_cardinality_cost_test.dir/engine/cardinality_cost_test.cc.o.d"
+  "engine_cardinality_cost_test"
+  "engine_cardinality_cost_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_cardinality_cost_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_executor_test.dir/engine/executor_test.cc.o"
+  "CMakeFiles/engine_executor_test.dir/engine/executor_test.cc.o.d"
+  "engine_executor_test"
+  "engine_executor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_executor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

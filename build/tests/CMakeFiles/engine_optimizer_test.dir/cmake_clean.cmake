@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_optimizer_test.dir/engine/optimizer_test.cc.o"
+  "CMakeFiles/engine_optimizer_test.dir/engine/optimizer_test.cc.o.d"
+  "engine_optimizer_test"
+  "engine_optimizer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_optimizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_rules_test.dir/engine/rules_test.cc.o"
+  "CMakeFiles/engine_rules_test.dir/engine/rules_test.cc.o.d"
+  "engine_rules_test"
+  "engine_rules_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_rules_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

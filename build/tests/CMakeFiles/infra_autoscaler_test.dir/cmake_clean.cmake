@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infra_autoscaler_test.dir/infra/autoscaler_test.cc.o"
+  "CMakeFiles/infra_autoscaler_test.dir/infra/autoscaler_test.cc.o.d"
+  "infra_autoscaler_test"
+  "infra_autoscaler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infra_autoscaler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

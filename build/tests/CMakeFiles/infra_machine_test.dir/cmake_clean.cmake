@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infra_machine_test.dir/infra/machine_test.cc.o"
+  "CMakeFiles/infra_machine_test.dir/infra/machine_test.cc.o.d"
+  "infra_machine_test"
+  "infra_machine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infra_machine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infra_power_test.dir/infra/power_test.cc.o"
+  "CMakeFiles/infra_power_test.dir/infra/power_test.cc.o.d"
+  "infra_power_test"
+  "infra_power_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infra_power_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infra_provisioner_test.dir/infra/provisioner_test.cc.o"
+  "CMakeFiles/infra_provisioner_test.dir/infra/provisioner_test.cc.o.d"
+  "infra_provisioner_test"
+  "infra_provisioner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infra_provisioner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

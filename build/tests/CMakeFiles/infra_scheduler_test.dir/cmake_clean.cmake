@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infra_scheduler_test.dir/infra/scheduler_test.cc.o"
+  "CMakeFiles/infra_scheduler_test.dir/infra/scheduler_test.cc.o.d"
+  "infra_scheduler_test"
+  "infra_scheduler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infra_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/learned_card_models_test.dir/learned/card_models_test.cc.o"
+  "CMakeFiles/learned_card_models_test.dir/learned/card_models_test.cc.o.d"
+  "learned_card_models_test"
+  "learned_card_models_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/learned_card_models_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

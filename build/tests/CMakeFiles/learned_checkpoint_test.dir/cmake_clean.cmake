@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/learned_checkpoint_test.dir/learned/checkpoint_test.cc.o"
+  "CMakeFiles/learned_checkpoint_test.dir/learned/checkpoint_test.cc.o.d"
+  "learned_checkpoint_test"
+  "learned_checkpoint_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/learned_checkpoint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/learned_containment_test.dir/learned/containment_test.cc.o"
+  "CMakeFiles/learned_containment_test.dir/learned/containment_test.cc.o.d"
+  "learned_containment_test"
+  "learned_containment_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/learned_containment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

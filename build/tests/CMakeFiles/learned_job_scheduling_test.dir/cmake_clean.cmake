@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/learned_job_scheduling_test.dir/learned/job_scheduling_test.cc.o"
+  "CMakeFiles/learned_job_scheduling_test.dir/learned/job_scheduling_test.cc.o.d"
+  "learned_job_scheduling_test"
+  "learned_job_scheduling_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/learned_job_scheduling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

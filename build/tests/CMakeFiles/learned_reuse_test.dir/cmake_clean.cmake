@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/learned_reuse_test.dir/learned/reuse_test.cc.o"
+  "CMakeFiles/learned_reuse_test.dir/learned/reuse_test.cc.o.d"
+  "learned_reuse_test"
+  "learned_reuse_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/learned_reuse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

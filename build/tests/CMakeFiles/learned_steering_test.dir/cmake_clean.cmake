@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/learned_steering_test.dir/learned/steering_test.cc.o"
+  "CMakeFiles/learned_steering_test.dir/learned/steering_test.cc.o.d"
+  "learned_steering_test"
+  "learned_steering_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/learned_steering_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/learned_workload_analysis_test.dir/learned/workload_analysis_test.cc.o"
+  "CMakeFiles/learned_workload_analysis_test.dir/learned/workload_analysis_test.cc.o.d"
+  "learned_workload_analysis_test"
+  "learned_workload_analysis_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/learned_workload_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

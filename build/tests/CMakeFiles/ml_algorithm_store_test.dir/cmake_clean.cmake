@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_algorithm_store_test.dir/ml/algorithm_store_test.cc.o"
+  "CMakeFiles/ml_algorithm_store_test.dir/ml/algorithm_store_test.cc.o.d"
+  "ml_algorithm_store_test"
+  "ml_algorithm_store_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_algorithm_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

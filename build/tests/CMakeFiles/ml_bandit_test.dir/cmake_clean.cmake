@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_bandit_test.dir/ml/bandit_test.cc.o"
+  "CMakeFiles/ml_bandit_test.dir/ml/bandit_test.cc.o.d"
+  "ml_bandit_test"
+  "ml_bandit_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_bandit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

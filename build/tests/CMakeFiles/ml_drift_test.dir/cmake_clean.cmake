@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_drift_test.dir/ml/drift_test.cc.o"
+  "CMakeFiles/ml_drift_test.dir/ml/drift_test.cc.o.d"
+  "ml_drift_test"
+  "ml_drift_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_drift_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_forecast_test.dir/ml/forecast_test.cc.o"
+  "CMakeFiles/ml_forecast_test.dir/ml/forecast_test.cc.o.d"
+  "ml_forecast_test"
+  "ml_forecast_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_forecast_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_linear_test.dir/ml/linear_test.cc.o"
+  "CMakeFiles/ml_linear_test.dir/ml/linear_test.cc.o.d"
+  "ml_linear_test"
+  "ml_linear_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_linear_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

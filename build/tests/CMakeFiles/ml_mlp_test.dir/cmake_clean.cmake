@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_mlp_test.dir/ml/mlp_test.cc.o"
+  "CMakeFiles/ml_mlp_test.dir/ml/mlp_test.cc.o.d"
+  "ml_mlp_test"
+  "ml_mlp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_mlp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

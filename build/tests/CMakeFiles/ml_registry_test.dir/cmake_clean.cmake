@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_registry_test.dir/ml/registry_test.cc.o"
+  "CMakeFiles/ml_registry_test.dir/ml/registry_test.cc.o.d"
+  "ml_registry_test"
+  "ml_registry_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_registry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

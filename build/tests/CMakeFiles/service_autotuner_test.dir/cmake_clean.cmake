@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/service_autotuner_test.dir/service/autotuner_test.cc.o"
+  "CMakeFiles/service_autotuner_test.dir/service/autotuner_test.cc.o.d"
+  "service_autotuner_test"
+  "service_autotuner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_autotuner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/service_doppler_test.dir/service/doppler_test.cc.o"
+  "CMakeFiles/service_doppler_test.dir/service/doppler_test.cc.o.d"
+  "service_doppler_test"
+  "service_doppler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_doppler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

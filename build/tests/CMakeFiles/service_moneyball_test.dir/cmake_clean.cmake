@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/service_moneyball_test.dir/service/moneyball_test.cc.o"
+  "CMakeFiles/service_moneyball_test.dir/service/moneyball_test.cc.o.d"
+  "service_moneyball_test"
+  "service_moneyball_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_moneyball_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/service_seagull_test.dir/service/seagull_test.cc.o"
+  "CMakeFiles/service_seagull_test.dir/service/seagull_test.cc.o.d"
+  "service_seagull_test"
+  "service_seagull_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_seagull_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
