@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "common/table.h"
+#include "common/thread_pool.h"
 #include "infra/provisioner.h"
 #include "ml/forecast.h"
 #include "workload/arrival.h"
@@ -73,9 +74,18 @@ int main() {
 
   common::Table table({"strategy", "P50 wait", "P95 wait", "idle COGS ($)",
                        "served"});
-  Outcome cold = Run(times, forecast, 0, false);
-  Outcome fixed = Run(times, forecast, 8, false);
-  Outcome predictive = Run(times, forecast, 0, true);
+  // The three what-if scenarios are independent week-long simulations;
+  // fan them out across the shared pool.
+  auto& pool = common::ThreadPool::Global();
+  auto cold_f =
+      pool.Submit([&]() { return Run(times, forecast, 0, false); });
+  auto fixed_f =
+      pool.Submit([&]() { return Run(times, forecast, 8, false); });
+  auto predictive_f =
+      pool.Submit([&]() { return Run(times, forecast, 0, true); });
+  Outcome cold = cold_f.get();
+  Outcome fixed = fixed_f.get();
+  Outcome predictive = predictive_f.get();
   table.AddRow({"reactive (cold start)", common::Table::Num(cold.p50, 0) + " s",
                 common::Table::Num(cold.p95, 0) + " s",
                 common::Table::Num(cold.idle_cost, 0),

@@ -7,8 +7,10 @@
 // the predictive policy (forecast threshold) to trace both curves.
 
 #include <cstdio>
+#include <vector>
 
 #include "common/table.h"
+#include "common/thread_pool.h"
 #include "service/moneyball.h"
 #include "workload/usage_gen.h"
 
@@ -21,27 +23,43 @@ int main() {
   common::Table table({"policy family", "knob", "cost (billed hrs)",
                        "QoS loss (cold starts/active hr)"});
 
-  // Reactive curve: sweep idle-hours-to-pause (aggressive -> conservative).
-  for (size_t idle_hours : {1u, 2u, 4u, 8u, 16u}) {
-    service::ServerlessManager manager(
-        {.idle_hours_to_pause = idle_hours});
-    auto out = manager.SimulateFleet(traces, service::PausePolicy::kReactive);
-    ADS_CHECK_OK(out.status());
-    table.AddRow({"reactive", "pause after " + std::to_string(idle_hours) + "h",
-                  common::Table::Pct(out->billed_fraction),
-                  common::Table::Num(out->cold_start_rate, 4)});
-  }
-  // Predictive curve: sweep the idle threshold the forecast is compared to
-  // (low threshold = conservative, stays on more).
-  for (double threshold : {1.0, 3.0, 5.0, 10.0, 20.0}) {
-    service::ServerlessManager manager({.idle_threshold = threshold});
-    auto out = manager.SimulateFleet(traces, service::PausePolicy::kPredictive);
-    ADS_CHECK_OK(out.status());
-    table.AddRow({"predictive (ML)",
-                  "idle if forecast < " + common::Table::Num(threshold, 0),
-                  common::Table::Pct(out->billed_fraction),
-                  common::Table::Num(out->cold_start_rate, 4)});
-  }
+  // Every sweep point is an independent fleet simulation over the same
+  // read-only traces; fan the whole sweep out across the shared pool and
+  // emit rows in sweep order.
+  const std::vector<size_t> idle_sweep = {1, 2, 4, 8, 16};
+  const std::vector<double> threshold_sweep = {1.0, 3.0, 5.0, 10.0, 20.0};
+  std::vector<std::vector<std::string>> rows(idle_sweep.size() +
+                                             threshold_sweep.size());
+  common::parallel_for(0, rows.size(), 1, [&](size_t cb, size_t ce) {
+    for (size_t i = cb; i < ce; ++i) {
+      if (i < idle_sweep.size()) {
+        // Reactive curve: sweep idle-hours-to-pause.
+        size_t idle_hours = idle_sweep[i];
+        service::ServerlessManager manager(
+            {.idle_hours_to_pause = idle_hours});
+        auto out =
+            manager.SimulateFleet(traces, service::PausePolicy::kReactive);
+        ADS_CHECK_OK(out.status());
+        rows[i] = {"reactive",
+                   "pause after " + std::to_string(idle_hours) + "h",
+                   common::Table::Pct(out->billed_fraction),
+                   common::Table::Num(out->cold_start_rate, 4)};
+      } else {
+        // Predictive curve: sweep the idle threshold the forecast is
+        // compared to (low threshold = conservative, stays on more).
+        double threshold = threshold_sweep[i - idle_sweep.size()];
+        service::ServerlessManager manager({.idle_threshold = threshold});
+        auto out =
+            manager.SimulateFleet(traces, service::PausePolicy::kPredictive);
+        ADS_CHECK_OK(out.status());
+        rows[i] = {"predictive (ML)",
+                   "idle if forecast < " + common::Table::Num(threshold, 0),
+                   common::Table::Pct(out->billed_fraction),
+                   common::Table::Num(out->cold_start_rate, 4)};
+      }
+    }
+  });
+  for (const auto& row : rows) table.AddRow(row);
   // Anchors.
   {
     service::ServerlessManager manager;

@@ -50,6 +50,12 @@ void QuantileSketch::Add(double x) {
   sorted_ = false;
 }
 
+void QuantileSketch::Merge(const QuantileSketch& other) {
+  if (other.values_.empty()) return;
+  values_.insert(values_.end(), other.values_.begin(), other.values_.end());
+  sorted_ = false;
+}
+
 double QuantileSketch::Quantile(double q) const {
   if (values_.empty()) return 0.0;
   if (!sorted_) {

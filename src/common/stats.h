@@ -35,6 +35,9 @@ class RunningMoments {
 class QuantileSketch {
  public:
   void Add(double x);
+  /// Appends another sketch's samples (parallel-friendly: workers fill
+  /// local sketches, then the caller merges them in a fixed order).
+  void Merge(const QuantileSketch& other);
   /// Returns the q-quantile (q in [0,1]) using linear interpolation.
   /// Returns 0 for an empty sketch.
   double Quantile(double q) const;

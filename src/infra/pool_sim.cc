@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace ads::infra {
 
@@ -77,13 +78,35 @@ common::Result<PoolSimReport> PoolInitSimulator::Simulate(
   if (options_.vms_per_cluster <= 0) {
     return common::Status::InvalidArgument("vms_per_cluster must be positive");
   }
-  common::Rng rng(seed);
+  // Trials fan out across the shared pool in fixed-size blocks. Each
+  // block draws from its own Rng seeded off the root seed, and block
+  // results merge in block order, so the report depends only on `seed`
+  // and `trials` — never on the worker count.
+  constexpr size_t kBlock = 512;
+  size_t n = static_cast<size_t>(trials);
+  size_t num_blocks = (n + kBlock - 1) / kBlock;
+  common::Rng root(seed);
+  std::vector<uint64_t> block_seeds(num_blocks);
+  for (auto& s : block_seeds) s = root.engine()();
+
+  std::vector<common::QuantileSketch> block_lat(num_blocks);
+  std::vector<double> block_requests(num_blocks, 0.0);
+  common::ThreadPool& pool =
+      options_.pool != nullptr ? *options_.pool : common::ThreadPool::Global();
+  pool.ParallelFor(0, n, kBlock, [&](size_t cb, size_t ce) {
+    size_t b = cb / kBlock;
+    common::Rng rng(block_seeds[b]);
+    for (size_t t = cb; t < ce; ++t) {
+      int issued = 0;
+      block_lat[b].Add(OneInit(policy, rng, &issued));
+      block_requests[b] += issued;
+    }
+  });
   common::QuantileSketch lat;
   double total_requests = 0.0;
-  for (int t = 0; t < trials; ++t) {
-    int issued = 0;
-    lat.Add(OneInit(policy, rng, &issued));
-    total_requests += issued;
+  for (size_t b = 0; b < num_blocks; ++b) {
+    lat.Merge(block_lat[b]);
+    total_requests += block_requests[b];
   }
   PoolSimReport report;
   report.policy = policy;

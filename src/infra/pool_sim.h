@@ -8,6 +8,10 @@
 #include "common/stats.h"
 #include "common/status.h"
 
+namespace ads::common {
+class ThreadPool;
+}  // namespace ads::common
+
 namespace ads::infra {
 
 /// How the cluster-initialization flow issues its VM acquisition requests.
@@ -39,6 +43,10 @@ struct PoolSimOptions {
   int hedge_extras = 2;
   /// Reissue threshold for the retry policy (seconds).
   double retry_timeout = 60.0;
+  /// Pool for the Monte-Carlo trial fan-out; null = ThreadPool::Global().
+  /// Trial blocks are seeded independently of worker placement, so the
+  /// report is identical for any pool size.
+  common::ThreadPool* pool = nullptr;
 };
 
 /// Result of simulating one policy over many cluster initializations.

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 
 namespace ads::ml {
 
@@ -13,7 +14,6 @@ common::Status RandomForestRegressor::Fit(const Dataset& data) {
     return common::Status::InvalidArgument("forest fit on empty data");
   }
   trees_.clear();
-  common::Rng rng(options_.seed);
   size_t d = data.dimensions();
   size_t per_split = options_.features_per_split;
   if (per_split == 0) {
@@ -23,22 +23,41 @@ common::Status RandomForestRegressor::Fit(const Dataset& data) {
   size_t sample_n = std::max<size_t>(
       1, static_cast<size_t>(options_.sample_fraction *
                              static_cast<double>(data.size())));
-  for (size_t t = 0; t < options_.num_trees; ++t) {
-    std::vector<size_t> bootstrap(sample_n);
-    for (auto& i : bootstrap) {
-      i = static_cast<size_t>(
-          rng.UniformInt(0, static_cast<int64_t>(data.size()) - 1));
-    }
-    Dataset sample = data.Filter(bootstrap);
-    RegressionTree::Options topt;
-    topt.max_depth = options_.max_depth;
-    topt.min_samples_leaf = options_.min_samples_leaf;
-    topt.features_per_split = per_split;
-    topt.seed = rng.engine()();
-    RegressionTree tree(topt);
-    ADS_RETURN_IF_ERROR(tree.Fit(sample));
-    trees_.push_back(std::move(tree));
+  // Each tree trains from its own Rng seeded off the run seed, so the
+  // result is a pure function of (seed, tree index): training with 0, 1,
+  // or N workers produces bit-identical forests.
+  common::Rng root(options_.seed);
+  std::vector<uint64_t> tree_seeds(options_.num_trees);
+  for (auto& s : tree_seeds) s = root.engine()();
+
+  std::vector<RegressionTree> trees(options_.num_trees);
+  std::vector<common::Status> statuses(options_.num_trees);
+  common::ThreadPool& pool =
+      options_.pool != nullptr ? *options_.pool : common::ThreadPool::Global();
+  pool.ParallelFor(
+      0, options_.num_trees, 1, [&](size_t chunk_begin, size_t chunk_end) {
+        for (size_t t = chunk_begin; t < chunk_end; ++t) {
+          common::Rng rng(tree_seeds[t]);
+          std::vector<size_t> bootstrap(sample_n);
+          for (auto& i : bootstrap) {
+            i = static_cast<size_t>(
+                rng.UniformInt(0, static_cast<int64_t>(data.size()) - 1));
+          }
+          Dataset sample = data.Filter(bootstrap);
+          RegressionTree::Options topt;
+          topt.max_depth = options_.max_depth;
+          topt.min_samples_leaf = options_.min_samples_leaf;
+          topt.features_per_split = per_split;
+          topt.seed = rng.engine()();
+          RegressionTree tree(topt);
+          statuses[t] = tree.Fit(sample);
+          if (statuses[t].ok()) trees[t] = std::move(tree);
+        }
+      });
+  for (const auto& s : statuses) {
+    ADS_RETURN_IF_ERROR(s);
   }
+  trees_ = std::move(trees);
   return common::Status::Ok();
 }
 

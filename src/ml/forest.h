@@ -7,6 +7,10 @@
 
 #include "ml/tree.h"
 
+namespace ads::common {
+class ThreadPool;
+}  // namespace ads::common
+
 namespace ads::ml {
 
 struct RandomForestOptions {
@@ -18,6 +22,11 @@ struct RandomForestOptions {
   /// Features considered per split; 0 = sqrt(d).
   size_t features_per_split = 0;
   uint64_t seed = 1;
+  /// Pool used for per-tree training; null = ThreadPool::Global(). Each
+  /// tree trains from a seed derived solely from `seed` and its index, so
+  /// the fitted forest is bit-identical for any pool size (tests pass
+  /// &ThreadPool::Serial() to force single-threaded execution).
+  common::ThreadPool* pool = nullptr;
 };
 
 /// Bagged random forest of regression trees.

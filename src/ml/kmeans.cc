@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 
 namespace ads::ml {
 namespace {
@@ -17,6 +18,11 @@ double Dist2(const std::vector<double>& a, const std::vector<double>& b) {
   }
   return d;
 }
+
+/// Points per parallel_for chunk. Chunk boundaries (not worker count)
+/// define the floating-point reduction order, so results are identical
+/// in serial and parallel runs.
+constexpr size_t kGrain = 256;
 
 }  // namespace
 
@@ -34,9 +40,11 @@ common::Status KMeans::Fit(const std::vector<std::vector<double>>& points) {
       points[static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(n) - 1))]);
   std::vector<double> min_d2(n, std::numeric_limits<double>::infinity());
   while (centroids_.size() < options_.k) {
-    for (size_t i = 0; i < n; ++i) {
-      min_d2[i] = std::min(min_d2[i], Dist2(points[i], centroids_.back()));
-    }
+    common::parallel_for(0, n, kGrain, [&](size_t cb, size_t ce) {
+      for (size_t i = cb; i < ce; ++i) {
+        min_d2[i] = std::min(min_d2[i], Dist2(points[i], centroids_.back()));
+      }
+    });
     double total = 0.0;
     for (double d : min_d2) total += d;
     if (total <= 0.0) {
@@ -58,23 +66,49 @@ common::Status KMeans::Fit(const std::vector<std::vector<double>>& points) {
   }
 
   labels_.assign(n, 0);
+  size_t dim = points[0].size();
+  size_t num_chunks = (n + kGrain - 1) / kGrain;
   for (int iter = 0; iter < options_.max_iterations; ++iter) {
-    bool changed = false;
-    for (size_t i = 0; i < n; ++i) {
-      size_t best = Assign(points[i]);
-      if (best != labels_[i]) {
-        labels_[i] = best;
-        changed = true;
+    // Assignment step: points are independent; chunk-local change flags
+    // avoid a shared write.
+    std::vector<char> chunk_changed(num_chunks, 0);
+    common::parallel_for(0, n, kGrain, [&](size_t cb, size_t ce) {
+      for (size_t i = cb; i < ce; ++i) {
+        size_t best = Assign(points[i]);
+        if (best != labels_[i]) {
+          labels_[i] = best;
+          chunk_changed[cb / kGrain] = 1;
+        }
       }
-    }
-    // Recompute centroids.
-    std::vector<std::vector<double>> sums(
-        options_.k, std::vector<double>(points[0].size(), 0.0));
+    });
+    bool changed = false;
+    for (char c : chunk_changed) changed = changed || c != 0;
+    // Update step: chunk-local partial sums, merged in chunk order so the
+    // floating-point accumulation order matches the serial run exactly.
+    std::vector<std::vector<std::vector<double>>> chunk_sums(
+        num_chunks, std::vector<std::vector<double>>(
+                        options_.k, std::vector<double>(dim, 0.0)));
+    std::vector<std::vector<size_t>> chunk_counts(
+        num_chunks, std::vector<size_t>(options_.k, 0));
+    common::parallel_for(0, n, kGrain, [&](size_t cb, size_t ce) {
+      auto& sums = chunk_sums[cb / kGrain];
+      auto& counts = chunk_counts[cb / kGrain];
+      for (size_t i = cb; i < ce; ++i) {
+        ++counts[labels_[i]];
+        for (size_t j = 0; j < dim; ++j) {
+          sums[labels_[i]][j] += points[i][j];
+        }
+      }
+    });
+    std::vector<std::vector<double>> sums(options_.k,
+                                          std::vector<double>(dim, 0.0));
     std::vector<size_t> counts(options_.k, 0);
-    for (size_t i = 0; i < n; ++i) {
-      ++counts[labels_[i]];
-      for (size_t j = 0; j < points[i].size(); ++j) {
-        sums[labels_[i]][j] += points[i][j];
+    for (size_t chunk = 0; chunk < num_chunks; ++chunk) {
+      for (size_t c = 0; c < options_.k; ++c) {
+        counts[c] += chunk_counts[chunk][c];
+        for (size_t j = 0; j < dim; ++j) {
+          sums[c][j] += chunk_sums[chunk][c][j];
+        }
       }
     }
     for (size_t c = 0; c < options_.k; ++c) {
@@ -86,10 +120,16 @@ common::Status KMeans::Fit(const std::vector<std::vector<double>>& points) {
     if (!changed && iter > 0) break;
   }
 
+  std::vector<double> chunk_inertia(num_chunks, 0.0);
+  common::parallel_for(0, n, kGrain, [&](size_t cb, size_t ce) {
+    double local = 0.0;
+    for (size_t i = cb; i < ce; ++i) {
+      local += Dist2(points[i], centroids_[labels_[i]]);
+    }
+    chunk_inertia[cb / kGrain] = local;
+  });
   inertia_ = 0.0;
-  for (size_t i = 0; i < n; ++i) {
-    inertia_ += Dist2(points[i], centroids_[labels_[i]]);
-  }
+  for (double v : chunk_inertia) inertia_ += v;
   return common::Status::Ok();
 }
 

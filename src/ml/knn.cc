@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace ads::ml {
 
@@ -29,16 +30,20 @@ std::vector<size_t> KnnRegressor::Neighbors(
     const std::vector<double>& features) const {
   ADS_CHECK(fitted()) << "neighbors on unfitted knn";
   std::vector<double> q = standardizer_.Transform(features);
-  std::vector<std::pair<double, size_t>> dists;
-  dists.reserve(standardized_rows_.size());
-  for (size_t i = 0; i < standardized_rows_.size(); ++i) {
-    double d = 0.0;
-    for (size_t j = 0; j < q.size(); ++j) {
-      double delta = standardized_rows_[i][j] - q[j];
-      d += delta * delta;
-    }
-    dists.emplace_back(d, i);
-  }
+  // Each slot is written by exactly one chunk, so the parallel scan is
+  // race-free and produces the same distances as the serial loop.
+  std::vector<std::pair<double, size_t>> dists(standardized_rows_.size());
+  common::parallel_for(
+      0, standardized_rows_.size(), 512, [&](size_t cb, size_t ce) {
+        for (size_t i = cb; i < ce; ++i) {
+          double d = 0.0;
+          for (size_t j = 0; j < q.size(); ++j) {
+            double delta = standardized_rows_[i][j] - q[j];
+            d += delta * delta;
+          }
+          dists[i] = {d, i};
+        }
+      });
   size_t k = std::min(k_, dists.size());
   std::partial_sort(dists.begin(), dists.begin() + static_cast<long>(k),
                     dists.end());

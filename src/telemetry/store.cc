@@ -7,6 +7,7 @@ namespace ads::telemetry {
 common::Status TelemetryStore::Record(const std::string& name,
                                       const LabelSet& labels, double time,
                                       double value) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto& points = series_[SeriesKey{name, labels}];
   if (!points.empty() && time < points.back().time) {
     return common::Status::InvalidArgument(
@@ -20,6 +21,7 @@ std::vector<MetricPoint> TelemetryStore::Query(const std::string& name,
                                                const LabelSet& labels,
                                                double t_begin,
                                                double t_end) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = series_.find(SeriesKey{name, labels});
   if (it == series_.end()) return {};
   const auto& points = it->second;
@@ -36,6 +38,7 @@ std::vector<MetricPoint> TelemetryStore::Query(const std::string& name,
 
 std::vector<MetricPoint> TelemetryStore::QueryAll(
     const std::string& name, const LabelSet& labels) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = series_.find(SeriesKey{name, labels});
   if (it == series_.end()) return {};
   return it->second;
@@ -43,6 +46,7 @@ std::vector<MetricPoint> TelemetryStore::QueryAll(
 
 std::vector<MetricSeries> TelemetryStore::Select(
     const std::string& name, const LabelSet& selector) const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<MetricSeries> out;
   for (const auto& [key, points] : series_) {
     if (key.name != name) continue;
@@ -66,6 +70,7 @@ std::vector<MetricSeries> TelemetryStore::Select(
 }
 
 size_t TelemetryStore::sample_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
   size_t n = 0;
   for (const auto& [key, points] : series_) n += points.size();
   return n;

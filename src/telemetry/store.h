@@ -2,6 +2,7 @@
 #define ADS_TELEMETRY_STORE_H_
 
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -13,6 +14,11 @@ namespace ads::telemetry {
 /// In-memory time-series store: the library's stand-in for Kusto/monitoring
 /// pipelines. Simulators record into it; the autonomous components query it.
 /// Samples are expected in nondecreasing time order per series (checked).
+///
+/// Thread-safe: all methods take an internal mutex, so thread-pool workers
+/// (e.g. parallel simulator shards) may record concurrently. Per-series
+/// time-ordering is still checked under the lock; concurrent writers to the
+/// *same* series must coordinate their timestamps themselves.
 class TelemetryStore {
  public:
   /// Appends one sample to the series identified by (name, labels).
@@ -35,7 +41,10 @@ class TelemetryStore {
                                    const LabelSet& selector) const;
 
   /// Number of distinct stored series.
-  size_t series_count() const { return series_.size(); }
+  size_t series_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return series_.size();
+  }
   /// Total stored samples.
   size_t sample_count() const;
 
@@ -49,6 +58,7 @@ class TelemetryStore {
     }
   };
 
+  mutable std::mutex mu_;
   std::map<SeriesKey, std::vector<MetricPoint>> series_;
 };
 

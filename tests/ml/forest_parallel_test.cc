@@ -1,0 +1,75 @@
+// Determinism of parallel random-forest training: the fitted forest must
+// be bit-identical whether trees train on 0 (inline), 1, or N workers,
+// because each tree's Rng derives solely from (run seed, tree index).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "ml/dataset.h"
+#include "ml/forest.h"
+
+namespace ads::ml {
+namespace {
+
+Dataset MakeData(size_t n, uint64_t seed) {
+  common::Rng rng(seed);
+  Dataset data({"x0", "x1", "x2"});
+  for (size_t i = 0; i < n; ++i) {
+    double x0 = rng.Uniform(-2.0, 2.0);
+    double x1 = rng.Uniform(-2.0, 2.0);
+    double x2 = rng.Uniform(0.0, 1.0);
+    double y = std::sin(x0) + 0.5 * x1 * x1 + x2 + rng.Normal(0.0, 0.05);
+    data.Add({x0, x1, x2}, y);
+  }
+  return data;
+}
+
+TEST(ForestParallelTest, PredictionsIdenticalAcrossWorkerCounts) {
+  Dataset train = MakeData(400, 17);
+  common::ThreadPool one_worker(1);
+  common::ThreadPool many_workers(4);
+
+  RandomForestOptions opts{.num_trees = 25, .seed = 5};
+  opts.pool = &common::ThreadPool::Serial();
+  RandomForestRegressor serial(opts);
+  opts.pool = &one_worker;
+  RandomForestRegressor single(opts);
+  opts.pool = &many_workers;
+  RandomForestRegressor parallel(opts);
+
+  ASSERT_TRUE(serial.Fit(train).ok());
+  ASSERT_TRUE(single.Fit(train).ok());
+  ASSERT_TRUE(parallel.Fit(train).ok());
+
+  // Bit-identical trees, not just close predictions.
+  EXPECT_EQ(serial.Serialize(), single.Serialize());
+  EXPECT_EQ(serial.Serialize(), parallel.Serialize());
+
+  common::Rng rng(99);
+  for (int i = 0; i < 200; ++i) {
+    std::vector<double> x = {rng.Uniform(-2.0, 2.0), rng.Uniform(-2.0, 2.0),
+                             rng.Uniform(0.0, 1.0)};
+    double expected = serial.Predict(x);
+    EXPECT_EQ(single.Predict(x), expected);
+    EXPECT_EQ(parallel.Predict(x), expected);
+  }
+}
+
+TEST(ForestParallelTest, RefitIsDeterministic) {
+  Dataset train = MakeData(300, 23);
+  common::ThreadPool pool(3);
+  RandomForestOptions opts{.num_trees = 12, .seed = 11};
+  opts.pool = &pool;
+  RandomForestRegressor a(opts);
+  RandomForestRegressor b(opts);
+  ASSERT_TRUE(a.Fit(train).ok());
+  ASSERT_TRUE(b.Fit(train).ok());
+  EXPECT_EQ(a.Serialize(), b.Serialize());
+}
+
+}  // namespace
+}  // namespace ads::ml
