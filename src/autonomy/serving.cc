@@ -1,0 +1,78 @@
+#include "autonomy/serving.h"
+
+#include "common/logging.h"
+#include "ml/model.h"
+
+namespace ads::autonomy {
+
+ResilientModelServer::ResilientModelServer(ml::ModelRegistry* registry,
+                                           std::string model_name,
+                                           Heuristic heuristic,
+                                           ServingOptions options,
+                                           common::FaultInjector* injector)
+    : registry_(registry),
+      model_(std::move(model_name)),
+      heuristic_(std::move(heuristic)),
+      options_(options),
+      injector_(injector),
+      breaker_(options.breaker) {
+  ADS_CHECK(registry != nullptr) << "serving needs a registry";
+  ADS_CHECK(heuristic_ != nullptr) << "the heuristic tier must be callable";
+}
+
+bool ResilientModelServer::TryServe(uint32_t version, const std::string& site,
+                                    const std::vector<double>& features,
+                                    double* out) {
+  if (version == 0) return false;
+  if (injector_ != nullptr && injector_->ShouldFail(site)) return false;
+  auto it = cache_.find(version);
+  if (it == cache_.end()) {
+    auto stored = registry_->GetVersion(model_, version);
+    if (!stored.ok()) return false;
+    auto model = ml::DeserializeRegressor(stored->blob);
+    if (!model.ok()) return false;
+    it = cache_.emplace(version, std::move(*model)).first;
+  }
+  *out = it->second->Predict(features);
+  return true;
+}
+
+ResilientModelServer::ServeResult ResilientModelServer::Predict(
+    const std::vector<double>& features, double now) {
+  ServeResult result;
+  // Tier 1: the deployed model, guarded by the breaker.
+  if (breaker_.AllowRequest(now)) {
+    uint32_t deployed = registry_->DeployedVersion(model_);
+    if (TryServe(deployed, "serving.deployed", features, &result.value)) {
+      breaker_.RecordSuccess(now);
+      result.tier = Tier::kDeployed;
+      result.version = deployed;
+      ++served_[static_cast<size_t>(Tier::kDeployed)];
+      return result;
+    }
+    breaker_.RecordFailure(now);
+    if (breaker_.state() == common::CircuitBreaker::State::kOpen &&
+        options_.auto_rollback && breaker_.trips() > rollbacks_) {
+      // The deployed version is consistently failing: withdraw it. The
+      // breaker stays open for its cooldown, so the rolled-back model is
+      // first exercised by the half-open probe.
+      if (registry_->Rollback(model_).ok()) ++rollbacks_;
+    }
+  }
+  // Tier 2: the previously deployed version.
+  uint32_t previous = registry_->PreviousVersion(model_);
+  if (TryServe(previous, "serving.previous", features, &result.value)) {
+    result.tier = Tier::kPrevious;
+    result.version = previous;
+    ++served_[static_cast<size_t>(Tier::kPrevious)];
+    return result;
+  }
+  // Tier 3: the heuristic always answers.
+  result.value = heuristic_(features);
+  result.tier = Tier::kHeuristic;
+  result.version = 0;
+  ++served_[static_cast<size_t>(Tier::kHeuristic)];
+  return result;
+}
+
+}  // namespace ads::autonomy

@@ -1,0 +1,96 @@
+#include "common/fault_injection.h"
+
+#include <algorithm>
+
+namespace ads::common {
+
+bool FaultInjector::SpecCanFire(const FaultSpec& spec) {
+  return spec.probability > 0.0 || spec.fail_first_n > 0 ||
+         !spec.fire_on_calls.empty();
+}
+
+uint64_t FaultInjector::SiteStreamSeed(uint64_t seed,
+                                       const std::string& site) {
+  // FNV-1a over the site name, mixed with the injector seed: stable across
+  // runs and platforms, and distinct per site so streams are independent.
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : site) {
+    h ^= static_cast<uint64_t>(static_cast<unsigned char>(c));
+    h *= 1099511628211ULL;
+  }
+  return h ^ (seed * 0x9e3779b97f4a7c15ULL);
+}
+
+void FaultInjector::Configure(const std::string& site, FaultSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Site& s = sites_[site];
+  s.spec = std::move(spec);
+  s.rng = Rng(SiteStreamSeed(seed_, site));
+  s.calls = 0;
+  s.injected = 0;
+}
+
+void FaultInjector::Clear(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sites_.erase(site);
+}
+
+bool FaultInjector::ShouldFail(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  if (it == sites_.end()) return false;
+  Site& s = it->second;
+  ++s.calls;
+  bool fire = false;
+  if (s.calls <= s.spec.fail_first_n) fire = true;
+  if (!fire && !s.spec.fire_on_calls.empty() &&
+      std::find(s.spec.fire_on_calls.begin(), s.spec.fire_on_calls.end(),
+                s.calls) != s.spec.fire_on_calls.end()) {
+    fire = true;
+  }
+  // The probability stream advances exactly once per call whenever a rate
+  // is set, even if a schedule already fired: the draw sequence depends
+  // only on the call count, never on which mechanism selected a call.
+  if (s.spec.probability > 0.0) {
+    bool drawn = s.rng.Bernoulli(s.spec.probability);
+    fire = fire || drawn;
+  }
+  if (fire) ++s.injected;
+  return fire;
+}
+
+Status FaultInjector::MaybeFail(const std::string& site) {
+  if (ShouldFail(site)) {
+    return Status::Internal("injected fault at " + site);
+  }
+  return Status::Ok();
+}
+
+uint64_t FaultInjector::Calls(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.calls;
+}
+
+uint64_t FaultInjector::Injected(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.injected;
+}
+
+uint64_t FaultInjector::TotalInjected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& [name, s] : sites_) total += s.injected;
+  return total;
+}
+
+bool FaultInjector::Enabled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, s] : sites_) {
+    if (SpecCanFire(s.spec)) return true;
+  }
+  return false;
+}
+
+}  // namespace ads::common

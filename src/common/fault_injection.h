@@ -1,0 +1,88 @@
+#ifndef ADS_COMMON_FAULT_INJECTION_H_
+#define ADS_COMMON_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace ads::common {
+
+/// What a configured injection site does on each ShouldFail() call.
+/// Mechanisms compose: a call fires if any of them selects it.
+struct FaultSpec {
+  /// Chance that any given call fires.
+  double probability = 0.0;
+  /// The first N calls always fire (crash-on-startup style faults).
+  uint64_t fail_first_n = 0;
+  /// Explicit 1-based call indices that always fire (scripted schedules).
+  std::vector<uint64_t> fire_on_calls = {};
+};
+
+/// Seeded, deterministic fault injector: the chaos-testing substrate for
+/// the resilience layer. Code under test declares named injection sites
+/// ("scheduler/place", "model_serving/kea") and asks ShouldFail(site) at
+/// the point where a real system could fail.
+///
+/// Determinism guarantees:
+///  - Each site draws from its own Rng stream derived from (seed, site
+///    name), so adding calls at one site never perturbs another.
+///  - An unconfigured site (or one with an all-zero spec) never draws and
+///    never fires: with injection disabled the instrumented code is
+///    bit-identical to uninstrumented code.
+///  - Two injectors with the same seed and the same per-site call
+///    sequences fire on exactly the same calls.
+///
+/// Thread-safe: sites may be hit concurrently from thread-pool workers.
+/// Concurrent callers race only for call *indices* within a site, so
+/// cross-thread determinism holds for the probability mechanism per call
+/// count, and tests that need exact schedules drive a site from one thread.
+class FaultInjector {
+ public:
+  explicit FaultInjector(uint64_t seed = 0) : seed_(seed) {}
+
+  /// Installs (or replaces) the spec for a site and resets its counters
+  /// and stream.
+  void Configure(const std::string& site, FaultSpec spec);
+  /// Removes a site: subsequent ShouldFail(site) calls never fire.
+  void Clear(const std::string& site);
+
+  /// True if this call at the site should fail. Counts the call.
+  bool ShouldFail(const std::string& site);
+
+  /// Status form: Ok, or Internal("injected fault at <site>") when firing.
+  Status MaybeFail(const std::string& site);
+
+  /// Calls observed at a site (0 if never hit or unconfigured).
+  uint64_t Calls(const std::string& site) const;
+  /// Faults fired at a site.
+  uint64_t Injected(const std::string& site) const;
+  /// Faults fired across all sites.
+  uint64_t TotalInjected() const;
+
+  /// True if any site is configured with a spec that can fire.
+  bool Enabled() const;
+
+ private:
+  struct Site {
+    FaultSpec spec;
+    Rng rng{0};
+    uint64_t calls = 0;
+    uint64_t injected = 0;
+  };
+
+  static bool SpecCanFire(const FaultSpec& spec);
+  static uint64_t SiteStreamSeed(uint64_t seed, const std::string& site);
+
+  mutable std::mutex mu_;
+  uint64_t seed_;
+  std::map<std::string, Site> sites_;
+};
+
+}  // namespace ads::common
+
+#endif  // ADS_COMMON_FAULT_INJECTION_H_

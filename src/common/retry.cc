@@ -1,0 +1,92 @@
+#include "common/retry.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace ads::common {
+
+RetryPolicy::RetryPolicy(RetryOptions options, uint64_t seed)
+    : options_(options), rng_(seed) {
+  ADS_CHECK(options_.max_attempts >= 1) << "retry needs at least one attempt";
+  ADS_CHECK(options_.initial_backoff_seconds >= 0.0) << "negative backoff";
+  ADS_CHECK(options_.backoff_multiplier >= 1.0)
+      << "backoff multiplier must be >= 1";
+  ADS_CHECK(options_.jitter >= 0.0 && options_.jitter < 1.0)
+      << "jitter fraction must be in [0, 1)";
+}
+
+bool RetryPolicy::IsRetriable(StatusCode code) {
+  return code == StatusCode::kInternal ||
+         code == StatusCode::kResourceExhausted;
+}
+
+double RetryPolicy::BackoffFor(int retry) {
+  ADS_CHECK(retry >= 1) << "retries are 1-based";
+  double delay = options_.initial_backoff_seconds *
+                 std::pow(options_.backoff_multiplier, retry - 1);
+  delay = std::min(delay, options_.max_backoff_seconds);
+  if (options_.jitter > 0.0) {
+    delay *= rng_.Uniform(1.0 - options_.jitter, 1.0 + options_.jitter);
+  }
+  return delay;
+}
+
+RetryResult RetryPolicy::Run(const std::function<Status()>& op) {
+  RetryResult result;
+  for (int attempt = 1; attempt <= options_.max_attempts; ++attempt) {
+    result.attempts = attempt;
+    result.status = op();
+    if (result.status.ok() || !IsRetriable(result.status.code())) {
+      return result;
+    }
+    if (attempt == options_.max_attempts) break;
+    double delay = BackoffFor(attempt);
+    if (result.total_backoff_seconds + delay > options_.deadline_seconds) {
+      break;  // the next wait would blow the budget; surface the last error
+    }
+    result.total_backoff_seconds += delay;
+  }
+  return result;
+}
+
+bool CircuitBreaker::AllowRequest(double now) {
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (now - opened_at_ >= options_.cooldown_seconds) {
+        state_ = State::kHalfOpen;
+        probe_in_flight_ = true;
+        return true;
+      }
+      return false;
+    case State::kHalfOpen:
+      // One probe at a time; further requests wait for its verdict.
+      if (probe_in_flight_) return false;
+      probe_in_flight_ = true;
+      return true;
+  }
+  return false;
+}
+
+void CircuitBreaker::RecordSuccess(double) {
+  consecutive_failures_ = 0;
+  probe_in_flight_ = false;
+  state_ = State::kClosed;
+}
+
+void CircuitBreaker::RecordFailure(double now) {
+  ++consecutive_failures_;
+  probe_in_flight_ = false;
+  if (state_ == State::kHalfOpen ||
+      consecutive_failures_ >= options_.failure_threshold) {
+    if (state_ != State::kOpen) ++trips_;
+    state_ = State::kOpen;
+    opened_at_ = now;
+    consecutive_failures_ = 0;
+  }
+}
+
+}  // namespace ads::common

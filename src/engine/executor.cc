@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <limits>
 
+#include "common/event_queue.h"
 #include "common/logging.h"
 
 namespace ads::engine {
@@ -129,6 +131,290 @@ double JobSimulator::RestartTime(const StageGraph& graph, uint64_t seed,
   double makespan = 0.0;
   for (const StageRun& r : runs) makespan = std::max(makespan, r.end);
   return makespan;
+}
+
+namespace {
+
+/// Derives an independent deterministic stream for one purpose of the
+/// chaos simulation (failure process, per-attempt noise, stragglers), so
+/// enabling one fault mechanism never perturbs the draws of another.
+uint64_t ChaosStreamSeed(uint64_t seed, uint64_t purpose, uint64_t a = 0,
+                         uint64_t b = 0) {
+  uint64_t h = seed * 0x9e3779b97f4a7c15ULL;
+  h ^= (purpose + 0x6a09e667f3bcc909ULL) * 0xff51afd7ed558ccdULL;
+  h ^= (a + 1) * 0xc4ceb9fe1a85ec53ULL;
+  h ^= (b + 1) * 0x2545f4914f6cdd1dULL;
+  h ^= h >> 33;
+  return h;
+}
+
+}  // namespace
+
+ChaosRun JobSimulator::ExecuteWithFaults(
+    const StageGraph& graph, uint64_t seed, const FaultOptions& faults,
+    const std::set<int>& checkpointed) const {
+  ADS_CHECK(options_.machines > 0) << "executor needs machines";
+  ADS_CHECK(graph.final_stage >= 0) << "graph has no final stage";
+  const size_t n = graph.stages.size();
+  const int machines = options_.machines;
+  const int slots_per_machine = options_.slots_per_machine;
+
+  // Attempt-0 noise replays the exact draw sequence of Execute()'s
+  // Schedule(), so a zero-fault run is bit-identical to the failure-free
+  // simulator. Re-executions draw from per-(stage, attempt) streams.
+  std::vector<double> base_noise(n, 1.0);
+  {
+    common::Rng rng(seed);
+    if (options_.noise > 0.0) {
+      for (size_t i = 0; i < n; ++i) {
+        base_noise[i] = rng.Uniform(1.0 - options_.noise, 1.0 + options_.noise);
+      }
+    }
+  }
+
+  enum class Phase { kWaiting, kRunning, kDone };
+  struct StageState {
+    Phase phase = Phase::kWaiting;
+    bool output_available = false;
+    int output_machine = -1;  // -1 = durable (checkpoint / job result)
+    int attempt = 0;
+    int epoch = 0;  // invalidates completion events of killed executions
+    double start = 0.0;
+    double end = 0.0;
+    int parallelism = 1;
+    std::vector<int> footprint;  // machines hosting this execution
+  };
+  std::vector<StageState> st(n);
+  std::vector<bool> machine_up(static_cast<size_t>(machines), true);
+  int up_machines = machines;
+  auto consumers = graph.Consumers();
+
+  ChaosRun result;
+  common::EventQueue events;
+  common::Rng failure_rng(ChaosStreamSeed(seed, 1));
+  const double rate =
+      faults.failures_per_hour > 0.0 ? faults.failures_per_hour / 3600.0 : 0.0;
+  int failures_drawn = 0;
+  bool finished = false;
+
+  auto up_slots = [&]() { return up_machines * slots_per_machine; };
+
+  // Stages a correct recovery still needs: a stage must (re)run iff its
+  // output is gone and some transitive consumer that has not yet consumed
+  // it must run — lineage-based recomputation, the dynamic analogue of
+  // StageGraph::MustRerun.
+  auto compute_needed = [&]() {
+    std::vector<bool> need(n, false);
+    for (size_t ii = n; ii > 0; --ii) {
+      int u = graph.stages[ii - 1].id;
+      auto& s = st[static_cast<size_t>(u)];
+      if (u == graph.final_stage) {
+        need[static_cast<size_t>(u)] = s.phase != Phase::kDone;
+        continue;
+      }
+      if (s.output_available) continue;  // output exists somewhere safe
+      for (int c : consumers[static_cast<size_t>(u)]) {
+        // A running consumer already read its inputs; only consumers that
+        // still have to start keep their producers alive.
+        if (need[static_cast<size_t>(c)] &&
+            st[static_cast<size_t>(c)].phase != Phase::kRunning) {
+          need[static_cast<size_t>(u)] = true;
+          break;
+        }
+      }
+    }
+    return need;
+  };
+
+  std::function<void(double)> pump;  // declared first for recursion via events
+
+  auto complete_stage = [&](int stage_id, int epoch, double t) {
+    auto& s = st[static_cast<size_t>(stage_id)];
+    if (finished || s.phase != Phase::kRunning || s.epoch != epoch) return;
+    s.phase = Phase::kDone;
+    s.output_available = true;
+    if (stage_id == graph.final_stage || checkpointed.count(stage_id) > 0) {
+      s.output_machine = -1;  // durable
+    } else {
+      // Shuffle output parks on a stable-hashed machine; if that machine
+      // is down, the output spills to the next live one (deterministic).
+      int preferred = static_cast<int>(
+          static_cast<uint64_t>(stage_id) * 2654435761ULL %
+          static_cast<uint64_t>(machines));
+      s.output_machine = -1;
+      for (int k = 0; k < machines; ++k) {
+        int m = (preferred + k) % machines;
+        if (machine_up[static_cast<size_t>(m)]) {
+          s.output_machine = m;
+          break;
+        }
+      }
+      if (s.output_machine < 0) s.output_available = false;  // fleet is down
+    }
+    if (stage_id == graph.final_stage) {
+      finished = true;
+      result.makespan = t;
+      return;
+    }
+    pump(t);
+  };
+
+  pump = [&](double t) {
+    if (finished || up_slots() <= 0) return;
+    std::vector<bool> need = compute_needed();
+    for (const Stage& stage : graph.stages) {  // ids are topological
+      auto& s = st[static_cast<size_t>(stage.id)];
+      if (s.phase == Phase::kRunning || !need[static_cast<size_t>(stage.id)]) {
+        continue;
+      }
+      bool inputs_ready = true;
+      for (int in : stage.inputs) {
+        if (!st[static_cast<size_t>(in)].output_available) {
+          inputs_ready = false;
+          break;
+        }
+      }
+      if (!inputs_ready) continue;
+      if (s.phase == Phase::kDone) {
+        // Lost output being recomputed: the earlier execution is waste.
+        ++result.recomputed_stages;
+        result.wasted_compute += stage.work * options_.seconds_per_work;
+      }
+      int tasks = TasksFor(stage, options_);
+      int parallelism = std::min(tasks, up_slots());
+      double nominal = stage.work * options_.seconds_per_work /
+                       static_cast<double>(parallelism);
+      nominal *= std::ceil(static_cast<double>(tasks) /
+                           static_cast<double>(parallelism)) *
+                 static_cast<double>(parallelism) / static_cast<double>(tasks);
+      double noise_mult = 1.0;
+      if (options_.noise > 0.0) {
+        if (s.attempt == 0) {
+          noise_mult = base_noise[static_cast<size_t>(stage.id)];
+        } else {
+          common::Rng retry_rng(ChaosStreamSeed(
+              seed, 2, static_cast<uint64_t>(stage.id),
+              static_cast<uint64_t>(s.attempt)));
+          noise_mult =
+              retry_rng.Uniform(1.0 - options_.noise, 1.0 + options_.noise);
+        }
+      }
+      double duration = nominal * noise_mult;
+      if (faults.straggler_prob > 0.0) {
+        common::Rng straggler_rng(ChaosStreamSeed(
+            seed, 3, static_cast<uint64_t>(stage.id),
+            static_cast<uint64_t>(s.attempt)));
+        if (straggler_rng.Bernoulli(faults.straggler_prob)) {
+          duration *= faults.straggler_mult;
+          if (faults.speculation) {
+            // A backup launches once the straggler overshoots the trigger
+            // and needs one more nominal duration to finish; the stage
+            // completes at whichever copy lands first. The loser's
+            // slot-seconds are pure overhead.
+            double backup_end = nominal * (faults.speculation_trigger + 1.0);
+            if (backup_end < duration) {
+              ++result.speculative_launches;
+              result.wasted_compute +=
+                  (backup_end - nominal * faults.speculation_trigger) *
+                  static_cast<double>(parallelism);
+              duration = backup_end;
+            }
+          }
+        }
+      }
+      s.phase = Phase::kRunning;
+      ++s.attempt;
+      ++s.epoch;
+      s.output_available = false;
+      s.start = t;
+      s.end = t + duration;
+      s.parallelism = parallelism;
+      // Footprint: which machines host this execution (for failure
+      // correlation). Deterministic: live machines scanned from a stable
+      // per-stage offset.
+      s.footprint.clear();
+      int machines_needed = std::max(
+          1, static_cast<int>(std::ceil(static_cast<double>(parallelism) /
+                                        static_cast<double>(
+                                            slots_per_machine))));
+      int offset = static_cast<int>(
+          static_cast<uint64_t>(stage.id) * 2654435761ULL %
+          static_cast<uint64_t>(machines));
+      for (int k = 0; k < machines &&
+                      static_cast<int>(s.footprint.size()) < machines_needed;
+           ++k) {
+        int m = (offset + k) % machines;
+        if (machine_up[static_cast<size_t>(m)]) s.footprint.push_back(m);
+      }
+      int stage_id = stage.id;
+      int epoch = s.epoch;
+      events.ScheduleAt(s.end, [&, stage_id, epoch](common::SimTime when) {
+        complete_stage(stage_id, epoch, when);
+      });
+    }
+  };
+
+  std::function<void(int)> schedule_next_failure = [&](int victim) {
+    events.ScheduleAfter(
+        failure_rng.Exponential(rate), [&, victim](common::SimTime t) {
+          if (finished) return;
+          if (failures_drawn < faults.max_failures) {
+            ++failures_drawn;
+            schedule_next_failure(static_cast<int>(
+                failure_rng.UniformInt(0, machines - 1)));
+          }
+          if (!machine_up[static_cast<size_t>(victim)]) return;  // already down
+          ++result.failures;
+          machine_up[static_cast<size_t>(victim)] = false;
+          --up_machines;
+          // Kill executions with tasks on the victim; their partial work
+          // is lost.
+          for (const Stage& stage : graph.stages) {
+            auto& s = st[static_cast<size_t>(stage.id)];
+            if (s.phase != Phase::kRunning) continue;
+            if (std::find(s.footprint.begin(), s.footprint.end(), victim) ==
+                s.footprint.end()) {
+              continue;
+            }
+            double frac = s.end > s.start ? (t - s.start) / (s.end - s.start)
+                                          : 1.0;
+            result.wasted_compute +=
+                stage.work * options_.seconds_per_work * std::max(0.0, frac);
+            s.phase = Phase::kWaiting;
+            ++s.epoch;  // orphan the in-flight completion event
+          }
+          // Wipe the temp outputs parked on the victim.
+          for (const Stage& stage : graph.stages) {
+            auto& s = st[static_cast<size_t>(stage.id)];
+            if (s.phase == Phase::kDone && s.output_machine == victim) {
+              s.output_available = false;
+              s.output_machine = -1;
+            }
+          }
+          events.ScheduleAfter(faults.recovery_seconds,
+                               [&, victim](common::SimTime when) {
+                                 if (machine_up[static_cast<size_t>(victim)]) {
+                                   return;
+                                 }
+                                 machine_up[static_cast<size_t>(victim)] = true;
+                                 ++up_machines;
+                                 if (!finished) pump(when);
+                               });
+          pump(t);
+        });
+  };
+
+  if (rate > 0.0 && faults.max_failures > 0) {
+    ++failures_drawn;
+    schedule_next_failure(
+        static_cast<int>(failure_rng.UniformInt(0, machines - 1)));
+  }
+
+  pump(0.0);
+  while (!finished && !events.empty()) events.Step();
+  ADS_CHECK(finished) << "chaos run stalled before the final stage";
+  result.total_compute = graph.TotalWork() * options_.seconds_per_work;
+  return result;
 }
 
 double JobSimulator::ExpectedRuntimeWithFailures(

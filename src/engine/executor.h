@@ -37,6 +37,42 @@ struct StageRun {
   int output_machine = 0;
 };
 
+/// Fault model for the event-driven execution simulator.
+struct FaultOptions {
+  /// Cluster-wide machine-failure arrival rate (Poisson). 0 = no faults:
+  /// ExecuteWithFaults degenerates to the failure-free schedule.
+  double failures_per_hour = 0.0;
+  /// Downtime before a failed machine's slots rejoin the cluster.
+  double recovery_seconds = 120.0;
+  /// Chance a stage execution straggles (a slow task wave), and how much
+  /// slower it runs. Stragglers are what speculative re-execution clips.
+  double straggler_prob = 0.0;
+  double straggler_mult = 4.0;
+  /// Speculative re-execution: when a stage runs past
+  /// `speculation_trigger` times its nominal duration, a backup copy
+  /// launches; the stage finishes at the earlier of the two.
+  bool speculation = false;
+  double speculation_trigger = 1.5;
+  /// Safety cap on injected failures per run.
+  int max_failures = 256;
+};
+
+/// Result of simulating one job execution under the fault model.
+struct ChaosRun {
+  double makespan = 0.0;
+  /// Slot-seconds of useful work (equals the failure-free total).
+  double total_compute = 0.0;
+  /// Slot-seconds lost to failures: partial executions killed mid-flight
+  /// plus completed work whose output was wiped and had to be recomputed.
+  double wasted_compute = 0.0;
+  /// Machine failures that actually hit the run.
+  int failures = 0;
+  /// Completed stages whose lost outputs were recomputed via lineage.
+  int recomputed_stages = 0;
+  /// Backup executions launched by speculation.
+  int speculative_launches = 0;
+};
+
 /// Result of simulating one job execution.
 struct JobRun {
   double makespan = 0.0;
@@ -77,11 +113,28 @@ class JobSimulator {
   double RestartTime(const StageGraph& graph, uint64_t seed,
                      const std::set<int>& checkpointed = {}) const;
 
-  /// Monte-Carlo expected wall-clock time of the job under random machine
-  /// failures (Poisson with the given rate). A failure wipes all
-  /// temporary storage: stages whose outputs were checkpointed (and had
-  /// completed) survive; everything else re-executes. At most one failure
-  /// per trial is modeled (failures are rare at job timescales).
+  /// Event-driven execution under the fault model: machine failures
+  /// arrive as a Poisson process; a failure kills the stages running on
+  /// the machine and wipes the non-checkpointed stage outputs parked
+  /// there. Lost outputs are recomputed on demand via lineage (the
+  /// StageGraph recompute logic restricted to what downstream stages
+  /// still need); checkpointed outputs survive and bound the restart.
+  /// Fully deterministic given (graph, seed, options): failure times,
+  /// straggler draws and duration noise come from independent streams
+  /// derived from `seed`. With an all-zero FaultOptions, the makespan is
+  /// bit-identical to Execute().
+  ChaosRun ExecuteWithFaults(const StageGraph& graph, uint64_t seed,
+                             const FaultOptions& faults,
+                             const std::set<int>& checkpointed = {}) const;
+
+  /// Fast analytical approximation of the expected wall-clock time of the
+  /// job under random machine failures (Poisson with the given rate). A
+  /// failure wipes all temporary storage: stages whose outputs were
+  /// checkpointed (and had completed) survive; everything else
+  /// re-executes. At most one failure per trial is modeled, so the
+  /// estimate is accurate when failures are rare at job timescales
+  /// (failure rate * makespan << 1) and optimistic otherwise — use
+  /// ExecuteWithFaults for the exact multi-failure simulation.
   double ExpectedRuntimeWithFailures(const StageGraph& graph, uint64_t seed,
                                      double failures_per_hour,
                                      const std::set<int>& checkpointed = {},

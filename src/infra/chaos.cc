@@ -1,0 +1,84 @@
+#include "infra/chaos.h"
+
+#include "common/logging.h"
+
+namespace ads::infra {
+
+MachineChaos::MachineChaos(Cluster* cluster, common::EventQueue* queue,
+                           ClusterScheduler* scheduler, uint64_t seed)
+    : cluster_(cluster), queue_(queue), scheduler_(scheduler), rng_(seed) {
+  ADS_CHECK(cluster != nullptr) << "chaos needs a cluster";
+  ADS_CHECK(queue != nullptr) << "chaos needs an event queue";
+}
+
+void MachineChaos::Start(const ChaosOptions& options) {
+  if (options.mtbf_seconds <= 0.0) return;  // chaos disabled
+  double rate = 1.0 / options.mtbf_seconds;
+  // Each machine gets its own pre-drawn lifecycle, so the schedule does
+  // not depend on event execution order or on other machines.
+  for (size_t i = 0; i < cluster_->size(); ++i) {
+    common::Rng machine_rng = rng_.Fork();
+    double t = machine_rng.Exponential(rate);
+    while (t <= options.horizon_seconds) {
+      bool graceful = options.drain_fraction > 0.0 &&
+                      machine_rng.Bernoulli(options.drain_fraction);
+      FailAt(t, i, graceful, options.mttr_seconds,
+             options.drain_lead_seconds);
+      double down = (graceful ? options.drain_lead_seconds : 0.0) +
+                    options.mttr_seconds;
+      t += down + machine_rng.Exponential(rate);
+    }
+  }
+}
+
+void MachineChaos::FailAt(common::SimTime when, size_t machine_index,
+                          bool graceful, double mttr, double drain_lead) {
+  if (graceful) {
+    queue_->ScheduleAt(when, [this, machine_index](common::SimTime) {
+      Machine& m = cluster_->machine(machine_index);
+      if (m.dead()) return;  // already down via another path
+      ++drains_;
+      if (scheduler_ != nullptr) {
+        scheduler_->OnMachineDraining(&m);
+      } else if (m.state() == MachineState::kHealthy) {
+        m.SetState(MachineState::kDraining);
+      }
+    });
+    // The decommission point: whatever is still running is lost.
+    queue_->ScheduleAt(when + drain_lead,
+                       [this, machine_index, mttr](common::SimTime) {
+                         Fail(machine_index, mttr);
+                       });
+  } else {
+    queue_->ScheduleAt(when, [this, machine_index, mttr](common::SimTime) {
+      Fail(machine_index, mttr);
+    });
+  }
+}
+
+void MachineChaos::Fail(size_t machine_index, double mttr) {
+  Machine& m = cluster_->machine(machine_index);
+  if (m.dead()) return;
+  ++failures_;
+  if (scheduler_ != nullptr) {
+    scheduler_->OnMachineFailed(&m);
+  } else {
+    m.Crash();
+  }
+  queue_->ScheduleAfter(mttr, [this, machine_index](common::SimTime) {
+    Recover(machine_index);
+  });
+}
+
+void MachineChaos::Recover(size_t machine_index) {
+  Machine& m = cluster_->machine(machine_index);
+  if (!m.dead()) return;
+  ++recoveries_;
+  if (scheduler_ != nullptr) {
+    scheduler_->OnMachineRecovered(&m);
+  } else {
+    m.SetState(MachineState::kHealthy);
+  }
+}
+
+}  // namespace ads::infra

@@ -1,0 +1,72 @@
+#ifndef ADS_INFRA_CHAOS_H_
+#define ADS_INFRA_CHAOS_H_
+
+#include <cstdint>
+
+#include "common/event_queue.h"
+#include "common/rng.h"
+#include "infra/cluster.h"
+#include "infra/scheduler.h"
+
+namespace ads::infra {
+
+/// Failure/recovery schedule for the fleet. All times are simulated
+/// seconds; every draw comes from a per-machine stream forked off the
+/// chaos seed, so the schedule is identical run to run and independent of
+/// any other randomness in the simulation.
+struct ChaosOptions {
+  /// Per-machine mean time between failures (exponential inter-arrivals).
+  /// <= 0 disables fault injection entirely: no events are scheduled and
+  /// the simulation is bit-identical to a chaos-free run.
+  double mtbf_seconds = 0.0;
+  /// Downtime before a failed machine rejoins the fleet.
+  double mttr_seconds = 120.0;
+  /// Fraction of lifecycle events that are graceful drains instead of
+  /// crashes: the machine drains for `drain_lead_seconds` (no new work,
+  /// running tasks finish), then goes down and later recovers —
+  /// the decommission/re-image path of a real fleet.
+  double drain_fraction = 0.0;
+  double drain_lead_seconds = 60.0;
+  /// Events are only scheduled up to this horizon.
+  double horizon_seconds = 3600.0;
+};
+
+/// Deterministic chaos driver: injects machine failure, drain and
+/// recovery lifecycle events into the event queue, flipping MachineState
+/// and notifying the scheduler so in-flight work is re-placed. This is
+/// the infra-layer half of the fault model — the "provisioning latencies,
+/// failures" row of the paper's simulator substitution table.
+class MachineChaos {
+ public:
+  /// `scheduler` may be null (pure state flipping, e.g. under an
+  /// autoscaler test); with a scheduler attached, failures kill and
+  /// resubmit that machine's running tasks.
+  MachineChaos(Cluster* cluster, common::EventQueue* queue,
+               ClusterScheduler* scheduler, uint64_t seed);
+
+  /// Pre-schedules each machine's lifecycle events over the horizon.
+  /// Idempotent per call: call once per simulation.
+  void Start(const ChaosOptions& options);
+
+  int failures_injected() const { return failures_; }
+  int drains_injected() const { return drains_; }
+  int recoveries() const { return recoveries_; }
+
+ private:
+  void FailAt(common::SimTime when, size_t machine_index, bool graceful,
+              double mttr, double drain_lead);
+  void Fail(size_t machine_index, double mttr);
+  void Recover(size_t machine_index);
+
+  Cluster* cluster_;
+  common::EventQueue* queue_;
+  ClusterScheduler* scheduler_;
+  common::Rng rng_;
+  int failures_ = 0;
+  int drains_ = 0;
+  int recoveries_ = 0;
+};
+
+}  // namespace ads::infra
+
+#endif  // ADS_INFRA_CHAOS_H_

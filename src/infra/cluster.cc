@@ -4,6 +4,18 @@
 
 namespace ads::infra {
 
+const char* MachineStateName(MachineState state) {
+  switch (state) {
+    case MachineState::kHealthy:
+      return "healthy";
+    case MachineState::kDraining:
+      return "draining";
+    case MachineState::kDead:
+      return "dead";
+  }
+  return "?";
+}
+
 void Cluster::AddMachines(const SkuSpec& sku, int count, int racks,
                           int first_rack) {
   ADS_CHECK(count >= 0) << "negative machine count";
@@ -26,12 +38,41 @@ std::vector<Machine*> Cluster::AllMachines() {
   return out;
 }
 
+std::vector<Machine*> Cluster::HealthyMachines() {
+  std::vector<Machine*> out;
+  for (auto& m : machines_) {
+    if (m->AcceptsWork()) out.push_back(m.get());
+  }
+  return out;
+}
+
 std::vector<Machine*> Cluster::MachinesOfSku(const std::string& sku_name) {
   std::vector<Machine*> out;
   for (auto& m : machines_) {
     if (m->spec().name == sku_name) out.push_back(m.get());
   }
   return out;
+}
+
+std::vector<Machine*> Cluster::HealthyMachinesOfSku(
+    const std::string& sku_name) {
+  std::vector<Machine*> out;
+  for (auto& m : machines_) {
+    if (m->spec().name == sku_name && m->AcceptsWork()) out.push_back(m.get());
+  }
+  return out;
+}
+
+size_t Cluster::healthy_count() const {
+  size_t n = 0;
+  for (const auto& m : machines_) n += m->AcceptsWork() ? 1 : 0;
+  return n;
+}
+
+size_t Cluster::dead_count() const {
+  size_t n = 0;
+  for (const auto& m : machines_) n += m->dead() ? 1 : 0;
+  return n;
 }
 
 double Cluster::RackPowerWatts(int rack) const {

@@ -11,8 +11,11 @@
 namespace ads::infra {
 
 /// A fleet of machines grouped into racks. Owns the Machine objects;
-/// schedulers and executors hold stable pointers into it (machines are
-/// never removed).
+/// schedulers and executors hold stable pointers into it. Machine objects
+/// are never deallocated — a machine leaving service transitions through
+/// the explicit MachineState lifecycle (healthy → draining → dead →
+/// healthy again on recovery) instead of being removed, so held pointers
+/// stay valid across failures.
 class Cluster {
  public:
   /// Adds `count` machines of the SKU, round-robining them across
@@ -24,11 +27,23 @@ class Cluster {
   Machine& machine(size_t i) { return *machines_[i]; }
   const Machine& machine(size_t i) const { return *machines_[i]; }
 
+  /// Every machine, regardless of health — capacity planning and audits.
+  /// Callers placing work should use HealthyMachines() or check
+  /// Machine::AcceptsWork() per machine.
   std::vector<Machine*> AllMachines();
-  /// Machines of one SKU.
+  /// Machines currently accepting new work (state == kHealthy).
+  std::vector<Machine*> HealthyMachines();
+  /// Machines of one SKU, regardless of health.
   std::vector<Machine*> MachinesOfSku(const std::string& sku_name);
+  /// Healthy machines of one SKU.
+  std::vector<Machine*> HealthyMachinesOfSku(const std::string& sku_name);
   /// Distinct SKU names present, in insertion order.
   const std::vector<std::string>& sku_names() const { return sku_names_; }
+
+  /// Machines currently accepting work.
+  size_t healthy_count() const;
+  /// Machines currently dead.
+  size_t dead_count() const;
 
   /// Sum of PowerWatts over a rack's machines.
   double RackPowerWatts(int rack) const;

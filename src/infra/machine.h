@@ -35,6 +35,18 @@ struct SkuSpec {
   double slowdown_per_util = 2.0;
 };
 
+/// Health lifecycle of a machine. Healthy machines accept work; draining
+/// machines finish what they run but take no new placements (graceful
+/// decommission); dead machines run nothing and their machine-local
+/// temporary storage is lost.
+enum class MachineState {
+  kHealthy = 0,
+  kDraining,
+  kDead,
+};
+
+const char* MachineStateName(MachineState state);
+
 /// One simulated machine. State is mutated by the scheduler/executor; the
 /// class only enforces capacity invariants.
 class Machine {
@@ -45,6 +57,22 @@ class Machine {
   int id() const { return id_; }
   const SkuSpec& spec() const { return spec_; }
   int rack() const { return rack_; }
+
+  MachineState state() const { return state_; }
+  void SetState(MachineState state) { state_ = state; }
+  /// Accepts new placements (healthy only — draining machines are winding
+  /// down and dead machines run nothing).
+  bool AcceptsWork() const { return state_ == MachineState::kHealthy; }
+  bool dead() const { return state_ == MachineState::kDead; }
+
+  /// Models the crash: every running container and all machine-local
+  /// temporary storage is lost. The caller (scheduler / chaos driver)
+  /// decides what to do about the work that was on board.
+  void Crash() {
+    state_ = MachineState::kDead;
+    running_containers_ = 0;
+    temp_used_gb_ = 0.0;
+  }
 
   int running_containers() const { return running_containers_; }
   void StartContainer() { ++running_containers_; }
@@ -65,8 +93,10 @@ class Machine {
     return over > 0.0 ? 1.0 + spec_.slowdown_per_util * over : 1.0;
   }
 
-  /// Instantaneous power draw under the current load.
+  /// Instantaneous power draw under the current load (a dead machine
+  /// draws nothing).
   double PowerWatts() const {
+    if (state_ == MachineState::kDead) return 0.0;
     return spec_.idle_watts +
            (spec_.busy_watts - spec_.idle_watts) * CpuUtilization();
   }
@@ -90,6 +120,7 @@ class Machine {
   int id_;
   SkuSpec spec_;
   int rack_;
+  MachineState state_ = MachineState::kHealthy;
   int running_containers_ = 0;
   double temp_used_gb_ = 0.0;
 };

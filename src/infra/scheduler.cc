@@ -1,6 +1,7 @@
 #include "infra/scheduler.h"
 
 #include <limits>
+#include <vector>
 
 namespace ads::infra {
 
@@ -22,12 +23,13 @@ void ClusterScheduler::Submit(const ContainerTask& task) {
 }
 
 bool ClusterScheduler::TryPlace(const Pending& pending) {
-  // Least-utilized machine among those under their SKU cap with room for
-  // the task's temp storage.
+  // Least-utilized healthy machine among those under their SKU cap with
+  // room for the task's temp storage.
   Machine* best = nullptr;
   double best_util = std::numeric_limits<double>::infinity();
   for (size_t i = 0; i < cluster_->size(); ++i) {
     Machine& m = cluster_->machine(i);
+    if (!m.AcceptsWork()) continue;
     if (m.running_containers() >= config_.MaxFor(m.spec())) continue;
     if (m.temp_storage_free_gb() < pending.task.temp_storage_gb) continue;
     double u = m.CpuUtilization();
@@ -50,19 +52,26 @@ bool ClusterScheduler::TryPlace(const Pending& pending) {
   // Execution dilates with the utilization at start (plus mild noise).
   double duration = pending.task.base_duration * best->TaskSlowdown() *
                     rng_.Uniform(0.95, 1.05);
-  Machine* machine = best;
-  Pending copy = pending;
-  double util_at_start = best->CpuUtilization();
-  queue_->ScheduleAfter(
-      duration,
-      [this, machine, copy, duration, util_at_start](common::SimTime) {
-        OnTaskFinished(machine, copy, duration, util_at_start);
-      });
+  uint64_t placement_id = next_placement_id_++;
+  running_.emplace(placement_id,
+                   Running{best, pending, duration, best->CpuUtilization()});
+  queue_->ScheduleAfter(duration, [this, placement_id](common::SimTime) {
+    OnTaskFinished(placement_id);
+  });
   return true;
 }
 
-void ClusterScheduler::OnTaskFinished(Machine* machine, const Pending& pending,
-                                      double duration, double util_at_start) {
+void ClusterScheduler::OnTaskFinished(uint64_t placement_id) {
+  auto it = running_.find(placement_id);
+  // The placement was killed by a machine failure: the task has already
+  // been resubmitted, so this completion event is a ghost.
+  if (it == running_.end()) return;
+  Machine* machine = it->second.machine;
+  const Pending pending = it->second.pending;
+  double duration = it->second.duration;
+  double util_at_start = it->second.util_at_start;
+  running_.erase(it);
+
   machine->FinishContainer();
   if (pending.task.temp_storage_gb > 0.0) {
     machine->ReleaseTempStorage(pending.task.temp_storage_gb);
@@ -82,6 +91,44 @@ void ClusterScheduler::OnTaskFinished(Machine* machine, const Pending& pending,
                                     queue_->now(), util_at_start));
   }
   DrainQueue();
+}
+
+void ClusterScheduler::OnMachineFailed(Machine* machine) {
+  ADS_CHECK(machine != nullptr) << "failed machine must exist";
+  // The crash wipes the machine's containers and temp storage in one shot;
+  // per-placement release below would double-free.
+  machine->Crash();
+  std::vector<Pending> lost;
+  for (auto it = running_.begin(); it != running_.end();) {
+    if (it->second.machine == machine) {
+      lost.push_back(it->second.pending);
+      it = running_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Resubmit with the original submit time: the time lost to the failure
+  // is real latency the task's owner observed.
+  for (const Pending& p : lost) {
+    ++restarted_;
+    if (!TryPlace(p)) {
+      waiting_.push_back(p);
+      ++queue_depth_;
+    }
+  }
+}
+
+void ClusterScheduler::OnMachineRecovered(Machine* machine) {
+  ADS_CHECK(machine != nullptr) << "recovered machine must exist";
+  machine->SetState(MachineState::kHealthy);
+  DrainQueue();
+}
+
+void ClusterScheduler::OnMachineDraining(Machine* machine) {
+  ADS_CHECK(machine != nullptr) << "draining machine must exist";
+  if (machine->state() == MachineState::kHealthy) {
+    machine->SetState(MachineState::kDraining);
+  }
 }
 
 void ClusterScheduler::DrainQueue() {

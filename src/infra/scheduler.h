@@ -37,10 +37,15 @@ struct ContainerTask {
 };
 
 /// Event-driven container scheduler over a Cluster: the Cosmos-style
-/// substrate that KEA tunes. Tasks go to the least-utilized machine with
-/// spare capacity; execution time dilates with the machine's utilization at
-/// start (the machine-behaviour model), which is what creates hotspots when
-/// the per-SKU caps are mis-set.
+/// substrate that KEA tunes. Tasks go to the least-utilized healthy
+/// machine with spare capacity; execution time dilates with the machine's
+/// utilization at start (the machine-behaviour model), which is what
+/// creates hotspots when the per-SKU caps are mis-set.
+///
+/// Failure-aware: when a machine dies mid-flight (OnMachineFailed, driven
+/// by MachineChaos or any lifecycle controller), every container it was
+/// running is lost and its task is transparently resubmitted, keeping the
+/// original submit time so the lost time shows up in task latency.
 class ClusterScheduler {
  public:
   ClusterScheduler(Cluster* cluster, common::EventQueue* queue,
@@ -56,9 +61,21 @@ class ClusterScheduler {
   /// Call periodically from the driving simulation.
   void SampleTelemetry();
 
+  // --- machine lifecycle hooks -------------------------------------------
+  /// The machine crashed: its containers and temp storage are gone
+  /// (Machine::Crash), and every task it was running is resubmitted.
+  void OnMachineFailed(Machine* machine);
+  /// The machine rejoined the fleet: mark healthy and drain the backlog.
+  void OnMachineRecovered(Machine* machine);
+  /// Graceful decommission: no new placements; running work finishes.
+  void OnMachineDraining(Machine* machine);
+
   // --- outcome statistics -------------------------------------------------
   uint64_t completed_tasks() const { return completed_; }
   size_t queued_tasks() const { return queue_depth_; }
+  size_t running_tasks() const { return running_.size(); }
+  /// Tasks whose execution was killed by a machine failure and resubmitted.
+  uint64_t restarted_tasks() const { return restarted_; }
   /// End-to-end latency (queue wait + execution) distribution.
   const common::QuantileSketch& task_latency() const { return latency_; }
   /// Peak utilization observed per machine id.
@@ -71,11 +88,16 @@ class ClusterScheduler {
     ContainerTask task;
     common::SimTime submit_time;
   };
+  struct Running {
+    Machine* machine;
+    Pending pending;
+    double duration;
+    double util_at_start;
+  };
 
   /// Tries to place one task now; returns false if no machine has capacity.
   bool TryPlace(const Pending& pending);
-  void OnTaskFinished(Machine* machine, const Pending& pending,
-                      double duration, double util_at_start);
+  void OnTaskFinished(uint64_t placement_id);
   void DrainQueue();
 
   Cluster* cluster_;
@@ -85,8 +107,11 @@ class ClusterScheduler {
   SchedulerConfig config_;
 
   std::deque<Pending> waiting_;
+  std::map<uint64_t, Running> running_;
+  uint64_t next_placement_id_ = 0;
   size_t queue_depth_ = 0;
   uint64_t completed_ = 0;
+  uint64_t restarted_ = 0;
   common::QuantileSketch latency_;
   std::map<int, double> peak_util_;
 };

@@ -50,6 +50,12 @@ uint32_t ModelRegistry::DeployedVersion(const std::string& name) const {
   return it == entries_.end() ? 0 : it->second.deployed;
 }
 
+uint32_t ModelRegistry::PreviousVersion(const std::string& name) const {
+  auto it = entries_.find(name);
+  if (it == entries_.end() || it->second.deploy_history.empty()) return 0;
+  return it->second.deploy_history.back();
+}
+
 common::Result<std::string> ModelRegistry::DeployedBlob(
     const std::string& name) const {
   auto it = entries_.find(name);

@@ -43,6 +43,9 @@ class ModelRegistry {
 
   /// The deployed version number (0 if none deployed).
   uint32_t DeployedVersion(const std::string& name) const;
+  /// The version deployed immediately before the current one (0 if the
+  /// deploy history is empty) — the fallback target of Rollback().
+  uint32_t PreviousVersion(const std::string& name) const;
   /// The deployed model blob.
   common::Result<std::string> DeployedBlob(const std::string& name) const;
   /// Materializes the deployed model.

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/fault_injection.h"
 #include "ml/linear.h"
 
 namespace ads::autonomy {
@@ -96,6 +97,60 @@ TEST_F(FlightTest, NoDecisionBeforeMinSamples) {
     EXPECT_EQ(eval.RecordError(v, v == 2 ? 0.1 : 1.0),
               FlightEvaluator::Decision::kPending);
   }
+}
+
+TEST_F(FlightTest, InjectedTreatmentFaultsForceAbort) {
+  // A treatment arm that intermittently fails (injected faults produce a
+  // large serving error) must trip the abort path even though its
+  // fault-free predictions are fine.
+  common::FaultInjector injector(9);
+  injector.Configure("flight.treatment", {.probability = 0.4});
+  FlightEvaluator eval(&registry_, "m",
+                       {.traffic_fraction = 0.5, .min_samples_per_arm = 20});
+  ASSERT_TRUE(eval.Start(2).ok());
+  common::Rng rng(6);
+  FlightEvaluator::Decision d = FlightEvaluator::Decision::kPending;
+  int faults_seen = 0;
+  for (int i = 0; i < 1000 && d == FlightEvaluator::Decision::kPending; ++i) {
+    uint32_t v = eval.Route(rng);
+    double err = 1.0;  // both arms equally accurate when healthy
+    if (v == 2 && injector.ShouldFail("flight.treatment")) {
+      err = 10.0;  // a failed treatment request serves garbage
+      ++faults_seen;
+    }
+    d = eval.RecordError(v, err);
+  }
+  EXPECT_GT(faults_seen, 0);
+  EXPECT_EQ(d, FlightEvaluator::Decision::kAborted);
+  EXPECT_FALSE(registry_.FlightActive("m"));
+  // The control stays deployed; nothing to roll back to afterwards.
+  EXPECT_EQ(registry_.DeployedVersion("m"), 1u);
+  EXPECT_GT(eval.treatment_mean_error(), eval.control_mean_error());
+}
+
+TEST_F(FlightTest, AbortThenRollbackRestoresLastGoodDeployment) {
+  // Deploy v2 on top of v1, then flight a faulty v3: the abort keeps v2,
+  // and an operator rollback (the reacting-fast mechanism) restores v1.
+  registry_.Register("m", BlobWithSlope(3.0));  // v3: faulty candidate
+  ADS_CHECK_OK(registry_.Deploy("m", 2));
+  common::FaultInjector injector(3);
+  injector.Configure("flight.treatment", {.probability = 1.0});
+  FlightEvaluator eval(&registry_, "m",
+                       {.traffic_fraction = 0.5, .min_samples_per_arm = 10});
+  ASSERT_TRUE(eval.Start(3).ok());
+  common::Rng rng(8);
+  FlightEvaluator::Decision d = FlightEvaluator::Decision::kPending;
+  for (int i = 0; i < 500 && d == FlightEvaluator::Decision::kPending; ++i) {
+    uint32_t v = eval.Route(rng);
+    double err =
+        (v == 3 && injector.ShouldFail("flight.treatment")) ? 10.0 : 1.0;
+    d = eval.RecordError(v, err);
+  }
+  ASSERT_EQ(d, FlightEvaluator::Decision::kAborted);
+  EXPECT_EQ(registry_.DeployedVersion("m"), 2u);
+  EXPECT_EQ(registry_.PreviousVersion("m"), 1u);
+  ASSERT_TRUE(registry_.Rollback("m").ok());
+  EXPECT_EQ(registry_.DeployedVersion("m"), 1u);
 }
 
 TEST_F(FlightTest, RouteAfterDecisionServesDeployedVersion) {

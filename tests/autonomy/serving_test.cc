@@ -1,0 +1,154 @@
+#include "autonomy/serving.h"
+
+#include <gtest/gtest.h>
+
+#include "ml/linear.h"
+
+namespace ads::autonomy {
+namespace {
+
+using Tier = ResilientModelServer::Tier;
+
+std::string BlobWithSlope(double slope) {
+  ml::LinearRegressor m;
+  m.SetCoefficients(0.0, {slope});
+  return m.Serialize();
+}
+
+double Heuristic(const std::vector<double>& features) {
+  return features.empty() ? 0.0 : features[0];  // identity rule of thumb
+}
+
+class ServingTest : public ::testing::Test {
+ protected:
+  ServingTest() {
+    registry_.Register("m", BlobWithSlope(2.0));  // v1
+    registry_.Register("m", BlobWithSlope(3.0));  // v2
+    ADS_CHECK_OK(registry_.Deploy("m", 1));
+    ADS_CHECK_OK(registry_.Deploy("m", 2));  // history: [1]
+  }
+
+  ml::ModelRegistry registry_;
+};
+
+TEST_F(ServingTest, HealthyPathServesDeployedModel) {
+  ResilientModelServer server(&registry_, "m", Heuristic);
+  auto r = server.Predict({4.0}, 0.0);
+  EXPECT_EQ(r.tier, Tier::kDeployed);
+  EXPECT_EQ(r.version, 2u);
+  EXPECT_DOUBLE_EQ(r.value, 12.0);  // v2 slope 3
+  EXPECT_EQ(server.served_by_tier(Tier::kDeployed), 1u);
+  EXPECT_EQ(server.rollbacks(), 0);
+}
+
+TEST_F(ServingTest, DeployedFaultFallsBackToPreviousVersion) {
+  common::FaultInjector injector(7);
+  injector.Configure("serving.deployed", {.fail_first_n = 1});
+  ResilientModelServer server(&registry_, "m", Heuristic, {}, &injector);
+  auto r = server.Predict({4.0}, 0.0);
+  EXPECT_EQ(r.tier, Tier::kPrevious);
+  EXPECT_EQ(r.version, 1u);
+  EXPECT_DOUBLE_EQ(r.value, 8.0);  // v1 slope 2
+  // Next request: the injected fault is exhausted, deployed serves again.
+  EXPECT_EQ(server.Predict({4.0}, 1.0).tier, Tier::kDeployed);
+}
+
+TEST_F(ServingTest, NoRegistryStateServesHeuristic) {
+  ml::ModelRegistry empty;
+  ResilientModelServer server(&empty, "m", Heuristic);
+  auto r = server.Predict({4.0}, 0.0);
+  EXPECT_EQ(r.tier, Tier::kHeuristic);
+  EXPECT_EQ(r.version, 0u);
+  EXPECT_DOUBLE_EQ(r.value, 4.0);
+}
+
+TEST_F(ServingTest, BreakerOpensAndTriggersAutomaticRollback) {
+  common::FaultInjector injector(7);
+  // The new deployment (v2) is persistently broken.
+  injector.Configure("serving.deployed", {.fail_first_n = 3});
+  ServingOptions options;
+  options.breaker.failure_threshold = 3;
+  options.breaker.cooldown_seconds = 10.0;
+  ResilientModelServer server(&registry_, "m", Heuristic, options, &injector);
+
+  // Failures one and two: the previous version covers the request. The
+  // third failure trips the breaker, which rolls back before tier 2 runs
+  // — the history is consumed by the rollback, so the heuristic covers.
+  EXPECT_EQ(server.Predict({1.0}, 0.0).tier, Tier::kPrevious);
+  EXPECT_EQ(server.Predict({1.0}, 1.0).tier, Tier::kPrevious);
+  EXPECT_EQ(server.Predict({1.0}, 2.0).tier, Tier::kHeuristic);
+  EXPECT_EQ(server.breaker().state(), common::CircuitBreaker::State::kOpen);
+  EXPECT_EQ(server.rollbacks(), 1);
+  EXPECT_EQ(registry_.DeployedVersion("m"), 1u);  // v2 withdrawn
+
+  // During the cooldown the deploy history is exhausted, so the heuristic
+  // answers; the chain still serves every request.
+  auto during = server.Predict({5.0}, 5.0);
+  EXPECT_EQ(during.tier, Tier::kHeuristic);
+  EXPECT_DOUBLE_EQ(during.value, 5.0);
+
+  // After the cooldown the half-open probe exercises the rolled-back
+  // model, closes the breaker, and normal serving resumes.
+  auto probe = server.Predict({4.0}, 20.0);
+  EXPECT_EQ(probe.tier, Tier::kDeployed);
+  EXPECT_EQ(probe.version, 1u);
+  EXPECT_DOUBLE_EQ(probe.value, 8.0);
+  EXPECT_EQ(server.breaker().state(), common::CircuitBreaker::State::kClosed);
+}
+
+TEST_F(ServingTest, RollbackDisabledLeavesDeploymentAlone) {
+  common::FaultInjector injector(7);
+  injector.Configure("serving.deployed", {.probability = 1.0});
+  ServingOptions options;
+  options.breaker.failure_threshold = 2;
+  options.auto_rollback = false;
+  ResilientModelServer server(&registry_, "m", Heuristic, options, &injector);
+  for (int i = 0; i < 5; ++i) {
+    server.Predict({1.0}, static_cast<double>(i));
+  }
+  EXPECT_EQ(server.rollbacks(), 0);
+  EXPECT_EQ(registry_.DeployedVersion("m"), 2u);
+  EXPECT_GT(server.served_by_tier(Tier::kPrevious), 0u);
+}
+
+TEST_F(ServingTest, EveryRequestServedUnderHeavyFaults) {
+  common::FaultInjector injector(11);
+  injector.Configure("serving.deployed", {.probability = 0.5});
+  injector.Configure("serving.previous", {.probability = 0.5});
+  ServingOptions options;
+  options.breaker.failure_threshold = 3;
+  options.breaker.cooldown_seconds = 5.0;
+  ResilientModelServer server(&registry_, "m", Heuristic, options, &injector);
+  const int kN = 500;
+  for (int i = 0; i < kN; ++i) {
+    auto r = server.Predict({2.0}, static_cast<double>(i));
+    // The answer is always one of the three tiers' outputs — never absent.
+    EXPECT_TRUE(r.value == 6.0 || r.value == 4.0 || r.value == 2.0)
+        << "unexpected value " << r.value;
+  }
+  EXPECT_EQ(server.served_by_tier(Tier::kDeployed) +
+                server.served_by_tier(Tier::kPrevious) +
+                server.served_by_tier(Tier::kHeuristic),
+            static_cast<uint64_t>(kN));
+  EXPECT_GT(server.served_by_tier(Tier::kHeuristic), 0u);
+}
+
+TEST_F(ServingTest, DeterministicGivenSeed) {
+  auto run = [this](uint64_t seed) {
+    ml::ModelRegistry reg = registry_;
+    common::FaultInjector injector(seed);
+    injector.Configure("serving.deployed", {.probability = 0.4});
+    ResilientModelServer server(&reg, "m", Heuristic, {}, &injector);
+    std::vector<int> tiers;
+    for (int i = 0; i < 100; ++i) {
+      tiers.push_back(
+          static_cast<int>(server.Predict({1.0}, static_cast<double>(i)).tier));
+    }
+    return tiers;
+  };
+  EXPECT_EQ(run(3), run(3));
+  EXPECT_NE(run(3), run(4));
+}
+
+}  // namespace
+}  // namespace ads::autonomy

@@ -1,0 +1,144 @@
+#include "common/retry.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace ads::common {
+namespace {
+
+TEST(RetryPolicyTest, BackoffGrowsExponentiallyAndCaps) {
+  RetryPolicy policy({.max_attempts = 10,
+                      .initial_backoff_seconds = 1.0,
+                      .backoff_multiplier = 2.0,
+                      .max_backoff_seconds = 8.0,
+                      .jitter = 0.0},
+                     1);
+  EXPECT_DOUBLE_EQ(policy.BackoffFor(1), 1.0);
+  EXPECT_DOUBLE_EQ(policy.BackoffFor(2), 2.0);
+  EXPECT_DOUBLE_EQ(policy.BackoffFor(3), 4.0);
+  EXPECT_DOUBLE_EQ(policy.BackoffFor(4), 8.0);
+  EXPECT_DOUBLE_EQ(policy.BackoffFor(5), 8.0);  // capped
+}
+
+TEST(RetryPolicyTest, JitterIsDeterministicAndBounded) {
+  RetryPolicy a({.jitter = 0.25}, 7);
+  RetryPolicy b({.jitter = 0.25}, 7);
+  for (int i = 1; i <= 5; ++i) {
+    double da = a.BackoffFor(i);
+    EXPECT_DOUBLE_EQ(da, b.BackoffFor(i));
+    double nominal = std::min(1.0 * std::pow(2.0, i - 1), 60.0);
+    EXPECT_GE(da, nominal * 0.75);
+    EXPECT_LE(da, nominal * 1.25);
+  }
+}
+
+TEST(RetryPolicyTest, RunRetriesUntilSuccess) {
+  RetryPolicy policy({.max_attempts = 5, .jitter = 0.0}, 1);
+  int calls = 0;
+  RetryResult r = policy.Run([&]() {
+    ++calls;
+    return calls < 3 ? Status::Internal("flaky") : Status::Ok();
+  });
+  EXPECT_TRUE(r.status.ok());
+  EXPECT_EQ(r.attempts, 3);
+  EXPECT_EQ(calls, 3);
+  EXPECT_DOUBLE_EQ(r.total_backoff_seconds, 1.0 + 2.0);
+}
+
+TEST(RetryPolicyTest, NonRetriableErrorShortCircuits) {
+  RetryPolicy policy({.max_attempts = 5}, 1);
+  int calls = 0;
+  RetryResult r = policy.Run([&]() {
+    ++calls;
+    return Status::InvalidArgument("bad input");
+  });
+  EXPECT_EQ(r.status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.attempts, 1);
+  EXPECT_EQ(calls, 1);
+  EXPECT_DOUBLE_EQ(r.total_backoff_seconds, 0.0);
+}
+
+TEST(RetryPolicyTest, ExhaustsAttemptBudget) {
+  RetryPolicy policy({.max_attempts = 4, .jitter = 0.0}, 1);
+  RetryResult r = policy.Run([]() { return Status::ResourceExhausted("full"); });
+  EXPECT_EQ(r.status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(r.attempts, 4);
+  EXPECT_DOUBLE_EQ(r.total_backoff_seconds, 1.0 + 2.0 + 4.0);
+}
+
+TEST(RetryPolicyTest, DeadlineStopsEarly) {
+  RetryPolicy policy({.max_attempts = 10,
+                      .initial_backoff_seconds = 10.0,
+                      .jitter = 0.0,
+                      .deadline_seconds = 25.0},
+                     1);
+  int calls = 0;
+  RetryResult r = policy.Run([&]() {
+    ++calls;
+    return Status::Internal("always fails");
+  });
+  // Backoffs would be 10, 20, 40...; 10 fits, 10+20 exceeds 25.
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(r.status.code(), StatusCode::kInternal);
+  EXPECT_DOUBLE_EQ(r.total_backoff_seconds, 10.0);
+}
+
+TEST(RetryPolicyTest, RetriableCodes) {
+  EXPECT_TRUE(RetryPolicy::IsRetriable(StatusCode::kInternal));
+  EXPECT_TRUE(RetryPolicy::IsRetriable(StatusCode::kResourceExhausted));
+  EXPECT_FALSE(RetryPolicy::IsRetriable(StatusCode::kOk));
+  EXPECT_FALSE(RetryPolicy::IsRetriable(StatusCode::kNotFound));
+  EXPECT_FALSE(RetryPolicy::IsRetriable(StatusCode::kFailedPrecondition));
+}
+
+TEST(CircuitBreakerTest, OpensAfterConsecutiveFailures) {
+  CircuitBreaker cb({.failure_threshold = 3, .cooldown_seconds = 10.0});
+  EXPECT_TRUE(cb.AllowRequest(0.0));
+  cb.RecordFailure(0.0);
+  cb.RecordFailure(1.0);
+  EXPECT_EQ(cb.state(), CircuitBreaker::State::kClosed);
+  cb.RecordFailure(2.0);
+  EXPECT_EQ(cb.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(cb.trips(), 1);
+  EXPECT_FALSE(cb.AllowRequest(5.0));  // still cooling down
+}
+
+TEST(CircuitBreakerTest, SuccessResetsFailureStreak) {
+  CircuitBreaker cb({.failure_threshold = 3});
+  cb.RecordFailure(0.0);
+  cb.RecordFailure(1.0);
+  cb.RecordSuccess(2.0);
+  cb.RecordFailure(3.0);
+  cb.RecordFailure(4.0);
+  EXPECT_EQ(cb.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreakerTest, HalfOpenProbeClosesOnSuccess) {
+  CircuitBreaker cb({.failure_threshold = 1, .cooldown_seconds = 10.0});
+  cb.RecordFailure(0.0);
+  EXPECT_EQ(cb.state(), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(cb.AllowRequest(5.0));
+  EXPECT_TRUE(cb.AllowRequest(10.0));  // cooldown elapsed: one probe
+  EXPECT_EQ(cb.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_FALSE(cb.AllowRequest(10.5));  // probe outstanding
+  cb.RecordSuccess(11.0);
+  EXPECT_EQ(cb.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(cb.AllowRequest(11.5));
+}
+
+TEST(CircuitBreakerTest, HalfOpenProbeReopensOnFailure) {
+  CircuitBreaker cb({.failure_threshold = 1, .cooldown_seconds = 10.0});
+  cb.RecordFailure(0.0);
+  EXPECT_TRUE(cb.AllowRequest(10.0));
+  cb.RecordFailure(10.5);
+  EXPECT_EQ(cb.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(cb.trips(), 2);
+  EXPECT_FALSE(cb.AllowRequest(15.0));
+  EXPECT_TRUE(cb.AllowRequest(20.5));  // new cooldown from the re-open
+}
+
+}  // namespace
+}  // namespace ads::common

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "engine/executor.h"
+#include "engine/optimizer.h"
+#include "tests/engine/test_world.h"
+
+namespace ads::engine {
+namespace {
+
+class ExecutorChaosTest : public ::testing::Test {
+ protected:
+  ExecutorChaosTest() : catalog_(TestCatalog()), optimizer_(&catalog_) {}
+
+  StageGraph CompiledPlan() {
+    auto plan = optimizer_.Optimize(*TestJoinAggPlan(catalog_),
+                                    RuleConfig::Default());
+    return CompileToStages(*plan, cost_, CardSource::kTrue);
+  }
+
+  std::set<int> FinalInputsCut(const StageGraph& g) {
+    const Stage& final = g.stages[static_cast<size_t>(g.final_stage)];
+    return std::set<int>(final.inputs.begin(), final.inputs.end());
+  }
+
+  Catalog catalog_;
+  Optimizer optimizer_;
+  CostModel cost_;
+};
+
+TEST_F(ExecutorChaosTest, ZeroFaultRunBitIdenticalToExecute) {
+  StageGraph g = CompiledPlan();
+  JobSimulator sim;
+  for (uint64_t seed : {1u, 7u, 42u}) {
+    JobRun base = sim.Execute(g, seed);
+    ChaosRun chaos = sim.ExecuteWithFaults(g, seed, FaultOptions{});
+    EXPECT_DOUBLE_EQ(chaos.makespan, base.makespan);
+    EXPECT_DOUBLE_EQ(chaos.total_compute, base.total_compute);
+    EXPECT_DOUBLE_EQ(chaos.wasted_compute, 0.0);
+    EXPECT_EQ(chaos.failures, 0);
+    EXPECT_EQ(chaos.recomputed_stages, 0);
+    EXPECT_EQ(chaos.speculative_launches, 0);
+  }
+}
+
+TEST_F(ExecutorChaosTest, DeterministicUnderFailures) {
+  StageGraph g = CompiledPlan();
+  JobSimulator sim;
+  double base = sim.Execute(g, 5).makespan;
+  FaultOptions faults;
+  faults.failures_per_hour = 3600.0 / base * 3.0;  // ~3 failures per makespan
+  faults.recovery_seconds = base / 10.0;
+  ChaosRun a = sim.ExecuteWithFaults(g, 5, faults);
+  ChaosRun b = sim.ExecuteWithFaults(g, 5, faults);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_DOUBLE_EQ(a.wasted_compute, b.wasted_compute);
+  EXPECT_EQ(a.failures, b.failures);
+  EXPECT_EQ(a.recomputed_stages, b.recomputed_stages);
+  // A different seed gives a different fault history.
+  ChaosRun c = sim.ExecuteWithFaults(g, 6, faults);
+  EXPECT_NE(a.makespan, c.makespan);
+}
+
+TEST_F(ExecutorChaosTest, FailuresInflateMakespanAndWasteCompute) {
+  StageGraph g = CompiledPlan();
+  JobSimulator sim;
+  double base = sim.Execute(g, 5).makespan;
+  FaultOptions faults;
+  faults.failures_per_hour = 3600.0 / base * 4.0;
+  faults.recovery_seconds = base / 5.0;
+  double total_makespan = 0.0, total_waste = 0.0;
+  int total_failures = 0;
+  for (uint64_t seed = 0; seed < 16; ++seed) {
+    ChaosRun run = sim.ExecuteWithFaults(g, seed, faults);
+    total_makespan += run.makespan;
+    total_waste += run.wasted_compute;
+    total_failures += run.failures;
+  }
+  EXPECT_GT(total_failures, 0);
+  EXPECT_GT(total_makespan / 16.0, base * 1.05);
+  EXPECT_GT(total_waste, 0.0);
+}
+
+TEST_F(ExecutorChaosTest, CheckpointsReduceChaosMakespan) {
+  StageGraph g = CompiledPlan();
+  JobSimulator sim;
+  double base = sim.Execute(g, 5).makespan;
+  FaultOptions faults;
+  faults.failures_per_hour = 3600.0 / base * 6.0;
+  faults.recovery_seconds = base / 5.0;
+  std::set<int> cut = FinalInputsCut(g);
+  double plain = 0.0, protected_sum = 0.0;
+  for (uint64_t seed = 0; seed < 32; ++seed) {
+    plain += sim.ExecuteWithFaults(g, seed, faults).makespan;
+    protected_sum += sim.ExecuteWithFaults(g, seed, faults, cut).makespan;
+  }
+  EXPECT_LT(protected_sum, plain);
+}
+
+TEST_F(ExecutorChaosTest, LineageRecomputesOnlyLostOutputs) {
+  // Two failures hitting temp outputs force recomputation; checkpointing
+  // every non-final stage makes outputs durable, so nothing recomputes.
+  StageGraph g = CompiledPlan();
+  JobSimulator sim;
+  double base = sim.Execute(g, 5).makespan;
+  FaultOptions faults;
+  faults.failures_per_hour = 3600.0 / base * 8.0;
+  faults.recovery_seconds = base / 10.0;
+  std::set<int> all;
+  for (const Stage& s : g.stages) {
+    if (s.id != g.final_stage) all.insert(s.id);
+  }
+  int plain_recomputes = 0, ckpt_recomputes = 0;
+  for (uint64_t seed = 0; seed < 32; ++seed) {
+    plain_recomputes += sim.ExecuteWithFaults(g, seed, faults).recomputed_stages;
+    ckpt_recomputes +=
+        sim.ExecuteWithFaults(g, seed, faults, all).recomputed_stages;
+  }
+  EXPECT_GT(plain_recomputes, 0);
+  EXPECT_EQ(ckpt_recomputes, 0);
+}
+
+TEST_F(ExecutorChaosTest, SpeculationClipsStragglers) {
+  StageGraph g = CompiledPlan();
+  JobSimulator sim;
+  FaultOptions stragglers;
+  stragglers.straggler_prob = 0.5;
+  stragglers.straggler_mult = 6.0;
+  FaultOptions speculative = stragglers;
+  speculative.speculation = true;
+  speculative.speculation_trigger = 1.5;
+  double slow = 0.0, clipped = 0.0;
+  int launches = 0;
+  for (uint64_t seed = 0; seed < 16; ++seed) {
+    slow += sim.ExecuteWithFaults(g, seed, stragglers).makespan;
+    ChaosRun run = sim.ExecuteWithFaults(g, seed, speculative);
+    clipped += run.makespan;
+    launches += run.speculative_launches;
+  }
+  EXPECT_GT(launches, 0);
+  // A backup bounds any straggler at (trigger + 1) x nominal instead of 6x.
+  EXPECT_LT(clipped, slow * 0.75);
+}
+
+TEST_F(ExecutorChaosTest, SpeculationAloneDoesNotChangeCleanRuns) {
+  StageGraph g = CompiledPlan();
+  JobSimulator sim;
+  FaultOptions faults;
+  faults.speculation = true;  // no stragglers, no failures
+  ChaosRun run = sim.ExecuteWithFaults(g, 3, faults);
+  EXPECT_DOUBLE_EQ(run.makespan, sim.Execute(g, 3).makespan);
+  EXPECT_EQ(run.speculative_launches, 0);
+}
+
+// Satellite: the analytical single-failure estimate is a documented fast
+// approximation; at low failure rates it must agree with the event-driven
+// multi-failure simulator.
+TEST_F(ExecutorChaosTest, AnalyticalEstimateMatchesSimulatorAtLowRates) {
+  StageGraph g = CompiledPlan();
+  JobSimulator sim;
+  double base = sim.Execute(g, 5).makespan;
+  // Rate low enough that two failures in one run are vanishingly rare.
+  double rate = 3600.0 / base * 0.05;
+  double analytical = sim.ExpectedRuntimeWithFailures(g, 5, rate, {}, 256);
+  FaultOptions faults;
+  faults.failures_per_hour = rate;
+  faults.recovery_seconds = 0.0;
+  double simulated = 0.0;
+  const int trials = 256;
+  for (uint64_t seed = 0; seed < trials; ++seed) {
+    simulated += sim.ExecuteWithFaults(g, seed, faults).makespan;
+  }
+  simulated /= trials;
+  EXPECT_NEAR(analytical, simulated, base * 0.05);
+  // Both reduce to the failure-free makespan as the rate goes to zero.
+  EXPECT_NEAR(analytical, base, base * 0.05);
+  EXPECT_NEAR(simulated, base, base * 0.05);
+}
+
+}  // namespace
+}  // namespace ads::engine

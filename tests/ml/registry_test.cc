@@ -53,6 +53,43 @@ TEST(RegistryTest, RollbackRestoresPreviousVersion) {
   EXPECT_FALSE(reg.Rollback("m").ok());
 }
 
+TEST(RegistryTest, PreviousVersionTracksDeployHistory) {
+  ModelRegistry reg;
+  reg.Register("m", FakeBlob(1));
+  reg.Register("m", FakeBlob(2));
+  reg.Register("m", FakeBlob(3));
+  EXPECT_EQ(reg.PreviousVersion("m"), 0u);  // nothing deployed yet
+  ASSERT_TRUE(reg.Deploy("m", 1).ok());
+  EXPECT_EQ(reg.PreviousVersion("m"), 0u);  // first deploy has no history
+  ASSERT_TRUE(reg.Deploy("m", 2).ok());
+  EXPECT_EQ(reg.PreviousVersion("m"), 1u);
+  ASSERT_TRUE(reg.Deploy("m", 3).ok());
+  EXPECT_EQ(reg.PreviousVersion("m"), 2u);
+  // Rollback pops the history it consumed.
+  ASSERT_TRUE(reg.Rollback("m").ok());
+  EXPECT_EQ(reg.DeployedVersion("m"), 2u);
+  EXPECT_EQ(reg.PreviousVersion("m"), 1u);
+  EXPECT_EQ(reg.PreviousVersion("unknown"), 0u);
+}
+
+TEST(RegistryTest, ChainedRollbacksWalkHistoryInReverse) {
+  ModelRegistry reg;
+  reg.Register("m", FakeBlob(1));
+  reg.Register("m", FakeBlob(2));
+  reg.Register("m", FakeBlob(3));
+  ASSERT_TRUE(reg.Deploy("m", 1).ok());
+  ASSERT_TRUE(reg.Deploy("m", 2).ok());
+  ASSERT_TRUE(reg.Deploy("m", 3).ok());
+  ASSERT_TRUE(reg.Rollback("m").ok());
+  ASSERT_TRUE(reg.Rollback("m").ok());
+  EXPECT_EQ(reg.DeployedVersion("m"), 1u);
+  EXPECT_FALSE(reg.Rollback("m").ok());  // history exhausted
+  // The deployed model still serves after the chain of rollbacks.
+  auto model = reg.DeployedModel("m");
+  ASSERT_TRUE(model.ok());
+  EXPECT_DOUBLE_EQ((*model)->Predict({2.0}), 2.0);
+}
+
 TEST(RegistryTest, FlightSplitsTraffic) {
   ModelRegistry reg;
   reg.Register("m", FakeBlob(1));
