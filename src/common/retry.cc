@@ -52,6 +52,7 @@ RetryResult RetryPolicy::Run(const std::function<Status()>& op) {
 }
 
 bool CircuitBreaker::AllowRequest(double now) {
+  std::lock_guard<std::mutex> lock(mu_);
   switch (state_) {
     case State::kClosed:
       return true;
@@ -72,12 +73,14 @@ bool CircuitBreaker::AllowRequest(double now) {
 }
 
 void CircuitBreaker::RecordSuccess(double) {
+  std::lock_guard<std::mutex> lock(mu_);
   consecutive_failures_ = 0;
   probe_in_flight_ = false;
   state_ = State::kClosed;
 }
 
 void CircuitBreaker::RecordFailure(double now) {
+  std::lock_guard<std::mutex> lock(mu_);
   ++consecutive_failures_;
   probe_in_flight_ = false;
   if (state_ == State::kHalfOpen ||

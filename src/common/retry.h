@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <limits>
+#include <mutex>
 
 #include "common/rng.h"
 #include "common/status.h"
@@ -72,6 +73,12 @@ class RetryPolicy {
 /// the serving fallback chain uses to stop hammering a failing model
 /// version. Time is caller-provided simulated seconds, so behaviour is
 /// deterministic.
+///
+/// Thread-safe: transitions are serialized by an internal mutex, so the
+/// serving runtime's concurrent batch workers can share one breaker. In
+/// particular the half-open probe is single-flight — of many concurrent
+/// AllowRequest calls after the cooldown, exactly one is admitted until
+/// that probe's verdict is recorded.
 struct CircuitBreakerOptions {
   /// Consecutive failures that trip the breaker open.
   int failure_threshold = 3;
@@ -94,12 +101,22 @@ class CircuitBreaker {
   void RecordSuccess(double now);
   void RecordFailure(double now);
 
-  State state() const { return state_; }
-  int consecutive_failures() const { return consecutive_failures_; }
+  State state() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return state_;
+  }
+  int consecutive_failures() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return consecutive_failures_;
+  }
   /// Times the breaker tripped from closed/half-open to open.
-  int trips() const { return trips_; }
+  int trips() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return trips_;
+  }
 
  private:
+  mutable std::mutex mu_;
   CircuitBreakerOptions options_;
   State state_ = State::kClosed;
   int consecutive_failures_ = 0;

@@ -56,6 +56,17 @@ void QuantileSketch::Merge(const QuantileSketch& other) {
   sorted_ = false;
 }
 
+QuantileSummary QuantileSketch::Summary() const {
+  QuantileSummary s;
+  s.count = values_.size();
+  if (values_.empty()) return s;
+  s.p50 = Quantile(0.5);
+  s.p95 = Quantile(0.95);
+  s.p99 = Quantile(0.99);
+  s.max = values_.back();  // Quantile() sorted the samples ascending
+  return s;
+}
+
 double QuantileSketch::Quantile(double q) const {
   if (values_.empty()) return 0.0;
   if (!sorted_) {

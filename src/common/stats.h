@@ -30,6 +30,16 @@ class RunningMoments {
   double max_ = 0.0;
 };
 
+/// The standard tail-latency digest of a QuantileSketch (see Summary()).
+/// All fields are 0 for an empty sketch.
+struct QuantileSummary {
+  size_t count = 0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
 /// Exact quantile tracker: stores all samples, sorts lazily on query.
 /// Fine for simulation-scale data (up to a few million points).
 class QuantileSketch {
@@ -43,6 +53,10 @@ class QuantileSketch {
   double Quantile(double q) const;
   double Median() const { return Quantile(0.5); }
   size_t count() const { return values_.size(); }
+  size_t Count() const { return values_.size(); }
+  /// One-call p50/p95/p99/max digest, so callers reporting tail latency
+  /// do not hand-roll percentile triples.
+  QuantileSummary Summary() const;
 
  private:
   mutable std::vector<double> values_;

@@ -47,7 +47,10 @@ void ThreadPool::Schedule(std::function<void()> task) {
   if (workers_.empty() || InWorker()) {
     // Inline mode, or a worker scheduling onto its own pool (running
     // inline avoids deadlock when every worker blocks on subtasks).
+    ++active_;
     task();
+    --active_;
+    ++executed_;
     return;
   }
   {
@@ -69,9 +72,24 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    ++active_;
     task();  // packaged_task captures exceptions into the future
+    --active_;
+    ++executed_;
   }
   g_current_pool = nullptr;
+}
+
+ThreadPoolStats ThreadPool::Stats() const {
+  ThreadPoolStats stats;
+  stats.workers = workers_.size();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats.queued = queue_.size();
+  }
+  stats.active = active_.load();
+  stats.executed = executed_.load();
+  return stats;
 }
 
 bool ThreadPool::InWorker() const { return g_current_pool == this; }
@@ -85,6 +103,7 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
   if (workers_.empty() || InWorker() || end - begin <= grain) {
     for (size_t cb = begin; cb < end; cb += grain) {
       fn(cb, std::min(end, cb + grain));
+      ++executed_;
     }
     return;
   }

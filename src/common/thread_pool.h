@@ -1,8 +1,10 @@
 #ifndef ADS_COMMON_THREAD_POOL_H_
 #define ADS_COMMON_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -14,6 +16,19 @@
 #include <vector>
 
 namespace ads::common {
+
+/// Point-in-time snapshot of a ThreadPool's load (see ThreadPool::Stats).
+struct ThreadPoolStats {
+  /// Configured worker threads (0 = inline mode).
+  size_t workers = 0;
+  /// Tasks waiting in the queue, not yet picked up by a worker.
+  size_t queued = 0;
+  /// Tasks currently executing.
+  size_t active = 0;
+  /// Tasks completed since construction (Submit tasks, inline tasks and
+  /// ParallelFor chunks all count).
+  uint64_t executed = 0;
+};
 
 /// Fixed-size worker pool shared by the library's compute-bound paths
 /// (forest training, k-means, k-NN scans, Monte-Carlo simulators).
@@ -66,6 +81,12 @@ class ThreadPool {
   /// Number of worker threads (0 = inline mode).
   size_t worker_count() const { return workers_.size(); }
 
+  /// Load snapshot (queue depth, active workers, tasks executed) for the
+  /// serving runtime's gauge sampler and other monitors. Queue depth and
+  /// active count are read together under the queue lock; `executed` is a
+  /// monotonic counter.
+  ThreadPoolStats Stats() const;
+
   /// True when called from one of this pool's worker threads.
   bool InWorker() const;
 
@@ -85,6 +106,8 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   bool shutting_down_ = false;
   std::vector<std::thread> workers_;
+  std::atomic<size_t> active_{0};
+  std::atomic<uint64_t> executed_{0};
 };
 
 /// Convenience wrapper: ThreadPool::Global().ParallelFor(...).

@@ -110,9 +110,10 @@ common::Result<PoolSimReport> PoolInitSimulator::Simulate(
   }
   PoolSimReport report;
   report.policy = policy;
-  report.p50 = lat.Quantile(0.5);
-  report.p95 = lat.Quantile(0.95);
-  report.p99 = lat.Quantile(0.99);
+  common::QuantileSummary summary = lat.Summary();
+  report.p50 = summary.p50;
+  report.p95 = summary.p95;
+  report.p99 = summary.p99;
   report.mean_requests_issued = total_requests / trials;
   return report;
 }

@@ -1,0 +1,78 @@
+#include "serve/batcher.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace ads::serve {
+
+MicroBatcher::MicroBatcher(BatcherOptions options) : options_(options) {
+  ADS_CHECK(options_.max_batch_size >= 1) << "batches hold at least one";
+  ADS_CHECK(options_.max_linger_seconds >= 0.0) << "negative linger";
+}
+
+void MicroBatcher::Add(Request request) {
+  pending_.push_back(std::move(request));
+}
+
+bool MicroBatcher::Ready(double now) const {
+  if (pending_.empty()) return false;
+  if (pending_.size() >= options_.max_batch_size) return true;
+  return now >= pending_.front().arrival + options_.max_linger_seconds;
+}
+
+double MicroBatcher::NextDeadline() const {
+  if (pending_.empty()) return std::numeric_limits<double>::infinity();
+  return pending_.front().arrival + options_.max_linger_seconds;
+}
+
+std::vector<Request> MicroBatcher::TakeBatch() {
+  std::vector<Request> batch;
+  size_t n = std::min(pending_.size(), options_.max_batch_size);
+  batch.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    batch.push_back(std::move(pending_.front()));
+    pending_.pop_front();
+  }
+  return batch;
+}
+
+void MicroBatcher::DropExpired(double now, std::vector<Request>* expired) {
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (it->deadline <= now) {
+      expired->push_back(std::move(*it));
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool MicroBatcher::WorseThan(const Request& a, const Request& b) {
+  if (a.priority != b.priority) return a.priority < b.priority;
+  if (a.deadline != b.deadline) return a.deadline > b.deadline;
+  if (a.arrival != b.arrival) return a.arrival > b.arrival;
+  return a.id > b.id;
+}
+
+const Request* MicroBatcher::PeekWorst() const {
+  const Request* worst = nullptr;
+  for (const Request& r : pending_) {
+    if (worst == nullptr || WorseThan(r, *worst)) worst = &r;
+  }
+  return worst;
+}
+
+Request MicroBatcher::EvictWorst() {
+  ADS_CHECK(!pending_.empty()) << "EvictWorst on an empty batcher";
+  auto worst = pending_.begin();
+  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+    if (WorseThan(*it, *worst)) worst = it;
+  }
+  Request victim = std::move(*worst);
+  pending_.erase(worst);
+  return victim;
+}
+
+}  // namespace ads::serve

@@ -1,0 +1,70 @@
+#ifndef ADS_SERVE_BATCHER_H_
+#define ADS_SERVE_BATCHER_H_
+
+#include <cstddef>
+#include <deque>
+#include <limits>
+#include <vector>
+
+#include "serve/types.h"
+
+namespace ads::serve {
+
+/// Micro-batching policy knobs.
+struct BatcherOptions {
+  /// A batch dispatches as soon as this many requests are pending.
+  size_t max_batch_size = 16;
+  /// ... or once the oldest pending request has waited this long, so a
+  /// trickle of traffic is never stuck waiting for a full batch.
+  double max_linger_seconds = 0.005;
+};
+
+/// Per-model micro-batcher: coalesces pending requests into dispatch
+/// batches under a max-size / max-linger policy (the classic
+/// serving-system throughput lever: batches amortize per-call overhead at
+/// a bounded latency cost).
+///
+/// FIFO within a model. Not internally synchronized — the owning runtime
+/// serializes access. Time is caller-provided seconds.
+class MicroBatcher {
+ public:
+  explicit MicroBatcher(BatcherOptions options = BatcherOptions());
+
+  void Add(Request request);
+
+  /// True when a batch should dispatch now: the queue holds a full batch,
+  /// or the oldest request's linger window has expired.
+  bool Ready(double now) const;
+
+  /// Time at which the oldest pending request's linger expires (+inf when
+  /// empty) — the event-loop / dispatcher wake-up deadline.
+  double NextDeadline() const;
+
+  /// Pops up to max_batch_size requests in FIFO order. Empty result when
+  /// nothing is pending.
+  std::vector<Request> TakeBatch();
+
+  /// Moves every pending request whose deadline has passed into *expired.
+  void DropExpired(double now, std::vector<Request>* expired);
+
+  /// Pointer to the worst-ranked pending request — lowest priority, then
+  /// latest deadline, then latest arrival — the load-shedding victim
+  /// candidate. Null when empty.
+  const Request* PeekWorst() const;
+
+  /// Removes and returns the PeekWorst() request. Requires pending() > 0.
+  Request EvictWorst();
+
+  size_t pending() const { return pending_.size(); }
+
+  /// True if `a` ranks strictly worse than `b` for shedding purposes.
+  static bool WorseThan(const Request& a, const Request& b);
+
+ private:
+  BatcherOptions options_;
+  std::deque<Request> pending_;
+};
+
+}  // namespace ads::serve
+
+#endif  // ADS_SERVE_BATCHER_H_

@@ -1,0 +1,128 @@
+#include "serve/core.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace ads::serve {
+
+namespace {
+
+BatcherOptions EffectiveBatcher(const CoreOptions& options) {
+  if (options.batching) return options.batcher;
+  // Batching off: singleton batches, no linger.
+  BatcherOptions single;
+  single.max_batch_size = 1;
+  single.max_linger_seconds = 0.0;
+  return single;
+}
+
+}  // namespace
+
+ServingCore::ServingCore(CoreOptions options)
+    : options_(options), limiter_(options.rate_limit) {}
+
+MicroBatcher& ServingCore::BatcherFor(const std::string& model) {
+  auto it = batchers_.find(model);
+  if (it == batchers_.end()) {
+    it = batchers_.emplace(model, MicroBatcher(EffectiveBatcher(options_)))
+             .first;
+  }
+  return it->second;
+}
+
+AdmitResult ServingCore::Admit(Request request, double now) {
+  AdmitResult result;
+  ++counters_.submitted;
+  if (options_.rate_limiting && !limiter_.Admit(request.tenant, now)) {
+    ++counters_.rejected_rate_limit;
+    result.decision = Outcome::kRejectedRateLimit;
+    return result;
+  }
+  if (request.deadline <= now) {
+    ++counters_.rejected_deadline;
+    result.decision = Outcome::kRejectedDeadline;
+    return result;
+  }
+  request.arrival = now;
+  if (queued_ >= options_.queue_capacity) {
+    // Full: shed the globally worst queued request if the newcomer
+    // outranks it, otherwise reject the newcomer.
+    MicroBatcher* victim_home = nullptr;
+    const Request* worst = nullptr;
+    for (auto& [model, batcher] : batchers_) {
+      const Request* candidate = batcher.PeekWorst();
+      if (candidate == nullptr) continue;
+      if (worst == nullptr || MicroBatcher::WorseThan(*candidate, *worst)) {
+        worst = candidate;
+        victim_home = &batcher;
+      }
+    }
+    if (worst == nullptr || !MicroBatcher::WorseThan(*worst, request)) {
+      ++counters_.rejected_capacity;
+      result.decision = Outcome::kRejectedCapacity;
+      return result;
+    }
+    result.evicted = true;
+    result.victim = victim_home->EvictWorst();
+    --queued_;
+    ++counters_.shed_capacity;
+  }
+  ++counters_.accepted;
+  ++queued_;
+  BatcherFor(request.model).Add(std::move(request));
+  result.accepted = true;
+  return result;
+}
+
+double ServingCore::NextLingerDeadline() const {
+  double next = std::numeric_limits<double>::infinity();
+  for (const auto& [model, batcher] : batchers_) {
+    next = std::min(next, batcher.NextDeadline());
+  }
+  return next;
+}
+
+bool ServingCore::HasReadyBatch(double now) const {
+  for (const auto& [model, batcher] : batchers_) {
+    if (batcher.Ready(now)) return true;
+  }
+  return false;
+}
+
+Batch ServingCore::TakeReadyBatch(double now) {
+  Batch batch;
+  for (auto& [model, batcher] : batchers_) {
+    if (!batcher.Ready(now)) continue;
+    batch.model = model;
+    batch.requests = batcher.TakeBatch();
+    queued_ -= batch.requests.size();
+    return batch;
+  }
+  return batch;
+}
+
+std::vector<Request> ServingCore::DropExpired(double now) {
+  std::vector<Request> expired;
+  for (auto& [model, batcher] : batchers_) {
+    batcher.DropExpired(now, &expired);
+  }
+  queued_ -= expired.size();
+  counters_.shed_deadline += expired.size();
+  return expired;
+}
+
+std::vector<Batch> ServingCore::Drain() {
+  std::vector<Batch> batches;
+  for (auto& [model, batcher] : batchers_) {
+    while (batcher.pending() > 0) {
+      Batch batch;
+      batch.model = model;
+      batch.requests = batcher.TakeBatch();
+      queued_ -= batch.requests.size();
+      batches.push_back(std::move(batch));
+    }
+  }
+  return batches;
+}
+
+}  // namespace ads::serve

@@ -1,0 +1,95 @@
+#ifndef ADS_SERVE_CORE_H_
+#define ADS_SERVE_CORE_H_
+
+#include <cstddef>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "serve/batcher.h"
+#include "serve/rate_limiter.h"
+#include "serve/types.h"
+
+namespace ads::serve {
+
+/// Configuration shared by the threaded runtime and virtual-time server.
+struct CoreOptions {
+  /// Total queued requests across all models; arrivals beyond this either
+  /// evict a lower-priority victim (load shedding) or are rejected.
+  /// SIZE_MAX disables admission control (the "unshed overload" baseline).
+  size_t queue_capacity = 1024;
+  /// Micro-batching policy. Disabled means batch size 1 with no linger
+  /// (every request dispatches alone as soon as a worker frees).
+  bool batching = true;
+  BatcherOptions batcher;
+  /// Per-tenant token-bucket rate limiting at admission.
+  bool rate_limiting = false;
+  TokenBucketOptions rate_limit;
+};
+
+/// What happened to one submitted request at admission time.
+struct AdmitResult {
+  Outcome decision = Outcome::kServed;  // kServed means accepted
+  bool accepted = false;
+  /// When acceptance evicted a queued lower-priority request, the victim
+  /// (its owner must emit a kShedCapacity response for it).
+  bool evicted = false;
+  Request victim;
+};
+
+/// Single-threaded deterministic heart of the serving runtime: bounded
+/// admission with deadline/priority-aware shedding, per-tenant rate
+/// limiting, and per-model micro-batching. Owns all queued requests and
+/// the monotonic counters; owns no threads and no clock — both runtimes
+/// (ServingRuntime under a mutex, VirtualServer from its event loop) drive
+/// it with explicit timestamps, which is what makes virtual-time runs
+/// byte-reproducible.
+class ServingCore {
+ public:
+  explicit ServingCore(CoreOptions options);
+
+  /// Admission: rate limit → expired-deadline check → capacity check
+  /// (with priority eviction when full). Accepted requests are stamped
+  /// with arrival = now and queued on their model's batcher.
+  AdmitResult Admit(Request request, double now);
+
+  /// Earliest linger expiry across models (+inf when nothing is pending):
+  /// the time at which TakeReadyBatch will next have work even with no
+  /// further arrivals.
+  double NextLingerDeadline() const;
+
+  bool HasReadyBatch(double now) const;
+
+  /// Takes the next dispatchable batch at `now` (models in name order for
+  /// determinism). Empty batch when none is ready.
+  Batch TakeReadyBatch(double now);
+
+  /// Removes every queued request whose deadline has passed; the caller
+  /// emits kShedDeadline responses (counters are updated here).
+  std::vector<Request> DropExpired(double now);
+
+  /// Drains everything still queued as batches, ignoring linger windows —
+  /// the graceful-shutdown path. Expired requests are NOT included; call
+  /// DropExpired first.
+  std::vector<Batch> Drain();
+
+  size_t queued() const { return queued_; }
+  const Counters& counters() const { return counters_; }
+  Counters& mutable_counters() { return counters_; }
+  const TenantRateLimiter& limiter() const { return limiter_; }
+  const CoreOptions& options() const { return options_; }
+
+ private:
+  MicroBatcher& BatcherFor(const std::string& model);
+
+  CoreOptions options_;
+  TenantRateLimiter limiter_;
+  std::map<std::string, MicroBatcher> batchers_;
+  size_t queued_ = 0;
+  Counters counters_;
+};
+
+}  // namespace ads::serve
+
+#endif  // ADS_SERVE_CORE_H_

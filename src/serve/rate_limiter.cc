@@ -1,0 +1,65 @@
+#include "serve/rate_limiter.h"
+
+#include <algorithm>
+
+namespace ads::serve {
+
+void TenantRateLimiter::SetTenantLimit(const std::string& tenant,
+                                       TokenBucketOptions options) {
+  Bucket& bucket = buckets_[tenant];
+  bucket.options = options;
+  bucket.tokens = options.capacity;
+  bucket.last_refill = 0.0;
+}
+
+void TenantRateLimiter::Refill(Bucket* bucket, double now) {
+  if (now > bucket->last_refill) {
+    bucket->tokens =
+        std::min(bucket->options.capacity,
+                 bucket->tokens + (now - bucket->last_refill) *
+                                      bucket->options.refill_per_second);
+  }
+  // Time never runs backwards within a runtime; ignore stale clocks.
+  bucket->last_refill = std::max(bucket->last_refill, now);
+}
+
+bool TenantRateLimiter::Admit(const std::string& tenant, double now) {
+  auto it = buckets_.find(tenant);
+  if (it == buckets_.end()) {
+    Bucket fresh;
+    fresh.options = defaults_;
+    fresh.tokens = defaults_.capacity;
+    fresh.last_refill = now;
+    it = buckets_.emplace(tenant, fresh).first;
+  }
+  Bucket& bucket = it->second;
+  Refill(&bucket, now);
+  if (bucket.tokens >= 1.0) {
+    bucket.tokens -= 1.0;
+    ++bucket.admitted;
+    return true;
+  }
+  ++bucket.rejected;
+  return false;
+}
+
+double TenantRateLimiter::TokensAvailable(const std::string& tenant,
+                                          double now) const {
+  auto it = buckets_.find(tenant);
+  if (it == buckets_.end()) return defaults_.capacity;
+  Bucket copy = it->second;
+  Refill(&copy, now);
+  return copy.tokens;
+}
+
+uint64_t TenantRateLimiter::Admitted(const std::string& tenant) const {
+  auto it = buckets_.find(tenant);
+  return it == buckets_.end() ? 0 : it->second.admitted;
+}
+
+uint64_t TenantRateLimiter::Rejected(const std::string& tenant) const {
+  auto it = buckets_.find(tenant);
+  return it == buckets_.end() ? 0 : it->second.rejected;
+}
+
+}  // namespace ads::serve

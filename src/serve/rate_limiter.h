@@ -1,0 +1,64 @@
+#ifndef ADS_SERVE_RATE_LIMITER_H_
+#define ADS_SERVE_RATE_LIMITER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace ads::serve {
+
+/// One tenant's token-bucket parameters.
+struct TokenBucketOptions {
+  /// Maximum tokens (burst size). Each admitted request costs one token.
+  double capacity = 100.0;
+  /// Continuous refill rate (sustained requests per second).
+  double refill_per_second = 100.0;
+};
+
+/// Per-tenant token-bucket rate limiter — the serving-side cousin of
+/// AutoToken's admission idea: each tenant gets a sustained request budget
+/// plus a burst allowance instead of unbounded access to the fleet.
+///
+/// Time is caller-provided seconds (wall-clock in the threaded runtime,
+/// simulated in virtual-time mode), so behaviour is deterministic: the
+/// same (submit time, tenant) sequence yields the same admit/reject
+/// sequence. Buckets start full at a tenant's first request. Not
+/// internally synchronized — the owning runtime serializes access.
+class TenantRateLimiter {
+ public:
+  explicit TenantRateLimiter(TokenBucketOptions defaults = TokenBucketOptions())
+      : defaults_(defaults) {}
+
+  /// Overrides the bucket for one tenant (resets it to full).
+  void SetTenantLimit(const std::string& tenant, TokenBucketOptions options);
+
+  /// Takes one token from the tenant's bucket at time `now`; false when
+  /// the bucket is empty (request must be rejected).
+  bool Admit(const std::string& tenant, double now);
+
+  /// Tokens currently available to a tenant at time `now` (creates no
+  /// bucket; unseen tenants report their would-be full capacity).
+  double TokensAvailable(const std::string& tenant, double now) const;
+
+  uint64_t Admitted(const std::string& tenant) const;
+  uint64_t Rejected(const std::string& tenant) const;
+  size_t tenant_count() const { return buckets_.size(); }
+
+ private:
+  struct Bucket {
+    TokenBucketOptions options;
+    double tokens = 0.0;
+    double last_refill = 0.0;
+    uint64_t admitted = 0;
+    uint64_t rejected = 0;
+  };
+
+  static void Refill(Bucket* bucket, double now);
+
+  TokenBucketOptions defaults_;
+  std::map<std::string, Bucket> buckets_;
+};
+
+}  // namespace ads::serve
+
+#endif  // ADS_SERVE_RATE_LIMITER_H_

@@ -1,0 +1,282 @@
+#include "serve/runtime.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace ads::serve {
+
+ServingRuntime::ServingRuntime(CoreOptions options, common::ThreadPool* pool)
+    : options_(options),
+      pool_(pool),
+      core_(options),
+      epoch_(std::chrono::steady_clock::now()) {
+  ADS_CHECK(pool_ != nullptr) << "serving needs a thread pool";
+}
+
+ServingRuntime::~ServingRuntime() { Shutdown(); }
+
+void ServingRuntime::RegisterBackend(
+    const std::string& model, autonomy::ResilientModelServer* backend) {
+  ADS_CHECK(backend != nullptr) << "null backend";
+  std::lock_guard<std::mutex> lock(mu_);
+  ADS_CHECK(!started_) << "backends must be registered before Start()";
+  backends_[model] = backend;
+  backend_mu_[model] = std::make_unique<std::mutex>();
+}
+
+void ServingRuntime::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ADS_CHECK(!started_) << "Start() is one-shot";
+  ADS_CHECK(!backends_.empty()) << "no backends registered";
+  started_ = true;
+  epoch_ = std::chrono::steady_clock::now();
+  dispatcher_ = std::thread([this]() { DispatcherLoop(); });
+}
+
+double ServingRuntime::Now() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+ServingRuntime::Callback ServingRuntime::TakeCallback(uint64_t id) {
+  // Caller holds no locks; callbacks_ is guarded by mu_.
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) return nullptr;
+  Callback cb = std::move(it->second);
+  callbacks_.erase(it);
+  return cb;
+}
+
+common::Status ServingRuntime::Submit(Request request, Callback callback) {
+  const uint64_t id = request.id;
+  AdmitResult admit;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_ || shutting_down_) {
+      return common::Status::FailedPrecondition(
+          "serving runtime is not accepting requests");
+    }
+    ADS_CHECK(backends_.count(request.model) > 0)
+        << "unregistered model: " << request.model;
+    admit = core_.Admit(std::move(request), Now());
+    if (admit.accepted && callback != nullptr) {
+      callbacks_[id] = std::move(callback);
+    }
+  }
+  if (!admit.accepted) {
+    if (callback != nullptr) {
+      Response response;
+      response.id = id;
+      response.outcome = admit.decision;
+      callback(response);
+    }
+    switch (admit.decision) {
+      case Outcome::kRejectedRateLimit:
+        return common::Status::ResourceExhausted("tenant rate limit");
+      case Outcome::kRejectedDeadline:
+        return common::Status::OutOfRange("deadline already expired");
+      default:
+        return common::Status::ResourceExhausted("serving queue full");
+    }
+  }
+  if (admit.evicted) {
+    EmitShed({admit.victim}, Outcome::kShedCapacity);
+  }
+  dispatcher_wake_.notify_one();
+  return common::Status::Ok();
+}
+
+void ServingRuntime::EmitShed(const std::vector<Request>& requests,
+                              Outcome outcome) {
+  for (const Request& request : requests) {
+    Callback cb = TakeCallback(request.id);
+    if (cb == nullptr) continue;
+    Response response;
+    response.id = request.id;
+    response.outcome = outcome;
+    cb(response);
+  }
+}
+
+void ServingRuntime::DispatcherLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (!shutting_down_ && !core_.HasReadyBatch(Now())) {
+      double next = core_.NextLingerDeadline();
+      if (next == std::numeric_limits<double>::infinity()) {
+        dispatcher_wake_.wait(lock);
+      } else {
+        dispatcher_wake_.wait_until(
+            lock, epoch_ + std::chrono::duration_cast<
+                               std::chrono::steady_clock::duration>(
+                               std::chrono::duration<double>(next)));
+      }
+      continue;  // re-evaluate readiness / shutdown with fresh time
+    }
+    // Shed anything whose deadline passed while it queued.
+    std::vector<Request> expired = core_.DropExpired(Now());
+    if (!expired.empty()) {
+      lock.unlock();
+      EmitShed(expired, Outcome::kShedDeadline);
+      lock.lock();
+    }
+    while (core_.HasReadyBatch(Now())) {
+      Batch batch = core_.TakeReadyBatch(Now());
+      if (batch.requests.empty()) break;
+      ++inflight_batches_;
+      lock.unlock();
+      pool_->Submit(
+          [this, b = std::move(batch)]() mutable { ExecuteBatch(std::move(b)); });
+      lock.lock();
+    }
+    if (shutting_down_) {
+      // Graceful drain: flush every remaining request, ignoring linger.
+      std::vector<Request> late = core_.DropExpired(Now());
+      if (!late.empty()) {
+        lock.unlock();
+        EmitShed(late, Outcome::kShedDeadline);
+        lock.lock();
+      }
+      std::vector<Batch> rest = core_.Drain();
+      for (Batch& batch : rest) {
+        ++inflight_batches_;
+        lock.unlock();
+        pool_->Submit([this, b = std::move(batch)]() mutable {
+          ExecuteBatch(std::move(b));
+        });
+        lock.lock();
+      }
+      dispatcher_done_ = true;
+      drained_.notify_all();
+      return;
+    }
+  }
+}
+
+void ServingRuntime::ExecuteBatch(Batch batch) {
+  const size_t batch_size = batch.requests.size();
+  autonomy::ResilientModelServer* backend = nullptr;
+  std::mutex* backend_mu = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    backend = backends_.at(batch.model);
+    backend_mu = backend_mu_.at(batch.model).get();
+  }
+  std::vector<Response> responses;
+  responses.reserve(batch_size);
+  {
+    // ResilientModelServer is not internally synchronized; serialize per
+    // backend so two in-flight batches of one model cannot race.
+    std::lock_guard<std::mutex> backend_lock(*backend_mu);
+    for (const Request& request : batch.requests) {
+      double now = Now();
+      Response response;
+      response.id = request.id;
+      response.batch_size = batch_size;
+      if (request.deadline <= now) {
+        response.outcome = Outcome::kShedDeadline;
+      } else {
+        autonomy::ResilientModelServer::ServeResult served =
+            backend->Predict(request.features, now);
+        response.outcome = Outcome::kServed;
+        response.value = served.value;
+        response.tier = served.tier;
+        response.model_version = served.version;
+        response.latency_seconds = Now() - request.arrival;
+      }
+      responses.push_back(std::move(response));
+    }
+  }
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    batch_size_.Add(static_cast<double>(batch_size));
+    for (const Response& response : responses) {
+      if (response.outcome != Outcome::kServed) continue;
+      latency_.Add(response.latency_seconds);
+      per_model_latency_[batch.model].Add(response.latency_seconds);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const Response& response : responses) {
+      if (response.outcome == Outcome::kServed) {
+        ++core_.mutable_counters().served;
+      } else {
+        ++core_.mutable_counters().shed_deadline;
+      }
+    }
+  }
+  for (const Response& response : responses) {
+    Callback cb = TakeCallback(response.id);
+    if (cb != nullptr) cb(response);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --inflight_batches_;
+  }
+  drained_.notify_all();
+}
+
+void ServingRuntime::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_) return;
+    shutting_down_ = true;
+  }
+  dispatcher_wake_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+  std::unique_lock<std::mutex> lock(mu_);
+  drained_.wait(lock, [this]() {
+    return dispatcher_done_ && inflight_batches_ == 0;
+  });
+}
+
+ServingStats ServingRuntime::Stats() const {
+  ServingStats stats;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats.counters = core_.counters();
+    stats.queued = core_.queued();
+  }
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    stats.latency = latency_.Summary();
+    for (const auto& [model, sketch] : per_model_latency_) {
+      stats.per_model_latency[model] = sketch.Summary();
+    }
+    stats.batch_size = batch_size_;
+  }
+  stats.pool = pool_->Stats();
+  return stats;
+}
+
+void ServingRuntime::SampleGauges(telemetry::TelemetryStore* store) const {
+  ADS_CHECK(store != nullptr) << "null telemetry store";
+  ServingStats stats = Stats();
+  const double now = Now();
+  auto record = [&](const std::string& name, double value,
+                    telemetry::LabelSet labels = {}) {
+    // Gauge samples are monotone in time per series; Record checks order.
+    (void)store->Record(name, labels, now, value);
+  };
+  record("serve.queue_depth", static_cast<double>(stats.queued));
+  record("serve.served_total", static_cast<double>(stats.counters.served));
+  record("serve.shed_total",
+         static_cast<double>(stats.counters.shed_capacity +
+                             stats.counters.shed_deadline));
+  record("serve.rejected_total", static_cast<double>(stats.counters.Rejected()));
+  record("serve.batch_size_mean", stats.batch_size.mean());
+  record("serve.pool.queued", static_cast<double>(stats.pool.queued));
+  record("serve.pool.active", static_cast<double>(stats.pool.active));
+  record("serve.pool.executed", static_cast<double>(stats.pool.executed));
+  for (const auto& [model, summary] : stats.per_model_latency) {
+    record("serve.latency.p50", summary.p50, {{"model", model}});
+    record("serve.latency.p95", summary.p95, {{"model", model}});
+    record("serve.latency.p99", summary.p99, {{"model", model}});
+  }
+}
+
+}  // namespace ads::serve

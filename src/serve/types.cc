@@ -1,0 +1,23 @@
+#include "serve/types.h"
+
+namespace ads::serve {
+
+const char* OutcomeName(Outcome outcome) {
+  switch (outcome) {
+    case Outcome::kServed:
+      return "served";
+    case Outcome::kRejectedRateLimit:
+      return "rejected_rate_limit";
+    case Outcome::kRejectedCapacity:
+      return "rejected_capacity";
+    case Outcome::kRejectedDeadline:
+      return "rejected_deadline";
+    case Outcome::kShedCapacity:
+      return "shed_capacity";
+    case Outcome::kShedDeadline:
+      return "shed_deadline";
+  }
+  return "unknown";
+}
+
+}  // namespace ads::serve

@@ -1,0 +1,96 @@
+#ifndef ADS_SERVE_TYPES_H_
+#define ADS_SERVE_TYPES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "autonomy/serving.h"
+
+namespace ads::serve {
+
+/// One prediction request submitted to the serving runtime.
+struct Request {
+  uint64_t id = 0;
+  /// Backend (registered model) this request targets.
+  std::string model;
+  /// Rate-limiting principal (customer / subscription).
+  std::string tenant;
+  std::vector<double> features;
+  /// Higher priority wins under load shedding.
+  int priority = 0;
+  /// Absolute deadline in runtime seconds; infinity means none. Requests
+  /// whose deadline has passed are rejected at admission or shed before
+  /// dispatch, never silently dropped.
+  double deadline = std::numeric_limits<double>::infinity();
+  /// Stamped by the runtime at admission.
+  double arrival = 0.0;
+};
+
+/// Terminal disposition of a request. Every submitted request gets exactly
+/// one outcome — the accounting invariant the drain test asserts.
+enum class Outcome {
+  kServed = 0,
+  /// Tenant token bucket was empty at admission.
+  kRejectedRateLimit,
+  /// Queue full and the request did not outrank any queued victim.
+  kRejectedCapacity,
+  /// Deadline already expired at admission.
+  kRejectedDeadline,
+  /// Accepted, then evicted by a higher-priority arrival under load.
+  kShedCapacity,
+  /// Accepted, then its deadline expired while queued.
+  kShedDeadline,
+};
+
+/// Short stable name for tables and telemetry labels ("served", ...).
+const char* OutcomeName(Outcome outcome);
+
+/// One completed request.
+struct Response {
+  uint64_t id = 0;
+  Outcome outcome = Outcome::kServed;
+  /// Prediction (served requests only).
+  double value = 0.0;
+  /// Which fallback tier answered (served requests only).
+  autonomy::ResilientModelServer::Tier tier =
+      autonomy::ResilientModelServer::Tier::kHeuristic;
+  /// Registry version that served (0 for the heuristic tier).
+  uint32_t model_version = 0;
+  /// Completion minus arrival (served requests only).
+  double latency_seconds = 0.0;
+  /// Size of the batch this request was dispatched in (served only).
+  size_t batch_size = 0;
+};
+
+/// A dispatch unit: requests for one model coalesced by the micro-batcher.
+struct Batch {
+  std::string model;
+  std::vector<Request> requests;
+};
+
+/// Monotonic request accounting, maintained by the admission core and the
+/// runtimes. Invariant after a graceful drain:
+///   submitted == accepted + rejected_*          (admission is total), and
+///   accepted  == served + shed_capacity + shed_deadline   (no losses).
+struct Counters {
+  uint64_t submitted = 0;
+  uint64_t accepted = 0;
+  uint64_t rejected_rate_limit = 0;
+  uint64_t rejected_capacity = 0;
+  uint64_t rejected_deadline = 0;
+  uint64_t served = 0;
+  uint64_t shed_capacity = 0;
+  uint64_t shed_deadline = 0;
+
+  uint64_t Rejected() const {
+    return rejected_rate_limit + rejected_capacity + rejected_deadline;
+  }
+  uint64_t Finished() const { return served + shed_capacity + shed_deadline; }
+};
+
+}  // namespace ads::serve
+
+#endif  // ADS_SERVE_TYPES_H_

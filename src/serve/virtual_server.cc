@@ -1,0 +1,161 @@
+#include "serve/virtual_server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace ads::serve {
+
+VirtualServer::VirtualServer(VirtualOptions options,
+                             telemetry::TelemetryStore* store)
+    : options_(options), store_(store), core_(options.core) {
+  ADS_CHECK(options_.workers >= 1) << "need at least one virtual worker";
+  ADS_CHECK(options_.service.batch_overhead_seconds >= 0.0 &&
+            options_.service.per_item_seconds >= 0.0)
+      << "negative service time";
+}
+
+void VirtualServer::RegisterBackend(const std::string& model,
+                                    autonomy::ResilientModelServer* backend) {
+  ADS_CHECK(backend != nullptr) << "null backend";
+  backends_[model] = backend;
+}
+
+void VirtualServer::SetResponseCallback(Callback callback) {
+  callback_ = std::move(callback);
+}
+
+void VirtualServer::SubmitAt(double t, Request request) {
+  ADS_CHECK(!ran_) << "SubmitAt after Run()";
+  queue_.ScheduleAt(t, [this, r = std::move(request)](
+                           common::SimTime now) mutable {
+    OnArrival(std::move(r), now);
+  });
+}
+
+void VirtualServer::Emit(const Response& response) {
+  if (callback_ != nullptr) callback_(response);
+}
+
+void VirtualServer::OnArrival(Request request, double now) {
+  ADS_CHECK(backends_.count(request.model) > 0)
+      << "unregistered model: " << request.model;
+  const uint64_t id = request.id;
+  AdmitResult admit = core_.Admit(std::move(request), now);
+  if (!admit.accepted) {
+    Response response;
+    response.id = id;
+    response.outcome = admit.decision;
+    Emit(response);
+  }
+  if (admit.evicted) {
+    Response response;
+    response.id = admit.victim.id;
+    response.outcome = Outcome::kShedCapacity;
+    Emit(response);
+  }
+  max_queue_depth_ = std::max(max_queue_depth_, core_.queued());
+  Dispatch(now);
+}
+
+void VirtualServer::Dispatch(double now) {
+  for (const Request& expired : core_.DropExpired(now)) {
+    Response response;
+    response.id = expired.id;
+    response.outcome = Outcome::kShedDeadline;
+    Emit(response);
+  }
+  while (busy_workers_ < options_.workers && core_.HasReadyBatch(now)) {
+    Batch batch = core_.TakeReadyBatch(now);
+    if (batch.requests.empty()) break;
+    ++busy_workers_;
+    double service =
+        options_.service.batch_overhead_seconds +
+        options_.service.per_item_seconds *
+            static_cast<double>(batch.requests.size());
+    queue_.ScheduleAt(now + service,
+                      [this, b = std::move(batch)](common::SimTime t) mutable {
+                        OnBatchComplete(std::move(b), t);
+                      });
+  }
+  if (core_.queued() > 0) {
+    double next = core_.NextLingerDeadline();
+    if (next > now &&
+        next < std::numeric_limits<double>::infinity()) {
+      // Linger timer: flushes a partial batch when its window expires.
+      // Stale timers (batch already dispatched) land on an idle core and
+      // no-op, so no deduplication is needed.
+      queue_.ScheduleAt(next, [this](common::SimTime t) { Dispatch(t); });
+    }
+  }
+}
+
+void VirtualServer::OnBatchComplete(Batch batch, double now) {
+  --busy_workers_;
+  autonomy::ResilientModelServer* backend = backends_.at(batch.model);
+  const size_t batch_size = batch.requests.size();
+  batch_size_.Add(static_cast<double>(batch_size));
+  for (const Request& request : batch.requests) {
+    autonomy::ResilientModelServer::ServeResult served =
+        backend->Predict(request.features, now);
+    Response response;
+    response.id = request.id;
+    response.outcome = Outcome::kServed;
+    response.value = served.value;
+    response.tier = served.tier;
+    response.model_version = served.version;
+    response.latency_seconds = now - request.arrival;
+    response.batch_size = batch_size;
+    ++core_.mutable_counters().served;
+    latency_.Add(response.latency_seconds);
+    per_model_latency_[batch.model].Add(response.latency_seconds);
+    Emit(response);
+  }
+  Dispatch(now);
+}
+
+void VirtualServer::SampleGauges(double now) {
+  const Counters& counters = core_.counters();
+  auto record = [&](const std::string& name, double value) {
+    (void)store_->Record(name, {}, now, value);
+  };
+  record("serve.queue_depth", static_cast<double>(core_.queued()));
+  record("serve.busy_workers", static_cast<double>(busy_workers_));
+  record("serve.served_total", static_cast<double>(counters.served));
+  record("serve.shed_total", static_cast<double>(counters.shed_capacity +
+                                                 counters.shed_deadline));
+  record("serve.rejected_total", static_cast<double>(counters.Rejected()));
+  // Keep sampling while the system has work or events (arrivals,
+  // completions, timers) are still pending.
+  if (core_.queued() > 0 || busy_workers_ > 0 || !queue_.empty()) {
+    queue_.ScheduleAt(now + options_.telemetry_period_seconds,
+                      [this](common::SimTime t) { SampleGauges(t); });
+  }
+}
+
+VirtualReport VirtualServer::Run() {
+  ADS_CHECK(!ran_) << "Run() is one-shot";
+  ran_ = true;
+  if (store_ != nullptr && options_.telemetry_period_seconds > 0.0) {
+    queue_.ScheduleAt(0.0, [this](common::SimTime t) { SampleGauges(t); });
+  }
+  queue_.RunAll();
+  VirtualReport report;
+  report.counters = core_.counters();
+  report.latency = latency_.Summary();
+  for (const auto& [model, sketch] : per_model_latency_) {
+    report.per_model_latency[model] = sketch.Summary();
+  }
+  report.mean_batch_size = batch_size_.mean();
+  report.max_queue_depth = max_queue_depth_;
+  report.horizon_seconds = queue_.now();
+  report.throughput_rps =
+      report.horizon_seconds > 0.0
+          ? static_cast<double>(report.counters.served) / report.horizon_seconds
+          : 0.0;
+  ADS_CHECK(core_.queued() == 0) << "virtual drain left requests queued";
+  return report;
+}
+
+}  // namespace ads::serve

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <thread>
 #include <vector>
 
 namespace ads::common {
@@ -127,6 +129,61 @@ TEST(CircuitBreakerTest, HalfOpenProbeClosesOnSuccess) {
   cb.RecordSuccess(11.0);
   EXPECT_EQ(cb.state(), CircuitBreaker::State::kClosed);
   EXPECT_TRUE(cb.AllowRequest(11.5));
+}
+
+// Run under TSan (-DADS_ENABLE_TSAN=ON): many threads race AllowRequest
+// after the cooldown; the half-open probe must be single-flight — exactly
+// one caller is admitted until the probe's verdict lands — and the breaker
+// must stay race-free while other threads record outcomes concurrently.
+TEST(CircuitBreakerTest, HalfOpenProbeIsSingleFlightUnderConcurrency) {
+  for (int round = 0; round < 20; ++round) {
+    CircuitBreaker cb({.failure_threshold = 1, .cooldown_seconds = 10.0});
+    cb.RecordFailure(0.0);
+    ASSERT_EQ(cb.state(), CircuitBreaker::State::kOpen);
+    const int kThreads = 8;
+    std::atomic<int> admitted{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&cb, &admitted]() {
+        // All callers arrive past the cooldown: one probe slot to win.
+        for (int i = 0; i < 50; ++i) {
+          if (cb.AllowRequest(10.0 + 0.001 * i)) admitted.fetch_add(1);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(admitted.load(), 1) << "probe admitted more than one caller";
+    EXPECT_EQ(cb.state(), CircuitBreaker::State::kHalfOpen);
+    // The probe's success closes the breaker and traffic resumes.
+    cb.RecordSuccess(11.0);
+    EXPECT_EQ(cb.state(), CircuitBreaker::State::kClosed);
+    EXPECT_TRUE(cb.AllowRequest(11.5));
+  }
+}
+
+TEST(CircuitBreakerTest, ConcurrentOutcomeRecordingStaysConsistent) {
+  CircuitBreaker cb({.failure_threshold = 3, .cooldown_seconds = 5.0});
+  std::vector<std::thread> threads;
+  threads.reserve(6);
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&cb, t]() {
+      for (int i = 0; i < 200; ++i) {
+        double now = 0.01 * i;
+        if (cb.AllowRequest(now)) {
+          if ((t + i) % 3 == 0) {
+            cb.RecordFailure(now);
+          } else {
+            cb.RecordSuccess(now);
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  // No torn state: the breaker landed in a legal configuration.
+  EXPECT_GE(cb.trips(), 0);
+  EXPECT_GE(cb.consecutive_failures(), 0);
 }
 
 TEST(CircuitBreakerTest, HalfOpenProbeReopensOnFailure) {

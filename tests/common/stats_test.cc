@@ -77,6 +77,26 @@ TEST(QuantileSketchTest, EmptyReturnsZero) {
   EXPECT_DOUBLE_EQ(q.Quantile(0.5), 0.0);
 }
 
+TEST(QuantileSketchTest, SummaryMatchesIndividualQuantiles) {
+  QuantileSketch q;
+  for (int i = 1; i <= 500; ++i) q.Add(static_cast<double>(i));
+  QuantileSummary s = q.Summary();
+  EXPECT_EQ(s.count, 500u);
+  EXPECT_EQ(s.count, q.Count());
+  EXPECT_DOUBLE_EQ(s.p50, q.Quantile(0.5));
+  EXPECT_DOUBLE_EQ(s.p95, q.Quantile(0.95));
+  EXPECT_DOUBLE_EQ(s.p99, q.Quantile(0.99));
+  EXPECT_DOUBLE_EQ(s.max, 500.0);
+}
+
+TEST(QuantileSketchTest, SummaryOfEmptySketchIsAllZero) {
+  QuantileSummary s = QuantileSketch().Summary();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.p50, 0.0);
+  EXPECT_DOUBLE_EQ(s.p99, 0.0);
+  EXPECT_DOUBLE_EQ(s.max, 0.0);
+}
+
 TEST(QuantileSketchTest, InterleavedAddAndQuery) {
   QuantileSketch q;
   q.Add(10.0);

@@ -107,6 +107,32 @@ TEST(ThreadPoolTest, ShutdownDrainsPendingWork) {
   for (auto& f : futures) EXPECT_NO_THROW(f.get());
 }
 
+TEST(ThreadPoolTest, StatsCountsExecutedTasks) {
+  ThreadPool pool(2);
+  ThreadPoolStats before = pool.Stats();
+  EXPECT_EQ(before.workers, 2u);
+  EXPECT_EQ(before.executed, 0u);
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 16; ++i) {
+    futures.push_back(pool.Submit([]() {}));
+  }
+  for (auto& f : futures) f.get();
+  pool.ParallelFor(0, 64, 16, [](size_t, size_t) {});  // 4 chunks
+  ThreadPoolStats after = pool.Stats();
+  EXPECT_EQ(after.executed, 20u);
+  EXPECT_EQ(after.queued, 0u);
+  EXPECT_EQ(after.active, 0u);
+}
+
+TEST(ThreadPoolTest, StatsCountsInlineExecution) {
+  ThreadPool inline_pool(0);
+  inline_pool.Submit([]() {}).get();
+  inline_pool.ParallelFor(0, 10, 5, [](size_t, size_t) {});  // 2 chunks
+  ThreadPoolStats stats = inline_pool.Stats();
+  EXPECT_EQ(stats.workers, 0u);
+  EXPECT_EQ(stats.executed, 3u);
+}
+
 TEST(ThreadPoolTest, GlobalPoolIsUsableViaFreeFunction) {
   std::vector<int> out(257, 0);
   parallel_for(0, out.size(), 32, [&](size_t cb, size_t ce) {

@@ -1,0 +1,92 @@
+#include "serve/batcher.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace ads::serve {
+namespace {
+
+Request Req(uint64_t id, double arrival,
+            double deadline = std::numeric_limits<double>::infinity(),
+            int priority = 0) {
+  Request r;
+  r.id = id;
+  r.arrival = arrival;
+  r.deadline = deadline;
+  r.priority = priority;
+  return r;
+}
+
+TEST(MicroBatcherTest, DispatchesWhenFull) {
+  MicroBatcher b({.max_batch_size = 3, .max_linger_seconds = 1.0});
+  b.Add(Req(1, 0.0));
+  b.Add(Req(2, 0.0));
+  EXPECT_FALSE(b.Ready(0.0));  // neither full nor lingered
+  b.Add(Req(3, 0.0));
+  EXPECT_TRUE(b.Ready(0.0));  // full batch dispatches immediately
+  auto batch = b.TakeBatch();
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch[0].id, 1u);  // FIFO
+  EXPECT_EQ(batch[1].id, 2u);
+  EXPECT_EQ(batch[2].id, 3u);
+  EXPECT_EQ(b.pending(), 0u);
+}
+
+TEST(MicroBatcherTest, DispatchesWhenLingerExpires) {
+  MicroBatcher b({.max_batch_size = 8, .max_linger_seconds = 0.5});
+  b.Add(Req(1, 10.0));
+  EXPECT_FALSE(b.Ready(10.2));
+  EXPECT_DOUBLE_EQ(b.NextDeadline(), 10.5);
+  EXPECT_TRUE(b.Ready(10.5));  // oldest waited out its linger window
+  auto batch = b.TakeBatch();
+  EXPECT_EQ(batch.size(), 1u);
+  EXPECT_EQ(b.NextDeadline(), std::numeric_limits<double>::infinity());
+}
+
+TEST(MicroBatcherTest, TakeBatchCapsAtMaxSize) {
+  MicroBatcher b({.max_batch_size = 2, .max_linger_seconds = 0.0});
+  for (uint64_t i = 0; i < 5; ++i) b.Add(Req(i, 0.0));
+  EXPECT_EQ(b.TakeBatch().size(), 2u);
+  EXPECT_EQ(b.TakeBatch().size(), 2u);
+  EXPECT_EQ(b.TakeBatch().size(), 1u);
+  EXPECT_TRUE(b.TakeBatch().empty());
+}
+
+TEST(MicroBatcherTest, DropExpiredRemovesOnlyPastDeadline) {
+  MicroBatcher b({.max_batch_size = 8, .max_linger_seconds = 1.0});
+  b.Add(Req(1, 0.0, /*deadline=*/5.0));
+  b.Add(Req(2, 0.0, /*deadline=*/20.0));
+  b.Add(Req(3, 0.0, /*deadline=*/6.0));
+  std::vector<Request> expired;
+  b.DropExpired(6.0, &expired);
+  ASSERT_EQ(expired.size(), 2u);
+  EXPECT_EQ(expired[0].id, 1u);
+  EXPECT_EQ(expired[1].id, 3u);
+  EXPECT_EQ(b.pending(), 1u);
+}
+
+TEST(MicroBatcherTest, WorstRankingPriorityThenDeadlineThenArrival) {
+  // Lower priority ranks worse; ties break toward the later deadline,
+  // then the later arrival.
+  EXPECT_TRUE(MicroBatcher::WorseThan(Req(1, 0.0, 10.0, 0),
+                                      Req(2, 0.0, 10.0, 1)));
+  EXPECT_TRUE(MicroBatcher::WorseThan(Req(1, 0.0, 50.0, 1),
+                                      Req(2, 0.0, 10.0, 1)));
+  EXPECT_TRUE(MicroBatcher::WorseThan(Req(1, 3.0, 10.0, 1),
+                                      Req(2, 1.0, 10.0, 1)));
+
+  MicroBatcher b({.max_batch_size = 8, .max_linger_seconds = 1.0});
+  b.Add(Req(1, 0.0, 10.0, /*priority=*/2));
+  b.Add(Req(2, 1.0, 10.0, /*priority=*/0));  // lowest priority: the victim
+  b.Add(Req(3, 2.0, 10.0, /*priority=*/1));
+  ASSERT_NE(b.PeekWorst(), nullptr);
+  EXPECT_EQ(b.PeekWorst()->id, 2u);
+  Request victim = b.EvictWorst();
+  EXPECT_EQ(victim.id, 2u);
+  EXPECT_EQ(b.pending(), 2u);
+  EXPECT_EQ(b.PeekWorst()->id, 3u);
+}
+
+}  // namespace
+}  // namespace ads::serve

@@ -1,0 +1,73 @@
+#include "serve/rate_limiter.h"
+
+#include <gtest/gtest.h>
+
+namespace ads::serve {
+namespace {
+
+TEST(TenantRateLimiterTest, BurstThenRefill) {
+  TenantRateLimiter limiter({.capacity = 3.0, .refill_per_second = 1.0});
+  // Bucket starts full: three back-to-back requests pass, the fourth is
+  // rejected.
+  EXPECT_TRUE(limiter.Admit("t1", 0.0));
+  EXPECT_TRUE(limiter.Admit("t1", 0.0));
+  EXPECT_TRUE(limiter.Admit("t1", 0.0));
+  EXPECT_FALSE(limiter.Admit("t1", 0.0));
+  // One second refills one token.
+  EXPECT_TRUE(limiter.Admit("t1", 1.0));
+  EXPECT_FALSE(limiter.Admit("t1", 1.0));
+  EXPECT_EQ(limiter.Admitted("t1"), 4u);
+  EXPECT_EQ(limiter.Rejected("t1"), 2u);
+}
+
+TEST(TenantRateLimiterTest, RefillCapsAtCapacity) {
+  TenantRateLimiter limiter({.capacity = 2.0, .refill_per_second = 10.0});
+  EXPECT_TRUE(limiter.Admit("t", 0.0));
+  EXPECT_TRUE(limiter.Admit("t", 0.0));
+  // A long idle period refills to capacity, not beyond.
+  EXPECT_TRUE(limiter.Admit("t", 100.0));
+  EXPECT_TRUE(limiter.Admit("t", 100.0));
+  EXPECT_FALSE(limiter.Admit("t", 100.0));
+}
+
+TEST(TenantRateLimiterTest, TenantsAreIsolated) {
+  TenantRateLimiter limiter({.capacity = 1.0, .refill_per_second = 0.0});
+  EXPECT_TRUE(limiter.Admit("a", 0.0));
+  EXPECT_FALSE(limiter.Admit("a", 5.0));
+  // Tenant b's bucket is untouched by a's exhaustion.
+  EXPECT_TRUE(limiter.Admit("b", 5.0));
+  EXPECT_EQ(limiter.tenant_count(), 2u);
+}
+
+TEST(TenantRateLimiterTest, PerTenantOverride) {
+  TenantRateLimiter limiter({.capacity = 1.0, .refill_per_second = 0.0});
+  limiter.SetTenantLimit("vip", {.capacity = 10.0, .refill_per_second = 0.0});
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(limiter.Admit("vip", 0.0)) << i;
+  }
+  EXPECT_FALSE(limiter.Admit("vip", 0.0));
+  EXPECT_TRUE(limiter.Admit("standard", 0.0));
+  EXPECT_FALSE(limiter.Admit("standard", 0.0));
+}
+
+TEST(TenantRateLimiterTest, TokensAvailableIsNonMutating) {
+  TenantRateLimiter limiter({.capacity = 4.0, .refill_per_second = 2.0});
+  EXPECT_DOUBLE_EQ(limiter.TokensAvailable("t", 0.0), 4.0);  // unseen tenant
+  EXPECT_TRUE(limiter.Admit("t", 0.0));
+  EXPECT_DOUBLE_EQ(limiter.TokensAvailable("t", 0.0), 3.0);
+  EXPECT_DOUBLE_EQ(limiter.TokensAvailable("t", 0.5), 4.0);  // refilled view
+  EXPECT_DOUBLE_EQ(limiter.TokensAvailable("t", 0.0), 3.0);  // unchanged
+}
+
+TEST(TenantRateLimiterTest, DeterministicSequence) {
+  // Two limiters fed the same (tenant, time) sequence agree exactly.
+  TenantRateLimiter a({.capacity = 2.0, .refill_per_second = 0.5});
+  TenantRateLimiter b({.capacity = 2.0, .refill_per_second = 0.5});
+  for (int i = 0; i < 50; ++i) {
+    double t = 0.37 * i;
+    EXPECT_EQ(a.Admit("t", t), b.Admit("t", t)) << i;
+  }
+}
+
+}  // namespace
+}  // namespace ads::serve
