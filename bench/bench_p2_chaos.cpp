@@ -17,6 +17,11 @@
 //      injected model faults. Every request is answered; the breaker
 //      trips, rolls the registry back, and recovers via its probe.
 
+// Pass --trace-out=PATH to additionally dump one traced engine-chaos run
+// and one traced infra-chaos run as Chrome trace_event JSON (open in
+// chrome://tracing or ui.perfetto.dev). Tracing runs on separate seeded
+// tracers and never perturbs the benchmark numbers above it.
+
 #include <cstdio>
 #include <set>
 #include <string>
@@ -32,6 +37,8 @@
 #include "infra/scheduler.h"
 #include "ml/linear.h"
 #include "ml/registry.h"
+#include "telemetry/span.h"
+#include "telemetry/span_analysis.h"
 
 using namespace ads;  // NOLINT: bench brevity
 
@@ -199,9 +206,68 @@ void RunServingChaos() {
               "(2000 requests each)");
 }
 
+// One traced engine-chaos run plus one traced infra-chaos run, merged
+// into a single Chrome trace (distinct tracer seeds keep span ids
+// disjoint; every root span gets its own track).
+void WriteChromeTrace(const std::string& path) {
+  telemetry::Tracer engine_tracer(1);
+  engine::StageGraph g = MakeJob();
+  engine::JobSimulator sim;
+  const double base = sim.Execute(g, 1).makespan;
+  engine::FaultOptions faults;
+  faults.failures_per_hour = 3600.0 / base * 2.0;
+  faults.recovery_seconds = base / 5.0;
+  faults.straggler_prob = 0.05;
+  faults.straggler_mult = 4.0;
+  faults.speculation = true;
+  sim.ExecuteWithFaults(g, 7, faults, {}, &engine_tracer);
+
+  telemetry::Tracer infra_tracer(2);
+  infra::Cluster cluster;
+  infra::SkuSpec sku;
+  sku.name = "gen4";
+  sku.default_max_containers = 8;
+  sku.cpu_per_container = 0.1;
+  sku.temp_storage_gb = 50.0;
+  cluster.AddMachines(sku, 8);
+  common::EventQueue queue;
+  infra::ClusterScheduler sched(&cluster, &queue, nullptr, 1);
+  sched.SetTracer(&infra_tracer);
+  infra::MachineChaos chaos(&cluster, &queue, &sched, 17);
+  chaos.SetTracer(&infra_tracer);
+  infra::ChaosOptions copts;
+  copts.mtbf_seconds = 300.0;
+  copts.mttr_seconds = 90.0;
+  copts.horizon_seconds = 1000.0;
+  chaos.Start(copts);
+  for (uint64_t i = 0; i < 150; ++i) {
+    queue.ScheduleAt(static_cast<double>(i) * 5.0, [&sched, i](common::SimTime) {
+      sched.Submit({.id = i, .base_duration = 30.0, .temp_storage_gb = 1.0});
+    });
+  }
+  queue.RunAll();
+
+  std::vector<telemetry::Span> spans = engine_tracer.Snapshot();
+  std::vector<telemetry::Span> infra_spans = infra_tracer.Snapshot();
+  spans.insert(spans.end(), infra_spans.begin(), infra_spans.end());
+  std::string json = telemetry::ChromeTraceJson(spans);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ADS_CHECK(f != nullptr) << "cannot open trace output: " << path;
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("\nwrote chrome trace: %s (%zu spans)\n", path.c_str(),
+              spans.size());
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string trace_out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::string flag = "--trace-out=";
+    if (arg.rfind(flag, 0) == 0) trace_out = arg.substr(flag.size());
+  }
   std::printf("P2 | chaos bench: deterministic fault injection across "
               "engine, infra and serving\n\n");
   RunEngineChaos();
@@ -209,5 +275,6 @@ int main() {
   RunInfraChaos();
   std::printf("\n");
   RunServingChaos();
+  if (!trace_out.empty()) WriteChromeTrace(trace_out);
   return 0;
 }

@@ -23,6 +23,20 @@ int TasksFor(const Stage& stage, const ExecutorOptions& opt) {
                   static_cast<int>(std::ceil(stage.work / opt.work_per_task)));
 }
 
+std::string JoinInts(const std::vector<int>& values) {
+  std::string out;
+  for (int v : values) {
+    if (!out.empty()) out += ",";
+    out += std::to_string(v);
+  }
+  return out;
+}
+
+std::string StageSpanName(const Stage& stage) {
+  return stage.label.empty() ? "stage-" + std::to_string(stage.id)
+                             : stage.label;
+}
+
 /// Schedules a subset of stages (rerun[s] == true) and returns their
 /// per-stage runs. Inputs outside the subset are treated as available at
 /// time zero (their outputs already exist).
@@ -66,7 +80,8 @@ std::vector<StageRun> Schedule(const StageGraph& graph,
 }  // namespace
 
 JobRun JobSimulator::Execute(const StageGraph& graph, uint64_t seed,
-                             const std::set<int>& checkpointed) const {
+                             const std::set<int>& checkpointed,
+                             telemetry::Tracer* tracer) const {
   ADS_CHECK(options_.machines > 0) << "executor needs machines";
   common::Rng rng(seed);
   std::vector<bool> all(graph.stages.size(), true);
@@ -80,6 +95,25 @@ JobRun JobSimulator::Execute(const StageGraph& graph, uint64_t seed,
     result.total_compute +=
         graph.stages[static_cast<size_t>(r.stage)].work *
         options_.seconds_per_work;
+  }
+
+  if (tracer != nullptr) {
+    telemetry::SpanId job =
+        tracer->StartSpan("job", "job", telemetry::kNoSpan, 0.0);
+    tracer->Annotate(job, "stages", std::to_string(graph.stages.size()));
+    for (const StageRun& r : result.stage_runs) {  // stage (topological) order
+      const Stage& s = graph.stages[static_cast<size_t>(r.stage)];
+      telemetry::SpanId span =
+          tracer->StartSpan("stage", StageSpanName(s), job, r.start);
+      tracer->Annotate(span, "stage", std::to_string(s.id));
+      tracer->Annotate(span, "inputs", JoinInts(s.inputs));
+      tracer->Annotate(span, "tasks", std::to_string(r.tasks));
+      if (checkpointed.count(s.id) > 0) {
+        tracer->Annotate(span, "checkpointed", "true");
+      }
+      tracer->EndSpan(span, r.end);
+    }
+    tracer->EndSpan(job, result.makespan);
   }
 
   // Temp-storage occupancy: a stage's shuffle output lives on its output
@@ -152,7 +186,7 @@ uint64_t ChaosStreamSeed(uint64_t seed, uint64_t purpose, uint64_t a = 0,
 
 ChaosRun JobSimulator::ExecuteWithFaults(
     const StageGraph& graph, uint64_t seed, const FaultOptions& faults,
-    const std::set<int>& checkpointed) const {
+    const std::set<int>& checkpointed, telemetry::Tracer* tracer) const {
   ADS_CHECK(options_.machines > 0) << "executor needs machines";
   ADS_CHECK(graph.final_stage >= 0) << "graph has no final stage";
   const size_t n = graph.stages.size();
@@ -183,8 +217,17 @@ ChaosRun JobSimulator::ExecuteWithFaults(
     double end = 0.0;
     int parallelism = 1;
     std::vector<int> footprint;  // machines hosting this execution
+    // Tracing state (all zero when untraced).
+    telemetry::SpanId span = telemetry::kNoSpan;          // stage span
+    telemetry::SpanId attempt_span = telemetry::kNoSpan;  // open execution
+    double span_end = 0.0;  // last activity; stage spans close here
   };
   std::vector<StageState> st(n);
+  telemetry::SpanId job_span = telemetry::kNoSpan;
+  if (tracer != nullptr) {
+    job_span = tracer->StartSpan("job", "job", telemetry::kNoSpan, 0.0);
+    tracer->Annotate(job_span, "stages", std::to_string(n));
+  }
   std::vector<bool> machine_up(static_cast<size_t>(machines), true);
   int up_machines = machines;
   auto consumers = graph.Consumers();
@@ -231,6 +274,12 @@ ChaosRun JobSimulator::ExecuteWithFaults(
   auto complete_stage = [&](int stage_id, int epoch, double t) {
     auto& s = st[static_cast<size_t>(stage_id)];
     if (finished || s.phase != Phase::kRunning || s.epoch != epoch) return;
+    if (tracer != nullptr && s.attempt_span != telemetry::kNoSpan) {
+      tracer->Annotate(s.attempt_span, "outcome", "ok");
+      tracer->EndSpan(s.attempt_span, t);
+      s.attempt_span = telemetry::kNoSpan;
+      s.span_end = std::max(s.span_end, t);
+    }
     s.phase = Phase::kDone;
     s.output_available = true;
     if (stage_id == graph.final_stage || checkpointed.count(stage_id) > 0) {
@@ -275,7 +324,8 @@ ChaosRun JobSimulator::ExecuteWithFaults(
         }
       }
       if (!inputs_ready) continue;
-      if (s.phase == Phase::kDone) {
+      const bool is_recompute = s.phase == Phase::kDone;
+      if (is_recompute) {
         // Lost output being recomputed: the earlier execution is waste.
         ++result.recomputed_stages;
         result.wasted_compute += stage.work * options_.seconds_per_work;
@@ -300,11 +350,14 @@ ChaosRun JobSimulator::ExecuteWithFaults(
         }
       }
       double duration = nominal * noise_mult;
+      bool straggled = false;
+      double backup_launch = 0.0, backup_land = 0.0;  // speculation window
       if (faults.straggler_prob > 0.0) {
         common::Rng straggler_rng(ChaosStreamSeed(
             seed, 3, static_cast<uint64_t>(stage.id),
             static_cast<uint64_t>(s.attempt)));
         if (straggler_rng.Bernoulli(faults.straggler_prob)) {
+          straggled = true;
           duration *= faults.straggler_mult;
           if (faults.speculation) {
             // A backup launches once the straggler overshoots the trigger
@@ -318,6 +371,8 @@ ChaosRun JobSimulator::ExecuteWithFaults(
                   (backup_end - nominal * faults.speculation_trigger) *
                   static_cast<double>(parallelism);
               duration = backup_end;
+              backup_launch = t + nominal * faults.speculation_trigger;
+              backup_land = t + backup_end;
             }
           }
         }
@@ -346,6 +401,32 @@ ChaosRun JobSimulator::ExecuteWithFaults(
         int m = (offset + k) % machines;
         if (machine_up[static_cast<size_t>(m)]) s.footprint.push_back(m);
       }
+      if (tracer != nullptr) {
+        if (s.span == telemetry::kNoSpan) {
+          s.span = tracer->StartSpan("stage", StageSpanName(stage), job_span,
+                                     t);
+          tracer->Annotate(s.span, "stage", std::to_string(stage.id));
+          tracer->Annotate(s.span, "inputs", JoinInts(stage.inputs));
+          if (checkpointed.count(stage.id) > 0) {
+            tracer->Annotate(s.span, "checkpointed", "true");
+          }
+        }
+        // First execution is an "attempt"; re-deriving a lost completed
+        // output is a "recompute"; re-running a killed execution is a
+        // "retry". (`s.attempt` was already incremented for this run.)
+        const char* attempt_kind =
+            is_recompute ? "recompute" : (s.attempt > 1 ? "retry" : "attempt");
+        s.attempt_span = tracer->StartSpan(
+            attempt_kind, "exec-" + std::to_string(s.attempt), s.span, t);
+        tracer->Annotate(s.attempt_span, "machines", JoinInts(s.footprint));
+        if (straggled) tracer->Annotate(s.attempt_span, "straggler", "true");
+        if (backup_land > 0.0) {
+          telemetry::SpanId backup = tracer->StartSpan(
+              "backup", "speculative-backup", s.attempt_span, backup_launch);
+          tracer->EndSpan(backup, backup_land);
+          tracer->Annotate(s.attempt_span, "speculation", "clipped");
+        }
+      }
       int stage_id = stage.id;
       int epoch = s.epoch;
       events.ScheduleAt(s.end, [&, stage_id, epoch](common::SimTime when) {
@@ -367,6 +448,11 @@ ChaosRun JobSimulator::ExecuteWithFaults(
           ++result.failures;
           machine_up[static_cast<size_t>(victim)] = false;
           --up_machines;
+          if (tracer != nullptr) {
+            telemetry::SpanId outage = tracer->StartSpan(
+                "outage", "machine-" + std::to_string(victim), job_span, t);
+            tracer->EndSpan(outage, t + faults.recovery_seconds);
+          }
           // Kill executions with tasks on the victim; their partial work
           // is lost.
           for (const Stage& stage : graph.stages) {
@@ -380,6 +466,14 @@ ChaosRun JobSimulator::ExecuteWithFaults(
                                           : 1.0;
             result.wasted_compute +=
                 stage.work * options_.seconds_per_work * std::max(0.0, frac);
+            if (tracer != nullptr && s.attempt_span != telemetry::kNoSpan) {
+              tracer->Annotate(s.attempt_span, "outcome", "killed");
+              tracer->Annotate(s.attempt_span, "killed_by",
+                               "machine-" + std::to_string(victim));
+              tracer->EndSpan(s.attempt_span, t);
+              s.attempt_span = telemetry::kNoSpan;
+              s.span_end = std::max(s.span_end, t);
+            }
             s.phase = Phase::kWaiting;
             ++s.epoch;  // orphan the in-flight completion event
           }
@@ -414,6 +508,24 @@ ChaosRun JobSimulator::ExecuteWithFaults(
   while (!finished && !events.empty()) events.Step();
   ADS_CHECK(finished) << "chaos run stalled before the final stage";
   result.total_compute = graph.TotalWork() * options_.seconds_per_work;
+  if (tracer != nullptr) {
+    // Close what the final stage's completion left open: executions of
+    // side branches still running at makespan, then the stage and job
+    // envelopes.
+    for (auto& s : st) {
+      if (s.attempt_span != telemetry::kNoSpan) {
+        tracer->Annotate(s.attempt_span, "outcome", "unfinished");
+        tracer->EndSpan(s.attempt_span, result.makespan);
+        s.attempt_span = telemetry::kNoSpan;
+        s.span_end = std::max(s.span_end, result.makespan);
+      }
+      if (s.span != telemetry::kNoSpan) {
+        tracer->Annotate(s.span, "attempts", std::to_string(s.attempt));
+        tracer->EndSpan(s.span, s.span_end);
+      }
+    }
+    tracer->EndSpan(job_span, result.makespan);
+  }
   return result;
 }
 

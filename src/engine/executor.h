@@ -8,6 +8,7 @@
 
 #include "common/rng.h"
 #include "engine/stage_graph.h"
+#include "telemetry/span.h"
 
 namespace ads::engine {
 
@@ -104,8 +105,12 @@ class JobSimulator {
 
   /// Executes the graph. `checkpointed`: stages whose output is persisted
   /// durably (frees its temp copy immediately and bounds restarts).
+  /// With a tracer attached, records a job root span with one stage child
+  /// span per stage (dataflow edges in the "inputs" attribute); tracing is
+  /// passive and never perturbs the schedule or the RNG draws.
   JobRun Execute(const StageGraph& graph, uint64_t seed,
-                 const std::set<int>& checkpointed = {}) const;
+                 const std::set<int>& checkpointed = {},
+                 telemetry::Tracer* tracer = nullptr) const;
 
   /// Wall-clock time to recover after a failure at the END of the job
   /// (worst case): re-execution of every MustRerun stage, scheduled on the
@@ -123,9 +128,17 @@ class JobSimulator {
   /// straggler draws and duration noise come from independent streams
   /// derived from `seed`. With an all-zero FaultOptions, the makespan is
   /// bit-identical to Execute().
+  ///
+  /// With a tracer attached, records the full causal story: job → stage
+  /// spans, with one child span per execution ("attempt", then "retry"
+  /// after a failure kill or "recompute" when lineage re-derives a lost
+  /// output, plus "backup" children for speculative clips) and an
+  /// "outage" child of the job per injected machine failure. Killed
+  /// executions end at the kill time with outcome=killed.
   ChaosRun ExecuteWithFaults(const StageGraph& graph, uint64_t seed,
                              const FaultOptions& faults,
-                             const std::set<int>& checkpointed = {}) const;
+                             const std::set<int>& checkpointed = {},
+                             telemetry::Tracer* tracer = nullptr) const;
 
   /// Fast analytical approximation of the expected wall-clock time of the
   /// job under random machine failures (Poisson with the given rate). A

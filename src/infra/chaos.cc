@@ -60,6 +60,13 @@ void MachineChaos::Fail(size_t machine_index, double mttr) {
   Machine& m = cluster_->machine(machine_index);
   if (m.dead()) return;
   ++failures_;
+  if (tracer_ != nullptr) {
+    telemetry::SpanId span = tracer_->StartSpan(
+        "outage", "machine-" + std::to_string(m.id()), telemetry::kNoSpan,
+        queue_->now());
+    tracer_->Annotate(span, "sku", m.spec().name);
+    open_outages_[machine_index] = span;
+  }
   if (scheduler_ != nullptr) {
     scheduler_->OnMachineFailed(&m);
   } else {
@@ -74,6 +81,13 @@ void MachineChaos::Recover(size_t machine_index) {
   Machine& m = cluster_->machine(machine_index);
   if (!m.dead()) return;
   ++recoveries_;
+  if (tracer_ != nullptr) {
+    auto it = open_outages_.find(machine_index);
+    if (it != open_outages_.end()) {
+      tracer_->EndSpan(it->second, queue_->now());
+      open_outages_.erase(it);
+    }
+  }
   if (scheduler_ != nullptr) {
     scheduler_->OnMachineRecovered(&m);
   } else {

@@ -3,10 +3,13 @@
 
 #include <cstdint>
 
+#include <map>
+
 #include "common/event_queue.h"
 #include "common/rng.h"
 #include "infra/cluster.h"
 #include "infra/scheduler.h"
+#include "telemetry/span.h"
 
 namespace ads::infra {
 
@@ -48,6 +51,12 @@ class MachineChaos {
   /// Idempotent per call: call once per simulation.
   void Start(const ChaosOptions& options);
 
+  /// Attaches a causal span tracer (borrowed; may be null). Every injected
+  /// outage opens a root "outage" span at failure time, closed at
+  /// recovery — the infra-side causal peers of the scheduler's killed
+  /// placement spans.
+  void SetTracer(telemetry::Tracer* tracer) { tracer_ = tracer; }
+
   int failures_injected() const { return failures_; }
   int drains_injected() const { return drains_; }
   int recoveries() const { return recoveries_; }
@@ -61,6 +70,8 @@ class MachineChaos {
   Cluster* cluster_;
   common::EventQueue* queue_;
   ClusterScheduler* scheduler_;
+  telemetry::Tracer* tracer_ = nullptr;
+  std::map<size_t, telemetry::SpanId> open_outages_;
   common::Rng rng_;
   int failures_ = 0;
   int drains_ = 0;

@@ -16,6 +16,11 @@ ClusterScheduler::ClusterScheduler(Cluster* cluster,
 
 void ClusterScheduler::Submit(const ContainerTask& task) {
   Pending pending{task, queue_->now()};
+  if (tracer_ != nullptr) {
+    pending.span = tracer_->StartSpan(
+        "task", "task-" + std::to_string(task.id), telemetry::kNoSpan,
+        queue_->now());
+  }
   if (!TryPlace(pending)) {
     waiting_.push_back(pending);
     ++queue_depth_;
@@ -53,8 +58,17 @@ bool ClusterScheduler::TryPlace(const Pending& pending) {
   double duration = pending.task.base_duration * best->TaskSlowdown() *
                     rng_.Uniform(0.95, 1.05);
   uint64_t placement_id = next_placement_id_++;
-  running_.emplace(placement_id,
-                   Running{best, pending, duration, best->CpuUtilization()});
+  telemetry::SpanId placement_span = telemetry::kNoSpan;
+  if (tracer_ != nullptr && pending.span != telemetry::kNoSpan) {
+    placement_span = tracer_->StartSpan(
+        "placement", "machine-" + std::to_string(best->id()), pending.span,
+        queue_->now());
+    tracer_->Annotate(placement_span, "machine", std::to_string(best->id()));
+    tracer_->Annotate(placement_span, "sku", best->spec().name);
+  }
+  running_.emplace(placement_id, Running{best, pending, duration,
+                                         best->CpuUtilization(),
+                                         placement_span});
   queue_->ScheduleAfter(duration, [this, placement_id](common::SimTime) {
     OnTaskFinished(placement_id);
   });
@@ -70,6 +84,12 @@ void ClusterScheduler::OnTaskFinished(uint64_t placement_id) {
   const Pending pending = it->second.pending;
   double duration = it->second.duration;
   double util_at_start = it->second.util_at_start;
+  if (tracer_ != nullptr) {
+    tracer_->Annotate(it->second.placement_span, "outcome", "completed");
+    tracer_->EndSpan(it->second.placement_span, queue_->now());
+    tracer_->Annotate(pending.span, "outcome", "completed");
+    tracer_->EndSpan(pending.span, queue_->now());
+  }
   running_.erase(it);
 
   machine->FinishContainer();
@@ -101,6 +121,10 @@ void ClusterScheduler::OnMachineFailed(Machine* machine) {
   std::vector<Pending> lost;
   for (auto it = running_.begin(); it != running_.end();) {
     if (it->second.machine == machine) {
+      if (tracer_ != nullptr) {
+        tracer_->Annotate(it->second.placement_span, "outcome", "killed");
+        tracer_->EndSpan(it->second.placement_span, queue_->now());
+      }
       lost.push_back(it->second.pending);
       it = running_.erase(it);
     } else {

@@ -11,6 +11,7 @@
 #include "common/rng.h"
 #include "common/stats.h"
 #include "infra/cluster.h"
+#include "telemetry/span.h"
 #include "telemetry/store.h"
 
 namespace ads::infra {
@@ -54,6 +55,14 @@ class ClusterScheduler {
   void SetConfig(SchedulerConfig config) { config_ = std::move(config); }
   const SchedulerConfig& config() const { return config_; }
 
+  /// Attaches a causal span tracer (borrowed; may be null). Each submitted
+  /// task opens a root "task" span; every placement opens a "placement"
+  /// child naming the machine. A machine death ends the placement span
+  /// with outcome=killed and the resubmission opens a fresh placement
+  /// child under the same task span — the re-placement is causally tied
+  /// to the original submission.
+  void SetTracer(telemetry::Tracer* tracer) { tracer_ = tracer; }
+
   /// Submits a task at the current simulation time.
   void Submit(const ContainerTask& task);
 
@@ -87,12 +96,14 @@ class ClusterScheduler {
   struct Pending {
     ContainerTask task;
     common::SimTime submit_time;
+    telemetry::SpanId span = telemetry::kNoSpan;  // root "task" span
   };
   struct Running {
     Machine* machine;
     Pending pending;
     double duration;
     double util_at_start;
+    telemetry::SpanId placement_span = telemetry::kNoSpan;
   };
 
   /// Tries to place one task now; returns false if no machine has capacity.
@@ -103,6 +114,7 @@ class ClusterScheduler {
   Cluster* cluster_;
   common::EventQueue* queue_;
   telemetry::TelemetryStore* telemetry_;
+  telemetry::Tracer* tracer_ = nullptr;
   common::Rng rng_;
   SchedulerConfig config_;
 

@@ -33,14 +33,42 @@ MicroBatcher& ServingCore::BatcherFor(const std::string& model) {
 AdmitResult ServingCore::Admit(Request request, double now) {
   AdmitResult result;
   ++counters_.submitted;
+  if (tracer_ != nullptr) {
+    request.trace_span = tracer_->StartSpan(
+        "request", "req-" + std::to_string(request.id), telemetry::kNoSpan,
+        now);
+    tracer_->Annotate(request.trace_span, "model", request.model);
+    tracer_->Annotate(request.trace_span, "tenant", request.tenant);
+    if (request.priority != 0) {
+      tracer_->Annotate(request.trace_span, "priority",
+                        std::to_string(request.priority));
+    }
+  }
+  // Instant admission child carrying the verdict; rejections also close
+  // the request span right here — the request's whole causal story.
+  auto decide = [&](Outcome outcome) {
+    if (tracer_ == nullptr) return;
+    telemetry::SpanId admission =
+        tracer_->StartSpan("admission", "admit", request.trace_span, now);
+    tracer_->Annotate(admission, "decision",
+                      outcome == Outcome::kServed ? "accepted"
+                                                  : OutcomeName(outcome));
+    tracer_->EndSpan(admission, now);
+    if (outcome != Outcome::kServed) {
+      tracer_->Annotate(request.trace_span, "outcome", OutcomeName(outcome));
+      tracer_->EndSpan(request.trace_span, now);
+    }
+  };
   if (options_.rate_limiting && !limiter_.Admit(request.tenant, now)) {
     ++counters_.rejected_rate_limit;
     result.decision = Outcome::kRejectedRateLimit;
+    decide(result.decision);
     return result;
   }
   if (request.deadline <= now) {
     ++counters_.rejected_deadline;
     result.decision = Outcome::kRejectedDeadline;
+    decide(result.decision);
     return result;
   }
   request.arrival = now;
@@ -60,15 +88,24 @@ AdmitResult ServingCore::Admit(Request request, double now) {
     if (worst == nullptr || !MicroBatcher::WorseThan(*worst, request)) {
       ++counters_.rejected_capacity;
       result.decision = Outcome::kRejectedCapacity;
+      decide(result.decision);
       return result;
     }
     result.evicted = true;
     result.victim = victim_home->EvictWorst();
     --queued_;
     ++counters_.shed_capacity;
+    if (tracer_ != nullptr) {
+      tracer_->Annotate(result.victim.trace_span, "outcome",
+                        OutcomeName(Outcome::kShedCapacity));
+      tracer_->Annotate(result.victim.trace_span, "evicted_by",
+                        "req-" + std::to_string(request.id));
+      tracer_->EndSpan(result.victim.trace_span, now);
+    }
   }
   ++counters_.accepted;
   ++queued_;
+  decide(Outcome::kServed);  // accepted; the span stays open
   BatcherFor(request.model).Add(std::move(request));
   result.accepted = true;
   return result;
@@ -89,6 +126,26 @@ bool ServingCore::HasReadyBatch(double now) const {
   return false;
 }
 
+void ServingCore::TraceBatch(Batch* batch, double now) {
+  if (tracer_ == nullptr || batch->requests.empty()) return;
+  batch->seq = ++next_batch_seq_;
+  batch->trace_span = tracer_->StartSpan(
+      "batch", "batch-" + std::to_string(batch->seq), telemetry::kNoSpan, now);
+  tracer_->Annotate(batch->trace_span, "model", batch->model);
+  tracer_->Annotate(batch->trace_span, "size",
+                    std::to_string(batch->requests.size()));
+  std::string members;
+  for (const Request& request : batch->requests) {
+    if (!members.empty()) members += ",";
+    members += std::to_string(request.id);
+    // Back-link: the batch ordinal on the request span is the causal edge
+    // from a served request to the dispatch that carried it.
+    tracer_->Annotate(request.trace_span, "batch",
+                      std::to_string(batch->seq));
+  }
+  tracer_->Annotate(batch->trace_span, "requests", members);
+}
+
 Batch ServingCore::TakeReadyBatch(double now) {
   Batch batch;
   for (auto& [model, batcher] : batchers_) {
@@ -96,6 +153,7 @@ Batch ServingCore::TakeReadyBatch(double now) {
     batch.model = model;
     batch.requests = batcher.TakeBatch();
     queued_ -= batch.requests.size();
+    TraceBatch(&batch, now);
     return batch;
   }
   return batch;
@@ -108,10 +166,17 @@ std::vector<Request> ServingCore::DropExpired(double now) {
   }
   queued_ -= expired.size();
   counters_.shed_deadline += expired.size();
+  if (tracer_ != nullptr) {
+    for (const Request& request : expired) {
+      tracer_->Annotate(request.trace_span, "outcome",
+                        OutcomeName(Outcome::kShedDeadline));
+      tracer_->EndSpan(request.trace_span, now);
+    }
+  }
   return expired;
 }
 
-std::vector<Batch> ServingCore::Drain() {
+std::vector<Batch> ServingCore::Drain(double now) {
   std::vector<Batch> batches;
   for (auto& [model, batcher] : batchers_) {
     while (batcher.pending() > 0) {
@@ -119,6 +184,7 @@ std::vector<Batch> ServingCore::Drain() {
       batch.model = model;
       batch.requests = batcher.TakeBatch();
       queued_ -= batch.requests.size();
+      TraceBatch(&batch, now);
       batches.push_back(std::move(batch));
     }
   }

@@ -10,6 +10,7 @@
 #include "serve/batcher.h"
 #include "serve/rate_limiter.h"
 #include "serve/types.h"
+#include "telemetry/span.h"
 
 namespace ads::serve {
 
@@ -49,6 +50,16 @@ class ServingCore {
  public:
   explicit ServingCore(CoreOptions options);
 
+  /// Attaches a causal span tracer (borrowed; may be null). Admission
+  /// opens a root "request" span per submitted request with an instant
+  /// "admission" child carrying the decision; rejected and shed requests
+  /// end their span here with the outcome. TakeReadyBatch/Drain open a
+  /// root "batch" span per dispatch naming its member requests; the
+  /// driving runtime closes it at completion and ends the served request
+  /// spans. Callers synchronize SetTracer with their own admission lock.
+  void SetTracer(telemetry::Tracer* tracer) { tracer_ = tracer; }
+  telemetry::Tracer* tracer() const { return tracer_; }
+
   /// Admission: rate limit → expired-deadline check → capacity check
   /// (with priority eviction when full). Accepted requests are stamped
   /// with arrival = now and queued on their model's batcher.
@@ -71,8 +82,8 @@ class ServingCore {
 
   /// Drains everything still queued as batches, ignoring linger windows —
   /// the graceful-shutdown path. Expired requests are NOT included; call
-  /// DropExpired first.
-  std::vector<Batch> Drain();
+  /// DropExpired first. `now` stamps the drain-time batch spans.
+  std::vector<Batch> Drain(double now);
 
   size_t queued() const { return queued_; }
   const Counters& counters() const { return counters_; }
@@ -82,9 +93,13 @@ class ServingCore {
 
  private:
   MicroBatcher& BatcherFor(const std::string& model);
+  /// Opens the batch span for a just-taken batch and back-links members.
+  void TraceBatch(Batch* batch, double now);
 
   CoreOptions options_;
   TenantRateLimiter limiter_;
+  telemetry::Tracer* tracer_ = nullptr;
+  uint64_t next_batch_seq_ = 0;
   std::map<std::string, MicroBatcher> batchers_;
   size_t queued_ = 0;
   Counters counters_;

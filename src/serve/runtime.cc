@@ -25,6 +25,13 @@ void ServingRuntime::RegisterBackend(
   backend_mu_[model] = std::make_unique<std::mutex>();
 }
 
+void ServingRuntime::SetTracer(telemetry::Tracer* tracer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ADS_CHECK(!started_) << "SetTracer after Start()";
+  tracer_ = tracer;
+  core_.SetTracer(tracer);
+}
+
 void ServingRuntime::Start() {
   std::lock_guard<std::mutex> lock(mu_);
   ADS_CHECK(!started_) << "Start() is one-shot";
@@ -140,7 +147,7 @@ void ServingRuntime::DispatcherLoop() {
         EmitShed(late, Outcome::kShedDeadline);
         lock.lock();
       }
-      std::vector<Batch> rest = core_.Drain();
+      std::vector<Batch> rest = core_.Drain(Now());
       for (Batch& batch : rest) {
         ++inflight_batches_;
         lock.unlock();
@@ -167,6 +174,11 @@ void ServingRuntime::ExecuteBatch(Batch batch) {
   }
   std::vector<Response> responses;
   responses.reserve(batch_size);
+  telemetry::SpanId backend_span = telemetry::kNoSpan;
+  if (tracer_ != nullptr && batch.trace_span != telemetry::kNoSpan) {
+    backend_span =
+        tracer_->StartSpan("backend", batch.model, batch.trace_span, Now());
+  }
   {
     // ResilientModelServer is not internally synchronized; serialize per
     // backend so two in-flight batches of one model cannot race.
@@ -187,8 +199,30 @@ void ServingRuntime::ExecuteBatch(Batch batch) {
         response.model_version = served.version;
         response.latency_seconds = Now() - request.arrival;
       }
+      if (tracer_ != nullptr && request.trace_span != telemetry::kNoSpan) {
+        if (response.outcome == Outcome::kServed) {
+          telemetry::SpanId serve = tracer_->StartSpan(
+              "serve", batch.model, request.trace_span, now);
+          tracer_->Annotate(serve, "batch", std::to_string(batch.seq));
+          tracer_->Annotate(serve, "tier", TierName(response.tier));
+          if (response.tier !=
+              autonomy::ResilientModelServer::Tier::kDeployed) {
+            telemetry::SpanId fallback = tracer_->StartSpan(
+                "fallback", TierName(response.tier), serve, now);
+            tracer_->EndSpan(fallback, Now());
+          }
+          tracer_->EndSpan(serve, Now());
+        }
+        tracer_->Annotate(request.trace_span, "outcome",
+                          OutcomeName(response.outcome));
+        tracer_->EndSpan(request.trace_span, Now());
+      }
       responses.push_back(std::move(response));
     }
+  }
+  if (backend_span != telemetry::kNoSpan) {
+    tracer_->EndSpan(backend_span, Now());
+    tracer_->EndSpan(batch.trace_span, Now());
   }
   {
     std::lock_guard<std::mutex> stats_lock(stats_mu_);

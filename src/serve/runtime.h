@@ -73,6 +73,13 @@ class ServingRuntime {
   void RegisterBackend(const std::string& model,
                        autonomy::ResilientModelServer* backend);
 
+  /// Attaches a causal span tracer (borrowed; call before Start()). The
+  /// tracer is thread-safe, so dispatcher and pool workers record
+  /// concurrently: causality (request → admission → batch → backend →
+  /// fallback) is exact, but wall-clock timestamps and span id order vary
+  /// run to run — use VirtualServer for byte-reproducible traces.
+  void SetTracer(telemetry::Tracer* tracer);
+
   /// Starts the dispatcher. Requires at least one registered backend.
   void Start();
 
@@ -108,6 +115,7 @@ class ServingRuntime {
 
   CoreOptions options_;
   common::ThreadPool* pool_;
+  telemetry::Tracer* tracer_ = nullptr;
   std::map<std::string, autonomy::ResilientModelServer*> backends_;
   std::map<std::string, std::unique_ptr<std::mutex>> backend_mu_;
 

@@ -20,4 +20,16 @@ const char* OutcomeName(Outcome outcome) {
   return "unknown";
 }
 
+const char* TierName(autonomy::ResilientModelServer::Tier tier) {
+  switch (tier) {
+    case autonomy::ResilientModelServer::Tier::kDeployed:
+      return "deployed";
+    case autonomy::ResilientModelServer::Tier::kPrevious:
+      return "previous";
+    case autonomy::ResilientModelServer::Tier::kHeuristic:
+      return "heuristic";
+  }
+  return "unknown";
+}
+
 }  // namespace ads::serve

@@ -27,6 +27,11 @@ struct Request {
   double deadline = std::numeric_limits<double>::infinity();
   /// Stamped by the runtime at admission.
   double arrival = 0.0;
+  /// Causal span id of this request's root span, stamped by a traced
+  /// admission core (telemetry::kNoSpan = untraced). Travels with the
+  /// request through the batcher so dispatch and completion attach their
+  /// spans to the right parent.
+  uint64_t trace_span = 0;
 };
 
 /// Terminal disposition of a request. Every submitted request gets exactly
@@ -69,7 +74,16 @@ struct Response {
 struct Batch {
   std::string model;
   std::vector<Request> requests;
+  /// Causal span of this batch (0 = untraced) and its per-run ordinal;
+  /// request spans reference the ordinal via their "batch" attribute so
+  /// goldens stay readable and seed-independent.
+  uint64_t trace_span = 0;
+  uint64_t seq = 0;
 };
+
+/// Short stable name for a fallback tier ("deployed", "previous",
+/// "heuristic") for tables and trace attributes.
+const char* TierName(autonomy::ResilientModelServer::Tier tier);
 
 /// Monotonic request accounting, maintained by the admission core and the
 /// runtimes. Invariant after a graceful drain:

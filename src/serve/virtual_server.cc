@@ -26,6 +26,12 @@ void VirtualServer::SetResponseCallback(Callback callback) {
   callback_ = std::move(callback);
 }
 
+void VirtualServer::SetTracer(telemetry::Tracer* tracer) {
+  ADS_CHECK(!ran_) << "SetTracer after Run()";
+  tracer_ = tracer;
+  core_.SetTracer(tracer);
+}
+
 void VirtualServer::SubmitAt(double t, Request request) {
   ADS_CHECK(!ran_) << "SubmitAt after Run()";
   queue_.ScheduleAt(t, [this, r = std::move(request)](
@@ -74,10 +80,11 @@ void VirtualServer::Dispatch(double now) {
         options_.service.batch_overhead_seconds +
         options_.service.per_item_seconds *
             static_cast<double>(batch.requests.size());
-    queue_.ScheduleAt(now + service,
-                      [this, b = std::move(batch)](common::SimTime t) mutable {
-                        OnBatchComplete(std::move(b), t);
-                      });
+    queue_.ScheduleAt(
+        now + service,
+        [this, b = std::move(batch), now](common::SimTime t) mutable {
+          OnBatchComplete(std::move(b), now, t);
+        });
   }
   if (core_.queued() > 0) {
     double next = core_.NextLingerDeadline();
@@ -91,11 +98,18 @@ void VirtualServer::Dispatch(double now) {
   }
 }
 
-void VirtualServer::OnBatchComplete(Batch batch, double now) {
+void VirtualServer::OnBatchComplete(Batch batch, double dispatched,
+                                    double now) {
   --busy_workers_;
   autonomy::ResilientModelServer* backend = backends_.at(batch.model);
   const size_t batch_size = batch.requests.size();
   batch_size_.Add(static_cast<double>(batch_size));
+  telemetry::SpanId backend_span = telemetry::kNoSpan;
+  if (tracer_ != nullptr && batch.trace_span != telemetry::kNoSpan) {
+    backend_span =
+        tracer_->StartSpan("backend", batch.model, batch.trace_span,
+                           dispatched);
+  }
   for (const Request& request : batch.requests) {
     autonomy::ResilientModelServer::ServeResult served =
         backend->Predict(request.features, now);
@@ -110,7 +124,29 @@ void VirtualServer::OnBatchComplete(Batch batch, double now) {
     ++core_.mutable_counters().served;
     latency_.Add(response.latency_seconds);
     per_model_latency_[batch.model].Add(response.latency_seconds);
+    if (tracer_ != nullptr && request.trace_span != telemetry::kNoSpan) {
+      // The serve child ties the request back to the batch that carried
+      // it; a fallback child records a non-deployed tier answering.
+      telemetry::SpanId serve = tracer_->StartSpan(
+          "serve", batch.model, request.trace_span, dispatched);
+      tracer_->Annotate(serve, "batch", std::to_string(batch.seq));
+      tracer_->Annotate(serve, "tier", TierName(served.tier));
+      if (served.tier != autonomy::ResilientModelServer::Tier::kDeployed) {
+        telemetry::SpanId fallback =
+            tracer_->StartSpan("fallback", TierName(served.tier), serve,
+                               dispatched);
+        tracer_->EndSpan(fallback, now);
+      }
+      tracer_->EndSpan(serve, now);
+      tracer_->Annotate(request.trace_span, "outcome",
+                        OutcomeName(Outcome::kServed));
+      tracer_->EndSpan(request.trace_span, now);
+    }
     Emit(response);
+  }
+  if (backend_span != telemetry::kNoSpan) {
+    tracer_->EndSpan(backend_span, now);
+    tracer_->EndSpan(batch.trace_span, now);
   }
   Dispatch(now);
 }

@@ -70,6 +70,12 @@ class VirtualServer {
   void RegisterBackend(const std::string& model,
                        autonomy::ResilientModelServer* backend);
 
+  /// Attaches a causal span tracer (borrowed; call before Run()). Records
+  /// request → admission → batch → backend → fallback causality in
+  /// virtual time; with a fixed seed the resulting span table is
+  /// byte-identical across runs and ADS_THREADS values.
+  void SetTracer(telemetry::Tracer* tracer);
+
   void SetResponseCallback(Callback callback);
 
   /// Schedules one request arrival at simulated time `t`. Call before
@@ -86,12 +92,13 @@ class VirtualServer {
   /// Sheds expired requests, starts batches on free workers, and arms the
   /// next linger timer.
   void Dispatch(double now);
-  void OnBatchComplete(Batch batch, double now);
+  void OnBatchComplete(Batch batch, double dispatched, double now);
   void Emit(const Response& response);
   void SampleGauges(double now);
 
   VirtualOptions options_;
   telemetry::TelemetryStore* store_;
+  telemetry::Tracer* tracer_ = nullptr;
   common::EventQueue queue_;
   ServingCore core_;
   std::map<std::string, autonomy::ResilientModelServer*> backends_;

@@ -1,0 +1,73 @@
+#include "telemetry/span.h"
+
+#include "common/logging.h"
+
+namespace ads::telemetry {
+
+namespace {
+/// Id stride between tracer seeds: distinct seeds yield disjoint id
+/// ranges as long as one tracer records fewer than 2^20 spans, so traces
+/// from independently seeded tracers can be merged without collisions.
+constexpr uint64_t kSeedStride = uint64_t{1} << 20;
+}  // namespace
+
+Tracer::Tracer(uint64_t seed) : base_(seed * kSeedStride + 1) {}
+
+SpanId Tracer::StartSpan(const std::string& kind, const std::string& name,
+                         SpanId parent, double start) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ADS_CHECK(spans_.size() < kSeedStride)
+      << "tracer overflow: more than 2^20 spans from one seed";
+  Span span;
+  span.id = base_ + spans_.size();
+  span.parent = parent;
+  span.kind = kind;
+  span.name = name;
+  span.start = start;
+  span.end = start;
+  spans_.push_back(std::move(span));
+  return spans_.back().id;
+}
+
+Span* Tracer::Find(SpanId id) {
+  ADS_CHECK(id >= base_ && id < base_ + spans_.size())
+      << "unknown span id " << id;
+  return &spans_[static_cast<size_t>(id - base_)];
+}
+
+void Tracer::Annotate(SpanId id, const std::string& key,
+                      const std::string& value) {
+  if (id == kNoSpan) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  Find(id)->attributes[key] = value;
+}
+
+void Tracer::EndSpan(SpanId id, double end) {
+  if (id == kNoSpan) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  Span* span = Find(id);
+  ADS_CHECK(!span->ended) << "span " << id << " ended twice";
+  span->ended = true;
+  span->end = end;
+}
+
+std::vector<Span> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+size_t Tracer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+size_t Tracer::open_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t open = 0;
+  for (const Span& span : spans_) {
+    if (!span.ended) ++open;
+  }
+  return open;
+}
+
+}  // namespace ads::telemetry

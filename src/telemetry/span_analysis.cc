@@ -1,0 +1,247 @@
+#include "telemetry/span_analysis.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace ads::telemetry {
+
+namespace {
+
+/// Repr-exact double: shortest decimal form that round-trips, so
+/// serialized timestamps are byte-stable across runs.
+std::string FormatTime(double t) {
+  // Prefer the short %g form when it round-trips; fall back to the
+  // repr-exact 17 significant digits.
+  char short_buf[40];
+  std::snprintf(short_buf, sizeof(short_buf), "%g", t);
+  double parsed = 0.0;
+  std::sscanf(short_buf, "%lg", &parsed);
+  if (parsed == t) return short_buf;
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", t);
+  return buf;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string AttributeList(const Span& span) {
+  std::string out;
+  for (const auto& [key, value] : span.attributes) {  // map: sorted by key
+    out += out.empty() ? "{" : ", ";
+    out += key + "=" + value;
+  }
+  if (!out.empty()) out += "}";
+  return out;
+}
+
+}  // namespace
+
+SpanTree::SpanTree(std::vector<Span> spans) : spans_(std::move(spans)) {
+  for (size_t i = 0; i < spans_.size(); ++i) {
+    ADS_CHECK(index_.emplace(spans_[i].id, i).second)
+        << "duplicate span id " << spans_[i].id;
+  }
+  for (const Span& span : spans_) {
+    if (span.parent != kNoSpan && index_.count(span.parent) > 0) {
+      children_[span.parent].push_back(span.id);
+    } else {
+      roots_.push_back(span.id);
+    }
+  }
+  auto order = [this](SpanId a, SpanId b) {
+    const Span& sa = Get(a);
+    const Span& sb = Get(b);
+    if (sa.start != sb.start) return sa.start < sb.start;
+    if (sa.end != sb.end) return sa.end < sb.end;
+    return sa.id < sb.id;
+  };
+  std::sort(roots_.begin(), roots_.end(), order);
+  for (auto& [id, kids] : children_) std::sort(kids.begin(), kids.end(), order);
+}
+
+const Span& SpanTree::Get(SpanId id) const {
+  auto it = index_.find(id);
+  ADS_CHECK(it != index_.end()) << "unknown span id " << id;
+  return spans_[it->second];
+}
+
+const std::vector<SpanId>& SpanTree::Children(SpanId id) const {
+  auto it = children_.find(id);
+  return it == children_.end() ? no_children_ : it->second;
+}
+
+std::vector<SpanId> SpanTree::CriticalPath(SpanId root) const {
+  ADS_CHECK(Contains(root)) << "critical path from unknown span " << root;
+  std::vector<SpanId> path{root};
+  SpanId current = root;
+  for (;;) {
+    const std::vector<SpanId>& kids = Children(current);
+    if (kids.empty()) break;
+    SpanId pick = kNoSpan;
+    double latest_end = 0.0;
+    for (SpanId kid : kids) {
+      const Span& span = Get(kid);
+      // Strict > keeps the first (smallest-id at equal times) candidate
+      // on ties, making the path deterministic.
+      if (pick == kNoSpan || span.end > latest_end ||
+          (span.end == latest_end && span.id < pick)) {
+        pick = span.id;
+        latest_end = span.end;
+      }
+    }
+    path.push_back(pick);
+    current = pick;
+  }
+  return path;
+}
+
+std::map<std::string, SpanAggregate> SpanTree::Aggregate(bool by_kind) const {
+  std::map<std::string, SpanAggregate> out;
+  for (const Span& span : spans_) {
+    double duration = span.end - span.start;
+    double covered = 0.0;
+    for (SpanId kid : Children(span.id)) {
+      const Span& child = Get(kid);
+      covered += child.end - child.start;
+    }
+    SpanAggregate& agg = out[by_kind ? span.kind : span.name];
+    ++agg.count;
+    agg.total_seconds += duration;
+    agg.self_seconds += std::max(0.0, duration - covered);
+  }
+  return out;
+}
+
+std::map<std::string, SpanAggregate> SpanTree::AggregateByName() const {
+  return Aggregate(/*by_kind=*/false);
+}
+
+std::map<std::string, SpanAggregate> SpanTree::AggregateByKind() const {
+  return Aggregate(/*by_kind=*/true);
+}
+
+std::string SerializeSpans(const std::vector<Span>& spans) {
+  std::vector<const Span*> ordered;
+  ordered.reserve(spans.size());
+  for (const Span& span : spans) ordered.push_back(&span);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const Span* a, const Span* b) { return a->id < b->id; });
+  std::string out;
+  for (const Span* span : ordered) {
+    char head[128];
+    std::snprintf(head, sizeof(head), "%" PRIu64 " <- %" PRIu64 " ", span->id,
+                  span->parent);
+    out += head;
+    out += span->kind + ":" + span->name + " [" + FormatTime(span->start) +
+           ", " + FormatTime(span->end) + ")";
+    if (!span->ended) out += " OPEN";
+    std::string attrs = AttributeList(*span);
+    if (!attrs.empty()) out += " " + attrs;
+    out += "\n";
+  }
+  return out;
+}
+
+std::string CanonicalStructure(const std::vector<Span>& spans) {
+  SpanTree tree(spans);
+  std::string out;
+  // Depth-first render; explicit stack to keep sibling order stable.
+  struct Frame {
+    SpanId id;
+    int depth;
+  };
+  std::vector<Frame> stack;
+  for (auto it = tree.Roots().rbegin(); it != tree.Roots().rend(); ++it) {
+    stack.push_back({*it, 0});
+  }
+  while (!stack.empty()) {
+    Frame frame = stack.back();
+    stack.pop_back();
+    const Span& span = tree.Get(frame.id);
+    out.append(static_cast<size_t>(frame.depth) * 2, ' ');
+    out += span.kind + ":" + span.name;
+    std::string attrs = AttributeList(span);
+    if (!attrs.empty()) out += " " + attrs;
+    out += "\n";
+    const std::vector<SpanId>& kids = tree.Children(frame.id);
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+      stack.push_back({*it, frame.depth + 1});
+    }
+  }
+  return out;
+}
+
+std::string ChromeTraceJson(const std::vector<Span>& spans) {
+  SpanTree tree(spans);
+  // One track (tid) per root span, numbered in root order.
+  std::map<SpanId, int> track;
+  for (size_t i = 0; i < tree.Roots().size(); ++i) {
+    track[tree.Roots()[i]] = static_cast<int>(i + 1);
+  }
+  auto track_of = [&](const Span& span) {
+    SpanId at = span.id;
+    for (;;) {
+      const Span& s = tree.Get(at);
+      if (s.parent == kNoSpan || !tree.Contains(s.parent)) break;
+      at = s.parent;
+    }
+    return track[at];
+  };
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const Span& span : tree.spans()) {
+    if (!first) out += ",";
+    first = false;
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "\n{\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,"
+                  "\"dur\":%.3f,",
+                  track_of(span), span.start * 1e6,
+                  (span.end - span.start) * 1e6);
+    out += buf;
+    out += "\"cat\":\"" + JsonEscape(span.kind) + "\",\"name\":\"" +
+           JsonEscape(span.name) + "\",\"args\":{";
+    bool first_attr = true;
+    for (const auto& [key, value] : span.attributes) {
+      if (!first_attr) out += ",";
+      first_attr = false;
+      out += "\"" + JsonEscape(key) + "\":\"" + JsonEscape(value) + "\"";
+    }
+    out += "}}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace ads::telemetry

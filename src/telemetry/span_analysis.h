@@ -1,0 +1,79 @@
+#ifndef ADS_TELEMETRY_SPAN_ANALYSIS_H_
+#define ADS_TELEMETRY_SPAN_ANALYSIS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "telemetry/span.h"
+
+namespace ads::telemetry {
+
+/// Per-name (or per-kind) time rollup over a span tree.
+struct SpanAggregate {
+  int64_t count = 0;
+  /// Sum of span durations (end - start).
+  double total_seconds = 0.0;
+  /// Sum of durations minus time covered by child spans (clamped at 0 per
+  /// span): the work attributable to the span itself.
+  double self_seconds = 0.0;
+};
+
+/// Immutable index over a snapshot of spans: parent/child edges, roots,
+/// critical paths and time aggregation. Spans whose parent id is not in
+/// the snapshot are treated as roots (a sub-tree snapshot still analyzes).
+class SpanTree {
+ public:
+  explicit SpanTree(std::vector<Span> spans);
+
+  const std::vector<Span>& spans() const { return spans_; }
+  bool Contains(SpanId id) const { return index_.count(id) > 0; }
+  const Span& Get(SpanId id) const;
+
+  /// Root spans ordered by (start, id).
+  const std::vector<SpanId>& Roots() const { return roots_; }
+
+  /// Children of one span ordered by (start, end, id); empty for leaves.
+  const std::vector<SpanId>& Children(SpanId id) const;
+
+  /// Critical path from `root` down to a leaf: at every level the child
+  /// that finishes last (ties broken toward the smaller id) — the chain
+  /// of spans that determines when the root could end. A childless root
+  /// yields just {root}.
+  std::vector<SpanId> CriticalPath(SpanId root) const;
+
+  std::map<std::string, SpanAggregate> AggregateByName() const;
+  std::map<std::string, SpanAggregate> AggregateByKind() const;
+
+ private:
+  std::map<std::string, SpanAggregate> Aggregate(bool by_kind) const;
+
+  std::vector<Span> spans_;
+  std::map<SpanId, size_t> index_;
+  std::vector<SpanId> roots_;
+  std::map<SpanId, std::vector<SpanId>> children_;
+  const std::vector<SpanId> no_children_;
+};
+
+/// Full serialization: one line per span in id order, including
+/// timestamps (repr-exact doubles). Two runs of a deterministic
+/// simulator with the same seed produce byte-identical output.
+std::string SerializeSpans(const std::vector<Span>& spans);
+
+/// Structural serialization for golden-trace regression: the span tree
+/// rendered as an indented forest of `kind:name {attributes}` lines,
+/// children nested under parents, siblings and roots in deterministic
+/// (start, end, id) order. Ids and timestamps are omitted, so goldens
+/// assert tree shape and causal edges, not durations.
+std::string CanonicalStructure(const std::vector<Span>& spans);
+
+/// Chrome trace_event JSON ("X" complete events; load in chrome://tracing
+/// or ui.perfetto.dev). Each root span and its subtree share one tid, so
+/// concurrent jobs/requests render as separate tracks. Timestamps are
+/// exported in microseconds.
+std::string ChromeTraceJson(const std::vector<Span>& spans);
+
+}  // namespace ads::telemetry
+
+#endif  // ADS_TELEMETRY_SPAN_ANALYSIS_H_

@@ -2,22 +2,24 @@
 
 namespace ads::telemetry {
 
-std::vector<const TraceEvent*> TraceLog::OfKind(const std::string& kind) const {
-  std::vector<const TraceEvent*> out;
+std::vector<TraceEvent> TraceLog::OfKind(const std::string& kind) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
   for (const TraceEvent& e : events_) {
-    if (e.kind == kind) out.push_back(&e);
+    if (e.kind == kind) out.push_back(e);
   }
   return out;
 }
 
-std::vector<const TraceEvent*> TraceLog::WithAttribute(
-    const std::string& kind, const std::string& key,
-    const std::string& value) const {
-  std::vector<const TraceEvent*> out;
+std::vector<TraceEvent> TraceLog::WithAttribute(const std::string& kind,
+                                                const std::string& key,
+                                                const std::string& value) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
   for (const TraceEvent& e : events_) {
     if (e.kind != kind) continue;
     auto it = e.attributes.find(key);
-    if (it != e.attributes.end() && it->second == value) out.push_back(&e);
+    if (it != e.attributes.end() && it->second == value) out.push_back(e);
   }
   return out;
 }

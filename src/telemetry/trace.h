@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -20,22 +21,39 @@ struct TraceEvent {
 };
 
 /// Append-only structured event log.
+///
+/// Thread-safe, mirroring TelemetryStore: all methods take an internal
+/// mutex, so thread-pool workers (e.g. parallel simulator shards) may
+/// append concurrently. Reads return snapshots by value — a reference
+/// into the log could be invalidated by a concurrent Append.
 class TraceLog {
  public:
-  void Append(TraceEvent event) { events_.push_back(std::move(event)); }
+  void Append(TraceEvent event) {
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.push_back(std::move(event));
+  }
 
-  const std::vector<TraceEvent>& events() const { return events_; }
-  size_t size() const { return events_.size(); }
+  /// Snapshot of all events in append order.
+  std::vector<TraceEvent> events() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return events_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return events_.size();
+  }
 
   /// All events of one kind, in order.
-  std::vector<const TraceEvent*> OfKind(const std::string& kind) const;
+  std::vector<TraceEvent> OfKind(const std::string& kind) const;
 
   /// All events of one kind with a given attribute value.
-  std::vector<const TraceEvent*> WithAttribute(const std::string& kind,
-                                               const std::string& key,
-                                               const std::string& value) const;
+  std::vector<TraceEvent> WithAttribute(const std::string& kind,
+                                        const std::string& key,
+                                        const std::string& value) const;
 
  private:
+  mutable std::mutex mu_;
   std::vector<TraceEvent> events_;
 };
 

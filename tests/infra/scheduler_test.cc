@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "telemetry/span_analysis.h"
+
 namespace ads::infra {
 namespace {
 
@@ -105,6 +109,45 @@ TEST(SchedulerTest, HighLoadCreatesHotspotsAndSlowdown) {
   EXPECT_EQ(sched.HotspotCount(0.9), 1);
   // The last-placed task started at util 1.0 -> slowdown 1 + 3*0.4 = 2.2.
   EXPECT_GT(sched.task_latency().Quantile(1.0), 20.0);
+}
+
+TEST(SchedulerTest, TracesReplacementAfterMachineDeath) {
+  Cluster cluster;
+  cluster.AddMachines(SmallSku(), 2);
+  common::EventQueue queue;
+  ClusterScheduler sched(&cluster, &queue, nullptr, 1);
+  telemetry::Tracer tracer(5);
+  sched.SetTracer(&tracer);
+  sched.Submit({.id = 1, .base_duration = 20.0});
+  sched.Submit({.id = 2, .base_duration = 20.0});
+  // Kill whichever machine hosts task 1 mid-flight; its task is
+  // resubmitted and must re-place under the *same* task span.
+  queue.ScheduleAt(5.0, [&](common::SimTime) {
+    sched.OnMachineFailed(&cluster.machine(0));
+  });
+  queue.RunAll();
+  EXPECT_EQ(sched.completed_tasks(), 2u);
+  EXPECT_EQ(sched.restarted_tasks(), 1u);
+  EXPECT_EQ(tracer.open_count(), 0u);
+
+  telemetry::SpanTree tree(tracer.Snapshot());
+  ASSERT_EQ(tree.Roots().size(), 2u);  // one task span per submission
+  int killed_then_replaced = 0;
+  for (telemetry::SpanId root : tree.Roots()) {
+    EXPECT_EQ(tree.Get(root).kind, "task");
+    const std::vector<telemetry::SpanId>& placements = tree.Children(root);
+    for (telemetry::SpanId p : placements) {
+      EXPECT_EQ(tree.Get(p).kind, "placement");
+    }
+    if (placements.size() == 2) {
+      // Killed placement first, successful re-placement second.
+      EXPECT_EQ(tree.Get(placements[0]).attributes.at("outcome"), "killed");
+      EXPECT_EQ(tree.Get(placements[1]).attributes.at("outcome"),
+                "completed");
+      ++killed_then_replaced;
+    }
+  }
+  EXPECT_EQ(killed_then_replaced, 1);
 }
 
 TEST(SchedulerTest, TelemetrySamplesRecorded) {

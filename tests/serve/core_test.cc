@@ -117,7 +117,7 @@ TEST(ServingCoreTest, DrainFlushesEverythingIgnoringLinger) {
   }
   EXPECT_TRUE(core.Admit(Req(9, "b"), 0.0).accepted);
   EXPECT_FALSE(core.HasReadyBatch(0.0));  // nothing full, nothing lingered
-  auto batches = core.Drain();
+  auto batches = core.Drain(0.0);
   ASSERT_EQ(batches.size(), 2u);
   EXPECT_EQ(batches[0].model, "a");
   EXPECT_EQ(batches[0].requests.size(), 3u);

@@ -12,6 +12,7 @@
 #include "common/fault_injection.h"
 #include "ml/linear.h"
 #include "ml/registry.h"
+#include "telemetry/span.h"
 
 namespace ads::serve {
 namespace {
@@ -153,6 +154,53 @@ TEST(ServingRuntimeTest, ConcurrentSubmittersDrainWithoutLoss) {
   EXPECT_EQ(c.accepted, c.Finished());
   EXPECT_EQ(callbacks.load(), c.submitted);
   EXPECT_EQ(stats.queued, 0u);
+}
+
+TEST(ServingRuntimeTest, TracedConcurrentLoadKeepsCausalityConsistent) {
+  // Under the threaded runtime the tracer is thread-safe but not
+  // deterministic; this (run under TSan in CI) checks the concurrent
+  // path: ids stay unique, every request span closes, and batch spans
+  // only ever name admitted requests.
+  Backend backend;
+  CoreOptions options;
+  options.queue_capacity = 64;
+  options.batcher = {.max_batch_size = 8, .max_linger_seconds = 0.0005};
+  ServingRuntime runtime(options, &common::ThreadPool::Global());
+  runtime.RegisterBackend("m", backend.server.get());
+  telemetry::Tracer tracer(9);
+  runtime.SetTracer(&tracer);
+  runtime.Start();
+
+  const int kThreads = 4;
+  const int kPerThread = 250;
+  std::vector<std::thread> submitters;
+  submitters.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t]() {
+      for (int i = 0; i < kPerThread; ++i) {
+        uint64_t id = static_cast<uint64_t>(t) * kPerThread +
+                      static_cast<uint64_t>(i);
+        (void)runtime.Submit(Req(id, 1.0), nullptr);
+      }
+    });
+  }
+  for (auto& s : submitters) s.join();
+  runtime.Shutdown();
+
+  EXPECT_EQ(tracer.open_count(), 0u);  // graceful drain closes every span
+  ServingStats stats = runtime.Stats();
+  size_t request_spans = 0, batch_spans = 0;
+  for (const telemetry::Span& span : tracer.Snapshot()) {
+    if (span.kind == "request") {
+      ++request_spans;
+      EXPECT_EQ(span.attributes.count("outcome"), 1u);
+    } else if (span.kind == "batch") {
+      ++batch_spans;
+      EXPECT_EQ(span.attributes.count("requests"), 1u);
+    }
+  }
+  EXPECT_EQ(request_spans, stats.counters.submitted);
+  EXPECT_GT(batch_spans, 0u);
 }
 
 TEST(ServingRuntimeTest, RateLimitRejectsFastTenant) {

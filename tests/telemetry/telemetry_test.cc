@@ -116,7 +116,7 @@ TEST(TraceLogTest, FiltersByKindAndAttribute) {
   EXPECT_EQ(log.OfKind("job_start").size(), 2u);
   auto ends = log.WithAttribute("job_end", "job", "a");
   ASSERT_EQ(ends.size(), 1u);
-  EXPECT_DOUBLE_EQ(ends[0]->metrics.at("runtime"), 60.0);
+  EXPECT_DOUBLE_EQ(ends[0].metrics.at("runtime"), 60.0);
   EXPECT_TRUE(log.WithAttribute("job_end", "job", "zzz").empty());
 }
 

@@ -1,0 +1,159 @@
+#include "telemetry/span_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "telemetry/span.h"
+
+namespace ads::telemetry {
+namespace {
+
+/// Hand-built span with explicit ids so each expectation names exact spans.
+Span Make(SpanId id, SpanId parent, const std::string& kind,
+          const std::string& name, double start, double end) {
+  Span s;
+  s.id = id;
+  s.parent = parent;
+  s.kind = kind;
+  s.name = name;
+  s.start = start;
+  s.end = end;
+  s.ended = true;
+  return s;
+}
+
+TEST(CriticalPathTest, SingleSpanIsItsOwnCriticalPath) {
+  SpanTree tree({Make(1, kNoSpan, "job", "j", 0.0, 10.0)});
+  ASSERT_EQ(tree.Roots().size(), 1u);
+  std::vector<SpanId> path = tree.CriticalPath(1);
+  EXPECT_EQ(path, std::vector<SpanId>({1}));
+}
+
+TEST(CriticalPathTest, FollowsLastFinishingChildAtEachLevel) {
+  // job(0..10) with stages ending at 4 and 9; the late stage has two
+  // attempts ending at 6 and 9. Critical path = job -> stage2 -> attempt2.
+  SpanTree tree({
+      Make(1, kNoSpan, "job", "j", 0.0, 10.0),
+      Make(2, 1, "stage", "s1", 0.0, 4.0),
+      Make(3, 1, "stage", "s2", 0.0, 9.0),
+      Make(4, 3, "attempt", "exec-1", 0.0, 6.0),
+      Make(5, 3, "attempt", "exec-2", 6.0, 9.0),
+  });
+  EXPECT_EQ(tree.CriticalPath(1), std::vector<SpanId>({1, 3, 5}));
+}
+
+TEST(CriticalPathTest, TieBreaksTowardSmallerId) {
+  SpanTree tree({
+      Make(1, kNoSpan, "job", "j", 0.0, 8.0),
+      Make(2, 1, "stage", "a", 0.0, 8.0),
+      Make(3, 1, "stage", "b", 0.0, 8.0),  // same end as 2: 2 wins
+  });
+  EXPECT_EQ(tree.CriticalPath(1), std::vector<SpanId>({1, 2}));
+}
+
+TEST(CriticalPathTest, OrphanParentsBecomeRoots) {
+  // A sub-tree snapshot: span 7's parent 99 is absent, so 7 is a root.
+  SpanTree tree({
+      Make(7, 99, "stage", "s", 0.0, 2.0),
+      Make(8, 7, "attempt", "exec-1", 0.0, 2.0),
+  });
+  ASSERT_EQ(tree.Roots().size(), 1u);
+  EXPECT_EQ(tree.Roots()[0], 7u);
+  EXPECT_EQ(tree.CriticalPath(7), std::vector<SpanId>({7, 8}));
+}
+
+TEST(CriticalPathTest, RootsAndChildrenAreDeterministicallyOrdered) {
+  SpanTree tree({
+      Make(5, kNoSpan, "request", "r2", 1.0, 2.0),
+      Make(3, kNoSpan, "request", "r1", 0.0, 5.0),
+      Make(9, 3, "serve", "m", 3.0, 4.0),
+      Make(8, 3, "admission", "admit", 0.0, 0.0),
+  });
+  EXPECT_EQ(tree.Roots(), std::vector<SpanId>({3, 5}));       // by start
+  EXPECT_EQ(tree.Children(3), std::vector<SpanId>({8, 9}));   // by start
+  EXPECT_TRUE(tree.Children(5).empty());
+}
+
+TEST(AggregationTest, SelfTimeExcludesChildCoverage) {
+  // stage 0..10 with attempts covering [0,4] and [4,9]: self = 1.
+  SpanTree tree({
+      Make(1, kNoSpan, "stage", "s", 0.0, 10.0),
+      Make(2, 1, "attempt", "exec-1", 0.0, 4.0),
+      Make(3, 1, "attempt", "exec-2", 4.0, 9.0),
+  });
+  auto by_kind = tree.AggregateByKind();
+  ASSERT_EQ(by_kind.count("stage"), 1u);
+  EXPECT_EQ(by_kind["stage"].count, 1);
+  EXPECT_DOUBLE_EQ(by_kind["stage"].total_seconds, 10.0);
+  EXPECT_DOUBLE_EQ(by_kind["stage"].self_seconds, 1.0);
+  EXPECT_EQ(by_kind["attempt"].count, 2);
+  EXPECT_DOUBLE_EQ(by_kind["attempt"].total_seconds, 9.0);
+  EXPECT_DOUBLE_EQ(by_kind["attempt"].self_seconds, 9.0);  // leaves
+}
+
+TEST(AggregationTest, SelfTimeClampsWhenChildrenOverrun) {
+  // A speculative backup can end after its parent's interval; self time
+  // must clamp at zero, not go negative.
+  SpanTree tree({
+      Make(1, kNoSpan, "stage", "s", 0.0, 5.0),
+      Make(2, 1, "backup", "b", 0.0, 7.0),
+  });
+  auto by_name = tree.AggregateByName();
+  EXPECT_DOUBLE_EQ(by_name["s"].self_seconds, 0.0);
+}
+
+TEST(CanonicalStructureTest, RendersIndentedForest) {
+  std::string got = CanonicalStructure({
+      Make(1, kNoSpan, "job", "j", 0.0, 10.0),
+      Make(2, 1, "stage", "scan", 0.0, 4.0),
+  });
+  EXPECT_EQ(got, "job:j\n  stage:scan\n");
+}
+
+TEST(CanonicalStructureTest, BrokenCausalEdgeChangesTheGolden) {
+  // The regression harness exists to catch exactly this: a span
+  // reparented (causal edge rewired) must change the canonical form even
+  // though the span set, names and times are identical.
+  std::vector<Span> good = {
+      Make(1, kNoSpan, "job", "j", 0.0, 10.0),
+      Make(2, 1, "stage", "scan", 0.0, 4.0),
+      Make(3, 2, "attempt", "exec-1", 0.0, 4.0),
+  };
+  std::vector<Span> broken = good;
+  broken[2].parent = 1;  // attempt hangs off the job, not its stage
+  EXPECT_NE(CanonicalStructure(good), CanonicalStructure(broken));
+}
+
+TEST(CanonicalStructureTest, IgnoresIdsAndTimestamps) {
+  // Same tree shape under different ids and shifted times: identical
+  // canonical form (goldens assert causality, not durations).
+  std::vector<Span> a = {
+      Make(1, kNoSpan, "job", "j", 0.0, 10.0),
+      Make(2, 1, "stage", "scan", 0.0, 4.0),
+  };
+  std::vector<Span> b = {
+      Make(100, kNoSpan, "job", "j", 5.0, 50.0),
+      Make(200, 100, "stage", "scan", 5.0, 9.0),
+  };
+  EXPECT_EQ(CanonicalStructure(a), CanonicalStructure(b));
+}
+
+TEST(ChromeTraceTest, EmitsCompleteEventsPerRootTrack) {
+  std::string json = ChromeTraceJson({
+      Make(1, kNoSpan, "job", "j", 0.0, 10.0),
+      Make(2, 1, "stage", "scan", 0.0, 4.0),
+      Make(5, kNoSpan, "request", "req-1", 1.0, 2.0),
+  });
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"job\",\"name\":\"j\""), std::string::npos);
+  // Two roots -> two distinct tracks.
+  EXPECT_NE(json.find("\"tid\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":2"), std::string::npos);
+  // 10 seconds -> 10,000,000 microseconds.
+  EXPECT_NE(json.find("\"dur\":10000000.000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ads::telemetry
