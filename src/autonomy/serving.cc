@@ -1,6 +1,7 @@
 #include "autonomy/serving.h"
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "ml/model.h"
 
 namespace ads::autonomy {
@@ -20,20 +21,27 @@ ResilientModelServer::ResilientModelServer(ml::ModelRegistry* registry,
   ADS_CHECK(heuristic_ != nullptr) << "the heuristic tier must be callable";
 }
 
+ml::Regressor* ResilientModelServer::Materialize(uint32_t version) {
+  if (version == 0) return nullptr;
+  auto it = cache_.find(version);
+  if (it == cache_.end()) {
+    auto stored = registry_->GetVersion(model_, version);
+    if (!stored.ok()) return nullptr;
+    auto model = ml::DeserializeRegressor(stored->blob);
+    if (!model.ok()) return nullptr;
+    it = cache_.emplace(version, std::move(*model)).first;
+  }
+  return it->second.get();
+}
+
 bool ResilientModelServer::TryServe(uint32_t version, const std::string& site,
                                     const std::vector<double>& features,
                                     double* out) {
   if (version == 0) return false;
   if (injector_ != nullptr && injector_->ShouldFail(site)) return false;
-  auto it = cache_.find(version);
-  if (it == cache_.end()) {
-    auto stored = registry_->GetVersion(model_, version);
-    if (!stored.ok()) return false;
-    auto model = ml::DeserializeRegressor(stored->blob);
-    if (!model.ok()) return false;
-    it = cache_.emplace(version, std::move(*model)).first;
-  }
-  *out = it->second->Predict(features);
+  ml::Regressor* model = Materialize(version);
+  if (model == nullptr) return false;
+  *out = model->Predict(features);
   return true;
 }
 
@@ -73,6 +81,54 @@ ResilientModelServer::ServeResult ResilientModelServer::Predict(
   result.version = 0;
   ++served_[static_cast<size_t>(Tier::kHeuristic)];
   return result;
+}
+
+void ResilientModelServer::PredictBatch(const common::Matrix& features,
+                                        double now,
+                                        std::vector<ServeResult>* out) {
+  const size_t n = features.rows();
+  out->assign(n, ServeResult());
+  if (n == 0) return;
+  // Bulk fast path. Safe exactly when per-row serving could not diverge
+  // from one batched call: no injected fault can fire (a disabled injector
+  // never fires, so skipping its per-row draws changes nothing) and the
+  // breaker is closed (AllowRequest is then a pass-through, and N
+  // consecutive RecordSuccess calls collapse to one — both only reset the
+  // failure streak). Everything else — open/half-open breakers, pending
+  // faults, a deployed model that fails to materialize — takes the exact
+  // per-row path so probes, rollbacks, and tier fallbacks fire on the same
+  // row they would have with sequential Predict calls.
+  const bool quiet = injector_ == nullptr || !injector_->Enabled();
+  if (quiet &&
+      breaker_.state() == common::CircuitBreaker::State::kClosed) {
+    const uint32_t deployed = registry_->DeployedVersion(model_);
+    ml::Regressor* model = Materialize(deployed);
+    if (model != nullptr) {
+      std::vector<double> values;
+      if (n >= options_.parallel_batch_rows) {
+        common::ThreadPool& pool = options_.pool != nullptr
+                                       ? *options_.pool
+                                       : common::ThreadPool::Global();
+        ml::PredictBatchParallel(*model, features, pool, &values);
+      } else {
+        model->PredictBatch(features, &values);
+      }
+      breaker_.RecordSuccess(now);
+      served_[static_cast<size_t>(Tier::kDeployed)] += n;
+      for (size_t i = 0; i < n; ++i) {
+        (*out)[i].value = values[i];
+        (*out)[i].tier = Tier::kDeployed;
+        (*out)[i].version = deployed;
+      }
+      return;
+    }
+  }
+  std::vector<double> row;
+  for (size_t i = 0; i < n; ++i) {
+    const double* x = features.RowPtr(i);
+    row.assign(x, x + features.cols());
+    (*out)[i] = Predict(row, now);
+  }
 }
 
 }  // namespace ads::autonomy

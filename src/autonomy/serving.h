@@ -9,8 +9,13 @@
 #include <vector>
 
 #include "common/fault_injection.h"
+#include "common/matrix.h"
 #include "common/retry.h"
 #include "ml/registry.h"
+
+namespace ads::common {
+class ThreadPool;
+}  // namespace ads::common
 
 namespace ads::autonomy {
 
@@ -23,6 +28,14 @@ struct ServingOptions {
   /// registry back to the previously deployed version (the paper's
   /// "rollback mechanism that reacts fast").
   bool auto_rollback = true;
+  /// PredictBatch calls with at least this many rows fan the batched
+  /// kernel out over `pool` in chunks; smaller batches run one serial
+  /// kernel call. Chunking never changes results (see PredictBatch).
+  size_t parallel_batch_rows = 512;
+  /// Pool for large-batch fan-out; null = ThreadPool::Global(). Callers
+  /// already running on pool workers (the threaded serving runtime)
+  /// degrade gracefully: nested ParallelFor executes inline.
+  common::ThreadPool* pool = nullptr;
 };
 
 /// Model-serving fallback chain: deployed model -> previously deployed
@@ -65,6 +78,18 @@ class ResilientModelServer {
   /// cooldown). Never fails: worst case the heuristic answers.
   ServeResult Predict(const std::vector<double>& features, double now);
 
+  /// Serves a whole micro-batch at time `now`; `out` is resized to one
+  /// result per row. Produces bit-identical results to calling Predict on
+  /// each row in order. When nothing can perturb individual rows — no
+  /// injected faults pending (injector null or disabled) and the breaker
+  /// closed — the deployed model serves the whole batch through one
+  /// batched-kernel call (fanned out over the pool above
+  /// `parallel_batch_rows` rows); any other state falls back to the exact
+  /// per-row path so breaker bookkeeping, rollback, and tier selection
+  /// behave as if the rows had arrived one at a time.
+  void PredictBatch(const common::Matrix& features, double now,
+                    std::vector<ServeResult>* out);
+
   uint64_t served_by_tier(Tier t) const {
     return served_[static_cast<size_t>(t)];
   }
@@ -77,6 +102,10 @@ class ResilientModelServer {
   /// failure (injected fault, unknown version, deserialization error).
   bool TryServe(uint32_t version, const std::string& site,
                 const std::vector<double>& features, double* out);
+
+  /// Fetches + deserializes `version` into the cache; null on any failure
+  /// (version 0, unknown version, deserialization error).
+  ml::Regressor* Materialize(uint32_t version);
 
   ml::ModelRegistry* registry_;
   std::string model_;

@@ -1,5 +1,6 @@
 #include "common/matrix.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/logging.h"
@@ -10,6 +11,18 @@ Matrix Matrix::Identity(size_t n) {
   Matrix m(n, n);
   for (size_t i = 0; i < n; ++i) m.At(i, i) = 1.0;
   return m;
+}
+
+Result<Matrix> Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) return Matrix();
+  Matrix out(rows.size(), rows[0].size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    if (rows[r].size() != out.cols()) {
+      return Status::InvalidArgument("FromRows: ragged row arity");
+    }
+    std::copy(rows[r].begin(), rows[r].end(), out.RowPtr(r));
+  }
+  return out;
 }
 
 Matrix Matrix::Transpose() const {

@@ -25,6 +25,21 @@ class Matrix {
   double& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
   double At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
 
+  /// Contiguous view of one row (rows are row-major, so row r occupies
+  /// [RowPtr(r), RowPtr(r) + cols())). The batched-inference kernels walk
+  /// rows through these pointers instead of copying per-row vectors.
+  const double* RowPtr(size_t r) const { return data_.data() + r * cols_; }
+  double* RowPtr(size_t r) { return data_.data() + r * cols_; }
+
+  /// Copies one row into a fresh vector (scalar Predict interop).
+  std::vector<double> Row(size_t r) const {
+    return std::vector<double>(RowPtr(r), RowPtr(r) + cols_);
+  }
+
+  /// Builds a matrix from equal-arity rows. Fails with InvalidArgument on
+  /// ragged input; an empty row set yields a 0 x 0 matrix.
+  static Result<Matrix> FromRows(const std::vector<std::vector<double>>& rows);
+
   Matrix Transpose() const;
   Matrix Multiply(const Matrix& other) const;
   std::vector<double> MultiplyVector(const std::vector<double>& v) const;

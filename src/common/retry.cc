@@ -33,17 +33,45 @@ double RetryPolicy::BackoffFor(int retry) {
   return delay;
 }
 
+const char* RetryGiveUpReasonName(RetryGiveUpReason reason) {
+  switch (reason) {
+    case RetryGiveUpReason::kNone:
+      return "none";
+    case RetryGiveUpReason::kNonRetriable:
+      return "non_retriable";
+    case RetryGiveUpReason::kAttemptsExhausted:
+      return "attempts_exhausted";
+    case RetryGiveUpReason::kDeadlineExceeded:
+      return "deadline_exceeded";
+  }
+  return "unknown";
+}
+
 RetryResult RetryPolicy::Run(const std::function<Status()>& op) {
   RetryResult result;
   for (int attempt = 1; attempt <= options_.max_attempts; ++attempt) {
     result.attempts = attempt;
     result.status = op();
-    if (result.status.ok() || !IsRetriable(result.status.code())) {
+    if (result.status.ok()) {
+      result.give_up_reason = RetryGiveUpReason::kNone;
       return result;
     }
-    if (attempt == options_.max_attempts) break;
+    if (!IsRetriable(result.status.code())) {
+      result.give_up_reason = RetryGiveUpReason::kNonRetriable;
+      return result;
+    }
+    if (attempt == options_.max_attempts) {
+      result.give_up_reason = RetryGiveUpReason::kAttemptsExhausted;
+      break;
+    }
+    // Snapshot the jitter stream: if the deadline aborts this wait, the
+    // draw is rolled back so a backoff that never happened cannot shift
+    // every later delay of a shared policy.
+    const Rng before_jitter = rng_;
     double delay = BackoffFor(attempt);
     if (result.total_backoff_seconds + delay > options_.deadline_seconds) {
+      rng_ = before_jitter;
+      result.give_up_reason = RetryGiveUpReason::kDeadlineExceeded;
       break;  // the next wait would blow the budget; surface the last error
     }
     result.total_backoff_seconds += delay;

@@ -30,6 +30,24 @@ struct RetryOptions {
   double deadline_seconds = std::numeric_limits<double>::infinity();
 };
 
+/// Why RetryPolicy::Run stopped retrying. Callers that alert or reroute on
+/// exhausted budgets need the distinction: a blown deadline means the
+/// operation might have succeeded with more time, while exhausted attempts
+/// mean it kept failing for the whole budget.
+enum class RetryGiveUpReason {
+  /// The operation succeeded; nothing was given up.
+  kNone = 0,
+  /// The last status was not worth retrying (caller/state error).
+  kNonRetriable,
+  /// All max_attempts attempts failed with retriable errors.
+  kAttemptsExhausted,
+  /// The next backoff would have pushed total delay past deadline_seconds.
+  kDeadlineExceeded,
+};
+
+/// Short stable name ("none", "non_retriable", ...) for logs and tables.
+const char* RetryGiveUpReasonName(RetryGiveUpReason reason);
+
 /// Outcome of RetryPolicy::Run.
 struct RetryResult {
   Status status;
@@ -37,6 +55,8 @@ struct RetryResult {
   int attempts = 0;
   /// Total simulated backoff delay accumulated between attempts.
   double total_backoff_seconds = 0.0;
+  /// Why the loop stopped (kNone on success).
+  RetryGiveUpReason give_up_reason = RetryGiveUpReason::kNone;
 };
 
 /// Status-aware retry loop with deterministic exponential backoff: the

@@ -45,6 +45,20 @@ double RunningMoments::variance() const {
 
 double RunningMoments::stddev() const { return std::sqrt(variance()); }
 
+QuantileSketch::QuantileSketch(const QuantileSketch& other) {
+  std::lock_guard<std::mutex> lock(other.sort_mu_);
+  values_ = other.values_;
+  sorted_ = other.sorted_;
+}
+
+QuantileSketch& QuantileSketch::operator=(const QuantileSketch& other) {
+  if (this == &other) return *this;
+  std::scoped_lock lock(sort_mu_, other.sort_mu_);
+  values_ = other.values_;
+  sorted_ = other.sorted_;
+  return *this;
+}
+
 void QuantileSketch::Add(double x) {
   values_.push_back(x);
   sorted_ = false;
@@ -56,23 +70,29 @@ void QuantileSketch::Merge(const QuantileSketch& other) {
   sorted_ = false;
 }
 
+void QuantileSketch::EnsureSorted() const {
+  std::lock_guard<std::mutex> lock(sort_mu_);
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+}
+
 QuantileSummary QuantileSketch::Summary() const {
   QuantileSummary s;
   s.count = values_.size();
   if (values_.empty()) return s;
+  EnsureSorted();
   s.p50 = Quantile(0.5);
   s.p95 = Quantile(0.95);
   s.p99 = Quantile(0.99);
-  s.max = values_.back();  // Quantile() sorted the samples ascending
+  s.max = values_.back();  // EnsureSorted() sorted the samples ascending
   return s;
 }
 
 double QuantileSketch::Quantile(double q) const {
   if (values_.empty()) return 0.0;
-  if (!sorted_) {
-    std::sort(values_.begin(), values_.end());
-    sorted_ = true;
-  }
+  EnsureSorted();
   q = std::clamp(q, 0.0, 1.0);
   double pos = q * static_cast<double>(values_.size() - 1);
   size_t lo = static_cast<size_t>(pos);

@@ -2,6 +2,7 @@
 #define ADS_COMMON_STATS_H_
 
 #include <cstddef>
+#include <mutex>
 #include <vector>
 
 namespace ads::common {
@@ -42,8 +43,19 @@ struct QuantileSummary {
 
 /// Exact quantile tracker: stores all samples, sorts lazily on query.
 /// Fine for simulation-scale data (up to a few million points).
+///
+/// Thread-safety contract: writes (Add/Merge, the targets of assignment)
+/// are externally synchronized by the owner, but the const query methods
+/// may be called concurrently with each other — the lazy sort they share
+/// runs under an internal mutex, so two readers racing to be first never
+/// scribble over the same buffer.
 class QuantileSketch {
  public:
+  QuantileSketch() = default;
+  /// Copying locks `other` so its lazy sort cannot race the element copy.
+  QuantileSketch(const QuantileSketch& other);
+  QuantileSketch& operator=(const QuantileSketch& other);
+
   void Add(double x);
   /// Appends another sketch's samples (parallel-friendly: workers fill
   /// local sketches, then the caller merges them in a fixed order).
@@ -59,6 +71,11 @@ class QuantileSketch {
   QuantileSummary Summary() const;
 
  private:
+  /// Sorts the samples once under sort_mu_; after it returns the buffer is
+  /// stable until the next (externally synchronized) write.
+  void EnsureSorted() const;
+
+  mutable std::mutex sort_mu_;
   mutable std::vector<double> values_;
   mutable bool sorted_ = true;
 };

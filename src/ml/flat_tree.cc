@@ -1,0 +1,179 @@
+#include "ml/flat_tree.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "ml/tree.h"
+
+namespace ads::ml {
+
+void FlatTreeEnsemble::Append(const RegressionTree& tree) {
+  ADS_CHECK(tree.fitted()) << "flattening an unfitted tree";
+  const std::vector<RegressionTree::Node>& src = tree.nodes();
+  nodes_.reserve(nodes_.size() + src.size());
+  const int32_t offset = static_cast<int32_t>(nodes_.size());
+  roots_.push_back(offset);
+  for (size_t i = 0; i < src.size(); ++i) {
+    const RegressionTree::Node& n = src[i];
+    const int32_t self = offset + static_cast<int32_t>(i);
+    // Leaves self-loop so the level-synchronous kernel can run a fixed
+    // number of passes: a row parked on a leaf keeps reselecting it.
+    nodes_.push_back({n.feature >= 0 ? n.threshold : n.value, n.feature,
+                      n.left >= 0 ? n.left + offset : self,
+                      n.right >= 0 ? n.right + offset : self});
+    if (n.feature >= 0) {
+      min_arity_ = std::max(min_arity_, static_cast<size_t>(n.feature) + 1);
+    }
+  }
+  // Deepest root->leaf edge count: the pass count that guarantees every
+  // row has parked on a leaf.
+  int32_t max_depth = 0;
+  std::vector<std::pair<int32_t, int32_t>> walk = {{0, 0}};
+  while (!walk.empty()) {
+    const auto [id, d] = walk.back();
+    walk.pop_back();
+    const RegressionTree::Node& n = src[static_cast<size_t>(id)];
+    if (n.feature >= 0) {
+      walk.emplace_back(n.left, d + 1);
+      walk.emplace_back(n.right, d + 1);
+    } else {
+      max_depth = std::max(max_depth, d);
+    }
+  }
+  depths_.push_back(max_depth);
+}
+
+FlatTreeEnsemble FlatTreeEnsemble::FromTree(const RegressionTree& tree) {
+  FlatTreeEnsemble flat;
+  flat.mode_ = Aggregation::kSingle;
+  flat.Append(tree);
+  return flat;
+}
+
+FlatTreeEnsemble FlatTreeEnsemble::FromForest(
+    const std::vector<RegressionTree>& trees) {
+  FlatTreeEnsemble flat;
+  flat.mode_ = Aggregation::kMean;
+  for (const RegressionTree& tree : trees) flat.Append(tree);
+  return flat;
+}
+
+FlatTreeEnsemble FlatTreeEnsemble::FromBoosted(
+    const std::vector<RegressionTree>& trees, double base_prediction,
+    double learning_rate) {
+  FlatTreeEnsemble flat;
+  flat.mode_ = Aggregation::kBoostedSum;
+  flat.base_ = base_prediction;
+  flat.rate_ = learning_rate;
+  for (const RegressionTree& tree : trees) flat.Append(tree);
+  return flat;
+}
+
+namespace {
+
+/// Leaf value of one flattened tree for one row: the tight traversal loop
+/// the single-row predict paths funnel through.
+inline double TraverseTree(const FlatTreeEnsemble::Node* nodes, int32_t root,
+                           const double* row) {
+  int32_t cur = root;
+  for (;;) {
+    const FlatTreeEnsemble::Node n = nodes[cur];
+    if (n.feature < 0) return n.scalar;
+    cur = row[n.feature] <= n.scalar ? n.left : n.right;
+  }
+}
+
+}  // namespace
+
+double FlatTreeEnsemble::AggregateInit() const {
+  return mode_ == Aggregation::kBoostedSum ? base_ : 0.0;
+}
+
+double FlatTreeEnsemble::Finish(double acc) const {
+  return mode_ == Aggregation::kMean
+             ? acc / static_cast<double>(roots_.size())
+             : acc;
+}
+
+double FlatTreeEnsemble::PredictRow(const double* row) const {
+  ADS_CHECK(!empty()) << "predict on an empty flat ensemble";
+  const Node* nodes = nodes_.data();
+  if (mode_ == Aggregation::kSingle) {
+    return TraverseTree(nodes, roots_[0], row);
+  }
+  double acc = AggregateInit();
+  for (int32_t root : roots_) {
+    double v = TraverseTree(nodes, root, row);
+    acc += mode_ == Aggregation::kBoostedSum ? rate_ * v : v;
+  }
+  return Finish(acc);
+}
+
+void FlatTreeEnsemble::PredictRows(const common::Matrix& rows, size_t begin,
+                                   size_t end, double* out) const {
+  ADS_CHECK(!empty()) << "predict on an empty flat ensemble";
+  ADS_CHECK(end <= rows.rows()) << "flat predict range out of bounds";
+  ADS_CHECK(rows.cols() >= min_arity_) << "flat predict arity mismatch";
+  const Node* nodes = nodes_.data();
+
+  // A lone tree is small enough to live in L1, where the early-exit walk
+  // beats fixed-depth passes; the level-synchronous kernel below earns its
+  // keep on ensembles, whose node arenas outgrow L1.
+  if (mode_ == Aggregation::kSingle) {
+    const int32_t root = roots_[0];
+    for (size_t r = begin; r < end; ++r) {
+      out[r] = TraverseTree(nodes, root, rows.RowPtr(r));
+    }
+    return;
+  }
+
+  // Row-blocked, level-synchronous: each pass advances every row in the
+  // block one tree level through a branchless select, so up to kBlock
+  // independent node loads are in flight per level and the naive loop's
+  // per-row variable-depth exit mispredict never happens. The block is
+  // sized so one streaming pass over a tree's nodes (the dominant cost
+  // once queries stop fitting in L1) is shared by 256 rows while the
+  // block-local row-pointer/cursor/accumulator arrays still sit in L1.
+  // The leaf each row lands on is exactly the one the one-row-at-a-time
+  // walk reaches, and per-row accumulation still runs in tree order, so
+  // results are bit-identical to the scalar loop.
+  constexpr size_t kBlock = 256;
+  const double* rp[kBlock];
+  int32_t cur[kBlock];
+  double acc[kBlock];
+  const size_t num_trees = roots_.size();
+  const bool boosted = mode_ == Aggregation::kBoostedSum;
+  for (size_t block = begin; block < end; block += kBlock) {
+    const size_t n = std::min(kBlock, end - block);
+    for (size_t i = 0; i < n; ++i) rp[i] = rows.RowPtr(block + i);
+    const double init = AggregateInit();
+    for (size_t i = 0; i < n; ++i) acc[i] = init;
+    for (size_t t = 0; t < num_trees; ++t) {
+      const int32_t root = roots_[t];
+      const int32_t levels = depths_[t];
+      for (size_t i = 0; i < n; ++i) cur[i] = root;
+      for (int32_t d = 0; d < levels; ++d) {
+        for (size_t i = 0; i < n; ++i) {
+          const Node nd = nodes[cur[i]];
+          // A leaf reached before the deepest level has feature == -1;
+          // clamp the load to column 0 (depth >= 1 implies cols >= 1) and
+          // let its self-loop children keep the row parked.
+          const int32_t f = nd.feature < 0 ? 0 : nd.feature;
+          // Bitwise select, not ?:, so the compiler cannot emit a compare
+          // branch — split direction is data-dependent and mispredicts on
+          // nearly every visit once query rows stop repeating.
+          const int32_t mask = -static_cast<int32_t>(rp[i][f] <= nd.scalar);
+          cur[i] = (nd.left & mask) | (nd.right & ~mask);
+        }
+      }
+      for (size_t i = 0; i < n; ++i) {
+        const double v = nodes[cur[i]].scalar;
+        acc[i] += boosted ? rate_ * v : v;
+      }
+    }
+    for (size_t i = 0; i < n; ++i) out[block + i] = Finish(acc[i]);
+  }
+}
+
+}  // namespace ads::ml

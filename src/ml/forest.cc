@@ -58,7 +58,14 @@ common::Status RandomForestRegressor::Fit(const Dataset& data) {
     ADS_RETURN_IF_ERROR(s);
   }
   trees_ = std::move(trees);
+  flat_ = FlatTreeEnsemble::FromForest(trees_);
   return common::Status::Ok();
+}
+
+void RandomForestRegressor::SetTrees(std::vector<RegressionTree> trees) {
+  trees_ = std::move(trees);
+  flat_ = trees_.empty() ? FlatTreeEnsemble()
+                         : FlatTreeEnsemble::FromForest(trees_);
 }
 
 double RandomForestRegressor::Predict(
@@ -67,6 +74,13 @@ double RandomForestRegressor::Predict(
   double s = 0.0;
   for (const auto& t : trees_) s += t.Predict(features);
   return s / static_cast<double>(trees_.size());
+}
+
+void RandomForestRegressor::PredictBatchRange(const common::Matrix& rows,
+                                              size_t begin, size_t end,
+                                              double* out) const {
+  ADS_CHECK(fitted()) << "predict on unfitted forest";
+  flat_.PredictRows(rows, begin, end, out);
 }
 
 double RandomForestRegressor::InferenceCost() const {
@@ -150,6 +164,8 @@ common::Status GradientBoostedTrees::Fit(const Dataset& data) {
     trees_.push_back(std::move(tree));
   }
   fitted_ = true;
+  flat_ = FlatTreeEnsemble::FromBoosted(trees_, base_prediction_,
+                                        options_.learning_rate);
   return common::Status::Ok();
 }
 
@@ -161,6 +177,18 @@ double GradientBoostedTrees::Predict(
     y += options_.learning_rate * t.Predict(features);
   }
   return y;
+}
+
+void GradientBoostedTrees::PredictBatchRange(const common::Matrix& rows,
+                                             size_t begin, size_t end,
+                                             double* out) const {
+  ADS_CHECK(fitted_) << "predict on unfitted gbt";
+  if (trees_.empty()) {
+    // Zero boosting rounds: the model is the constant base prediction.
+    for (size_t r = begin; r < end; ++r) out[r] = base_prediction_;
+    return;
+  }
+  flat_.PredictRows(rows, begin, end, out);
 }
 
 double GradientBoostedTrees::InferenceCost() const {
@@ -175,6 +203,8 @@ void GradientBoostedTrees::SetModel(double base, double learning_rate,
   options_.learning_rate = learning_rate;
   trees_ = std::move(trees);
   fitted_ = true;
+  flat_ = FlatTreeEnsemble::FromBoosted(trees_, base_prediction_,
+                                        options_.learning_rate);
 }
 
 std::string GradientBoostedTrees::Serialize() const {

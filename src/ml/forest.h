@@ -38,6 +38,10 @@ class RandomForestRegressor : public Regressor {
 
   common::Status Fit(const Dataset& data) override;
   double Predict(const std::vector<double>& features) const override;
+  /// Batched kernel over the flattened SoA ensemble; bit-identical to
+  /// Predict per row (same tree-order accumulation, same final divide).
+  void PredictBatchRange(const common::Matrix& rows, size_t begin, size_t end,
+                         double* out) const override;
   std::string TypeName() const override { return "forest"; }
   std::string Serialize() const override;
   double InferenceCost() const override;
@@ -47,13 +51,12 @@ class RandomForestRegressor : public Regressor {
 
   bool fitted() const { return !trees_.empty(); }
   size_t tree_count() const { return trees_.size(); }
-  void SetTrees(std::vector<RegressionTree> trees) {
-    trees_ = std::move(trees);
-  }
+  void SetTrees(std::vector<RegressionTree> trees);
 
  private:
   Options options_;
   std::vector<RegressionTree> trees_;
+  FlatTreeEnsemble flat_;
 };
 
 struct GradientBoostedTreesOptions {
@@ -73,6 +76,10 @@ class GradientBoostedTrees : public Regressor {
 
   common::Status Fit(const Dataset& data) override;
   double Predict(const std::vector<double>& features) const override;
+  /// Batched kernel over the flattened SoA ensemble; bit-identical to
+  /// Predict per row (base + learning_rate * tree output in round order).
+  void PredictBatchRange(const common::Matrix& rows, size_t begin, size_t end,
+                         double* out) const override;
   std::string TypeName() const override { return "gbt"; }
   std::string Serialize() const override;
   double InferenceCost() const override;
@@ -90,6 +97,7 @@ class GradientBoostedTrees : public Regressor {
   bool fitted_ = false;
   double base_prediction_ = 0.0;
   std::vector<RegressionTree> trees_;
+  FlatTreeEnsemble flat_;
 };
 
 }  // namespace ads::ml

@@ -39,6 +39,22 @@ double LinearRegressor::Predict(const std::vector<double>& features) const {
   return y;
 }
 
+void LinearRegressor::PredictBatchRange(const common::Matrix& rows,
+                                        size_t begin, size_t end,
+                                        double* out) const {
+  ADS_CHECK(fitted()) << "predict on unfitted linear model";
+  ADS_CHECK(rows.cols() == weights_.size())
+      << "linear predict arity mismatch";
+  const double* w = weights_.data();
+  const size_t d = weights_.size();
+  for (size_t r = begin; r < end; ++r) {
+    const double* x = rows.RowPtr(r);
+    double y = intercept_;
+    for (size_t j = 0; j < d; ++j) y += w[j] * x[j];
+    out[r] = y;
+  }
+}
+
 double LinearRegressor::InferenceCost() const {
   return static_cast<double>(2 * weights_.size() + 1);
 }

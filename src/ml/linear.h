@@ -18,6 +18,10 @@ class LinearRegressor : public Regressor {
 
   common::Status Fit(const Dataset& data) override;
   double Predict(const std::vector<double>& features) const override;
+  /// Batched dot products over contiguous matrix rows; bit-identical to
+  /// Predict per row (same left-to-right accumulation).
+  void PredictBatchRange(const common::Matrix& rows, size_t begin, size_t end,
+                         double* out) const override;
   std::string TypeName() const override { return "linear"; }
   std::string Serialize() const override;
   double InferenceCost() const override;

@@ -1,5 +1,6 @@
 #include "ml/mlp.h"
 
+#include <algorithm>
 #include <cmath>
 #include <numeric>
 #include <sstream>
@@ -139,6 +140,63 @@ double MlpRegressor::Predict(const std::vector<double>& features) const {
   std::vector<double> x = input_standardizer_.Transform(features);
   std::vector<double> out = Forward(x, nullptr);
   return out[0] * label_scale_ + label_mean_;
+}
+
+void MlpRegressor::PredictBatchRange(const common::Matrix& rows, size_t begin,
+                                     size_t end, double* out) const {
+  ADS_CHECK(fitted_) << "predict on unfitted mlp";
+  const size_t dims = input_standardizer_.means().size();
+  ADS_CHECK(rows.cols() == dims) << "mlp predict arity mismatch";
+  if (begin >= end) return;
+
+  // Flatten each layer's weights into one contiguous row-major buffer so
+  // the per-row forward pass streams memory instead of hopping between
+  // nested vectors. The flattening cost is one pass over the parameters,
+  // amortized across the whole range.
+  struct FlatLayer {
+    size_t out_dim = 0;
+    size_t in_dim = 0;
+    const double* biases = nullptr;
+    std::vector<double> weights;  // weights[o * in_dim + in]
+  };
+  std::vector<FlatLayer> flat(layers_.size());
+  size_t max_width = dims;
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    const Layer& layer = layers_[l];
+    FlatLayer& f = flat[l];
+    f.out_dim = layer.weights.size();
+    f.in_dim = f.out_dim == 0 ? 0 : layer.weights[0].size();
+    f.biases = layer.biases.data();
+    f.weights.resize(f.out_dim * f.in_dim);
+    for (size_t o = 0; o < f.out_dim; ++o) {
+      std::copy(layer.weights[o].begin(), layer.weights[o].end(),
+                f.weights.begin() + o * f.in_dim);
+    }
+    max_width = std::max(max_width, f.out_dim);
+  }
+
+  const double* means = input_standardizer_.means().data();
+  const double* scales = input_standardizer_.scales().data();
+  std::vector<double> a(max_width);
+  std::vector<double> b(max_width);
+  for (size_t r = begin; r < end; ++r) {
+    const double* x = rows.RowPtr(r);
+    double* cur = a.data();
+    for (size_t j = 0; j < dims; ++j) cur[j] = (x[j] - means[j]) / scales[j];
+    double* next = b.data();
+    for (size_t l = 0; l < flat.size(); ++l) {
+      const FlatLayer& f = flat[l];
+      const bool hidden = l + 1 < flat.size();
+      for (size_t o = 0; o < f.out_dim; ++o) {
+        const double* w = f.weights.data() + o * f.in_dim;
+        double z = f.biases[o];
+        for (size_t in = 0; in < f.in_dim; ++in) z += w[in] * cur[in];
+        next[o] = hidden ? std::tanh(z) : z;
+      }
+      std::swap(cur, next);
+    }
+    out[r] = cur[0] * label_scale_ + label_mean_;
+  }
 }
 
 size_t MlpRegressor::parameter_count() const {

@@ -30,6 +30,12 @@ class MlpRegressor : public Regressor {
 
   common::Status Fit(const Dataset& data) override;
   double Predict(const std::vector<double>& features) const override;
+  /// Batched forward pass: weights are flattened into contiguous row-major
+  /// buffers once per range and activation scratch is reused across rows,
+  /// replacing per-row nested-vector walks and allocations. Bit-identical
+  /// to Predict per row (same per-neuron accumulation order).
+  void PredictBatchRange(const common::Matrix& rows, size_t begin, size_t end,
+                         double* out) const override;
   std::string TypeName() const override { return "mlp"; }
   std::string Serialize() const override;
   double InferenceCost() const override;

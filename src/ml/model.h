@@ -1,12 +1,18 @@
 #ifndef ADS_ML_MODEL_H_
 #define ADS_ML_MODEL_H_
 
+#include <cstddef>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/matrix.h"
 #include "common/status.h"
 #include "ml/dataset.h"
+
+namespace ads::common {
+class ThreadPool;
+}  // namespace ads::common
 
 namespace ads::ml {
 
@@ -36,15 +42,36 @@ class Regressor {
   /// scalar operations one Predict performs.
   virtual double InferenceCost() const = 0;
 
-  /// Batch helper.
+  /// Batched predict: fills (*out)[i] with the prediction for row i of
+  /// `rows`, bit-identical to calling Predict per row but through the
+  /// family's cache-friendly kernel (flattened tree arrays, reused MLP
+  /// scratch, pointer-walked linear dot). The serving batch path and the
+  /// perf harness go through here; per-row results never depend on batch
+  /// size or range splits.
+  void PredictBatch(const common::Matrix& rows, std::vector<double>* out) const;
+
+  /// Range hook behind PredictBatch: writes predictions for rows
+  /// [begin, end) into out[begin..end). Overrides must be bit-identical to
+  /// the row-at-a-time default and safe to call concurrently on disjoint
+  /// ranges (PredictBatchParallel fans chunks out over a thread pool).
+  virtual void PredictBatchRange(const common::Matrix& rows, size_t begin,
+                                 size_t end, double* out) const;
+
+  /// Convenience overload for vector-of-rows callers; requires equal-arity
+  /// rows.
   std::vector<double> PredictBatch(
-      const std::vector<std::vector<double>>& rows) const {
-    std::vector<double> out;
-    out.reserve(rows.size());
-    for (const auto& r : rows) out.push_back(Predict(r));
-    return out;
-  }
+      const std::vector<std::vector<double>>& rows) const;
 };
+
+/// PredictBatch chunked over `pool`: rows are split into `grain`-sized
+/// ranges executed as pool tasks. Chunk boundaries depend only on (rows,
+/// grain) and each row is written exactly once, so the result is
+/// bit-identical to model.PredictBatch for any worker count (including
+/// ThreadPool::Serial()). The win is ~linear for tree ensembles and MLPs
+/// once batches reach a few hundred rows; tiny batches stay serial.
+void PredictBatchParallel(const Regressor& model, const common::Matrix& rows,
+                          common::ThreadPool& pool, std::vector<double>* out,
+                          size_t grain = 256);
 
 /// A trainable binary classifier producing P(label == 1).
 class Classifier {

@@ -28,6 +28,7 @@ common::Status RegressionTree::Fit(const Dataset& data) {
   std::iota(indices.begin(), indices.end(), 0);
   common::Rng rng(options_.seed);
   Build(data, indices, 0, rng);
+  flat_ = FlatTreeEnsemble::FromTree(*this);
   return common::Status::Ok();
 }
 
@@ -133,6 +134,13 @@ double RegressionTree::Predict(const std::vector<double>& features) const {
                                                : nodes_[cur].right;
   }
   return nodes_[cur].value;
+}
+
+void RegressionTree::PredictBatchRange(const common::Matrix& rows,
+                                       size_t begin, size_t end,
+                                       double* out) const {
+  ADS_CHECK(fitted()) << "predict on unfitted tree";
+  flat_.PredictRows(rows, begin, end, out);
 }
 
 int RegressionTree::depth() const {

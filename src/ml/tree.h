@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "ml/flat_tree.h"
 #include "ml/model.h"
 
 namespace ads::ml {
@@ -33,6 +34,10 @@ class RegressionTree : public Regressor {
 
   common::Status Fit(const Dataset& data) override;
   double Predict(const std::vector<double>& features) const override;
+  /// Batched kernel over the flattened SoA node arrays; bit-identical to
+  /// Predict per row.
+  void PredictBatchRange(const common::Matrix& rows, size_t begin, size_t end,
+                         double* out) const override;
   std::string TypeName() const override { return "tree"; }
   std::string Serialize() const override;
   double InferenceCost() const override;
@@ -54,7 +59,10 @@ class RegressionTree : public Regressor {
   const std::vector<Node>& nodes() const { return nodes_; }
 
   /// Installs a prebuilt node arena (deserialization).
-  void SetNodes(std::vector<Node> nodes) { nodes_ = std::move(nodes); }
+  void SetNodes(std::vector<Node> nodes) {
+    nodes_ = std::move(nodes);
+    flat_ = fitted() ? FlatTreeEnsemble::FromTree(*this) : FlatTreeEnsemble();
+  }
 
  private:
   int Build(const Dataset& data, std::vector<size_t>& indices, int depth,
@@ -62,6 +70,9 @@ class RegressionTree : public Regressor {
 
   Options options_;
   std::vector<Node> nodes_;
+  /// SoA mirror of nodes_, rebuilt whenever the arena changes; the batched
+  /// predict path reads only this.
+  FlatTreeEnsemble flat_;
 };
 
 }  // namespace ads::ml

@@ -5,11 +5,25 @@
 namespace ads::serve {
 
 void TenantRateLimiter::SetTenantLimit(const std::string& tenant,
-                                       TokenBucketOptions options) {
-  Bucket& bucket = buckets_[tenant];
+                                       TokenBucketOptions options,
+                                       double now) {
+  auto it = buckets_.find(tenant);
+  if (it == buckets_.end()) {
+    Bucket fresh;
+    fresh.options = options;
+    fresh.tokens = options.capacity;
+    fresh.last_refill = now;
+    buckets_.emplace(tenant, fresh);
+    return;
+  }
+  // Settle the balance under the old parameters before swapping them in,
+  // then clamp: tightening a limit takes effect immediately instead of
+  // handing the tenant a fresh full bucket, and loosening one does not
+  // retroactively refill the past.
+  Bucket& bucket = it->second;
+  Refill(&bucket, now);
   bucket.options = options;
-  bucket.tokens = options.capacity;
-  bucket.last_refill = 0.0;
+  bucket.tokens = std::min(bucket.tokens, options.capacity);
 }
 
 void TenantRateLimiter::Refill(Bucket* bucket, double now) {

@@ -29,8 +29,13 @@ class TenantRateLimiter {
   explicit TenantRateLimiter(TokenBucketOptions defaults = TokenBucketOptions())
       : defaults_(defaults) {}
 
-  /// Overrides the bucket for one tenant (resets it to full).
-  void SetTenantLimit(const std::string& tenant, TokenBucketOptions options);
+  /// Overrides the bucket for one tenant at time `now`. A first-seen
+  /// tenant starts with a full bucket; an existing tenant keeps its earned
+  /// balance — refilled under the old parameters up to `now`, then clamped
+  /// to the new capacity — so reconfiguring mid-run neither grants a free
+  /// burst nor rewinds the refill clock.
+  void SetTenantLimit(const std::string& tenant, TokenBucketOptions options,
+                      double now);
 
   /// Takes one token from the tenant's bucket at time `now`; false when
   /// the bucket is empty (request must be rejected).

@@ -183,21 +183,45 @@ void ServingRuntime::ExecuteBatch(Batch batch) {
     // ResilientModelServer is not internally synchronized; serialize per
     // backend so two in-flight batches of one model cannot race.
     std::lock_guard<std::mutex> backend_lock(*backend_mu);
-    for (const Request& request : batch.requests) {
-      double now = Now();
+    // One deadline check for the whole batch, then one PredictBatch call
+    // for every still-live request: the backend's batched kernel replaces
+    // the former per-request Predict loop. Ragged feature arity (requests
+    // for one model disagreeing on dimensions) falls back to per-row
+    // serving, which the backend also uses internally whenever faults or
+    // breaker state could make rows diverge.
+    const double now = Now();
+    std::vector<size_t> live;
+    live.reserve(batch_size);
+    for (size_t i = 0; i < batch_size; ++i) {
+      if (batch.requests[i].deadline > now) live.push_back(i);
+    }
+    std::vector<autonomy::ResilientModelServer::ServeResult> served;
+    common::Matrix features;
+    if (!live.empty() && GatherFeatures(batch.requests, live, &features)) {
+      backend->PredictBatch(features, now, &served);
+    } else {
+      served.resize(live.size());
+      for (size_t k = 0; k < live.size(); ++k) {
+        served[k] = backend->Predict(batch.requests[live[k]].features, now);
+      }
+    }
+    size_t next_live = 0;
+    for (size_t i = 0; i < batch_size; ++i) {
+      const Request& request = batch.requests[i];
       Response response;
       response.id = request.id;
       response.batch_size = batch_size;
-      if (request.deadline <= now) {
-        response.outcome = Outcome::kShedDeadline;
-      } else {
-        autonomy::ResilientModelServer::ServeResult served =
-            backend->Predict(request.features, now);
+      if (next_live < live.size() && live[next_live] == i) {
+        const autonomy::ResilientModelServer::ServeResult& result =
+            served[next_live];
+        ++next_live;
         response.outcome = Outcome::kServed;
-        response.value = served.value;
-        response.tier = served.tier;
-        response.model_version = served.version;
+        response.value = result.value;
+        response.tier = result.tier;
+        response.model_version = result.version;
         response.latency_seconds = Now() - request.arrival;
+      } else {
+        response.outcome = Outcome::kShedDeadline;
       }
       if (tracer_ != nullptr && request.trace_span != telemetry::kNoSpan) {
         if (response.outcome == Outcome::kServed) {

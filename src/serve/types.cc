@@ -1,5 +1,7 @@
 #include "serve/types.h"
 
+#include <utility>
+
 namespace ads::serve {
 
 const char* OutcomeName(Outcome outcome) {
@@ -18,6 +20,27 @@ const char* OutcomeName(Outcome outcome) {
       return "shed_deadline";
   }
   return "unknown";
+}
+
+bool GatherFeatures(const std::vector<Request>& requests,
+                    const std::vector<size_t>& indices,
+                    common::Matrix* features) {
+  if (indices.empty()) {
+    *features = common::Matrix(0, 0);
+    return true;
+  }
+  const size_t cols = requests[indices[0]].features.size();
+  for (size_t i : indices) {
+    if (requests[i].features.size() != cols) return false;
+  }
+  common::Matrix packed(indices.size(), cols);
+  for (size_t k = 0; k < indices.size(); ++k) {
+    const std::vector<double>& row = requests[indices[k]].features;
+    double* dst = packed.RowPtr(k);
+    for (size_t j = 0; j < cols; ++j) dst[j] = row[j];
+  }
+  *features = std::move(packed);
+  return true;
 }
 
 const char* TierName(autonomy::ResilientModelServer::Tier tier) {

@@ -85,6 +85,14 @@ struct Batch {
 /// "heuristic") for tables and trace attributes.
 const char* TierName(autonomy::ResilientModelServer::Tier tier);
 
+/// Packs the feature vectors of `requests[indices...]` into a dense
+/// row-major matrix for batched inference. False (matrix untouched) if the
+/// selected requests disagree on feature arity — callers then serve the
+/// batch row by row.
+bool GatherFeatures(const std::vector<Request>& requests,
+                    const std::vector<size_t>& indices,
+                    common::Matrix* features);
+
 /// Monotonic request accounting, maintained by the admission core and the
 /// runtimes. Invariant after a graceful drain:
 ///   submitted == accepted + rejected_*          (admission is total), and

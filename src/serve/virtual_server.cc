@@ -110,9 +110,26 @@ void VirtualServer::OnBatchComplete(Batch batch, double dispatched,
         tracer_->StartSpan("backend", batch.model, batch.trace_span,
                            dispatched);
   }
-  for (const Request& request : batch.requests) {
-    autonomy::ResilientModelServer::ServeResult served =
-        backend->Predict(request.features, now);
+  // One PredictBatch call serves the whole dispatched batch through the
+  // backend's batched kernel (bit-identical to per-request Predict, so
+  // golden traces and simulated results are unchanged); ragged feature
+  // arity within a batch falls back to per-row serving.
+  std::vector<size_t> all(batch_size);
+  for (size_t i = 0; i < batch_size; ++i) all[i] = i;
+  std::vector<autonomy::ResilientModelServer::ServeResult> served_rows;
+  common::Matrix features;
+  if (batch_size > 0 && GatherFeatures(batch.requests, all, &features)) {
+    backend->PredictBatch(features, now, &served_rows);
+  } else {
+    served_rows.resize(batch_size);
+    for (size_t i = 0; i < batch_size; ++i) {
+      served_rows[i] = backend->Predict(batch.requests[i].features, now);
+    }
+  }
+  for (size_t i = 0; i < batch_size; ++i) {
+    const Request& request = batch.requests[i];
+    const autonomy::ResilientModelServer::ServeResult& served =
+        served_rows[i];
     Response response;
     response.id = request.id;
     response.outcome = Outcome::kServed;

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <limits>
 #include <thread>
 #include <vector>
 
@@ -48,6 +49,7 @@ TEST(RetryPolicyTest, RunRetriesUntilSuccess) {
   EXPECT_EQ(r.attempts, 3);
   EXPECT_EQ(calls, 3);
   EXPECT_DOUBLE_EQ(r.total_backoff_seconds, 1.0 + 2.0);
+  EXPECT_EQ(r.give_up_reason, RetryGiveUpReason::kNone);
 }
 
 TEST(RetryPolicyTest, NonRetriableErrorShortCircuits) {
@@ -61,6 +63,7 @@ TEST(RetryPolicyTest, NonRetriableErrorShortCircuits) {
   EXPECT_EQ(r.attempts, 1);
   EXPECT_EQ(calls, 1);
   EXPECT_DOUBLE_EQ(r.total_backoff_seconds, 0.0);
+  EXPECT_EQ(r.give_up_reason, RetryGiveUpReason::kNonRetriable);
 }
 
 TEST(RetryPolicyTest, ExhaustsAttemptBudget) {
@@ -69,6 +72,9 @@ TEST(RetryPolicyTest, ExhaustsAttemptBudget) {
   EXPECT_EQ(r.status.code(), StatusCode::kResourceExhausted);
   EXPECT_EQ(r.attempts, 4);
   EXPECT_DOUBLE_EQ(r.total_backoff_seconds, 1.0 + 2.0 + 4.0);
+  // The loop ran out of attempts, not time: callers alerting on give-ups
+  // see the two exits as distinct reasons.
+  EXPECT_EQ(r.give_up_reason, RetryGiveUpReason::kAttemptsExhausted);
 }
 
 TEST(RetryPolicyTest, DeadlineStopsEarly) {
@@ -86,6 +92,42 @@ TEST(RetryPolicyTest, DeadlineStopsEarly) {
   EXPECT_EQ(calls, 2);
   EXPECT_EQ(r.status.code(), StatusCode::kInternal);
   EXPECT_DOUBLE_EQ(r.total_backoff_seconds, 10.0);
+  EXPECT_EQ(r.give_up_reason, RetryGiveUpReason::kDeadlineExceeded);
+}
+
+TEST(RetryPolicyTest, DeadlineAbortDoesNotAdvanceJitterStream) {
+  // Regression: the deadline exit used to draw jitter for a backoff that
+  // was never slept, silently shifting every later delay of a shared
+  // policy relative to a policy that never hit a deadline.
+  RetryOptions with_deadline{.max_attempts = 10,
+                             .initial_backoff_seconds = 10.0,
+                             .jitter = 0.25,
+                             .deadline_seconds = 12.0};
+  RetryOptions no_deadline = with_deadline;
+  no_deadline.deadline_seconds = std::numeric_limits<double>::infinity();
+  RetryPolicy aborted(with_deadline, 42);
+  RetryPolicy fresh(no_deadline, 42);
+  // Backoffs would be ~10, ~20 (jittered); the first fits inside 12, the
+  // second draw must be rolled back when the deadline aborts it.
+  RetryResult r = aborted.Run([]() { return Status::Internal("down"); });
+  EXPECT_EQ(r.give_up_reason, RetryGiveUpReason::kDeadlineExceeded);
+  EXPECT_EQ(r.attempts, 2);
+  // `fresh` consumes the one draw the aborted run legitimately used...
+  (void)fresh.BackoffFor(1);
+  // ...after which both streams must agree exactly.
+  for (int i = 1; i <= 5; ++i) {
+    EXPECT_DOUBLE_EQ(aborted.BackoffFor(i), fresh.BackoffFor(i)) << i;
+  }
+}
+
+TEST(RetryPolicyTest, GiveUpReasonNames) {
+  EXPECT_STREQ(RetryGiveUpReasonName(RetryGiveUpReason::kNone), "none");
+  EXPECT_STREQ(RetryGiveUpReasonName(RetryGiveUpReason::kNonRetriable),
+               "non_retriable");
+  EXPECT_STREQ(RetryGiveUpReasonName(RetryGiveUpReason::kAttemptsExhausted),
+               "attempts_exhausted");
+  EXPECT_STREQ(RetryGiveUpReasonName(RetryGiveUpReason::kDeadlineExceeded),
+               "deadline_exceeded");
 }
 
 TEST(RetryPolicyTest, RetriableCodes) {

@@ -41,13 +41,47 @@ TEST(TenantRateLimiterTest, TenantsAreIsolated) {
 
 TEST(TenantRateLimiterTest, PerTenantOverride) {
   TenantRateLimiter limiter({.capacity = 1.0, .refill_per_second = 0.0});
-  limiter.SetTenantLimit("vip", {.capacity = 10.0, .refill_per_second = 0.0});
+  limiter.SetTenantLimit("vip", {.capacity = 10.0, .refill_per_second = 0.0},
+                         0.0);
   for (int i = 0; i < 10; ++i) {
     EXPECT_TRUE(limiter.Admit("vip", 0.0)) << i;
   }
   EXPECT_FALSE(limiter.Admit("vip", 0.0));
   EXPECT_TRUE(limiter.Admit("standard", 0.0));
   EXPECT_FALSE(limiter.Admit("standard", 0.0));
+}
+
+TEST(TenantRateLimiterTest, MidRunTighteningKeepsEarnedBalance) {
+  // Regression: SetTenantLimit used to reset the bucket to full capacity
+  // and rewind last_refill to 0.0, so tightening a noisy tenant's limit
+  // mid-run handed it a fresh burst plus a refill window covering the
+  // entire past.
+  TenantRateLimiter limiter({.capacity = 10.0, .refill_per_second = 1.0});
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(limiter.Admit("noisy", 100.0)) << i;
+  }
+  EXPECT_FALSE(limiter.Admit("noisy", 100.0));  // drained at t=100
+  // Tighten mid-run: the drained balance carries over (clamped to the new
+  // capacity of 2), and the refill clock stays at t=100 — no free tokens.
+  limiter.SetTenantLimit(
+      "noisy", {.capacity = 2.0, .refill_per_second = 1.0}, 100.0);
+  EXPECT_DOUBLE_EQ(limiter.TokensAvailable("noisy", 100.0), 0.0);
+  EXPECT_FALSE(limiter.Admit("noisy", 100.0));
+  // Refill accrues from t=100 under the new parameters and caps at the
+  // new capacity.
+  EXPECT_TRUE(limiter.Admit("noisy", 101.0));
+  EXPECT_FALSE(limiter.Admit("noisy", 101.0));
+  EXPECT_DOUBLE_EQ(limiter.TokensAvailable("noisy", 200.0), 2.0);
+  // A surplus above the new capacity is clamped, not preserved: an idle
+  // tenant reconfigured downward keeps at most the new burst size.
+  EXPECT_TRUE(limiter.Admit("idle", 50.0));  // bucket now 9/10 at t=50
+  limiter.SetTenantLimit(
+      "idle", {.capacity = 3.0, .refill_per_second = 0.0}, 50.0);
+  EXPECT_DOUBLE_EQ(limiter.TokensAvailable("idle", 50.0), 3.0);
+  // First-seen tenants configured mid-run start full at `now`, not at 0.
+  limiter.SetTenantLimit(
+      "fresh", {.capacity = 1.0, .refill_per_second = 1000.0}, 70.0);
+  EXPECT_DOUBLE_EQ(limiter.TokensAvailable("fresh", 70.0), 1.0);
 }
 
 TEST(TenantRateLimiterTest, TokensAvailableIsNonMutating) {
