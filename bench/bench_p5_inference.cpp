@@ -13,10 +13,13 @@
 //   - machine-readable metrics as JSON (--out=PATH, default BENCH_p5.json);
 //   - optional self-gate: --baseline=PATH loads a checked-in JSON and fails
 //     (exit 1) if any *_speedup metric listed there regressed by more than
-//     2x. Only speedup RATIOS are gated — absolute rows/sec depend on the
-//     machine, ratios are portable across CI hardware.
+//     2x, or fell below an absolute `min_ratio.<metric>` floor the baseline
+//     declares. Only speedup RATIOS are gated — absolute rows/sec depend on
+//     the machine, ratios are portable across CI hardware.
 //
 // `--smoke` shrinks training sets, batch sizes and repetitions for CI.
+// `--simd=off|sse|avx2` forces the dispatch tier (clamped to what the CPU
+// supports); the active tier is reported in the table and the JSON.
 
 #include <algorithm>
 #include <cctype>
@@ -35,6 +38,7 @@
 #include "common/logging.h"
 #include "common/matrix.h"
 #include "common/rng.h"
+#include "common/simd.h"
 #include "common/table.h"
 #include "common/thread_pool.h"
 #include "ml/dataset.h"
@@ -151,8 +155,10 @@ void RunKernelThroughput() {
   auto models = FitModels(data);
   common::ThreadPool& pool = common::ThreadPool::Global();
 
-  common::Table table({"model", "batch", "scalar Mrows/s", "batched Mrows/s",
-                       "threaded Mrows/s", "batched x", "threaded x"});
+  const char* simd = common::SimdLevelName(common::ActiveSimdLevel());
+  common::Table table({"model", "batch", "simd", "scalar Mrows/s",
+                       "batched Mrows/s", "threaded Mrows/s", "batched x",
+                       "threaded x"});
   for (const auto& [name, model] : models) {
     for (size_t batch : batches) {
       common::Matrix queries = MakeQueries(batch);
@@ -189,7 +195,7 @@ void RunKernelThroughput() {
       Metric(key + ".threaded_rps", threaded_rps);
       Metric(key + ".batched_speedup", batched_rps / scalar_rps);
       Metric(key + ".threaded_speedup", threaded_rps / scalar_rps);
-      table.AddRow({name, std::to_string(batch),
+      table.AddRow({name, std::to_string(batch), simd,
                     common::Table::Num(scalar_rps / 1e6, 2),
                     common::Table::Num(batched_rps / 1e6, 2),
                     common::Table::Num(threaded_rps / 1e6, 2),
@@ -265,6 +271,8 @@ void WriteJson(const std::string& path) {
   ADS_CHECK(f != nullptr) << "cannot write " << path;
   std::fprintf(f, "{\n  \"bench\": \"bench_p5_inference\",\n");
   std::fprintf(f, "  \"smoke\": %s,\n", g_smoke ? "true" : "false");
+  std::fprintf(f, "  \"simd\": \"%s\",\n",
+               common::SimdLevelName(common::ActiveSimdLevel()));
   std::fprintf(f, "  \"metrics\": {\n");
   for (size_t i = 0; i < g_metrics.size(); ++i) {
     std::fprintf(f, "    \"%s\": %.17g%s\n", g_metrics[i].first.c_str(),
@@ -301,7 +309,11 @@ std::vector<std::pair<std::string, double>> ParseMetrics(
 }
 
 /// Gate: every *_speedup metric named in the baseline must be at least
-/// half its baseline value. Returns the number of violations.
+/// half its baseline value, AND at least any absolute `min_ratio.<metric>`
+/// floor the baseline declares. The relative check catches regressions
+/// against the last re-baseline; the floors encode the gains this bench
+/// exists to protect (e.g. mlp batched >= 2x) so a quiet re-baseline can
+/// never ratchet them away. Returns the number of violations.
 int CheckAgainstBaseline(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "r");
   ADS_CHECK(f != nullptr) << "cannot read baseline " << path;
@@ -311,25 +323,65 @@ int CheckAgainstBaseline(const std::string& path) {
   while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
   std::fclose(f);
 
-  int failures = 0;
-  std::printf("\nP5 gate | threshold: current speedup >= baseline / 2\n");
-  for (const auto& [key, expected] : ParseMetrics(text)) {
-    if (key.size() < 8 || key.substr(key.size() - 8) != "_speedup") continue;
-    double current = -1.0;
-    for (const auto& [name, value] : g_metrics) {
-      if (name == key) {
-        current = value;
-        break;
+  const auto baseline_metrics = ParseMetrics(text);
+  constexpr char kFloorPrefix[] = "min_ratio.";
+  constexpr size_t kFloorPrefixLen = sizeof(kFloorPrefix) - 1;
+  auto floor_for = [&](const std::string& key) {
+    for (const auto& [name, value] : baseline_metrics) {
+      if (name.size() == kFloorPrefixLen + key.size() &&
+          name.compare(0, kFloorPrefixLen, kFloorPrefix) == 0 &&
+          name.compare(kFloorPrefixLen, key.size(), key) == 0) {
+        return value;
       }
     }
+    return 0.0;
+  };
+  auto current_for = [&](const std::string& key) {
+    for (const auto& [name, value] : g_metrics) {
+      if (name == key) return value;
+    }
+    return -1.0;
+  };
+
+  int failures = 0;
+  std::printf("\nP5 gate | current speedup >= baseline / 2 and >= floor\n");
+  for (const auto& [key, expected] : ParseMetrics(text)) {
+    if (key.size() < 8 || key.substr(key.size() - 8) != "_speedup") continue;
+    if (key.compare(0, kFloorPrefixLen, kFloorPrefix) == 0) continue;
+    const double current = current_for(key);
     if (current < 0.0) {
       std::printf("  MISSING %-38s baseline %.2f\n", key.c_str(), expected);
       ++failures;
       continue;
     }
-    const bool ok = current >= expected / 2.0;
-    std::printf("  %-7s %-38s current %.2fx vs baseline %.2fx\n",
-                ok ? "ok" : "REGRESS", key.c_str(), current, expected);
+    const double floor = floor_for(key);
+    const bool ok = current >= expected / 2.0 && current >= floor;
+    if (floor > 0.0) {
+      std::printf("  %-7s %-38s current %.2fx vs baseline %.2fx, floor %.2fx\n",
+                  ok ? "ok" : "REGRESS", key.c_str(), current, expected, floor);
+    } else {
+      std::printf("  %-7s %-38s current %.2fx vs baseline %.2fx\n",
+                  ok ? "ok" : "REGRESS", key.c_str(), current, expected);
+    }
+    if (!ok) ++failures;
+  }
+  // A floor whose metric the baseline forgot to list must still bind.
+  for (const auto& [key, floor] : baseline_metrics) {
+    if (key.compare(0, kFloorPrefixLen, kFloorPrefix) != 0) continue;
+    const std::string metric = key.substr(kFloorPrefixLen);
+    bool listed = false;
+    for (const auto& [name, value] : baseline_metrics) {
+      (void)value;
+      if (name == metric) {
+        listed = true;
+        break;
+      }
+    }
+    if (listed) continue;  // already checked above
+    const double current = current_for(metric);
+    const bool ok = current >= floor;
+    std::printf("  %-7s %-38s current %.2fx vs floor %.2fx\n",
+                ok ? "ok" : "REGRESS", metric.c_str(), current, floor);
     if (!ok) ++failures;
   }
   return failures;
@@ -344,8 +396,15 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--smoke") == 0) g_smoke = true;
     if (std::strncmp(argv[i], "--out=", 6) == 0) out = argv[i] + 6;
     if (std::strncmp(argv[i], "--baseline=", 11) == 0) baseline = argv[i] + 11;
+    if (std::strncmp(argv[i], "--simd=", 7) == 0) {
+      // Same spelling and clamping as the ADS_SIMD env override.
+      common::SetSimdLevel(common::ResolveSimdLevel(argv[i] + 7,
+                                                    common::DetectCpuLevel()));
+    }
   }
-  std::printf("P5 | batched inference bench%s\n\n", g_smoke ? " (smoke)" : "");
+  std::printf("P5 | batched inference bench%s, simd=%s\n\n",
+              g_smoke ? " (smoke)" : "",
+              common::SimdLevelName(common::ActiveSimdLevel()));
   RunKernelThroughput();
   std::printf("\n");
   RunServingTail();
@@ -353,7 +412,8 @@ int main(int argc, char** argv) {
   if (!baseline.empty()) {
     int failures = CheckAgainstBaseline(baseline);
     if (failures > 0) {
-      std::printf("P5 gate FAILED: %d metric(s) regressed more than 2x\n",
+      std::printf("P5 gate FAILED: %d metric(s) regressed more than 2x or "
+                  "fell below a floor\n",
                   failures);
       return 1;
     }

@@ -1,0 +1,101 @@
+#include "common/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#endif
+
+namespace ads::common {
+
+namespace {
+
+constexpr uint32_t kLeaf1EcxSse42 = 1u << 20;
+constexpr uint32_t kLeaf7EbxAvx2 = 1u << 5;
+
+// kScalar..kAvx2 are totally ordered tiers; clamping is integer min.
+SimdLevel Min(SimdLevel a, SimdLevel b) {
+  return static_cast<int>(a) < static_cast<int>(b) ? a : b;
+}
+
+}  // namespace
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kSse:
+      return "sse";
+    case SimdLevel::kAvx2:
+      return "avx2";
+  }
+  return "scalar";
+}
+
+SimdLevel ClassifyCpuidFeatures(uint32_t leaf1_ecx, uint32_t leaf7_ebx) {
+  const bool sse42 = (leaf1_ecx & kLeaf1EcxSse42) != 0;
+  if (sse42 && (leaf7_ebx & kLeaf7EbxAvx2) != 0) return SimdLevel::kAvx2;
+  if (sse42) return SimdLevel::kSse;
+  return SimdLevel::kScalar;
+}
+
+SimdLevel DetectCpuLevel() {
+#if defined(__x86_64__) || defined(__i386__)
+  uint32_t eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx) == 0) return SimdLevel::kScalar;
+  const uint32_t leaf1_ecx = ecx;
+  uint32_t leaf7_ebx = 0;
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx) != 0) leaf7_ebx = ebx;
+  SimdLevel level = ClassifyCpuidFeatures(leaf1_ecx, leaf7_ebx);
+  // The feature bits say the silicon can; __builtin_cpu_supports folds in
+  // the OSXSAVE/xgetbv check that the OS preserves ymm state on context
+  // switch. Without it an AVX2 kernel would corrupt registers under an
+  // old kernel, so clamp to sse.
+  if (level == SimdLevel::kAvx2 && !__builtin_cpu_supports("avx2")) {
+    level = SimdLevel::kSse;
+  }
+  return level;
+#else
+  return SimdLevel::kScalar;
+#endif
+}
+
+SimdLevel ResolveSimdLevel(const char* override_value, SimdLevel detected) {
+  if (override_value == nullptr || override_value[0] == '\0') return detected;
+  SimdLevel requested;
+  if (std::strcmp(override_value, "off") == 0 ||
+      std::strcmp(override_value, "scalar") == 0) {
+    requested = SimdLevel::kScalar;
+  } else if (std::strcmp(override_value, "sse") == 0) {
+    requested = SimdLevel::kSse;
+  } else if (std::strcmp(override_value, "avx2") == 0) {
+    requested = SimdLevel::kAvx2;
+  } else {
+    return detected;  // unrecognized: ignore, run at the detected tier
+  }
+  return Min(requested, detected);
+}
+
+namespace {
+
+std::atomic<SimdLevel>& ActiveLevelSlot() {
+  static std::atomic<SimdLevel> active(
+      ResolveSimdLevel(std::getenv("ADS_SIMD"), DetectCpuLevel()));
+  return active;
+}
+
+}  // namespace
+
+SimdLevel ActiveSimdLevel() {
+  return ActiveLevelSlot().load(std::memory_order_relaxed);
+}
+
+SimdLevel SetSimdLevel(SimdLevel level) {
+  const SimdLevel effective = Min(level, DetectCpuLevel());
+  ActiveLevelSlot().store(effective, std::memory_order_relaxed);
+  return effective;
+}
+
+}  // namespace ads::common

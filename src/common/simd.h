@@ -1,0 +1,53 @@
+#ifndef ADS_COMMON_SIMD_H_
+#define ADS_COMMON_SIMD_H_
+
+#include <cstdint>
+
+namespace ads::common {
+
+/// Instruction-set tiers the inference kernels dispatch between at runtime.
+/// Every tier computes bit-identical results — kScalar is the golden
+/// reference, the wider tiers just evaluate more independent rows per
+/// instruction — so the choice is purely a throughput knob and can be
+/// forced per-process (env) or per-call-site (SetSimdLevel) for testing.
+enum class SimdLevel {
+  kScalar = 0,  // plain loops, autovectorizable at -O2, always available
+  kSse = 1,     // 2-wide double lanes, gated on SSE4.2
+  kAvx2 = 2,    // 4-wide double lanes, gated on AVX2
+};
+
+/// Lowercase tier name: "scalar", "sse", "avx2".
+const char* SimdLevelName(SimdLevel level);
+
+/// Pure decode of the cpuid feature words the dispatcher consumes: ECX of
+/// leaf 1 (SSE4.2 is bit 20) and EBX of leaf 7/subleaf 0 (AVX2 is bit 5).
+/// AVX2 classification requires the SSE4.2 bit too — every AVX2 part sets
+/// it, and the sse tier must stay reachable as a fallback. Split out from
+/// DetectCpuLevel so the bit twiddling is unit-testable without real cpuid.
+SimdLevel ClassifyCpuidFeatures(uint32_t leaf1_ecx, uint32_t leaf7_ebx);
+
+/// Queries cpuid on x86-64 (always kScalar elsewhere). The AVX2 tier is
+/// additionally gated on OS ymm-state support (xsave), so the returned
+/// level is safe to execute.
+SimdLevel DetectCpuLevel();
+
+/// Resolves the level to run at from an ADS_SIMD-style override string and
+/// the detected ceiling. Precedence: a valid override ("off"/"scalar",
+/// "sse", "avx2") wins but is clamped to `detected` (forcing avx2 on a
+/// non-avx2 machine must not crash); null/empty/unrecognized values fall
+/// back to `detected`, the best safe tier.
+SimdLevel ResolveSimdLevel(const char* override_value, SimdLevel detected);
+
+/// The process-wide level the kernels dispatch on. Initialized lazily from
+/// ResolveSimdLevel(getenv("ADS_SIMD"), DetectCpuLevel()); later writes via
+/// SetSimdLevel take effect immediately (tests and the bench --simd flag
+/// sweep levels within one process).
+SimdLevel ActiveSimdLevel();
+
+/// Forces the dispatch level, clamped to DetectCpuLevel() so a forced tier
+/// is always executable. Returns the level actually installed.
+SimdLevel SetSimdLevel(SimdLevel level);
+
+}  // namespace ads::common
+
+#endif  // ADS_COMMON_SIMD_H_

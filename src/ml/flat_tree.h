@@ -5,6 +5,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/aligned.h"
 #include "common/matrix.h"
 
 namespace ads::ml {
@@ -62,6 +63,20 @@ class FlatTreeEnsemble {
   /// Minimum feature arity a row must have (max split feature + 1).
   size_t min_arity() const { return min_arity_; }
 
+  /// Start of the packed node arena — 64-byte aligned (AlignedBuffer), so
+  /// the level-0 nodes of every tree start on a fresh cache line and no
+  /// load splits lines that a mid-line base would force. Exposed for the
+  /// alignment unit test.
+  const Node* arena_data() const { return nodes_.data(); }
+  size_t arena_bytes() const { return nodes_.size() * sizeof(Node); }
+
+  /// Row-block width the level-synchronous kernel tiles with, picked from
+  /// a compile-time table keyed on arena_bytes(): an arena that fits L2
+  /// alongside the per-row block state keeps the PR 5 block; bigger arenas
+  /// get wider blocks so each streaming pass over the nodes is amortised
+  /// over more rows. Exposed so tests can pin the table's behaviour.
+  size_t block_rows() const;
+
   /// Prediction for one contiguous row of at least min_arity() features.
   double PredictRow(const double* row) const;
 
@@ -88,7 +103,7 @@ class FlatTreeEnsemble {
   double base_ = 0.0;
   double rate_ = 1.0;
   size_t min_arity_ = 0;
-  std::vector<Node> nodes_;      // all trees, arena order, tree after tree
+  common::AlignedBuffer<Node> nodes_;  // all trees, arena order, tree by tree
   std::vector<int32_t> roots_;   // root node index per tree
   std::vector<int32_t> depths_;  // max root->leaf edge count per tree
 };

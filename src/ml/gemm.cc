@@ -1,0 +1,513 @@
+// Register-blocked dense-layer microkernels. This TU is compiled with
+// -ffp-contract=off (see src/ml/CMakeLists.txt): the bit-identity contract
+// in gemm.h forbids fusing mul+add into FMA, in the reference loop and in
+// the intrinsic tiers alike — contraction rounds once where the scalar
+// Predict walk rounds twice.
+
+#include "ml/gemm.h"
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+
+#include "common/logging.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#define ADS_GEMM_X86 1
+#include <immintrin.h>
+#endif
+
+namespace ads::ml {
+
+namespace {
+
+void PackTileScalar(const common::Matrix& rows, size_t begin, size_t n,
+                    size_t i0, double* x_t) {
+  const size_t d = rows.cols();
+  for (size_t i = i0; i < n; ++i) {
+    const double* src = rows.RowPtr(begin + i);
+    for (size_t j = 0; j < d; ++j) x_t[j * n + i] = src[j];
+  }
+}
+
+void PackStandardizedTileScalar(const common::Matrix& rows, size_t begin,
+                                size_t n, size_t i0, const double* means,
+                                const double* scales, double* x_t) {
+  const size_t d = rows.cols();
+  for (size_t i = i0; i < n; ++i) {
+    const double* src = rows.RowPtr(begin + i);
+    for (size_t j = 0; j < d; ++j) {
+      x_t[j * n + i] = (src[j] - means[j]) / scales[j];
+    }
+  }
+}
+
+#if defined(ADS_GEMM_X86)
+
+/// 4x4 double block transpose: four row fragments in, four feature-column
+/// fragments out. Data movement only — lane order never touches a rounding.
+__attribute__((target("avx2"))) inline void Transpose4x4(
+    const double* r0, const double* r1, const double* r2, const double* r3,
+    __m256d* c0, __m256d* c1, __m256d* c2, __m256d* c3) {
+  const __m256d a = _mm256_loadu_pd(r0);
+  const __m256d b = _mm256_loadu_pd(r1);
+  const __m256d c = _mm256_loadu_pd(r2);
+  const __m256d e = _mm256_loadu_pd(r3);
+  const __m256d lo_ab = _mm256_unpacklo_pd(a, b);
+  const __m256d hi_ab = _mm256_unpackhi_pd(a, b);
+  const __m256d lo_ce = _mm256_unpacklo_pd(c, e);
+  const __m256d hi_ce = _mm256_unpackhi_pd(c, e);
+  *c0 = _mm256_permute2f128_pd(lo_ab, lo_ce, 0x20);
+  *c1 = _mm256_permute2f128_pd(hi_ab, hi_ce, 0x20);
+  *c2 = _mm256_permute2f128_pd(lo_ab, lo_ce, 0x31);
+  *c3 = _mm256_permute2f128_pd(hi_ab, hi_ce, 0x31);
+}
+
+__attribute__((target("avx2"))) void PackTileAvx2(const common::Matrix& rows,
+                                                  size_t begin, size_t n,
+                                                  double* x_t) {
+  const size_t d = rows.cols();
+  const size_t d4 = d / 4 * 4;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const double* r0 = rows.RowPtr(begin + i);
+    const double* r1 = rows.RowPtr(begin + i + 1);
+    const double* r2 = rows.RowPtr(begin + i + 2);
+    const double* r3 = rows.RowPtr(begin + i + 3);
+    for (size_t j = 0; j < d4; j += 4) {
+      __m256d c0, c1, c2, c3;
+      Transpose4x4(r0 + j, r1 + j, r2 + j, r3 + j, &c0, &c1, &c2, &c3);
+      _mm256_storeu_pd(x_t + (j + 0) * n + i, c0);
+      _mm256_storeu_pd(x_t + (j + 1) * n + i, c1);
+      _mm256_storeu_pd(x_t + (j + 2) * n + i, c2);
+      _mm256_storeu_pd(x_t + (j + 3) * n + i, c3);
+    }
+    for (size_t j = d4; j < d; ++j) {
+      x_t[j * n + i] = r0[j];
+      x_t[j * n + i + 1] = r1[j];
+      x_t[j * n + i + 2] = r2[j];
+      x_t[j * n + i + 3] = r3[j];
+    }
+  }
+  PackTileScalar(rows, begin, n, i, x_t);
+}
+
+__attribute__((target("avx2"))) void PackStandardizedTileAvx2(
+    const common::Matrix& rows, size_t begin, size_t n, const double* means,
+    const double* scales, double* x_t) {
+  const size_t d = rows.cols();
+  const size_t d4 = d / 4 * 4;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const double* r0 = rows.RowPtr(begin + i);
+    const double* r1 = rows.RowPtr(begin + i + 1);
+    const double* r2 = rows.RowPtr(begin + i + 2);
+    const double* r3 = rows.RowPtr(begin + i + 3);
+    for (size_t j = 0; j < d4; j += 4) {
+      __m256d c0, c1, c2, c3;
+      Transpose4x4(r0 + j, r1 + j, r2 + j, r3 + j, &c0, &c1, &c2, &c3);
+      // After the transpose every lane of ck holds feature j+k of one row:
+      // one broadcast sub and one broadcast div per value, the exact
+      // Standardizer::Transform arithmetic.
+      c0 = _mm256_div_pd(_mm256_sub_pd(c0, _mm256_set1_pd(means[j + 0])),
+                         _mm256_set1_pd(scales[j + 0]));
+      c1 = _mm256_div_pd(_mm256_sub_pd(c1, _mm256_set1_pd(means[j + 1])),
+                         _mm256_set1_pd(scales[j + 1]));
+      c2 = _mm256_div_pd(_mm256_sub_pd(c2, _mm256_set1_pd(means[j + 2])),
+                         _mm256_set1_pd(scales[j + 2]));
+      c3 = _mm256_div_pd(_mm256_sub_pd(c3, _mm256_set1_pd(means[j + 3])),
+                         _mm256_set1_pd(scales[j + 3]));
+      _mm256_storeu_pd(x_t + (j + 0) * n + i, c0);
+      _mm256_storeu_pd(x_t + (j + 1) * n + i, c1);
+      _mm256_storeu_pd(x_t + (j + 2) * n + i, c2);
+      _mm256_storeu_pd(x_t + (j + 3) * n + i, c3);
+    }
+    for (size_t j = d4; j < d; ++j) {
+      x_t[j * n + i] = (r0[j] - means[j]) / scales[j];
+      x_t[j * n + i + 1] = (r1[j] - means[j]) / scales[j];
+      x_t[j * n + i + 2] = (r2[j] - means[j]) / scales[j];
+      x_t[j * n + i + 3] = (r3[j] - means[j]) / scales[j];
+    }
+  }
+  PackStandardizedTileScalar(rows, begin, n, i, means, scales, x_t);
+}
+
+#endif  // ADS_GEMM_X86
+
+}  // namespace
+
+void PackTileT(common::SimdLevel level, const common::Matrix& rows,
+               size_t begin, size_t n, double* x_t) {
+#if defined(ADS_GEMM_X86)
+  if (level == common::SimdLevel::kAvx2) {
+    PackTileAvx2(rows, begin, n, x_t);
+    return;
+  }
+#endif
+  (void)level;
+  PackTileScalar(rows, begin, n, 0, x_t);
+}
+
+void PackStandardizedTileT(common::SimdLevel level, const common::Matrix& rows,
+                           size_t begin, size_t n, const double* means,
+                           const double* scales, double* x_t) {
+#if defined(ADS_GEMM_X86)
+  if (level == common::SimdLevel::kAvx2) {
+    PackStandardizedTileAvx2(rows, begin, n, means, scales, x_t);
+    return;
+  }
+#endif
+  (void)level;
+  PackStandardizedTileScalar(rows, begin, n, 0, means, scales, x_t);
+}
+
+namespace {
+
+/// Reference tier. Rows innermost over contiguous tile panels with a
+/// broadcast weight, so -O2's autovectorizer turns the accumulate loop
+/// into whatever the build target offers without changing per-row
+/// rounding order (lanes are whole rows).
+void ForwardScalar(const double* x_t, size_t n, size_t in_dim,
+                   const double* w, const double* bias, size_t out_dim,
+                   double* out_t) {
+  for (size_t o = 0; o < out_dim; ++o) {
+    double* z = out_t + o * n;
+    const double b = bias[o];
+    for (size_t r = 0; r < n; ++r) z[r] = b;
+    const double* wo = w + o * in_dim;
+    for (size_t in = 0; in < in_dim; ++in) {
+      const double wv = wo[in];
+      const double* x = x_t + in * n;
+      for (size_t r = 0; r < n; ++r) z[r] += wv * x[r];
+    }
+  }
+}
+
+#if defined(ADS_GEMM_X86)
+
+/// One output row, vector-width rows per iteration, scalar row tail.
+/// Shared shape for both intrinsic tiers' out_dim % 4 remainder.
+template <typename Kernel1>
+void ForwardTail(Kernel1 kernel1, const double* x_t, size_t n, size_t in_dim,
+                 const double* w, const double* bias, size_t o_begin,
+                 size_t out_dim, double* out_t) {
+  for (size_t o = o_begin; o < out_dim; ++o) {
+    kernel1(x_t, n, in_dim, w + o * in_dim, bias[o], out_t + o * n);
+  }
+}
+
+/// SSE tier: 2-wide double lanes, blocked 4 outputs x 4 rows (8 xmm
+/// accumulators, each x-panel load shared by four weight broadcasts).
+/// Baseline x86-64 already carries SSE2, so no target attribute is needed;
+/// the kSse dispatch tier is still gated on detected SSE4.2.
+void Forward1Sse(const double* x_t, size_t n, size_t in_dim, const double* wo,
+                 double b, double* z) {
+  size_t r = 0;
+  for (; r + 4 <= n; r += 4) {
+    __m128d a0 = _mm_set1_pd(b);
+    __m128d a1 = _mm_set1_pd(b);
+    for (size_t in = 0; in < in_dim; ++in) {
+      const __m128d wv = _mm_set1_pd(wo[in]);
+      const double* x = x_t + in * n + r;
+      a0 = _mm_add_pd(a0, _mm_mul_pd(wv, _mm_loadu_pd(x)));
+      a1 = _mm_add_pd(a1, _mm_mul_pd(wv, _mm_loadu_pd(x + 2)));
+    }
+    _mm_storeu_pd(z + r, a0);
+    _mm_storeu_pd(z + r + 2, a1);
+  }
+  for (; r < n; ++r) {
+    double acc = b;
+    for (size_t in = 0; in < in_dim; ++in) acc += wo[in] * x_t[in * n + r];
+    z[r] = acc;
+  }
+}
+
+void ForwardSse(const double* x_t, size_t n, size_t in_dim, const double* w,
+                const double* bias, size_t out_dim, double* out_t) {
+  size_t o = 0;
+  for (; o + 4 <= out_dim; o += 4) {
+    const double* w0 = w + (o + 0) * in_dim;
+    const double* w1 = w + (o + 1) * in_dim;
+    const double* w2 = w + (o + 2) * in_dim;
+    const double* w3 = w + (o + 3) * in_dim;
+    double* z0 = out_t + (o + 0) * n;
+    double* z1 = out_t + (o + 1) * n;
+    double* z2 = out_t + (o + 2) * n;
+    double* z3 = out_t + (o + 3) * n;
+    size_t r = 0;
+    for (; r + 2 <= n; r += 2) {
+      __m128d a0 = _mm_set1_pd(bias[o + 0]);
+      __m128d a1 = _mm_set1_pd(bias[o + 1]);
+      __m128d a2 = _mm_set1_pd(bias[o + 2]);
+      __m128d a3 = _mm_set1_pd(bias[o + 3]);
+      for (size_t in = 0; in < in_dim; ++in) {
+        const __m128d xv = _mm_loadu_pd(x_t + in * n + r);
+        a0 = _mm_add_pd(a0, _mm_mul_pd(_mm_set1_pd(w0[in]), xv));
+        a1 = _mm_add_pd(a1, _mm_mul_pd(_mm_set1_pd(w1[in]), xv));
+        a2 = _mm_add_pd(a2, _mm_mul_pd(_mm_set1_pd(w2[in]), xv));
+        a3 = _mm_add_pd(a3, _mm_mul_pd(_mm_set1_pd(w3[in]), xv));
+      }
+      _mm_storeu_pd(z0 + r, a0);
+      _mm_storeu_pd(z1 + r, a1);
+      _mm_storeu_pd(z2 + r, a2);
+      _mm_storeu_pd(z3 + r, a3);
+    }
+    for (; r < n; ++r) {
+      double acc0 = bias[o + 0], acc1 = bias[o + 1];
+      double acc2 = bias[o + 2], acc3 = bias[o + 3];
+      for (size_t in = 0; in < in_dim; ++in) {
+        const double xv = x_t[in * n + r];
+        acc0 += w0[in] * xv;
+        acc1 += w1[in] * xv;
+        acc2 += w2[in] * xv;
+        acc3 += w3[in] * xv;
+      }
+      z0[r] = acc0;
+      z1[r] = acc1;
+      z2[r] = acc2;
+      z3[r] = acc3;
+    }
+  }
+  ForwardTail(Forward1Sse, x_t, n, in_dim, w, bias, o, out_dim, out_t);
+}
+
+/// AVX2 tier: 4-wide double lanes, blocked 4 outputs x 8 rows — eight ymm
+/// accumulators give eight independent add chains (hiding FP add latency)
+/// while each pair of x-panel loads feeds all four output broadcasts.
+__attribute__((target("avx2"))) void Forward1Avx2(const double* x_t, size_t n,
+                                                  size_t in_dim,
+                                                  const double* wo, double b,
+                                                  double* z) {
+  size_t r = 0;
+  for (; r + 8 <= n; r += 8) {
+    __m256d a0 = _mm256_set1_pd(b);
+    __m256d a1 = _mm256_set1_pd(b);
+    for (size_t in = 0; in < in_dim; ++in) {
+      const __m256d wv = _mm256_set1_pd(wo[in]);
+      const double* x = x_t + in * n + r;
+      a0 = _mm256_add_pd(a0, _mm256_mul_pd(wv, _mm256_loadu_pd(x)));
+      a1 = _mm256_add_pd(a1, _mm256_mul_pd(wv, _mm256_loadu_pd(x + 4)));
+    }
+    _mm256_storeu_pd(z + r, a0);
+    _mm256_storeu_pd(z + r + 4, a1);
+  }
+  for (; r < n; ++r) {
+    double acc = b;
+    for (size_t in = 0; in < in_dim; ++in) acc += wo[in] * x_t[in * n + r];
+    z[r] = acc;
+  }
+}
+
+__attribute__((target("avx2"))) void ForwardAvx2(const double* x_t, size_t n,
+                                                 size_t in_dim,
+                                                 const double* w,
+                                                 const double* bias,
+                                                 size_t out_dim,
+                                                 double* out_t) {
+  size_t o = 0;
+  for (; o + 4 <= out_dim; o += 4) {
+    const double* w0 = w + (o + 0) * in_dim;
+    const double* w1 = w + (o + 1) * in_dim;
+    const double* w2 = w + (o + 2) * in_dim;
+    const double* w3 = w + (o + 3) * in_dim;
+    double* z0 = out_t + (o + 0) * n;
+    double* z1 = out_t + (o + 1) * n;
+    double* z2 = out_t + (o + 2) * n;
+    double* z3 = out_t + (o + 3) * n;
+    size_t r = 0;
+    for (; r + 8 <= n; r += 8) {
+      __m256d a0l = _mm256_set1_pd(bias[o + 0]), a0h = a0l;
+      __m256d a1l = _mm256_set1_pd(bias[o + 1]), a1h = a1l;
+      __m256d a2l = _mm256_set1_pd(bias[o + 2]), a2h = a2l;
+      __m256d a3l = _mm256_set1_pd(bias[o + 3]), a3h = a3l;
+      for (size_t in = 0; in < in_dim; ++in) {
+        const double* x = x_t + in * n + r;
+        const __m256d xl = _mm256_loadu_pd(x);
+        const __m256d xh = _mm256_loadu_pd(x + 4);
+        __m256d wv = _mm256_set1_pd(w0[in]);
+        a0l = _mm256_add_pd(a0l, _mm256_mul_pd(wv, xl));
+        a0h = _mm256_add_pd(a0h, _mm256_mul_pd(wv, xh));
+        wv = _mm256_set1_pd(w1[in]);
+        a1l = _mm256_add_pd(a1l, _mm256_mul_pd(wv, xl));
+        a1h = _mm256_add_pd(a1h, _mm256_mul_pd(wv, xh));
+        wv = _mm256_set1_pd(w2[in]);
+        a2l = _mm256_add_pd(a2l, _mm256_mul_pd(wv, xl));
+        a2h = _mm256_add_pd(a2h, _mm256_mul_pd(wv, xh));
+        wv = _mm256_set1_pd(w3[in]);
+        a3l = _mm256_add_pd(a3l, _mm256_mul_pd(wv, xl));
+        a3h = _mm256_add_pd(a3h, _mm256_mul_pd(wv, xh));
+      }
+      _mm256_storeu_pd(z0 + r, a0l);
+      _mm256_storeu_pd(z0 + r + 4, a0h);
+      _mm256_storeu_pd(z1 + r, a1l);
+      _mm256_storeu_pd(z1 + r + 4, a1h);
+      _mm256_storeu_pd(z2 + r, a2l);
+      _mm256_storeu_pd(z2 + r + 4, a2h);
+      _mm256_storeu_pd(z3 + r, a3l);
+      _mm256_storeu_pd(z3 + r + 4, a3h);
+    }
+    for (; r < n; ++r) {
+      double acc0 = bias[o + 0], acc1 = bias[o + 1];
+      double acc2 = bias[o + 2], acc3 = bias[o + 3];
+      for (size_t in = 0; in < in_dim; ++in) {
+        const double xv = x_t[in * n + r];
+        acc0 += w0[in] * xv;
+        acc1 += w1[in] * xv;
+        acc2 += w2[in] * xv;
+        acc3 += w3[in] * xv;
+      }
+      z0[r] = acc0;
+      z1[r] = acc1;
+      z2[r] = acc2;
+      z3[r] = acc3;
+    }
+  }
+  ForwardTail(Forward1Avx2, x_t, n, in_dim, w, bias, o, out_dim, out_t);
+}
+
+#endif  // ADS_GEMM_X86
+
+}  // namespace
+
+void DenseLayerForwardT(common::SimdLevel level, const double* x_t, size_t n,
+                        size_t in_dim, const double* w, const double* bias,
+                        size_t out_dim, double* out_t) {
+  if (n == 0 || out_dim == 0) return;
+#if defined(ADS_GEMM_X86)
+  switch (level) {
+    case common::SimdLevel::kAvx2:
+      ForwardAvx2(x_t, n, in_dim, w, bias, out_dim, out_t);
+      return;
+    case common::SimdLevel::kSse:
+      ForwardSse(x_t, n, in_dim, w, bias, out_dim, out_t);
+      return;
+    case common::SimdLevel::kScalar:
+      break;
+  }
+#else
+  (void)level;
+#endif
+  ForwardScalar(x_t, n, in_dim, w, bias, out_dim, out_t);
+}
+
+// --- FastTanh -------------------------------------------------------------
+//
+// tanh(|x|) = (1 - t) / (1 + t) = 2/(1 + t) - 1 with t = exp(-2|x|), then
+// the sign is copied back. exp is computed cephes-style: z = -2|x| is
+// range-reduced with the split ln2 so r = z - k*ln2 is exact to the last
+// few bits, e^r comes from a degree-10 Taylor Horner (|r| <= ln2/2, so
+// truncation is ~2e-13 relative), and 2^k is built by sliding the integer
+// exponent into place. Every step is a plain IEEE double op in a fixed
+// order, which is what lets the AVX2 panel below replay it lane-for-lane.
+
+namespace {
+
+constexpr double kTanhClamp = 22.0;  // tanh rounds to +/-1 well before this
+constexpr double kLog2E = 1.4426950408889634074;
+constexpr double kLn2Hi = 6.93145751953125e-1;
+constexpr double kLn2Lo = 1.42860682030941723212e-6;
+// 1/i! for i = 2..10, Horner order (highest degree first).
+constexpr double kExpC[] = {
+    2.755731922398589065e-7,   // 1/10!
+    2.755731922398589065e-6,   // 1/9!
+    2.480158730158730159e-5,   // 1/8!
+    1.984126984126984127e-4,   // 1/7!
+    1.388888888888888889e-3,   // 1/6!
+    8.333333333333333333e-3,   // 1/5!
+    4.166666666666666667e-2,   // 1/4!
+    1.666666666666666667e-1,   // 1/3!
+    5.0e-1,                    // 1/2!
+};
+
+inline double Pow2FromInt(int64_t k) {
+  const uint64_t bits = static_cast<uint64_t>(k + 1023) << 52;
+  double scale;
+  std::memcpy(&scale, &bits, sizeof(scale));
+  return scale;
+}
+
+}  // namespace
+
+double FastTanh(double x) {
+  const double ax = std::fabs(x);
+  // Mirrors _mm256_min_pd(ax, clamp): NaN compares false and selects the
+  // clamp, so the tiers agree even on NaN input.
+  const double cx = ax < kTanhClamp ? ax : kTanhClamp;
+  const double z = -2.0 * cx;
+  const double k = std::nearbyint(z * kLog2E);
+  const double r = (z - k * kLn2Hi) - k * kLn2Lo;
+  double q = kExpC[0];
+  for (size_t i = 1; i < sizeof(kExpC) / sizeof(kExpC[0]); ++i) {
+    q = q * r + kExpC[i];
+  }
+  const double e = (1.0 + (r + (r * r) * q)) * Pow2FromInt(static_cast<int64_t>(k));
+  const double y = 2.0 / (e + 1.0) - 1.0;
+  return std::copysign(y, x);
+}
+
+namespace {
+
+void FastTanhScalarLoop(double* v, size_t n) {
+  for (size_t i = 0; i < n; ++i) v[i] = FastTanh(v[i]);
+}
+
+#if defined(ADS_GEMM_X86)
+
+__attribute__((target("avx2"))) void FastTanhAvx2(double* v, size_t n) {
+  const __m256d sign_mask = _mm256_set1_pd(-0.0);
+  const __m256d clamp = _mm256_set1_pd(kTanhClamp);
+  const __m256d log2e = _mm256_set1_pd(kLog2E);
+  const __m256d ln2_hi = _mm256_set1_pd(kLn2Hi);
+  const __m256d ln2_lo = _mm256_set1_pd(kLn2Lo);
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d two = _mm256_set1_pd(2.0);
+  const __m256d neg_two = _mm256_set1_pd(-2.0);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d x = _mm256_loadu_pd(v + i);
+    const __m256d sign = _mm256_and_pd(x, sign_mask);
+    const __m256d ax = _mm256_andnot_pd(sign_mask, x);
+    const __m256d cx = _mm256_min_pd(ax, clamp);
+    const __m256d z = _mm256_mul_pd(neg_two, cx);
+    const __m256d k = _mm256_round_pd(
+        _mm256_mul_pd(z, log2e), _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+    const __m256d r = _mm256_sub_pd(
+        _mm256_sub_pd(z, _mm256_mul_pd(k, ln2_hi)), _mm256_mul_pd(k, ln2_lo));
+    __m256d q = _mm256_set1_pd(kExpC[0]);
+    for (size_t c = 1; c < sizeof(kExpC) / sizeof(kExpC[0]); ++c) {
+      q = _mm256_add_pd(_mm256_mul_pd(q, r), _mm256_set1_pd(kExpC[c]));
+    }
+    const __m256d poly = _mm256_add_pd(
+        one,
+        _mm256_add_pd(r, _mm256_mul_pd(_mm256_mul_pd(r, r), q)));
+    // 2^k: k is integer-valued in [-64, 0]; truncate to int32, widen, and
+    // slide the biased exponent into the top bits.
+    const __m128i k32 = _mm256_cvttpd_epi32(k);
+    const __m256i k64 = _mm256_cvtepi32_epi64(k32);
+    const __m256i bits =
+        _mm256_slli_epi64(_mm256_add_epi64(k64, _mm256_set1_epi64x(1023)), 52);
+    const __m256d scale = _mm256_castsi256_pd(bits);
+    const __m256d e = _mm256_mul_pd(poly, scale);
+    const __m256d y =
+        _mm256_sub_pd(_mm256_div_pd(two, _mm256_add_pd(e, one)), one);
+    _mm256_storeu_pd(v + i, _mm256_or_pd(y, sign));
+  }
+  FastTanhScalarLoop(v + i, n - i);
+}
+
+#endif  // ADS_GEMM_X86
+
+}  // namespace
+
+void FastTanhPanel(common::SimdLevel level, double* v, size_t n) {
+#if defined(ADS_GEMM_X86)
+  if (level == common::SimdLevel::kAvx2) {
+    FastTanhAvx2(v, n);
+    return;
+  }
+#endif
+  (void)level;
+  FastTanhScalarLoop(v, n);
+}
+
+}  // namespace ads::ml

@@ -1,0 +1,73 @@
+#ifndef ADS_ML_GEMM_H_
+#define ADS_ML_GEMM_H_
+
+#include <cstddef>
+
+#include "common/matrix.h"
+#include "common/simd.h"
+
+namespace ads::ml {
+
+/// Batched dense-layer kernels over *transposed row tiles*. A tile holds n
+/// query rows column-panel style — x_t[in * n + r] is feature `in` of tile
+/// row r — so a SIMD lane sweep over r reads contiguous memory while each
+/// row's reduction still runs in plain feature order.
+///
+/// Bit-identity contract (the PR 5 memcmp property, extended to every
+/// SIMD tier): for each tile row r and output o the kernel computes
+///
+///   z = bias[o];
+///   for (in = 0; in < in_dim; ++in) z = z + w[o*in_dim + in] * x_t[in*n + r];
+///   out_t[o*n + r] = z;
+///
+/// with exactly that operation order and rounding. The vector tiers map
+/// *whole rows* to lanes — never partial sums within a row — and this
+/// translation unit is compiled with -ffp-contract=off so neither the
+/// scalar reference loop nor the intrinsics can be fused into FMAs behind
+/// our back. Every tier is therefore memcmp-identical to the scalar
+/// Predict walk, which stays the golden reference.
+
+/// Packs rows [begin, begin+n) of `rows` into a transposed tile. The AVX2
+/// tier runs a 4x4 in-register block transpose — pure data movement (and,
+/// for the standardized form, the same elementwise (x-mean)/scale per
+/// value), so tiering the pack cannot perturb bit-identity. Packing speed
+/// matters: for the single-output linear fold the scalar transpose alone
+/// cost more than the microkernel saved.
+void PackTileT(common::SimdLevel level, const common::Matrix& rows,
+               size_t begin, size_t n, double* x_t);
+
+/// PackTileT fused with standardization: x_t[j*n+i] =
+/// (rows(begin+i, j) - means[j]) / scales[j], element-for-element the same
+/// arithmetic as Standardizer::Transform.
+void PackStandardizedTileT(common::SimdLevel level, const common::Matrix& rows,
+                           size_t begin, size_t n, const double* means,
+                           const double* scales, double* x_t);
+
+/// out_t[o*n + r] = bias[o] + <row r of the tile, weight row o>, reduced
+/// in feature order (see the contract above). `w` is row-major
+/// [out_dim x in_dim]; `level` picks the dispatch tier (callers normally
+/// pass common::ActiveSimdLevel()).
+void DenseLayerForwardT(common::SimdLevel level, const double* x_t, size_t n,
+                        size_t in_dim, const double* w, const double* bias,
+                        size_t out_dim, double* out_t);
+
+/// The MLP's hidden activation: a deterministic tanh built from plain
+/// IEEE mul/add/div/round (range-reduced exp(-2|x|), degree-10 Horner,
+/// exponent bit-twiddle), accurate to ~1e-13 absolute against std::tanh
+/// but — unlike libm — vectorizable with lane-for-lane identical rounding.
+/// glibc's scalar tanh was ~60% of the batched MLP forward pass and has
+/// no bit-compatible SIMD form, so the activation itself is defined by
+/// this function: training, scalar Predict, and every batch tier all call
+/// it (or its panel form below), which is what keeps the memcmp property
+/// intact. Monotone, odd, saturates to ±1 beyond |x| ≈ 19.
+double FastTanh(double x);
+
+/// Elementwise FastTanh over a panel. The AVX2 tier executes the same
+/// operation sequence per lane as the scalar function (no FMA, no
+/// reassociation — this TU is built with -ffp-contract=off), so output is
+/// memcmp-identical across tiers.
+void FastTanhPanel(common::SimdLevel level, double* v, size_t n);
+
+}  // namespace ads::ml
+
+#endif  // ADS_ML_GEMM_H_

@@ -1,10 +1,14 @@
 #include "ml/linear.h"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
+#include "common/aligned.h"
 #include "common/logging.h"
 #include "common/matrix.h"
+#include "common/simd.h"
+#include "ml/gemm.h"
 
 namespace ads::ml {
 
@@ -45,13 +49,36 @@ void LinearRegressor::PredictBatchRange(const common::Matrix& rows,
   ADS_CHECK(fitted()) << "predict on unfitted linear model";
   ADS_CHECK(rows.cols() == weights_.size())
       << "linear predict arity mismatch";
+  if (begin >= end) return;
+  // Folded dot products through the shared dense microkernel: rows are
+  // packed into transposed tiles so a SIMD lane sweep reads contiguous
+  // memory, then the single-output GEMM accumulates each row's dot in
+  // feature order — bit-identical to the scalar fold above for every
+  // dispatch tier (lanes are whole rows). Tile scratch is thread-local,
+  // so steady-state calls allocate nothing and pool workers don't share.
   const double* w = weights_.data();
   const size_t d = weights_.size();
-  for (size_t r = begin; r < end; ++r) {
-    const double* x = rows.RowPtr(r);
-    double y = intercept_;
-    for (size_t j = 0; j < d; ++j) y += w[j] * x[j];
-    out[r] = y;
+  const common::SimdLevel level = common::ActiveSimdLevel();
+  if (level == common::SimdLevel::kScalar) {
+    // No lanes to feed: packing a transposed tile would cost as much as
+    // the fold itself. Keep the direct row-major fold (same reduction
+    // order, so still bit-identical to the tiers below).
+    for (size_t r = begin; r < end; ++r) {
+      const double* x = rows.RowPtr(r);
+      double y = intercept_;
+      for (size_t j = 0; j < d; ++j) y += w[j] * x[j];
+      out[r] = y;
+    }
+    return;
+  }
+  constexpr size_t kTile = 256;
+  thread_local common::AlignedBuffer<double> tile;
+  tile.EnsureCapacity(kTile * std::max<size_t>(d, 1));
+  for (size_t block = begin; block < end; block += kTile) {
+    const size_t n = std::min(kTile, end - block);
+    PackTileT(level, rows, block, n, tile.data());
+    DenseLayerForwardT(level, tile.data(), n, d, w, &intercept_, 1,
+                       out + block);
   }
 }
 

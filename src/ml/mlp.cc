@@ -7,7 +7,9 @@
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/simd.h"
 #include "common/stats.h"
+#include "ml/gemm.h"
 
 namespace ads::ml {
 
@@ -109,7 +111,40 @@ common::Status MlpRegressor::Fit(const Dataset& data) {
     }
   }
   fitted_ = true;
+  PackWeights();
   return common::Status::Ok();
+}
+
+void MlpRegressor::PackWeights() {
+  packed_layers_.assign(layers_.size(), PackedLayer());
+  size_t weight_doubles = 0;
+  size_t bias_doubles = 0;
+  max_width_ = input_standardizer_.means().size();
+  // 64 bytes = 8 doubles: rounding each panel start keeps every layer's
+  // weight block on its own cache-line boundary inside one allocation.
+  constexpr size_t kPad = 8;
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    const Layer& layer = layers_[l];
+    PackedLayer& p = packed_layers_[l];
+    p.out_dim = layer.weights.size();
+    p.in_dim = p.out_dim == 0 ? 0 : layer.weights[0].size();
+    p.w_offset = weight_doubles;
+    p.b_offset = bias_doubles;
+    weight_doubles += (p.out_dim * p.in_dim + kPad - 1) / kPad * kPad;
+    bias_doubles += (p.out_dim + kPad - 1) / kPad * kPad;
+    max_width_ = std::max(max_width_, p.out_dim);
+  }
+  packed_weights_.resize(weight_doubles);
+  packed_biases_.resize(bias_doubles);
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    const Layer& layer = layers_[l];
+    const PackedLayer& p = packed_layers_[l];
+    for (size_t o = 0; o < p.out_dim; ++o) {
+      std::copy(layer.weights[o].begin(), layer.weights[o].end(),
+                packed_weights_.data() + p.w_offset + o * p.in_dim);
+      packed_biases_[p.b_offset + o] = layer.biases[o];
+    }
+  }
 }
 
 std::vector<double> MlpRegressor::Forward(
@@ -125,7 +160,7 @@ std::vector<double> MlpRegressor::Forward(
       for (size_t in = 0; in < cur.size(); ++in) {
         z += layer.weights[o][in] * cur[in];
       }
-      next[o] = (l + 1 < layers_.size()) ? std::tanh(z) : z;
+      next[o] = (l + 1 < layers_.size()) ? FastTanh(z) : z;
     }
     cur = std::move(next);
     if (activations != nullptr && l + 1 < layers_.size()) {
@@ -149,53 +184,45 @@ void MlpRegressor::PredictBatchRange(const common::Matrix& rows, size_t begin,
   ADS_CHECK(rows.cols() == dims) << "mlp predict arity mismatch";
   if (begin >= end) return;
 
-  // Flatten each layer's weights into one contiguous row-major buffer so
-  // the per-row forward pass streams memory instead of hopping between
-  // nested vectors. The flattening cost is one pass over the parameters,
-  // amortized across the whole range.
-  struct FlatLayer {
-    size_t out_dim = 0;
-    size_t in_dim = 0;
-    const double* biases = nullptr;
-    std::vector<double> weights;  // weights[o * in_dim + in]
-  };
-  std::vector<FlatLayer> flat(layers_.size());
-  size_t max_width = dims;
-  for (size_t l = 0; l < layers_.size(); ++l) {
-    const Layer& layer = layers_[l];
-    FlatLayer& f = flat[l];
-    f.out_dim = layer.weights.size();
-    f.in_dim = f.out_dim == 0 ? 0 : layer.weights[0].size();
-    f.biases = layer.biases.data();
-    f.weights.resize(f.out_dim * f.in_dim);
-    for (size_t o = 0; o < f.out_dim; ++o) {
-      std::copy(layer.weights[o].begin(), layer.weights[o].end(),
-                f.weights.begin() + o * f.in_dim);
-    }
-    max_width = std::max(max_width, f.out_dim);
-  }
+  // Tile width: the widest activation panel (max_width_ x tile) should sit
+  // in L1 while the microkernel re-streams it once per 4-output block.
+  // Multiple-of-8 so AVX2 row groups tile evenly; clamped so tiny models
+  // still amortise packing and huge ones cannot blow the scratch.
+  const size_t width = std::max<size_t>(max_width_, 1);
+  const size_t tile =
+      std::clamp<size_t>((32u << 10) / (8 * width) / 8 * 8, 32, 256);
 
+  // Thread-local scratch: two transposed activation panels, reused across
+  // calls (steady-state batch predicts allocate nothing) and private per
+  // pool worker so disjoint ranges can run concurrently.
+  thread_local common::AlignedBuffer<double> scratch;
+  scratch.EnsureCapacity(2 * width * tile);
+
+  const common::SimdLevel level = common::ActiveSimdLevel();
   const double* means = input_standardizer_.means().data();
   const double* scales = input_standardizer_.scales().data();
-  std::vector<double> a(max_width);
-  std::vector<double> b(max_width);
-  for (size_t r = begin; r < end; ++r) {
-    const double* x = rows.RowPtr(r);
-    double* cur = a.data();
-    for (size_t j = 0; j < dims; ++j) cur[j] = (x[j] - means[j]) / scales[j];
-    double* next = b.data();
-    for (size_t l = 0; l < flat.size(); ++l) {
-      const FlatLayer& f = flat[l];
-      const bool hidden = l + 1 < flat.size();
-      for (size_t o = 0; o < f.out_dim; ++o) {
-        const double* w = f.weights.data() + o * f.in_dim;
-        double z = f.biases[o];
-        for (size_t in = 0; in < f.in_dim; ++in) z += w[in] * cur[in];
-        next[o] = hidden ? std::tanh(z) : z;
+  const size_t num_layers = packed_layers_.size();
+  for (size_t block = begin; block < end; block += tile) {
+    const size_t n = std::min(tile, end - block);
+    double* cur = scratch.data();
+    double* next = scratch.data() + width * tile;
+    PackStandardizedTileT(level, rows, block, n, means, scales, cur);
+    for (size_t l = 0; l < num_layers; ++l) {
+      const PackedLayer& p = packed_layers_[l];
+      DenseLayerForwardT(level, cur, n, p.in_dim,
+                         packed_weights_.data() + p.w_offset,
+                         packed_biases_.data() + p.b_offset, p.out_dim, next);
+      if (l + 1 < num_layers) {
+        // Hidden activation, elementwise over the whole panel: FastTanh is
+        // the activation (see gemm.h), so panel and scalar paths agree
+        // bit-for-bit at every dispatch tier.
+        FastTanhPanel(level, next, p.out_dim * n);
       }
       std::swap(cur, next);
     }
-    out[r] = cur[0] * label_scale_ + label_mean_;
+    for (size_t i = 0; i < n; ++i) {
+      out[block + i] = cur[i] * label_scale_ + label_mean_;
+    }
   }
 }
 
@@ -257,6 +284,7 @@ common::Result<MlpRegressor> MlpRegressor::Deserialize(
     model.layers_.push_back(std::move(layer));
   }
   model.fitted_ = true;
+  model.PackWeights();
   return model;
 }
 

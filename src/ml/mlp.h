@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/aligned.h"
 #include "ml/model.h"
 
 namespace ads::ml {
@@ -30,10 +31,14 @@ class MlpRegressor : public Regressor {
 
   common::Status Fit(const Dataset& data) override;
   double Predict(const std::vector<double>& features) const override;
-  /// Batched forward pass: weights are flattened into contiguous row-major
-  /// buffers once per range and activation scratch is reused across rows,
-  /// replacing per-row nested-vector walks and allocations. Bit-identical
-  /// to Predict per row (same per-neuron accumulation order).
+  /// Batched forward pass through the SIMD-dispatched tiled GEMM
+  /// (ml/gemm.h): rows are packed into transposed, standardized tiles and
+  /// each layer runs the register-blocked microkernel at the active
+  /// common::SimdLevel. Weights are packed once at Fit/Deserialize time
+  /// into 64-byte-aligned panels; activation scratch is thread-local, so
+  /// steady-state calls allocate nothing and disjoint ranges may run on
+  /// pool workers concurrently. Bit-identical to Predict per row (SIMD
+  /// lanes are whole rows; per-neuron accumulation order unchanged).
   void PredictBatchRange(const common::Matrix& rows, size_t begin, size_t end,
                          double* out) const override;
   std::string TypeName() const override { return "mlp"; }
@@ -47,6 +52,11 @@ class MlpRegressor : public Regressor {
   /// Total number of trainable parameters.
   size_t parameter_count() const;
 
+  /// Test hook: start of the packed weight panels (64-byte aligned) and
+  /// the widest layer width the batch scratch is sized from.
+  const double* packed_weights_data() const { return packed_weights_.data(); }
+  size_t max_layer_width() const { return max_width_; }
+
  private:
   struct Layer {
     // weights[out][in], biases[out].
@@ -54,9 +64,21 @@ class MlpRegressor : public Regressor {
     std::vector<double> biases;
   };
 
+  /// One layer's view into the packed parameter buffers.
+  struct PackedLayer {
+    size_t out_dim = 0;
+    size_t in_dim = 0;
+    size_t w_offset = 0;  // into packed_weights_, 64-byte-aligned start
+    size_t b_offset = 0;  // into packed_biases_
+  };
+
   std::vector<double> Forward(const std::vector<double>& x,
                               std::vector<std::vector<double>>* activations)
       const;
+
+  /// Flattens layers_ into the contiguous aligned panels the batch kernel
+  /// streams. Called whenever layers_ change (end of Fit / Deserialize).
+  void PackWeights();
 
   Options options_;
   bool fitted_ = false;
@@ -64,6 +86,10 @@ class MlpRegressor : public Regressor {
   Standardizer input_standardizer_;
   double label_mean_ = 0.0;
   double label_scale_ = 1.0;
+  std::vector<PackedLayer> packed_layers_;
+  common::AlignedBuffer<double> packed_weights_;
+  common::AlignedBuffer<double> packed_biases_;
+  size_t max_width_ = 0;
 };
 
 }  // namespace ads::ml

@@ -1,0 +1,89 @@
+#include "common/simd.h"
+
+#include <gtest/gtest.h>
+
+namespace ads::common {
+namespace {
+
+constexpr uint32_t kSse42Bit = 1u << 20;  // leaf 1 ECX
+constexpr uint32_t kAvx2Bit = 1u << 5;    // leaf 7 EBX
+
+TEST(ClassifyCpuidFeatures, NoFeatureBitsMeansScalar) {
+  EXPECT_EQ(ClassifyCpuidFeatures(0, 0), SimdLevel::kScalar);
+}
+
+TEST(ClassifyCpuidFeatures, Sse42BitAloneGivesSse) {
+  EXPECT_EQ(ClassifyCpuidFeatures(kSse42Bit, 0), SimdLevel::kSse);
+}
+
+TEST(ClassifyCpuidFeatures, BothBitsGiveAvx2) {
+  EXPECT_EQ(ClassifyCpuidFeatures(kSse42Bit, kAvx2Bit), SimdLevel::kAvx2);
+}
+
+TEST(ClassifyCpuidFeatures, Avx2WithoutSse42StaysScalar) {
+  // No real part reports this combination; classifying it as scalar keeps
+  // the dispatcher conservative instead of trusting a torn feature read.
+  EXPECT_EQ(ClassifyCpuidFeatures(0, kAvx2Bit), SimdLevel::kScalar);
+}
+
+TEST(ClassifyCpuidFeatures, UnrelatedBitsAreIgnored) {
+  EXPECT_EQ(ClassifyCpuidFeatures(~kSse42Bit, ~kAvx2Bit), SimdLevel::kScalar);
+  EXPECT_EQ(ClassifyCpuidFeatures(~0u, ~0u), SimdLevel::kAvx2);
+}
+
+TEST(SimdLevelNameTest, NamesAllTiers) {
+  EXPECT_STREQ(SimdLevelName(SimdLevel::kScalar), "scalar");
+  EXPECT_STREQ(SimdLevelName(SimdLevel::kSse), "sse");
+  EXPECT_STREQ(SimdLevelName(SimdLevel::kAvx2), "avx2");
+}
+
+TEST(ResolveSimdLevel, NullOrEmptyFallsBackToDetected) {
+  EXPECT_EQ(ResolveSimdLevel(nullptr, SimdLevel::kAvx2), SimdLevel::kAvx2);
+  EXPECT_EQ(ResolveSimdLevel("", SimdLevel::kSse), SimdLevel::kSse);
+}
+
+TEST(ResolveSimdLevel, ValidOverrideWins) {
+  EXPECT_EQ(ResolveSimdLevel("off", SimdLevel::kAvx2), SimdLevel::kScalar);
+  EXPECT_EQ(ResolveSimdLevel("scalar", SimdLevel::kAvx2), SimdLevel::kScalar);
+  EXPECT_EQ(ResolveSimdLevel("sse", SimdLevel::kAvx2), SimdLevel::kSse);
+  EXPECT_EQ(ResolveSimdLevel("avx2", SimdLevel::kAvx2), SimdLevel::kAvx2);
+}
+
+TEST(ResolveSimdLevel, OverrideIsClampedToDetectedCeiling) {
+  // Forcing a tier the CPU lacks must not install it.
+  EXPECT_EQ(ResolveSimdLevel("avx2", SimdLevel::kSse), SimdLevel::kSse);
+  EXPECT_EQ(ResolveSimdLevel("avx2", SimdLevel::kScalar), SimdLevel::kScalar);
+  EXPECT_EQ(ResolveSimdLevel("sse", SimdLevel::kScalar), SimdLevel::kScalar);
+}
+
+TEST(ResolveSimdLevel, UnrecognizedValueFallsBackToDetected) {
+  EXPECT_EQ(ResolveSimdLevel("avx512", SimdLevel::kSse), SimdLevel::kSse);
+  EXPECT_EQ(ResolveSimdLevel("AVX2", SimdLevel::kSse), SimdLevel::kSse);
+  EXPECT_EQ(ResolveSimdLevel("on", SimdLevel::kScalar), SimdLevel::kScalar);
+}
+
+TEST(SetSimdLevelTest, InstallsAndClampsToDetected) {
+  const SimdLevel detected = DetectCpuLevel();
+  const SimdLevel prior = ActiveSimdLevel();
+
+  EXPECT_EQ(SetSimdLevel(SimdLevel::kScalar), SimdLevel::kScalar);
+  EXPECT_EQ(ActiveSimdLevel(), SimdLevel::kScalar);
+
+  // Asking for the widest tier installs at most the detected ceiling.
+  const SimdLevel installed = SetSimdLevel(SimdLevel::kAvx2);
+  EXPECT_EQ(installed, detected);
+  EXPECT_EQ(ActiveSimdLevel(), detected);
+
+  SetSimdLevel(prior);
+}
+
+TEST(DetectCpuLevelTest, StableAndConsistentWithActiveDefault) {
+  const SimdLevel a = DetectCpuLevel();
+  const SimdLevel b = DetectCpuLevel();
+  EXPECT_EQ(a, b);
+  // Whatever is active never exceeds what the CPU supports.
+  EXPECT_LE(static_cast<int>(ActiveSimdLevel()), static_cast<int>(a));
+}
+
+}  // namespace
+}  // namespace ads::common

@@ -1,0 +1,147 @@
+// Regression test for the PR 6 bugfix: MlpRegressor::PredictBatchRange used
+// to build fresh activation vectors per batch, so every serving micro-batch
+// paid allocator traffic. The batch path now runs on packed weights plus a
+// thread-local AlignedBuffer scratch — after a warmup call on each thread,
+// steady-state batch predicts must allocate NOTHING. Enforced here with a
+// counting global operator new/delete rather than inspection, so any future
+// per-call vector sneaking back into the hot path fails this test.
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/matrix.h"
+#include "common/rng.h"
+#include "common/simd.h"
+#include "ml/dataset.h"
+#include "ml/mlp.h"
+
+namespace {
+
+std::atomic<bool> g_counting{false};
+std::atomic<size_t> g_allocations{0};
+
+void Count() {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace
+
+// Throwing forms only: the code under test never uses nothrow new, and the
+// aligned forms forward here too. malloc keeps its own path, which is fine —
+// the containers in the hot path all allocate via operator new.
+//
+// GCC flags free() on new'ed pointers without seeing that these
+// replacements allocate via malloc/aligned_alloc, so free IS the matching
+// deallocator here.
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+void* operator new(size_t n) {
+  Count();
+  void* p = std::malloc(n == 0 ? 1 : n);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](size_t n) { return ::operator new(n); }
+void* operator new(size_t n, std::align_val_t align) {
+  Count();
+  void* p = std::aligned_alloc(static_cast<size_t>(align),
+                               (n + static_cast<size_t>(align) - 1) /
+                                   static_cast<size_t>(align) *
+                                   static_cast<size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](size_t n, std::align_val_t align) {
+  return ::operator new(n, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, size_t) noexcept { std::free(p); }
+void operator delete[](void* p, size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace ads::ml {
+namespace {
+
+constexpr size_t kDims = 6;
+
+MlpRegressor FitSmallMlp() {
+  common::Rng rng(11);
+  Dataset data;
+  for (size_t i = 0; i < 400; ++i) {
+    std::vector<double> x(kDims);
+    for (double& v : x) v = rng.Uniform(-2.0, 2.0);
+    const double label = x[0] - 0.5 * x[1] + rng.Normal(0.0, 0.2);
+    data.Add(std::move(x), label);
+  }
+  MlpRegressor mlp(MlpOptions{.hidden_layers = {16, 16}, .epochs = 3});
+  EXPECT_TRUE(mlp.Fit(data).ok());
+  return mlp;
+}
+
+common::Matrix MakeQueries(size_t rows) {
+  common::Rng rng(23);
+  common::Matrix queries(rows, kDims);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t j = 0; j < kDims; ++j) {
+      queries.At(r, j) = rng.Uniform(-3.0, 3.0);
+    }
+  }
+  return queries;
+}
+
+TEST(MlpAllocTest, BatchPredictAllocatesNothingInSteadyState) {
+  MlpRegressor mlp = FitSmallMlp();
+  common::Matrix queries = MakeQueries(512);
+  std::vector<double> out(queries.rows());
+
+  // Warmup: first call on this thread may size the thread-local scratch.
+  mlp.PredictBatchRange(queries, 0, queries.rows(), out.data());
+
+  g_allocations.store(0);
+  g_counting.store(true);
+  for (int i = 0; i < 8; ++i) {
+    mlp.PredictBatchRange(queries, 0, queries.rows(), out.data());
+  }
+  g_counting.store(false);
+  EXPECT_EQ(g_allocations.load(), 0u)
+      << "steady-state batch predict touched the allocator";
+}
+
+TEST(MlpAllocTest, SteadyStateHoldsAtEverySimdTier) {
+  MlpRegressor mlp = FitSmallMlp();
+  common::Matrix queries = MakeQueries(256);
+  std::vector<double> out(queries.rows());
+
+  const common::SimdLevel prior = common::ActiveSimdLevel();
+  const common::SimdLevel detected = common::DetectCpuLevel();
+  for (common::SimdLevel level :
+       {common::SimdLevel::kScalar, common::SimdLevel::kSse,
+        common::SimdLevel::kAvx2}) {
+    if (static_cast<int>(level) > static_cast<int>(detected)) continue;
+    common::SetSimdLevel(level);
+    mlp.PredictBatchRange(queries, 0, queries.rows(), out.data());  // warmup
+    g_allocations.store(0);
+    g_counting.store(true);
+    mlp.PredictBatchRange(queries, 0, queries.rows(), out.data());
+    g_counting.store(false);
+    EXPECT_EQ(g_allocations.load(), 0u)
+        << "allocation at simd tier " << common::SimdLevelName(level);
+  }
+  common::SetSimdLevel(prior);
+}
+
+}  // namespace
+}  // namespace ads::ml

@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -18,8 +19,10 @@
 
 #include "common/matrix.h"
 #include "common/rng.h"
+#include "common/simd.h"
 #include "common/thread_pool.h"
 #include "ml/dataset.h"
+#include "ml/flat_tree.h"
 #include "ml/forest.h"
 #include "ml/linear.h"
 #include "ml/mlp.h"
@@ -157,6 +160,60 @@ TEST(PredictBatchPropertyTest, EmptyBatchIsANoOp) {
     model->PredictBatch(empty, &out);
     EXPECT_TRUE(out.empty()) << name;
   }
+}
+
+TEST(PredictBatchPropertyTest, EverySimdTierMatchesScalarBitForBit) {
+  // The PR 6 extension of the property: the batched kernels now dispatch
+  // between scalar/SSE/AVX2 tiers at runtime, and every tier available on
+  // this machine must reproduce the scalar Predict walk bit-for-bit. CI
+  // additionally runs the whole binary under ADS_SIMD=off, but this test
+  // sweeps the tiers in-process so one run compares them directly.
+  const common::SimdLevel prior = common::ActiveSimdLevel();
+  const common::SimdLevel detected = common::DetectCpuLevel();
+  Dataset data = MakeTrainingData(21, /*n=*/200, /*d=*/5);
+  common::Matrix queries = MakeQueries(21, /*n=*/311, /*d=*/5);
+  for (const auto& [name, model] : FitAllFamilies(data, 21)) {
+    std::vector<double> scalar(queries.rows());
+    for (size_t r = 0; r < queries.rows(); ++r) {
+      scalar[r] = model->Predict(queries.Row(r));
+    }
+    for (common::SimdLevel level :
+         {common::SimdLevel::kScalar, common::SimdLevel::kSse,
+          common::SimdLevel::kAvx2}) {
+      if (static_cast<int>(level) > static_cast<int>(detected)) continue;
+      ASSERT_EQ(common::SetSimdLevel(level), level);
+      std::vector<double> batched;
+      model->PredictBatch(queries, &batched);
+      ASSERT_EQ(batched.size(), scalar.size()) << name;
+      for (size_t r = 0; r < scalar.size(); ++r) {
+        ASSERT_TRUE(BitEqual(batched[r], scalar[r]))
+            << name << " simd=" << common::SimdLevelName(level)
+            << " row=" << r << ": " << batched[r] << " vs " << scalar[r];
+      }
+    }
+  }
+  common::SetSimdLevel(prior);
+}
+
+TEST(PredictBatchPropertyTest, KernelBuffersAreCacheLineAligned) {
+  // The SIMD kernels assume their backing stores start on a cache line:
+  // the flat-tree node arena and the MLP's packed weight panels live in
+  // AlignedBuffers precisely so lane loads never split lines.
+  auto aligned = [](const void* p) {
+    return reinterpret_cast<uintptr_t>(p) % 64 == 0;
+  };
+  Dataset data = MakeTrainingData(31, 150, 4);
+
+  RegressionTree tree(RegressionTreeOptions{.max_depth = 6});
+  ASSERT_TRUE(tree.Fit(data).ok());
+  FlatTreeEnsemble flat = FlatTreeEnsemble::FromTree(tree);
+  EXPECT_TRUE(aligned(flat.arena_data()));
+  EXPECT_GT(flat.arena_bytes(), 0u);
+
+  MlpRegressor mlp(MlpOptions{.hidden_layers = {8, 4}, .epochs = 2});
+  ASSERT_TRUE(mlp.Fit(data).ok());
+  EXPECT_TRUE(aligned(mlp.packed_weights_data()));
+  EXPECT_GE(mlp.max_layer_width(), 8u);
 }
 
 TEST(PredictBatchPropertyTest, DeserializedModelsKeepTheGuarantee) {
