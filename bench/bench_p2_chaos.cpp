@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "autonomy/loop.h"
 #include "autonomy/serving.h"
 #include "common/event_queue.h"
 #include "common/fault_injection.h"
@@ -37,6 +38,7 @@
 #include "infra/scheduler.h"
 #include "ml/linear.h"
 #include "ml/registry.h"
+#include "serve/virtual_server.h"
 #include "telemetry/span.h"
 #include "telemetry/span_analysis.h"
 
@@ -206,6 +208,132 @@ void RunServingChaos() {
               "(2000 requests each)");
 }
 
+// --flight: machine chaos overlaid on an active canary. The closed
+// autonomy loop drives a drift -> retrain -> canary episode under a
+// VirtualServer; the moment the canary opens, the deployed serving tier
+// starts failing at the configured rate (the "machine under the canary
+// dies" scenario). The fallback chain keeps answering, the breaker
+// opens, the health gate aborts the flight, and the loop lands back on
+// the last good model. Deterministic: seeded injector, virtual time.
+void RunFlightChaos() {
+  common::Table table({"canary fault rate", "outcome", "aborts", "promotes",
+                       "breaker trips", "availability",
+                       "last-good recovery (s)"});
+  for (double rate : {0.0, 0.6, 1.0}) {
+    ml::ModelRegistry registry;
+    registry.Register("m", BlobWithSlope(2.0));
+    ADS_CHECK_OK(registry.Deploy("m", 1));
+    common::FaultInjector injector(31);
+    autonomy::ServingOptions sopts;
+    sopts.breaker.failure_threshold = 3;
+    sopts.breaker.cooldown_seconds = 0.5;
+    autonomy::ResilientModelServer backend(
+        &registry, "m", [](const std::vector<double>&) { return -1.0; },
+        sopts, &injector);
+
+    autonomy::AutonomyLoopOptions lopts;
+    lopts.detector.baseline_window = 20;
+    lopts.detector.recent_window = 20;
+    lopts.retrain_buffer_capacity = 40;
+    lopts.min_retrain_samples = 40;
+    lopts.retrain_duration_seconds = 0.05;
+    lopts.shadow_min_samples = 10;
+    lopts.flight.min_samples_per_arm = 30;  // keeps the canary open a while
+    lopts.canary_tenant_fraction = 0.5;
+    lopts.probation_seconds = 0.4;
+    lopts.cooldown_seconds = 0.2;
+    autonomy::AutonomyLoop loop(
+        &registry, "m",
+        [](const ml::Dataset& data) -> common::Result<std::string> {
+          std::vector<size_t> recent;
+          for (size_t i = data.size() - data.size() / 4; i < data.size(); ++i)
+            recent.push_back(i);
+          ml::LinearRegressor m;
+          common::Status fitted = m.Fit(data.Filter(recent));
+          if (!fitted.ok()) return fitted;
+          return m.Serialize();
+        },
+        lopts);
+
+    serve::VirtualOptions vopts;
+    vopts.core.batcher.max_batch_size = 4;
+    vopts.core.batcher.max_linger_seconds = 0.005;
+    serve::VirtualServer server(vopts);
+    server.RegisterBackend("m", &backend);
+    server.SetRouter(&loop);
+
+    const size_t kN = 400;
+    std::vector<std::string> tenants(kN);
+    std::vector<double> xs(kN, 0.0), arrivals(kN, 0.0);
+    bool chaos_armed = false;
+    double chaos_armed_at = 0.0, recovered_at = 0.0;
+    server.SetResponseCallback([&](const serve::Response& response) {
+      if (response.outcome != serve::Outcome::kServed) return;
+      const uint64_t id = response.id;
+      const double now = arrivals[id] + response.latency_seconds;
+      autonomy::LoopSample sample;
+      sample.tenant = tenants[id];
+      sample.features = {xs[id]};
+      sample.prediction = response.value;
+      sample.served_version = response.model_version;
+      sample.truth = (id < 30 ? 2.0 : 5.0) * xs[id];
+      loop.OnSample(sample, now);
+      // The machine under the canary dies the moment the flight opens.
+      if (!chaos_armed && loop.state() == autonomy::LoopState::kCanary &&
+          rate > 0.0) {
+        injector.Configure("serving.deployed", {.probability = rate});
+        chaos_armed = true;
+        chaos_armed_at = now;
+      }
+      // Health gate: the loop sees the breaker state with every sample.
+      autonomy::HealthSnapshot health;
+      health.breaker_open =
+          backend.breaker().state() == common::CircuitBreaker::State::kOpen;
+      loop.ReportHealth(health, now);
+      // Recovery: the flight is gone and the last good model serves again.
+      if (chaos_armed && recovered_at == 0.0 &&
+          loop.state() == autonomy::LoopState::kSteady &&
+          registry.DeployedVersion("m") == 1) {
+        recovered_at = now;
+        injector.Configure("serving.deployed", {});  // machine comes back
+      }
+    });
+    for (uint64_t id = 0; id < kN; ++id) {
+      serve::Request request;
+      request.id = id;
+      request.model = "m";
+      request.tenant = "t" + std::to_string(id % 8);
+      request.features = {1.0 + static_cast<double>(id % 4)};
+      arrivals[id] = 0.01 * static_cast<double>(id + 1);
+      tenants[id] = request.tenant;
+      xs[id] = request.features[0];
+      server.SubmitAt(arrivals[id], std::move(request));
+    }
+    serve::VirtualReport report = server.Run();
+    ADS_CHECK(report.counters.accepted == report.counters.Finished())
+        << "request accounting broke under flight chaos";
+    const double availability =
+        static_cast<double>(report.counters.served) /
+        static_cast<double>(report.counters.accepted);
+    autonomy::LoopStats stats = loop.stats();
+    const bool aborted = stats.aborts > 0;
+    // With chaos the episode aborts; once the machine recovers the
+    // latched drift alarm retries and the later episode promotes.
+    const std::string outcome =
+        !aborted ? "promoted"
+                 : (stats.promotes > 0 ? "abort, then promote" : "aborted");
+    table.AddRow(
+        {common::Table::Pct(rate), outcome,
+         std::to_string(stats.aborts), std::to_string(stats.promotes),
+         std::to_string(backend.breaker().trips()),
+         common::Table::Pct(availability),
+         aborted ? common::Table::Num(recovered_at - chaos_armed_at, 3)
+                 : "n/a"});
+  }
+  table.Print("P2.4 | flight chaos: machine death under an active canary "
+              "(400 requests, virtual time)");
+}
+
 // One traced engine-chaos run plus one traced infra-chaos run, merged
 // into a single Chrome trace (distinct tracer seeds keep span ids
 // disjoint; every root span gets its own track).
@@ -263,8 +391,10 @@ void WriteChromeTrace(const std::string& path) {
 
 int main(int argc, char** argv) {
   std::string trace_out;
+  bool flight = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    if (arg == "--flight") flight = true;
     const std::string flag = "--trace-out=";
     if (arg.rfind(flag, 0) == 0) trace_out = arg.substr(flag.size());
   }
@@ -275,6 +405,10 @@ int main(int argc, char** argv) {
   RunInfraChaos();
   std::printf("\n");
   RunServingChaos();
+  if (flight) {
+    std::printf("\n");
+    RunFlightChaos();
+  }
   if (!trace_out.empty()) WriteChromeTrace(trace_out);
   return 0;
 }

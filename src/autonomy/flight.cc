@@ -51,6 +51,12 @@ double FlightEvaluator::treatment_mean_error() const {
              : treatment_sum_ / static_cast<double>(treatment_n_);
 }
 
+void FlightEvaluator::Abort() {
+  if (decision_ != Decision::kPending) return;
+  ADS_CHECK_OK(registry_->EndFlight(model_, /*promote=*/false));
+  decision_ = Decision::kAborted;
+}
+
 FlightEvaluator::Decision FlightEvaluator::RecordError(uint32_t version,
                                                        double abs_error) {
   if (decision_ != Decision::kPending) return decision_;

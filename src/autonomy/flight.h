@@ -46,6 +46,13 @@ class FlightEvaluator {
   /// collecting. Promotion/abort ends the registry flight.
   Decision RecordError(uint32_t version, double abs_error);
 
+  /// Force-aborts a pending flight regardless of sample counts — the exit
+  /// an SLO gate takes when serving health (p99, availability, breaker)
+  /// degrades mid-flight and waiting for accuracy evidence would keep a
+  /// harmful candidate in rotation. Ends the registry flight without
+  /// promotion; no-op once a decision has been reached.
+  void Abort();
+
   Decision decision() const { return decision_; }
   double control_mean_error() const;
   double treatment_mean_error() const;

@@ -1,0 +1,32 @@
+#ifndef ADS_AUTONOMY_ROUTER_H_
+#define ADS_AUTONOMY_ROUTER_H_
+
+#include <cstdint>
+#include <string>
+
+namespace ads::autonomy {
+
+/// Admission-time version routing hook: the serving tier asks which model
+/// version must answer a tenant's request. This is how a canary flight
+/// reaches a seeded tenant slice — the autonomy loop implements the
+/// interface and the serving runtimes consult it when a request is
+/// admitted, so routing is decided exactly once per request and the
+/// decision travels with it (see serve::Request::pinned_version).
+///
+/// Implementations must be thread-safe (the threaded runtime calls Route
+/// from concurrent Submit callers) and deterministic in the tenant name
+/// (same tenant — same arm for the whole flight, the unit of a tenant
+/// slice).
+class VersionRouter {
+ public:
+  virtual ~VersionRouter() = default;
+
+  /// Version that must serve `tenant`'s requests for `model`;
+  /// 0 delegates to the version deployed at admission time.
+  virtual uint32_t Route(const std::string& model,
+                         const std::string& tenant) const = 0;
+};
+
+}  // namespace ads::autonomy
+
+#endif  // ADS_AUTONOMY_ROUTER_H_

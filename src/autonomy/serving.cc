@@ -45,25 +45,37 @@ bool ResilientModelServer::TryServe(uint32_t version, const std::string& site,
   return true;
 }
 
+uint32_t ResilientModelServer::CurrentDeployedVersion() const {
+  return registry_->DeployedVersion(model_);
+}
+
 ResilientModelServer::ServeResult ResilientModelServer::Predict(
     const std::vector<double>& features, double now) {
+  return PredictVersion(registry_->DeployedVersion(model_), features, now);
+}
+
+ResilientModelServer::ServeResult ResilientModelServer::PredictVersion(
+    uint32_t version, const std::vector<double>& features, double now) {
+  if (version == 0) version = registry_->DeployedVersion(model_);
   ServeResult result;
-  // Tier 1: the deployed model, guarded by the breaker.
+  // Tier 1: the pinned (normally: deployed) model, guarded by the breaker.
   if (breaker_.AllowRequest(now)) {
-    uint32_t deployed = registry_->DeployedVersion(model_);
-    if (TryServe(deployed, "serving.deployed", features, &result.value)) {
+    if (TryServe(version, "serving.deployed", features, &result.value)) {
       breaker_.RecordSuccess(now);
       result.tier = Tier::kDeployed;
-      result.version = deployed;
+      result.version = version;
       ++served_[static_cast<size_t>(Tier::kDeployed)];
       return result;
     }
     breaker_.RecordFailure(now);
     if (breaker_.state() == common::CircuitBreaker::State::kOpen &&
-        options_.auto_rollback && breaker_.trips() > rollbacks_) {
+        options_.auto_rollback && breaker_.trips() > rollbacks_ &&
+        version == registry_->DeployedVersion(model_)) {
       // The deployed version is consistently failing: withdraw it. The
       // breaker stays open for its cooldown, so the rolled-back model is
-      // first exercised by the half-open probe.
+      // first exercised by the half-open probe. A stale pinned version
+      // (already swapped out) failing must NOT withdraw its successor,
+      // hence the deployed-version check.
       if (registry_->Rollback(model_).ok()) ++rollbacks_;
     }
   }
@@ -86,23 +98,32 @@ ResilientModelServer::ServeResult ResilientModelServer::Predict(
 void ResilientModelServer::PredictBatch(const common::Matrix& features,
                                         double now,
                                         std::vector<ServeResult>* out) {
+  PredictBatchVersion(0, features, now, out);
+}
+
+void ResilientModelServer::PredictBatchVersion(uint32_t version,
+                                               const common::Matrix& features,
+                                               double now,
+                                               std::vector<ServeResult>* out) {
   const size_t n = features.rows();
   out->assign(n, ServeResult());
   if (n == 0) return;
+  // The version is resolved exactly once, so a concurrent promote or
+  // rollback landing mid-batch cannot split the batch across versions.
+  if (version == 0) version = registry_->DeployedVersion(model_);
   // Bulk fast path. Safe exactly when per-row serving could not diverge
   // from one batched call: no injected fault can fire (a disabled injector
   // never fires, so skipping its per-row draws changes nothing) and the
   // breaker is closed (AllowRequest is then a pass-through, and N
   // consecutive RecordSuccess calls collapse to one — both only reset the
   // failure streak). Everything else — open/half-open breakers, pending
-  // faults, a deployed model that fails to materialize — takes the exact
+  // faults, a pinned model that fails to materialize — takes the exact
   // per-row path so probes, rollbacks, and tier fallbacks fire on the same
-  // row they would have with sequential Predict calls.
+  // row they would have with sequential PredictVersion calls.
   const bool quiet = injector_ == nullptr || !injector_->Enabled();
   if (quiet &&
       breaker_.state() == common::CircuitBreaker::State::kClosed) {
-    const uint32_t deployed = registry_->DeployedVersion(model_);
-    ml::Regressor* model = Materialize(deployed);
+    ml::Regressor* model = Materialize(version);
     if (model != nullptr) {
       std::vector<double> values;
       if (n >= options_.parallel_batch_rows) {
@@ -118,7 +139,7 @@ void ResilientModelServer::PredictBatch(const common::Matrix& features,
       for (size_t i = 0; i < n; ++i) {
         (*out)[i].value = values[i];
         (*out)[i].tier = Tier::kDeployed;
-        (*out)[i].version = deployed;
+        (*out)[i].version = version;
       }
       return;
     }
@@ -127,7 +148,7 @@ void ResilientModelServer::PredictBatch(const common::Matrix& features,
   for (size_t i = 0; i < n; ++i) {
     const double* x = features.RowPtr(i);
     row.assign(x, x + features.cols());
-    (*out)[i] = Predict(row, now);
+    (*out)[i] = PredictVersion(version, row, now);
   }
 }
 

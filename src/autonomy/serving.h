@@ -78,6 +78,16 @@ class ResilientModelServer {
   /// cooldown). Never fails: worst case the heuristic answers.
   ServeResult Predict(const std::vector<double>& features, double now);
 
+  /// Serves one request against a specific registry `version` instead of
+  /// whatever is deployed at call time — the primary tier of the fallback
+  /// chain is pinned, the previous/heuristic tiers behave as in Predict.
+  /// This is the hot-swap and canary primitive: a request admitted under
+  /// version v keeps serving v even if a promote/rollback swaps the
+  /// deployed pointer mid-flight. `version` 0 resolves to the currently
+  /// deployed version (== Predict).
+  ServeResult PredictVersion(uint32_t version,
+                             const std::vector<double>& features, double now);
+
   /// Serves a whole micro-batch at time `now`; `out` is resized to one
   /// result per row. Produces bit-identical results to calling Predict on
   /// each row in order. When nothing can perturb individual rows — no
@@ -89,6 +99,19 @@ class ResilientModelServer {
   /// behave as if the rows had arrived one at a time.
   void PredictBatch(const common::Matrix& features, double now,
                     std::vector<ServeResult>* out);
+
+  /// Batched PredictVersion: the whole micro-batch is served against one
+  /// pinned `version` (0 = the version deployed at entry, resolved once),
+  /// bit-identical to calling PredictVersion per row in order. No row of a
+  /// batch can observe a version swap that lands mid-batch — the
+  /// no-mixed-version-batch guarantee the serving runtimes rely on.
+  void PredictBatchVersion(uint32_t version, const common::Matrix& features,
+                           double now, std::vector<ServeResult>* out);
+
+  /// Version currently deployed in the registry for this model — what the
+  /// serving runtimes stamp on requests at admission (pinning). Thread-safe
+  /// (the registry serializes internally).
+  uint32_t CurrentDeployedVersion() const;
 
   uint64_t served_by_tier(Tier t) const {
     return served_[static_cast<size_t>(t)];

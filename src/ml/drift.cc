@@ -53,6 +53,7 @@ common::Result<double> PopulationStabilityIndex(
 }
 
 bool DriftDetector::Observe(double abs_error) {
+  if (!std::isfinite(abs_error)) return alarmed_;
   if (baseline_.size() < options_.baseline_window) {
     baseline_.push_back(abs_error);
     return alarmed_;

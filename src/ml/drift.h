@@ -36,7 +36,10 @@ class DriftDetector {
   explicit DriftDetector(Options options = Options()) : options_(options) {}
 
   /// Feeds one absolute error observation; returns true if the detector is
-  /// in the alarmed state after this observation.
+  /// in the alarmed state after this observation. Non-finite observations
+  /// (NaN, +/-inf — a poisoned prediction or a corrupt label) are dropped
+  /// without consuming window slots: one bad sensor reading must not
+  /// poison the baseline mean or permanently wedge the alarm.
   bool Observe(double abs_error);
 
   bool alarmed() const { return alarmed_; }

@@ -2,8 +2,26 @@
 
 namespace ads::ml {
 
+ModelRegistry::ModelRegistry(const ModelRegistry& other) {
+  std::lock_guard<std::mutex> lock(other.mu_);
+  entries_ = other.entries_;
+}
+
+ModelRegistry& ModelRegistry::operator=(const ModelRegistry& other) {
+  if (this == &other) return *this;
+  std::map<std::string, Entry> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(other.mu_);
+    snapshot = other.entries_;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_ = std::move(snapshot);
+  return *this;
+}
+
 uint32_t ModelRegistry::Register(const std::string& name, std::string blob,
                                  std::map<std::string, double> metrics) {
+  std::lock_guard<std::mutex> lock(mu_);
   Entry& e = entries_[name];
   Version v;
   v.version = static_cast<uint32_t>(e.versions.size()) + 1;
@@ -15,6 +33,7 @@ uint32_t ModelRegistry::Register(const std::string& name, std::string blob,
 
 common::Status ModelRegistry::Deploy(const std::string& name,
                                      uint32_t version) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(name);
   if (it == entries_.end()) {
     return common::Status::NotFound("unknown model: " + name);
@@ -29,6 +48,7 @@ common::Status ModelRegistry::Deploy(const std::string& name,
 }
 
 common::Status ModelRegistry::Rollback(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(name);
   if (it == entries_.end()) {
     return common::Status::NotFound("unknown model: " + name);
@@ -46,17 +66,19 @@ common::Status ModelRegistry::Rollback(const std::string& name) {
 }
 
 uint32_t ModelRegistry::DeployedVersion(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(name);
   return it == entries_.end() ? 0 : it->second.deployed;
 }
 
 uint32_t ModelRegistry::PreviousVersion(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(name);
   if (it == entries_.end() || it->second.deploy_history.empty()) return 0;
   return it->second.deploy_history.back();
 }
 
-common::Result<std::string> ModelRegistry::DeployedBlob(
+common::Result<std::string> ModelRegistry::DeployedBlobLocked(
     const std::string& name) const {
   auto it = entries_.find(name);
   if (it == entries_.end() || it->second.deployed == 0) {
@@ -65,16 +87,30 @@ common::Result<std::string> ModelRegistry::DeployedBlob(
   return it->second.versions[it->second.deployed - 1].blob;
 }
 
+common::Result<std::string> ModelRegistry::DeployedBlob(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return DeployedBlobLocked(name);
+}
+
 common::Result<std::unique_ptr<Regressor>> ModelRegistry::DeployedModel(
     const std::string& name) const {
-  auto blob = DeployedBlob(name);
-  if (!blob.ok()) return blob.status();
-  return DeserializeRegressor(*blob);
+  std::string blob;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto stored = DeployedBlobLocked(name);
+    if (!stored.ok()) return stored.status();
+    blob = std::move(*stored);
+  }
+  // Deserialization happens outside the lock: it touches only the copied
+  // blob, so slow model materialization never stalls serving readers.
+  return DeserializeRegressor(blob);
 }
 
 common::Status ModelRegistry::StartFlight(const std::string& name,
                                           uint32_t treatment,
                                           double fraction) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(name);
   if (it == entries_.end()) {
     return common::Status::NotFound("unknown model: " + name);
@@ -98,6 +134,7 @@ common::Status ModelRegistry::StartFlight(const std::string& name,
 
 common::Status ModelRegistry::EndFlight(const std::string& name,
                                         bool promote) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(name);
   if (it == entries_.end() || !it->second.flight_active) {
     return common::Status::FailedPrecondition("no active flight for " + name);
@@ -112,12 +149,14 @@ common::Status ModelRegistry::EndFlight(const std::string& name,
 }
 
 bool ModelRegistry::FlightActive(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(name);
   return it != entries_.end() && it->second.flight_active;
 }
 
 uint32_t ModelRegistry::ServingVersion(const std::string& name,
                                        common::Rng& rng) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(name);
   if (it == entries_.end()) return 0;
   const Entry& e = it->second;
@@ -128,6 +167,7 @@ uint32_t ModelRegistry::ServingVersion(const std::string& name,
 }
 
 std::vector<uint32_t> ModelRegistry::Versions(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<uint32_t> out;
   auto it = entries_.find(name);
   if (it == entries_.end()) return out;
@@ -137,6 +177,7 @@ std::vector<uint32_t> ModelRegistry::Versions(const std::string& name) const {
 
 common::Result<ModelRegistry::Version> ModelRegistry::GetVersion(
     const std::string& name, uint32_t version) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(name);
   if (it == entries_.end() || version == 0 ||
       version > it->second.versions.size()) {

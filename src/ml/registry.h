@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -19,6 +20,15 @@ namespace ads::ml {
 ///
 /// Models are stored in their portable serialized form (the "generic
 /// container"), so the registry is independent of model family.
+///
+/// Thread-safe: every method takes an internal mutex, so serving readers
+/// (DeployedVersion / GetVersion / DeployedBlob from concurrent
+/// PredictBatch paths) may race promote / rollback / flight transitions
+/// from a controller thread. Version swaps are atomic — Register installs
+/// the full blob before the version number is ever visible, and Deploy /
+/// Rollback / EndFlight flip the deployed pointer in one critical section
+/// — so a reader observes either the old or the new version in its
+/// entirety, never a half-registered model.
 class ModelRegistry {
  public:
   /// One stored model version.
@@ -28,6 +38,13 @@ class ModelRegistry {
     /// Free-form training metadata (e.g. validation error) for audits.
     std::map<std::string, double> metrics;
   };
+
+  ModelRegistry() = default;
+  /// Copying snapshots the registry contents under the source's lock
+  /// (the copy gets its own, unlocked mutex) — handy for tests that fork
+  /// a baseline registry state.
+  ModelRegistry(const ModelRegistry& other);
+  ModelRegistry& operator=(const ModelRegistry& other);
 
   /// Registers a new version of `name`; returns the assigned version
   /// number (starting at 1). Does not change the deployed version.
@@ -78,6 +95,10 @@ class ModelRegistry {
     double flight_fraction = 0.0;
   };
 
+  /// Locked lookup helper (requires mu_ held).
+  common::Result<std::string> DeployedBlobLocked(const std::string& name) const;
+
+  mutable std::mutex mu_;
   std::map<std::string, Entry> entries_;
 };
 

@@ -21,10 +21,13 @@ BatcherOptions EffectiveBatcher(const CoreOptions& options) {
 ServingCore::ServingCore(CoreOptions options)
     : options_(options), limiter_(options.rate_limit) {}
 
-MicroBatcher& ServingCore::BatcherFor(const std::string& model) {
-  auto it = batchers_.find(model);
+MicroBatcher& ServingCore::BatcherFor(const std::string& model,
+                                      uint32_t version) {
+  BatcherKey key(model, version);
+  auto it = batchers_.find(key);
   if (it == batchers_.end()) {
-    it = batchers_.emplace(model, MicroBatcher(EffectiveBatcher(options_)))
+    it = batchers_
+             .emplace(std::move(key), MicroBatcher(EffectiveBatcher(options_)))
              .first;
   }
   return it->second;
@@ -77,7 +80,7 @@ AdmitResult ServingCore::Admit(Request request, double now) {
     // outranks it, otherwise reject the newcomer.
     MicroBatcher* victim_home = nullptr;
     const Request* worst = nullptr;
-    for (auto& [model, batcher] : batchers_) {
+    for (auto& [key, batcher] : batchers_) {
       const Request* candidate = batcher.PeekWorst();
       if (candidate == nullptr) continue;
       if (worst == nullptr || MicroBatcher::WorseThan(*candidate, *worst)) {
@@ -106,21 +109,21 @@ AdmitResult ServingCore::Admit(Request request, double now) {
   ++counters_.accepted;
   ++queued_;
   decide(Outcome::kServed);  // accepted; the span stays open
-  BatcherFor(request.model).Add(std::move(request));
+  BatcherFor(request.model, request.pinned_version).Add(std::move(request));
   result.accepted = true;
   return result;
 }
 
 double ServingCore::NextLingerDeadline() const {
   double next = std::numeric_limits<double>::infinity();
-  for (const auto& [model, batcher] : batchers_) {
+  for (const auto& [key, batcher] : batchers_) {
     next = std::min(next, batcher.NextDeadline());
   }
   return next;
 }
 
 bool ServingCore::HasReadyBatch(double now) const {
-  for (const auto& [model, batcher] : batchers_) {
+  for (const auto& [key, batcher] : batchers_) {
     if (batcher.Ready(now)) return true;
   }
   return false;
@@ -132,6 +135,10 @@ void ServingCore::TraceBatch(Batch* batch, double now) {
   batch->trace_span = tracer_->StartSpan(
       "batch", "batch-" + std::to_string(batch->seq), telemetry::kNoSpan, now);
   tracer_->Annotate(batch->trace_span, "model", batch->model);
+  if (batch->pinned_version != 0) {
+    tracer_->Annotate(batch->trace_span, "version",
+                      std::to_string(batch->pinned_version));
+  }
   tracer_->Annotate(batch->trace_span, "size",
                     std::to_string(batch->requests.size()));
   std::string members;
@@ -148,9 +155,10 @@ void ServingCore::TraceBatch(Batch* batch, double now) {
 
 Batch ServingCore::TakeReadyBatch(double now) {
   Batch batch;
-  for (auto& [model, batcher] : batchers_) {
+  for (auto& [key, batcher] : batchers_) {
     if (!batcher.Ready(now)) continue;
-    batch.model = model;
+    batch.model = key.first;
+    batch.pinned_version = key.second;
     batch.requests = batcher.TakeBatch();
     queued_ -= batch.requests.size();
     TraceBatch(&batch, now);
@@ -161,7 +169,7 @@ Batch ServingCore::TakeReadyBatch(double now) {
 
 std::vector<Request> ServingCore::DropExpired(double now) {
   std::vector<Request> expired;
-  for (auto& [model, batcher] : batchers_) {
+  for (auto& [key, batcher] : batchers_) {
     batcher.DropExpired(now, &expired);
   }
   queued_ -= expired.size();
@@ -178,10 +186,11 @@ std::vector<Request> ServingCore::DropExpired(double now) {
 
 std::vector<Batch> ServingCore::Drain(double now) {
   std::vector<Batch> batches;
-  for (auto& [model, batcher] : batchers_) {
+  for (auto& [key, batcher] : batchers_) {
     while (batcher.pending() > 0) {
       Batch batch;
-      batch.model = model;
+      batch.model = key.first;
+      batch.pinned_version = key.second;
       batch.requests = batcher.TakeBatch();
       queued_ -= batch.requests.size();
       TraceBatch(&batch, now);

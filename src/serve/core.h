@@ -5,6 +5,7 @@
 #include <limits>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "serve/batcher.h"
@@ -92,7 +93,13 @@ class ServingCore {
   const CoreOptions& options() const { return options_; }
 
  private:
-  MicroBatcher& BatcherFor(const std::string& model);
+  /// Batchers are keyed by (model, pinned version): requests pinned to
+  /// different versions of the same model never share a micro-batch, which
+  /// is what lets a hot-swap land while earlier admissions are still
+  /// queued. Key order (model name, then version ascending) keeps dispatch
+  /// deterministic.
+  using BatcherKey = std::pair<std::string, uint32_t>;
+  MicroBatcher& BatcherFor(const std::string& model, uint32_t version);
   /// Opens the batch span for a just-taken batch and back-links members.
   void TraceBatch(Batch* batch, double now);
 
@@ -100,7 +107,7 @@ class ServingCore {
   TenantRateLimiter limiter_;
   telemetry::Tracer* tracer_ = nullptr;
   uint64_t next_batch_seq_ = 0;
-  std::map<std::string, MicroBatcher> batchers_;
+  std::map<BatcherKey, MicroBatcher> batchers_;
   size_t queued_ = 0;
   Counters counters_;
 };

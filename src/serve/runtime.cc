@@ -25,6 +25,12 @@ void ServingRuntime::RegisterBackend(
   backend_mu_[model] = std::make_unique<std::mutex>();
 }
 
+void ServingRuntime::SetRouter(const autonomy::VersionRouter* router) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ADS_CHECK(!started_) << "SetRouter after Start()";
+  router_ = router;
+}
+
 void ServingRuntime::SetTracer(telemetry::Tracer* tracer) {
   std::lock_guard<std::mutex> lock(mu_);
   ADS_CHECK(!started_) << "SetTracer after Start()";
@@ -66,8 +72,19 @@ common::Status ServingRuntime::Submit(Request request, Callback callback) {
       return common::Status::FailedPrecondition(
           "serving runtime is not accepting requests");
     }
-    ADS_CHECK(backends_.count(request.model) > 0)
+    auto backend_it = backends_.find(request.model);
+    ADS_CHECK(backend_it != backends_.end())
         << "unregistered model: " << request.model;
+    // Pin the request to a version at admission: the router's verdict
+    // (canary slice) or else whatever is deployed right now. Batchers key
+    // on the pin, so later promotes/rollbacks cannot retarget this
+    // request or split its batch across versions.
+    if (request.pinned_version == 0 && router_ != nullptr) {
+      request.pinned_version = router_->Route(request.model, request.tenant);
+    }
+    if (request.pinned_version == 0) {
+      request.pinned_version = backend_it->second->CurrentDeployedVersion();
+    }
     admit = core_.Admit(std::move(request), Now());
     if (admit.accepted && callback != nullptr) {
       callbacks_[id] = std::move(callback);
@@ -198,11 +215,13 @@ void ServingRuntime::ExecuteBatch(Batch batch) {
     std::vector<autonomy::ResilientModelServer::ServeResult> served;
     common::Matrix features;
     if (!live.empty() && GatherFeatures(batch.requests, live, &features)) {
-      backend->PredictBatch(features, now, &served);
+      backend->PredictBatchVersion(batch.pinned_version, features, now,
+                                   &served);
     } else {
       served.resize(live.size());
       for (size_t k = 0; k < live.size(); ++k) {
-        served[k] = backend->Predict(batch.requests[live[k]].features, now);
+        served[k] = backend->PredictVersion(
+            batch.pinned_version, batch.requests[live[k]].features, now);
       }
     }
     size_t next_live = 0;

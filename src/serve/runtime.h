@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "autonomy/router.h"
 #include "autonomy/serving.h"
 #include "common/stats.h"
 #include "common/status.h"
@@ -73,6 +74,16 @@ class ServingRuntime {
   void RegisterBackend(const std::string& model,
                        autonomy::ResilientModelServer* backend);
 
+  /// Attaches a version router (borrowed, may be null; call before
+  /// Start()). Submit consults it once per request to stamp
+  /// Request::pinned_version — the canary tenant-slice hook. When the
+  /// router declines (returns 0) the request pins the version deployed at
+  /// admission, so an in-flight micro-batch always completes against the
+  /// model its requests were admitted under (hot-swap safety). The router
+  /// itself must be thread-safe; its routing decisions may change over
+  /// time (flight starts/ends) without re-attaching.
+  void SetRouter(const autonomy::VersionRouter* router);
+
   /// Attaches a causal span tracer (borrowed; call before Start()). The
   /// tracer is thread-safe, so dispatcher and pool workers record
   /// concurrently: causality (request → admission → batch → backend →
@@ -116,6 +127,7 @@ class ServingRuntime {
   CoreOptions options_;
   common::ThreadPool* pool_;
   telemetry::Tracer* tracer_ = nullptr;
+  const autonomy::VersionRouter* router_ = nullptr;
   std::map<std::string, autonomy::ResilientModelServer*> backends_;
   std::map<std::string, std::unique_ptr<std::mutex>> backend_mu_;
 

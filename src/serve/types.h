@@ -32,6 +32,14 @@ struct Request {
   /// request through the batcher so dispatch and completion attach their
   /// spans to the right parent.
   uint64_t trace_span = 0;
+  /// Model version this request is pinned to, stamped by the runtime at
+  /// admission: the version router's verdict (canary tenant slice) or,
+  /// absent a router, the version deployed at admission time. Batchers key
+  /// on (model, pinned_version), so a micro-batch never mixes versions and
+  /// an in-flight batch completes against the version its requests were
+  /// admitted under even if a promote/rollback swaps the deployed pointer
+  /// mid-flight. 0 = no pin (serve whatever is deployed at dispatch).
+  uint32_t pinned_version = 0;
 };
 
 /// Terminal disposition of a request. Every submitted request gets exactly
@@ -70,10 +78,14 @@ struct Response {
   size_t batch_size = 0;
 };
 
-/// A dispatch unit: requests for one model coalesced by the micro-batcher.
+/// A dispatch unit: requests for one (model, pinned version) coalesced by
+/// the micro-batcher. All member requests share `pinned_version` — the
+/// structural no-mixed-version-batch guarantee.
 struct Batch {
   std::string model;
   std::vector<Request> requests;
+  /// Version every member is pinned to (0 = unpinned).
+  uint32_t pinned_version = 0;
   /// Causal span of this batch (0 = untraced) and its per-run ordinal;
   /// request spans reference the ordinal via their "batch" attribute so
   /// goldens stay readable and seed-independent.

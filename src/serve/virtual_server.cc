@@ -26,6 +26,11 @@ void VirtualServer::SetResponseCallback(Callback callback) {
   callback_ = std::move(callback);
 }
 
+void VirtualServer::SetRouter(const autonomy::VersionRouter* router) {
+  ADS_CHECK(!ran_) << "SetRouter after Run()";
+  router_ = router;
+}
+
 void VirtualServer::SetTracer(telemetry::Tracer* tracer) {
   ADS_CHECK(!ran_) << "SetTracer after Run()";
   tracer_ = tracer;
@@ -45,9 +50,18 @@ void VirtualServer::Emit(const Response& response) {
 }
 
 void VirtualServer::OnArrival(Request request, double now) {
-  ADS_CHECK(backends_.count(request.model) > 0)
+  auto backend_it = backends_.find(request.model);
+  ADS_CHECK(backend_it != backends_.end())
       << "unregistered model: " << request.model;
   const uint64_t id = request.id;
+  // Pin at admission: router verdict (canary slice) or the currently
+  // deployed version. See ServingRuntime::Submit for the rationale.
+  if (request.pinned_version == 0 && router_ != nullptr) {
+    request.pinned_version = router_->Route(request.model, request.tenant);
+  }
+  if (request.pinned_version == 0) {
+    request.pinned_version = backend_it->second->CurrentDeployedVersion();
+  }
   AdmitResult admit = core_.Admit(std::move(request), now);
   if (!admit.accepted) {
     Response response;
@@ -119,11 +133,13 @@ void VirtualServer::OnBatchComplete(Batch batch, double dispatched,
   std::vector<autonomy::ResilientModelServer::ServeResult> served_rows;
   common::Matrix features;
   if (batch_size > 0 && GatherFeatures(batch.requests, all, &features)) {
-    backend->PredictBatch(features, now, &served_rows);
+    backend->PredictBatchVersion(batch.pinned_version, features, now,
+                                 &served_rows);
   } else {
     served_rows.resize(batch_size);
     for (size_t i = 0; i < batch_size; ++i) {
-      served_rows[i] = backend->Predict(batch.requests[i].features, now);
+      served_rows[i] = backend->PredictVersion(
+          batch.pinned_version, batch.requests[i].features, now);
     }
   }
   for (size_t i = 0; i < batch_size; ++i) {

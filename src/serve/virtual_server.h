@@ -6,6 +6,7 @@
 #include <map>
 #include <string>
 
+#include "autonomy/router.h"
 #include "autonomy/serving.h"
 #include "common/event_queue.h"
 #include "common/stats.h"
@@ -70,6 +71,14 @@ class VirtualServer {
   void RegisterBackend(const std::string& model,
                        autonomy::ResilientModelServer* backend);
 
+  /// Attaches a version router (borrowed, may be null; call before Run()).
+  /// Arrivals consult it once at admission to stamp
+  /// Request::pinned_version (canary tenant slices); when it declines
+  /// (returns 0) the request pins the version deployed at admission, so a
+  /// Deploy/Rollback fired mid-run (e.g. from the response callback or the
+  /// autonomy loop) never retargets already-admitted requests.
+  void SetRouter(const autonomy::VersionRouter* router);
+
   /// Attaches a causal span tracer (borrowed; call before Run()). Records
   /// request → admission → batch → backend → fallback causality in
   /// virtual time; with a fixed seed the resulting span table is
@@ -99,6 +108,7 @@ class VirtualServer {
   VirtualOptions options_;
   telemetry::TelemetryStore* store_;
   telemetry::Tracer* tracer_ = nullptr;
+  const autonomy::VersionRouter* router_ = nullptr;
   common::EventQueue queue_;
   ServingCore core_;
   std::map<std::string, autonomy::ResilientModelServer*> backends_;
