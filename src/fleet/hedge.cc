@@ -1,0 +1,31 @@
+#include "fleet/hedge.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace ads::fleet {
+
+HedgePolicy::HedgePolicy(HedgeOptions options) : options_(options) {
+  ADS_CHECK(options_.quantile > 0.0 && options_.quantile < 1.0)
+      << "hedge quantile must be in (0,1)";
+  ADS_CHECK(options_.min_delay_seconds <= options_.max_delay_seconds)
+      << "hedge delay clamp inverted";
+  ADS_CHECK(options_.delay_factor > 0.0) << "hedge delay factor must be > 0";
+}
+
+void HedgePolicy::Observe(double latency_seconds) {
+  latency_.Add(latency_seconds);
+}
+
+double HedgePolicy::Delay() const {
+  if (latency_.Count() < options_.min_samples) {
+    return options_.initial_delay_seconds;
+  }
+  const double derived =
+      latency_.Quantile(options_.quantile) * options_.delay_factor;
+  return std::clamp(derived, options_.min_delay_seconds,
+                    options_.max_delay_seconds);
+}
+
+}  // namespace ads::fleet

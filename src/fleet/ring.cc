@@ -1,0 +1,90 @@
+#include "fleet/ring.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace ads::fleet {
+
+HashRing::HashRing(RingOptions options) : options_(options) {
+  ADS_CHECK(options_.vnodes_per_shard >= 1) << "ring needs at least 1 vnode";
+}
+
+uint64_t HashRing::HashKey(uint64_t seed, const std::string& key) {
+  // FNV-1a over the seed bytes then the key bytes: cheap, stable, and
+  // platform-independent (the same idiom as the autonomy tenant slice).
+  uint64_t h = 14695981039346656037ull;
+  for (int shift = 0; shift < 64; shift += 8) {
+    h ^= (seed >> shift) & 0xffull;
+    h *= 1099511628211ull;
+  }
+  for (char c : key) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  // Raw FNV-1a has no avalanche on the tail bytes: keys that differ only
+  // in a trailing counter ("tenant-0".."tenant-39") land within a few
+  // thousand of each other and would collapse onto one ring arc. The
+  // murmur3 finalizer mixes every input bit into every output bit.
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ull;
+  h ^= h >> 33;
+  return h;
+}
+
+void HashRing::AddShard(ShardId shard) {
+  if (!shards_.insert(shard).second) return;
+  ring_.reserve(ring_.size() + options_.vnodes_per_shard);
+  for (size_t v = 0; v < options_.vnodes_per_shard; ++v) {
+    const std::string key =
+        "s" + std::to_string(shard) + "#" + std::to_string(v);
+    ring_.emplace_back(HashKey(options_.seed, key), shard);
+  }
+  std::sort(ring_.begin(), ring_.end());
+}
+
+void HashRing::RemoveShard(ShardId shard) {
+  if (shards_.erase(shard) == 0) return;
+  ring_.erase(std::remove_if(ring_.begin(), ring_.end(),
+                             [shard](const std::pair<uint64_t, ShardId>& p) {
+                               return p.second == shard;
+                             }),
+              ring_.end());
+}
+
+std::vector<ShardId> HashRing::Shards() const {
+  return std::vector<ShardId>(shards_.begin(), shards_.end());
+}
+
+ShardId HashRing::ShardFor(const std::string& tenant) const {
+  ADS_CHECK(!ring_.empty()) << "empty hash ring";
+  const uint64_t point = HashKey(options_.seed, tenant);
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), std::make_pair(point, ShardId(0)),
+      [](const std::pair<uint64_t, ShardId>& a,
+         const std::pair<uint64_t, ShardId>& b) { return a.first < b.first; });
+  if (it == ring_.end()) it = ring_.begin();  // wrap
+  return it->second;
+}
+
+std::vector<ShardId> HashRing::PreferenceOrder(const std::string& tenant,
+                                               size_t k) const {
+  ADS_CHECK(!ring_.empty()) << "empty hash ring";
+  std::vector<ShardId> order;
+  const size_t want = std::min(k, shards_.size());
+  if (want == 0) return order;
+  const uint64_t point = HashKey(options_.seed, tenant);
+  size_t start = 0;
+  while (start < ring_.size() && ring_[start].first < point) ++start;
+  for (size_t step = 0; step < ring_.size() && order.size() < want; ++step) {
+    ShardId shard = ring_[(start + step) % ring_.size()].second;
+    if (std::find(order.begin(), order.end(), shard) == order.end()) {
+      order.push_back(shard);
+    }
+  }
+  return order;
+}
+
+}  // namespace ads::fleet

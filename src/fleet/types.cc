@@ -1,0 +1,29 @@
+#include "fleet/types.h"
+
+namespace ads::fleet {
+
+ShardCounters Aggregate(const std::vector<ShardCounters>& shards) {
+  ShardCounters total;
+  for (const ShardCounters& c : shards) {
+    total.submitted += c.submitted;
+    total.accepted += c.accepted;
+    total.rejected_rate_limit += c.rejected_rate_limit;
+    total.rejected_capacity += c.rejected_capacity;
+    total.rejected_deadline += c.rejected_deadline;
+    total.served += c.served;
+    total.shed_capacity += c.shed_capacity;
+    total.shed_deadline += c.shed_deadline;
+    total.rerouted_in += c.rerouted_in;
+    total.rerouted_out += c.rerouted_out;
+    total.drain_diverts += c.drain_diverts;
+    total.load_diverts += c.load_diverts;
+    total.hedges_fired += c.hedges_fired;
+    total.hedge_wins += c.hedge_wins;
+    total.primary_wins += c.primary_wins;
+    total.hedges_failed += c.hedges_failed;
+    total.hedges_cancelled += c.hedges_cancelled;
+  }
+  return total;
+}
+
+}  // namespace ads::fleet

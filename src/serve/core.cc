@@ -36,7 +36,11 @@ MicroBatcher& ServingCore::BatcherFor(const std::string& model,
 AdmitResult ServingCore::Admit(Request request, double now) {
   AdmitResult result;
   ++counters_.submitted;
-  if (tracer_ != nullptr) {
+  // A pre-set trace_span means an outer layer (the fleet router) already
+  // opened this request's causal root; admission attaches to it instead
+  // of opening a second root, and leaves the outer layer's annotations
+  // alone.
+  if (tracer_ != nullptr && request.trace_span == telemetry::kNoSpan) {
     request.trace_span = tracer_->StartSpan(
         "request", "req-" + std::to_string(request.id), telemetry::kNoSpan,
         now);
@@ -182,6 +186,23 @@ std::vector<Request> ServingCore::DropExpired(double now) {
     }
   }
   return expired;
+}
+
+std::vector<Request> ServingCore::TakeQueued() {
+  std::vector<Request> all;
+  for (auto& [key, batcher] : batchers_) {
+    while (batcher.pending() > 0) {
+      std::vector<Request> chunk = batcher.TakeBatch();
+      queued_ -= chunk.size();
+      for (Request& request : chunk) all.push_back(std::move(request));
+    }
+  }
+  return all;
+}
+
+void ServingCore::Reinject(Request request) {
+  ++queued_;
+  BatcherFor(request.model, request.pinned_version).Add(std::move(request));
 }
 
 std::vector<Batch> ServingCore::Drain(double now) {

@@ -54,7 +54,9 @@ class ServingCore {
   /// Attaches a causal span tracer (borrowed; may be null). Admission
   /// opens a root "request" span per submitted request with an instant
   /// "admission" child carrying the decision; rejected and shed requests
-  /// end their span here with the outcome. TakeReadyBatch/Drain open a
+  /// end their span here with the outcome. A request arriving with a
+  /// pre-set trace_span keeps it as its root (the fleet layer opens roots
+  /// before routing) — admission then only attaches children. TakeReadyBatch/Drain open a
   /// root "batch" span per dispatch naming its member requests; the
   /// driving runtime closes it at completion and ends the served request
   /// spans. Callers synchronize SetTracer with their own admission lock.
@@ -85,6 +87,20 @@ class ServingCore {
   /// the graceful-shutdown path. Expired requests are NOT included; call
   /// DropExpired first. `now` stamps the drain-time batch spans.
   std::vector<Batch> Drain(double now);
+
+  /// Extracts every queued request raw — no batch spans, no counter
+  /// movement. This is the shard-drain reroute path: the fleet layer
+  /// moves the requests into another core via Reinject and accounts the
+  /// transfer itself (rerouted_out / rerouted_in), so nothing is counted
+  /// twice.
+  std::vector<Request> TakeQueued();
+
+  /// Re-enqueues a request extracted from another core by TakeQueued.
+  /// Skips admission checks and counters — the request was already
+  /// admitted (and counted) where it first arrived. Its original arrival
+  /// stamp is preserved, so measured latency spans the reroute and an
+  /// expired linger window dispatches it promptly on the new shard.
+  void Reinject(Request request);
 
   size_t queued() const { return queued_; }
   const Counters& counters() const { return counters_; }

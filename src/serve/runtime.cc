@@ -18,11 +18,19 @@ ServingRuntime::~ServingRuntime() { Shutdown(); }
 
 void ServingRuntime::RegisterBackend(
     const std::string& model, autonomy::ResilientModelServer* backend) {
+  owned_backend_mu_.push_back(std::make_unique<std::mutex>());
+  RegisterBackend(model, backend, owned_backend_mu_.back().get());
+}
+
+void ServingRuntime::RegisterBackend(const std::string& model,
+                                     autonomy::ResilientModelServer* backend,
+                                     std::mutex* mu) {
   ADS_CHECK(backend != nullptr) << "null backend";
+  ADS_CHECK(mu != nullptr) << "null backend mutex";
   std::lock_guard<std::mutex> lock(mu_);
   ADS_CHECK(!started_) << "backends must be registered before Start()";
   backends_[model] = backend;
-  backend_mu_[model] = std::make_unique<std::mutex>();
+  backend_mu_[model] = mu;
 }
 
 void ServingRuntime::SetRouter(const autonomy::VersionRouter* router) {
@@ -187,7 +195,7 @@ void ServingRuntime::ExecuteBatch(Batch batch) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     backend = backends_.at(batch.model);
-    backend_mu = backend_mu_.at(batch.model).get();
+    backend_mu = backend_mu_.at(batch.model);
   }
   std::vector<Response> responses;
   responses.reserve(batch_size);
@@ -291,10 +299,13 @@ void ServingRuntime::ExecuteBatch(Batch batch) {
     if (cb != nullptr) cb(response);
   }
   {
+    // Notify under the lock: once the waiter in Shutdown() observes
+    // inflight_batches_ == 0 the runtime may be destroyed, so the
+    // notify must complete before that observation becomes possible.
     std::lock_guard<std::mutex> lock(mu_);
     --inflight_batches_;
+    drained_.notify_all();
   }
-  drained_.notify_all();
 }
 
 void ServingRuntime::Shutdown() {
@@ -332,27 +343,29 @@ ServingStats ServingRuntime::Stats() const {
 
 void ServingRuntime::SampleGauges(telemetry::TelemetryStore* store) const {
   ADS_CHECK(store != nullptr) << "null telemetry store";
+  SampleGauges(telemetry::ScopedGauges(store, "serve."));
+}
+
+void ServingRuntime::SampleGauges(const telemetry::ScopedGauges& gauges) const {
   ServingStats stats = Stats();
   const double now = Now();
-  auto record = [&](const std::string& name, double value,
-                    telemetry::LabelSet labels = {}) {
-    // Gauge samples are monotone in time per series; Record checks order.
-    (void)store->Record(name, labels, now, value);
-  };
-  record("serve.queue_depth", static_cast<double>(stats.queued));
-  record("serve.served_total", static_cast<double>(stats.counters.served));
-  record("serve.shed_total",
-         static_cast<double>(stats.counters.shed_capacity +
-                             stats.counters.shed_deadline));
-  record("serve.rejected_total", static_cast<double>(stats.counters.Rejected()));
-  record("serve.batch_size_mean", stats.batch_size.mean());
-  record("serve.pool.queued", static_cast<double>(stats.pool.queued));
-  record("serve.pool.active", static_cast<double>(stats.pool.active));
-  record("serve.pool.executed", static_cast<double>(stats.pool.executed));
+  // Gauge samples are monotone in time per series; Record checks order.
+  gauges.Record("queue_depth", now, static_cast<double>(stats.queued));
+  gauges.Record("served_total", now, static_cast<double>(stats.counters.served));
+  gauges.Record("shed_total", now,
+                static_cast<double>(stats.counters.shed_capacity +
+                                    stats.counters.shed_deadline));
+  gauges.Record("rejected_total", now,
+                static_cast<double>(stats.counters.Rejected()));
+  gauges.Record("batch_size_mean", now, stats.batch_size.mean());
+  gauges.Record("pool.queued", now, static_cast<double>(stats.pool.queued));
+  gauges.Record("pool.active", now, static_cast<double>(stats.pool.active));
+  gauges.Record("pool.executed", now,
+                static_cast<double>(stats.pool.executed));
   for (const auto& [model, summary] : stats.per_model_latency) {
-    record("serve.latency.p50", summary.p50, {{"model", model}});
-    record("serve.latency.p95", summary.p95, {{"model", model}});
-    record("serve.latency.p99", summary.p99, {{"model", model}});
+    gauges.Record("latency.p50", now, summary.p50, {{"model", model}});
+    gauges.Record("latency.p95", now, summary.p95, {{"model", model}});
+    gauges.Record("latency.p99", now, summary.p99, {{"model", model}});
   }
 }
 

@@ -19,6 +19,7 @@
 #include "common/thread_pool.h"
 #include "serve/core.h"
 #include "serve/types.h"
+#include "telemetry/gauges.h"
 #include "telemetry/store.h"
 
 namespace ads::serve {
@@ -74,6 +75,14 @@ class ServingRuntime {
   void RegisterBackend(const std::string& model,
                        autonomy::ResilientModelServer* backend);
 
+  /// Same, but serializes backend calls through `mu` (borrowed, must
+  /// outlive the runtime) instead of an internal mutex. A fleet of replica
+  /// runtimes sharing one non-thread-safe backend passes the same mutex to
+  /// every replica so Predict calls never interleave across runtimes.
+  void RegisterBackend(const std::string& model,
+                       autonomy::ResilientModelServer* backend,
+                       std::mutex* mu);
+
   /// Attaches a version router (borrowed, may be null; call before
   /// Start()). Submit consults it once per request to stamp
   /// Request::pinned_version — the canary tenant-slice hook. When the
@@ -117,6 +126,11 @@ class ServingRuntime {
   /// on serving health. Call periodically from a monitoring loop.
   void SampleGauges(telemetry::TelemetryStore* store) const;
 
+  /// Same gauges through an explicit scope — how N replica runtimes share
+  /// one store without series collisions (the fleet passes a scope with a
+  /// "fleet.serve." prefix and {shard, replica} labels).
+  void SampleGauges(const telemetry::ScopedGauges& gauges) const;
+
  private:
   void DispatcherLoop();
   /// Executes one batch on the pool (called from a pool worker).
@@ -129,7 +143,10 @@ class ServingRuntime {
   telemetry::Tracer* tracer_ = nullptr;
   const autonomy::VersionRouter* router_ = nullptr;
   std::map<std::string, autonomy::ResilientModelServer*> backends_;
-  std::map<std::string, std::unique_ptr<std::mutex>> backend_mu_;
+  /// Per-model serialization mutex: owned by default, borrowed when the
+  /// three-argument RegisterBackend supplies a shared one.
+  std::map<std::string, std::mutex*> backend_mu_;
+  std::vector<std::unique_ptr<std::mutex>> owned_backend_mu_;
 
   mutable std::mutex mu_;
   std::condition_variable dispatcher_wake_;

@@ -186,15 +186,16 @@ void VirtualServer::OnBatchComplete(Batch batch, double dispatched,
 
 void VirtualServer::SampleGauges(double now) {
   const Counters& counters = core_.counters();
+  telemetry::ScopedGauges gauges(store_, "serve.");
   auto record = [&](const std::string& name, double value) {
-    (void)store_->Record(name, {}, now, value);
+    gauges.Record(name, now, value);
   };
-  record("serve.queue_depth", static_cast<double>(core_.queued()));
-  record("serve.busy_workers", static_cast<double>(busy_workers_));
-  record("serve.served_total", static_cast<double>(counters.served));
-  record("serve.shed_total", static_cast<double>(counters.shed_capacity +
-                                                 counters.shed_deadline));
-  record("serve.rejected_total", static_cast<double>(counters.Rejected()));
+  record("queue_depth", static_cast<double>(core_.queued()));
+  record("busy_workers", static_cast<double>(busy_workers_));
+  record("served_total", static_cast<double>(counters.served));
+  record("shed_total", static_cast<double>(counters.shed_capacity +
+                                           counters.shed_deadline));
+  record("rejected_total", static_cast<double>(counters.Rejected()));
   // Keep sampling while the system has work or events (arrivals,
   // completions, timers) are still pending.
   if (core_.queued() > 0 || busy_workers_ > 0 || !queue_.empty()) {

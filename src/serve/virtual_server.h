@@ -12,6 +12,7 @@
 #include "common/stats.h"
 #include "serve/core.h"
 #include "serve/types.h"
+#include "telemetry/gauges.h"
 #include "telemetry/store.h"
 
 namespace ads::serve {

@@ -1,0 +1,27 @@
+#include "telemetry/gauges.h"
+
+namespace ads::telemetry {
+
+void ScopedGauges::Record(const std::string& name, double time, double value,
+                          const LabelSet& extra) const {
+  if (store_ == nullptr) return;
+  if (extra.empty()) {
+    (void)store_->Record(prefix_ + name, labels_, time, value);
+    return;
+  }
+  LabelSet merged = labels_;
+  for (const auto& [key, val] : extra) merged[key] = val;
+  (void)store_->Record(prefix_ + name, merged, time, value);
+}
+
+ScopedGauges ScopedGauges::WithLabels(const LabelSet& more) const {
+  LabelSet merged = labels_;
+  for (const auto& [key, val] : more) merged[key] = val;
+  return ScopedGauges(store_, prefix_, std::move(merged));
+}
+
+ScopedGauges ScopedGauges::WithPrefix(const std::string& suffix) const {
+  return ScopedGauges(store_, prefix_ + suffix, labels_);
+}
+
+}  // namespace ads::telemetry

@@ -1,0 +1,64 @@
+#include "fleet/hedge.h"
+
+#include <gtest/gtest.h>
+
+namespace ads::fleet {
+namespace {
+
+HedgeOptions Enabled() {
+  HedgeOptions options;
+  options.enabled = true;
+  return options;
+}
+
+TEST(HedgePolicyTest, DisabledByDefault) {
+  HedgePolicy policy;
+  EXPECT_FALSE(policy.enabled());
+}
+
+TEST(HedgePolicyTest, UsesInitialDelayUntilWarm) {
+  HedgeOptions options = Enabled();
+  options.min_samples = 8;
+  options.initial_delay_seconds = 0.123;
+  HedgePolicy policy(options);
+  for (size_t i = 0; i < 7; ++i) {
+    EXPECT_DOUBLE_EQ(policy.Delay(), 0.123);
+    policy.Observe(0.010);
+  }
+  policy.Observe(0.010);  // 8th sample: the distribution takes over
+  EXPECT_NE(policy.Delay(), 0.123);
+}
+
+TEST(HedgePolicyTest, DelayTracksTheQuantile) {
+  HedgeOptions options = Enabled();
+  options.quantile = 0.95;
+  options.delay_factor = 2.0;
+  options.min_samples = 10;
+  options.max_delay_seconds = 10.0;
+  HedgePolicy policy(options);
+  for (size_t i = 0; i < 100; ++i) policy.Observe(0.010);
+  EXPECT_NEAR(policy.Delay(), 0.020, 1e-9);
+  EXPECT_EQ(policy.samples(), 100u);
+
+  // The distribution drifts up; the delay follows without retuning.
+  for (size_t i = 0; i < 400; ++i) policy.Observe(0.050);
+  EXPECT_NEAR(policy.Delay(), 0.100, 1e-9);
+}
+
+TEST(HedgePolicyTest, ClampsToMinAndMax) {
+  HedgeOptions options = Enabled();
+  options.quantile = 0.5;
+  options.min_delay_seconds = 0.005;
+  options.max_delay_seconds = 0.050;
+  options.min_samples = 4;
+  HedgePolicy policy(options);
+  for (size_t i = 0; i < 10; ++i) policy.Observe(0.0001);
+  EXPECT_DOUBLE_EQ(policy.Delay(), 0.005);  // collapsed distribution
+
+  HedgePolicy slow(options);
+  for (size_t i = 0; i < 10; ++i) slow.Observe(30.0);
+  EXPECT_DOUBLE_EQ(slow.Delay(), 0.050);  // straggler exposure bounded
+}
+
+}  // namespace
+}  // namespace ads::fleet

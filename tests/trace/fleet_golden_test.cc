@@ -1,0 +1,235 @@
+// Fleet golden traces: the sharded serving tier's causal record — route
+// decisions, hedged duplicates with winner/loser cross-links, and a
+// rolling drain rerouting queued work — pinned as canonical span trees.
+// Structure only: ids and timestamps are omitted from the goldens, so
+// these fail when a decision span appears, vanishes, or is re-parented,
+// never on timing noise.
+//
+// Regenerate after an intentional structure change:
+//   ADS_UPDATE_GOLDENS=1 ctest --test-dir build -R fleet_golden_test
+//
+// VirtualFleet is a seeded discrete-event loop: each scenario also
+// asserts the *full* serialized span table (ids and timestamps included)
+// is byte-identical across two runs. The CI trace job re-runs this suite
+// under ADS_THREADS=1 and ADS_THREADS=4 to prove thread-count
+// independence as well.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "autonomy/serving.h"
+#include "fleet/virtual_fleet.h"
+#include "ml/linear.h"
+#include "ml/registry.h"
+#include "serve/types.h"
+#include "telemetry/span.h"
+#include "telemetry/span_analysis.h"
+
+namespace ads {
+namespace {
+
+std::string GoldenPath(const std::string& name) {
+  return std::string(ADS_TRACE_GOLDEN_DIR) + "/" + name;
+}
+
+void CheckGolden(const std::string& name, const std::string& got) {
+  const std::string path = GoldenPath(name);
+  if (std::getenv("ADS_UPDATE_GOLDENS") != nullptr) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write golden " << path;
+    out << got;
+    out.close();
+    ASSERT_TRUE(out.good()) << "short write to " << path;
+    return;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden " << path
+                         << "; create it with ADS_UPDATE_GOLDENS=1";
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), got)
+      << "span tree structure diverged from " << path
+      << "; if intentional, regenerate with ADS_UPDATE_GOLDENS=1";
+}
+
+std::string BlobWithSlope(double slope) {
+  ml::LinearRegressor model;
+  model.SetCoefficients(0.0, {slope});
+  return model.Serialize();
+}
+
+struct Backend {
+  Backend()
+      : server(&registry, "m",
+               [](const std::vector<double>& f) {
+                 return f.empty() ? 0.0 : f[0];
+               },
+               autonomy::ServingOptions()) {
+    registry.Register("m", BlobWithSlope(2.0));
+    EXPECT_TRUE(registry.Deploy("m", 1).ok());
+  }
+  ml::ModelRegistry registry;
+  autonomy::ResilientModelServer server;
+};
+
+serve::Request MakeRequest(uint64_t id, const std::string& tenant) {
+  serve::Request request;
+  request.id = id;
+  request.model = "m";
+  request.tenant = tenant;
+  request.features = {1.0};
+  return request;
+}
+
+// --------------------------------------------------------------------
+// Scenario 1: rolling drain across 4 shards under steady traffic.
+// --------------------------------------------------------------------
+
+std::vector<telemetry::Span> RunRollingDrain() {
+  Backend backend;
+  fleet::VirtualFleetOptions options;
+  options.shards = 4;
+  options.replicas_per_shard = 1;
+  options.seed = 17;
+  // A standing queue (batch of 8, 25ms linger) guarantees each drain
+  // catches queued work to reroute.
+  options.core.batcher.max_batch_size = 8;
+  options.core.batcher.max_linger_seconds = 0.025;
+  fleet::VirtualFleet fleet(options);
+  fleet.RegisterBackend("m", &backend.server);
+  telemetry::Tracer tracer(41);
+  fleet.SetTracer(&tracer);
+  for (uint64_t i = 0; i < 64; ++i) {
+    fleet.SubmitAt(0.004 * static_cast<double>(i),
+                   MakeRequest(i, "tenant-" + std::to_string(i % 8)));
+  }
+  fleet.ScheduleRollingDrain(0.05, 0.06);
+  fleet::VirtualFleetReport report = fleet.Run();
+  EXPECT_EQ(report.fleet.served, 64u) << "rolling drain lost work";
+  EXPECT_GT(report.fleet.rerouted_out, 0u)
+      << "scenario produced no queue reroutes; golden would be vacuous";
+  EXPECT_EQ(tracer.open_count(), 0u);
+  return tracer.Snapshot();
+}
+
+TEST(FleetGoldenTest, RollingDrainAcrossFourShards) {
+  std::vector<telemetry::Span> first = RunRollingDrain();
+  std::vector<telemetry::Span> second = RunRollingDrain();
+  EXPECT_EQ(telemetry::SerializeSpans(first),
+            telemetry::SerializeSpans(second));
+
+  // Each of the 4 shards contributes one "drain" root span annotated with
+  // what its drain moved, and every queued victim got a "reroute" span.
+  size_t drains = 0, reroutes = 0;
+  for (const telemetry::Span& span : first) {
+    if (span.kind == "drain") {
+      ++drains;
+      EXPECT_EQ(span.parent, telemetry::kNoSpan);
+      EXPECT_TRUE(span.attributes.count("rerouted"));
+      EXPECT_TRUE(span.attributes.count("dropped_losers"));
+    }
+    if (span.kind == "reroute") {
+      ++reroutes;
+      EXPECT_EQ(span.attributes.at("reason"), "drain");
+      EXPECT_NE(span.parent, telemetry::kNoSpan);
+    }
+  }
+  EXPECT_EQ(drains, 4u);
+  EXPECT_GT(reroutes, 0u);
+  CheckGolden("fleet_rolling_drain.txt",
+              telemetry::CanonicalStructure(first));
+}
+
+// --------------------------------------------------------------------
+// Scenario 2: hedged requests with winner/loser cross-links.
+// --------------------------------------------------------------------
+
+std::vector<telemetry::Span> RunHedged() {
+  Backend backend;
+  fleet::VirtualFleetOptions options;
+  options.shards = 2;
+  options.replicas_per_shard = 2;
+  options.seed = 23;
+  options.core.batching = false;
+  // A third of dispatches stall 16x; the hedge delay sits between the
+  // fast (2.5ms) and slow (40ms) service times, so stragglers hedge and
+  // the duplicate usually wins.
+  options.slow_probability = 0.3;
+  options.slow_multiplier = 16.0;
+  options.hedge.enabled = true;
+  options.hedge.min_samples = 1u << 30;  // pin the warmup delay
+  options.hedge.initial_delay_seconds = 0.005;
+  fleet::VirtualFleet fleet(options);
+  fleet.RegisterBackend("m", &backend.server);
+  telemetry::Tracer tracer(43);
+  fleet.SetTracer(&tracer);
+  for (uint64_t i = 0; i < 48; ++i) {
+    fleet.SubmitAt(0.006 * static_cast<double>(i),
+                   MakeRequest(i, "tenant-" + std::to_string(i % 6)));
+  }
+  fleet::VirtualFleetReport report = fleet.Run();
+  EXPECT_EQ(report.fleet.served, 48u);
+  EXPECT_GT(report.fleet.hedges_fired, 0u);
+  EXPECT_GT(report.fleet.hedge_wins, 0u);
+  EXPECT_EQ(report.fleet.hedges_fired,
+            report.fleet.hedge_wins + report.fleet.primary_wins);
+  EXPECT_EQ(tracer.open_count(), 0u);
+  return tracer.Snapshot();
+}
+
+TEST(FleetGoldenTest, HedgedRequestsCarryWinnerLoserCrossLinks) {
+  std::vector<telemetry::Span> first = RunHedged();
+  std::vector<telemetry::Span> second = RunHedged();
+  EXPECT_EQ(telemetry::SerializeSpans(first),
+            telemetry::SerializeSpans(second));
+
+  std::map<telemetry::SpanId, const telemetry::Span*> by_id;
+  for (const telemetry::Span& span : first) by_id[span.id] = &span;
+
+  size_t hedges = 0, wins = 0, cancels = 0, discarded = 0;
+  for (const telemetry::Span& span : first) {
+    if (span.kind != "hedge") continue;
+    ++hedges;
+    // Every hedge span is a child of its request's root and records its
+    // own fate...
+    const telemetry::Span* root = by_id.at(span.parent);
+    EXPECT_EQ(root->kind, "request");
+    ASSERT_TRUE(span.attributes.count("result"))
+        << "hedge span without a resolved fate";
+    const std::string& result = span.attributes.at("result");
+    // ...and the root's "winner" attribute mirrors it exactly: the two
+    // sides of every cross-link agree.
+    ASSERT_TRUE(root->attributes.count("winner"));
+    if (result == "won") {
+      ++wins;
+      EXPECT_EQ(root->attributes.at("winner"), "hedge");
+    } else {
+      ASSERT_EQ(result, "cancelled");
+      ++cancels;
+      EXPECT_EQ(root->attributes.at("winner"), "primary");
+    }
+  }
+  for (const telemetry::Span& span : first) {
+    if (span.kind == "serve" && span.attributes.count("discarded")) {
+      ++discarded;
+    }
+  }
+  EXPECT_GT(hedges, 0u);
+  EXPECT_GT(wins, 0u) << "no hedge ever won; cross-links untested";
+  EXPECT_GT(cancels, 0u) << "no hedge ever lost; cross-links untested";
+  // A cancelled copy that had already been dispatched still ran to
+  // completion and was traced as discarded work.
+  EXPECT_GT(discarded, 0u);
+  CheckGolden("fleet_hedged_requests.txt",
+              telemetry::CanonicalStructure(first));
+}
+
+}  // namespace
+}  // namespace ads
