@@ -1,0 +1,31 @@
+#include "engine/column.h"
+
+#include <cstring>
+
+namespace ads::engine {
+
+const char* ColumnTypeName(ColumnType type) {
+  switch (type) {
+    case ColumnType::kI64:
+      return "i64";
+    case ColumnType::kF64:
+      return "f64";
+  }
+  return "?";
+}
+
+bool Column::BitwiseEquals(const Column& other) const {
+  if (name_ != other.name_ || type_ != other.type_ ||
+      size() != other.size()) {
+    return false;
+  }
+  if (size() == 0) return true;
+  if (type_ == ColumnType::kI64) {
+    return std::memcmp(i64_.data(), other.i64_.data(),
+                       size() * sizeof(int64_t)) == 0;
+  }
+  return std::memcmp(f64_.data(), other.f64_.data(),
+                     size() * sizeof(double)) == 0;
+}
+
+}  // namespace ads::engine

@@ -27,6 +27,27 @@ const char* OpTypeName(OpType op) {
   return "?";
 }
 
+const char* AggFnName(AggFn fn) {
+  switch (fn) {
+    case AggFn::kSum:
+      return "sum";
+    case AggFn::kCount:
+      return "count";
+    case AggFn::kAvg:
+      return "avg";
+    case AggFn::kMin:
+      return "min";
+    case AggFn::kMax:
+      return "max";
+  }
+  return "?";
+}
+
+std::string AggExpr::OutputName() const {
+  if (column.empty()) return "count_rows";
+  return std::string(AggFnName(fn)) + "_" + column;
+}
+
 std::unique_ptr<PlanNode> PlanNode::Clone() const {
   auto copy = std::make_unique<PlanNode>();
   copy->op = op;
@@ -76,6 +97,12 @@ uint64_t SignatureOf(const PlanNode& node, bool strict) {
     case OpType::kAggregate: {
       uint64_t acc = 0;
       for (const std::string& c : node.agg.group_keys) acc ^= HashString(c);
+      // Aggregate functions fold into the same accumulator, so plans
+      // without them (the pre-execution simulated path) hash as before.
+      for (const AggExpr& a : node.agg.aggs) {
+        acc ^= HashCombine(HashString(a.column),
+                           static_cast<uint64_t>(a.fn) + 1);
+      }
       h = HashCombine(h, acc);
       break;
     }

@@ -37,11 +37,33 @@ struct JoinSpec {
   JoinStrategy strategy = JoinStrategy::kShuffleHash;
 };
 
+/// Aggregate functions computed by an Aggregate node. Sums over integer
+/// columns are exact; sums over doubles accumulate in input row order,
+/// which is part of the operator's defined semantics (both the vectorized
+/// and the reference executor implement exactly this order, so results are
+/// bit-identical by construction).
+enum class AggFn { kSum, kCount, kAvg, kMin, kMax };
+
+const char* AggFnName(AggFn fn);
+
+/// One aggregate output. `column` is the input column aggregated over;
+/// empty means COUNT(*) (only valid with kCount). The output column is
+/// named "<fn>_<column>" ("count_rows" for COUNT(*)).
+struct AggExpr {
+  AggFn fn = AggFn::kCount;
+  std::string column;
+
+  std::string OutputName() const;
+};
+
 /// Aggregation parameters. `true_distinct_ratio` is ground truth: output
-/// rows = input rows * ratio.
+/// rows = input rows * ratio. `aggs` lists the computed aggregates; an
+/// empty list means a bare COUNT(*) (the pre-execution simulated path
+/// never looked at aggregate functions, so old plans stay valid).
 struct AggSpec {
   std::vector<std::string> group_keys;
   double true_distinct_ratio = 0.1;
+  std::vector<AggExpr> aggs;
 };
 
 /// One node of a query plan tree.

@@ -80,6 +80,10 @@ void Emit(const PlanNode& node, int depth, std::ostringstream& os) {
   switch (node.op) {
     case OpType::kScan:
       os << " table=" << node.table << " rows=" << node.table_rows;
+      // Narrowed scans (ProjectIntoScan) carry the surviving columns.
+      if (!node.columns.empty()) {
+        os << " columns=" << JoinList(node.columns, ',');
+      }
       break;
     case OpType::kFilter: {
       os << " preds=";
@@ -103,6 +107,16 @@ void Emit(const PlanNode& node, int depth, std::ostringstream& os) {
     case OpType::kAggregate:
       os << " keys=" << JoinList(node.agg.group_keys, ',')
          << " ratio=" << node.agg.true_distinct_ratio;
+      if (!node.agg.aggs.empty()) {
+        os << " aggs=";
+        for (size_t i = 0; i < node.agg.aggs.size(); ++i) {
+          const AggExpr& a = node.agg.aggs[i];
+          if (i > 0) os << ";";
+          // COUNT(*) has no input column; "*" keeps the field non-empty.
+          os << AggFnName(a.fn) << ":"
+             << (a.column.empty() ? "*" : a.column);
+        }
+      }
       break;
     case OpType::kSort:
       os << " columns=" << JoinList(node.columns, ',');
@@ -175,6 +189,8 @@ common::Result<std::unique_ptr<PlanNode>> Build(
       }
       node->table = *table;
       get_double("rows", &node->table_rows);
+      const std::string* columns = get("columns");
+      if (columns != nullptr) node->columns = SplitList(*columns, ',');
       expected_children = 0;
       break;
     }
@@ -228,6 +244,33 @@ common::Result<std::unique_ptr<PlanNode>> Build(
       const std::string* keys = get("keys");
       if (keys != nullptr) node->agg.group_keys = SplitList(*keys, ',');
       get_double("ratio", &node->agg.true_distinct_ratio);
+      const std::string* aggs = get("aggs");
+      if (aggs != nullptr) {
+        for (const std::string& item : SplitList(*aggs, ';')) {
+          std::vector<std::string> parts = SplitList(item, ':');
+          if (parts.size() != 2) {
+            return common::Status::InvalidArgument("malformed aggregate: " +
+                                                   item);
+          }
+          AggExpr a;
+          if (parts[0] == "sum") {
+            a.fn = AggFn::kSum;
+          } else if (parts[0] == "count") {
+            a.fn = AggFn::kCount;
+          } else if (parts[0] == "avg") {
+            a.fn = AggFn::kAvg;
+          } else if (parts[0] == "min") {
+            a.fn = AggFn::kMin;
+          } else if (parts[0] == "max") {
+            a.fn = AggFn::kMax;
+          } else {
+            return common::Status::InvalidArgument("unknown aggregate fn: " +
+                                                   parts[0]);
+          }
+          a.column = parts[1] == "*" ? "" : parts[1];
+          node->agg.aggs.push_back(std::move(a));
+        }
+      }
       expected_children = 1;
       break;
     }

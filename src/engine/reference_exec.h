@@ -1,0 +1,39 @@
+#ifndef ADS_ENGINE_REFERENCE_EXEC_H_
+#define ADS_ENGINE_REFERENCE_EXEC_H_
+
+#include "common/status.h"
+#include "engine/plan.h"
+#include "engine/table.h"
+
+namespace ads::engine {
+
+/// Row-at-a-time executor with the same defined semantics as the
+/// vectorized RealExecutor — and two jobs:
+///
+///  1. Correctness oracle. It is written tuple-at-a-time in the most
+///     obvious way (materialized row vectors, per-row predicate checks,
+///     per-probe hash lookups, per-row accumulator updates in input
+///     order), so it is easy to audit. The differential harness asserts
+///     the vectorized executor's output equals this one's bit for bit on
+///     every plan, including degenerate shapes.
+///  2. Scalar baseline. bench_p7_execution reports vectorized speedup
+///     against it — the classic row-store vs columnar gap, measured.
+///
+/// Shared semantic contract (DESIGN.md §15): join matches come out
+/// probe-row-major with build rows ascending; groups appear in
+/// first-seen input order; double sums accumulate in input row order;
+/// a global aggregate over zero rows yields one identity row; there are
+/// no NULLs.
+class ReferenceExecutor {
+ public:
+  explicit ReferenceExecutor(const TableStore* store) : store_(store) {}
+
+  common::Result<ColumnTable> Execute(const PlanNode& plan) const;
+
+ private:
+  const TableStore* store_;
+};
+
+}  // namespace ads::engine
+
+#endif  // ADS_ENGINE_REFERENCE_EXEC_H_

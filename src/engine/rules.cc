@@ -303,6 +303,9 @@ NodePtr RewriteNode(RuleId id, NodePtr node, const RuleContext& ctx,
           node->children[0]->row_width > node->row_width) {
         NodePtr scan = std::move(node->children[0]);
         scan->row_width = node->row_width;  // columnar scan reads less
+        // The real executor honors the narrowing: a scan with a column
+        // list emits only those columns (in list order).
+        scan->columns = node->columns;
         *changed = true;
         return scan;
       }

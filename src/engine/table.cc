@@ -1,0 +1,95 @@
+#include "engine/table.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace ads::engine {
+
+void ColumnTable::AddColumn(Column column) {
+  if (!columns_.empty()) {
+    ADS_CHECK(column.size() == columns_[0].size())
+        << "column " << column.name() << " has " << column.size()
+        << " rows, table " << name_ << " has " << columns_[0].size();
+  }
+  columns_.push_back(std::move(column));
+}
+
+int ColumnTable::FindColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name() == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+const Column* ColumnTable::FindColumn(const std::string& name) const {
+  int idx = FindColumnIndex(name);
+  return idx < 0 ? nullptr : &columns_[static_cast<size_t>(idx)];
+}
+
+bool ColumnTable::BitwiseEquals(const ColumnTable& other) const {
+  if (columns_.size() != other.columns_.size()) return false;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (!columns_[i].BitwiseEquals(other.columns_[i])) return false;
+  }
+  return true;
+}
+
+std::string ColumnTable::Serialize() const {
+  std::ostringstream os;
+  os.precision(17);
+  os << "cols=" << columns_.size() << " rows=" << num_rows() << "\n";
+  for (const Column& c : columns_) {
+    os << c.name() << ":" << ColumnTypeName(c.type())
+       << (&c == &columns_.back() ? "" : " ");
+  }
+  os << "\n";
+  const size_t rows = num_rows();
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      if (i > 0) os << " ";
+      const Column& c = columns_[i];
+      if (c.type() == ColumnType::kI64) {
+        os << c.I64At(r);
+      } else {
+        os << c.F64At(r);
+      }
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+uint64_t ColumnTable::Checksum() const {
+  const std::string text = Serialize();
+  uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  for (unsigned char ch : text) {
+    h ^= ch;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+void TableStore::AddTable(ColumnTable table) {
+  std::string name = table.name();
+  tables_[std::move(name)] = std::move(table);
+}
+
+bool TableStore::HasTable(const std::string& name) const {
+  return tables_.count(name) > 0;
+}
+
+const ColumnTable* TableStore::FindTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> TableStore::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) names.push_back(name);
+  return names;
+}
+
+}  // namespace ads::engine
+

@@ -1,0 +1,81 @@
+#ifndef ADS_ENGINE_TABLE_H_
+#define ADS_ENGINE_TABLE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/column.h"
+
+namespace ads::engine {
+
+/// One columnar table (or intermediate result): a set of equally-sized
+/// typed columns. Column names are unique within a table; the generators
+/// keep them globally unique across tables (the catalog convention), so
+/// joins never produce duplicate names.
+class ColumnTable {
+ public:
+  ColumnTable() = default;
+  explicit ColumnTable(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  size_t num_rows() const {
+    return columns_.empty() ? 0 : columns_[0].size();
+  }
+  size_t num_columns() const { return columns_.size(); }
+
+  /// Adds a column; all columns must have the same length (checked).
+  void AddColumn(Column column);
+
+  const Column& ColumnAt(size_t i) const { return columns_[i]; }
+  Column& ColumnAt(size_t i) { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Index of the named column, or -1.
+  int FindColumnIndex(const std::string& name) const;
+  const Column* FindColumn(const std::string& name) const;
+
+  /// Exact (bit-level) equality of schema and data. Table names are NOT
+  /// compared — two executors producing the same relation are equal even
+  /// if they label it differently.
+  bool BitwiseEquals(const ColumnTable& other) const;
+
+  /// Deterministic text form used by the golden-answer fixtures and the
+  /// differential harness's failure messages: a schema line, then one
+  /// line per row with values separated by single spaces. Doubles print
+  /// with 17 significant digits (round-trip exact), so equal bytes means
+  /// equal bits.
+  std::string Serialize() const;
+
+  /// FNV-1a hash of Serialize() — a compact deterministic result
+  /// checksum for bench output.
+  uint64_t Checksum() const;
+
+ private:
+  std::string name_;
+  std::vector<Column> columns_;
+};
+
+/// Name -> columnar table registry: the real counterpart of the Catalog's
+/// simulated data lake. The Catalog keeps statistics; the TableStore keeps
+/// the data those statistics describe.
+class TableStore {
+ public:
+  /// Adds or replaces a table.
+  void AddTable(ColumnTable table);
+
+  bool HasTable(const std::string& name) const;
+  const ColumnTable* FindTable(const std::string& name) const;
+  std::vector<std::string> TableNames() const;
+  size_t size() const { return tables_.size(); }
+
+ private:
+  std::map<std::string, ColumnTable> tables_;
+};
+
+}  // namespace ads::engine
+
+#endif  // ADS_ENGINE_TABLE_H_

@@ -1,0 +1,120 @@
+#ifndef ADS_ENGINE_VEC_OPS_H_
+#define ADS_ENGINE_VEC_OPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/aligned.h"
+#include "common/thread_pool.h"
+#include "engine/column.h"
+#include "engine/expr.h"
+
+namespace ads::engine {
+
+/// Vectorized operator kernels: predicate bitmaps, selection vectors,
+/// gathers, a seeded hash-join table and a grouped-aggregation index.
+/// All kernels are deterministic and thread-count invariant: parallel
+/// sections use fixed grains on ThreadPool::ParallelFor (whose chunk
+/// boundaries never depend on the worker count), and every floating-point
+/// reduction happens sequentially in input row order. The differential
+/// harness exploits this: vectorized output must equal the row-at-a-time
+/// reference executor bit for bit.
+
+/// Fixed chunk grains (rows). kBitmapGrain is a multiple of 64 so no two
+/// chunks ever touch the same bitmap word.
+inline constexpr size_t kBitmapGrain = 4096;
+inline constexpr size_t kGatherGrain = 8192;
+inline constexpr size_t kProbeGrain = 2048;
+
+/// Seeded FNV-1a over the key's 8 bytes, finished with a murmur3-style
+/// mixer for avalanche on the low bits (bucket indices are low-bit masks).
+inline uint64_t HashJoinKey(int64_t key, uint64_t seed) {
+  uint64_t h = seed ^ 14695981039346656037ull;
+  uint64_t k = static_cast<uint64_t>(key);
+  for (int byte = 0; byte < 8; ++byte) {
+    h ^= (k >> (byte * 8)) & 0xffull;
+    h *= 1099511628211ull;
+  }
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  return h;
+}
+
+/// Number of 64-bit words a bitmap over `rows` rows needs.
+inline size_t BitmapWords(size_t rows) { return (rows + 63) / 64; }
+
+/// Fills `bits` (BitmapWords(col.size()) words) with one bit per row:
+/// 1 where `col <op> value` holds. Parallel over word-aligned chunks.
+void PredicateBitmap(const Column& col, CompareOp op, double value,
+                     common::ThreadPool& pool, uint64_t* bits);
+
+/// acc &= other over `words` words.
+void BitmapAndInPlace(uint64_t* acc, const uint64_t* other, size_t words);
+
+/// Expands a bitmap into a selection vector of row indices (ascending).
+/// Returns the number of selected rows.
+size_t BitmapToSelection(const uint64_t* bits, size_t rows,
+                         common::AlignedBuffer<uint32_t>* sel);
+
+/// out[i] = src[sel[i]] for i in [0, n). `out` keeps src's name and type.
+void GatherColumn(const Column& src, const uint32_t* sel, size_t n,
+                  common::ThreadPool& pool, Column* out);
+
+/// Hash-join build/probe over i64 keys, bucket-chained. Matches for one
+/// probe row come out in ascending build-row order (the chains are built
+/// back to front), which pins the operator's output order to the
+/// nested-loop order the reference executor produces.
+class JoinHashTable {
+ public:
+  /// Builds over the build side's key column (i64). `seed` selects the
+  /// hash stream — the executor's hashing seed policy is one fixed seed
+  /// per plan execution, so rebuilding the same plan is bit-identical.
+  void Build(const Column& keys, uint64_t seed);
+
+  size_t build_rows() const { return keys_.size(); }
+
+  /// Probes with `probe_keys` in row order and appends every match as a
+  /// (probe_row, build_row) pair, probe-major, build ascending within a
+  /// probe row. Deterministic two-pass parallel: per-chunk match counts,
+  /// exclusive prefix, then disjoint writes.
+  void Probe(const Column& probe_keys, common::ThreadPool& pool,
+             common::AlignedBuffer<uint32_t>* probe_idx,
+             common::AlignedBuffer<uint32_t>* build_idx) const;
+
+ private:
+  uint64_t seed_ = 0;
+  size_t mask_ = 0;
+  common::AlignedBuffer<int64_t> keys_;
+  common::AlignedBuffer<int32_t> heads_;  // bucket -> first build row or -1
+  common::AlignedBuffer<int32_t> next_;   // build row -> next in chain or -1
+};
+
+/// Grouped-aggregation index over i64 group-key columns: assigns each row
+/// a dense group id in first-seen order. Sequential by design — group
+/// discovery order is part of the operator's defined semantics (output
+/// groups appear in first-seen input order).
+class GroupIndex {
+ public:
+  /// `keys` may be empty: every row lands in group 0 (global aggregate).
+  void Build(const std::vector<const Column*>& keys, size_t rows,
+             uint64_t seed);
+
+  size_t num_groups() const { return representative_row_.size(); }
+  /// Dense group id per input row.
+  const common::AlignedBuffer<uint32_t>& group_of_row() const {
+    return group_of_row_;
+  }
+  /// First input row of each group, indexed by group id.
+  const common::AlignedBuffer<uint32_t>& representative_row() const {
+    return representative_row_;
+  }
+
+ private:
+  common::AlignedBuffer<uint32_t> group_of_row_;
+  common::AlignedBuffer<uint32_t> representative_row_;
+};
+
+}  // namespace ads::engine
+
+#endif  // ADS_ENGINE_VEC_OPS_H_

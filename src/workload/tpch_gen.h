@@ -1,0 +1,94 @@
+#ifndef ADS_WORKLOAD_TPCH_GEN_H_
+#define ADS_WORKLOAD_TPCH_GEN_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/catalog.h"
+#include "engine/plan.h"
+#include "engine/table.h"
+
+namespace ads::workload {
+
+struct TpchGenOptions {
+  /// Row counts scale linearly: customer SF*1500, orders SF*15000,
+  /// lineitem ~SF*60000 (1..7 lines per order, like dbgen).
+  double scale_factor = 0.1;
+  uint64_t seed = 42;
+};
+
+/// Seeded TPC-H-shaped data + query generator backing real execution.
+///
+/// Unlike QueryGenerator (which invents a synthetic catalog and only
+/// *simulated* ground truth), this generator materializes actual columnar
+/// data into a TableStore and then *measures* everything the optimizer is
+/// told: catalog min/max/distinct are computed from the generated columns,
+/// predicate true_selectivity is the exact matching-row fraction, and FK
+/// join selectivity factors are exact (1/|build side|). So estimated-vs-
+/// actual cardinality gaps observed at runtime come from the estimator's
+/// modeling assumptions, not from stale statistics.
+///
+/// Schema (all column names globally unique, TPC-H prefix convention):
+///   customer(c_custkey, c_nationkey, c_mktsegment, c_acctbal)
+///   orders(o_orderkey, o_custkey, o_orderdate, o_orderpriority,
+///          o_totalprice)
+///   lineitem(l_orderkey, l_partkey, l_quantity, l_extendedprice,
+///            l_discount, l_returnflag, l_shipdate, l_tax)
+/// Money is fixed-point cents in i64 (exact aggregation); l_tax is the one
+/// f64 column, exercising the float path. Foreign keys are Zipf-skewed,
+/// so uniformity-based estimates err in a consistent way.
+///
+/// Six query templates shaped after TPC-H Q1/Q3/Q4/Q5/Q6/Q10, restricted
+/// to the executable operator surface (literal predicates, i64 equi-joins,
+/// i64 group keys, sum/count/avg/min/max, sort). Plans are built once in
+/// the constructor (selectivity measurement happens there) and cloned out.
+class TpchGenerator {
+ public:
+  explicit TpchGenerator(TpchGenOptions options = TpchGenOptions());
+
+  const engine::Catalog& catalog() const { return catalog_; }
+  const engine::TableStore& store() const { return store_; }
+
+  /// Template names, in a fixed order: q1_pricing_summary,
+  /// q3_shipping_priority, q4_order_priority, q5_volume_by_nation,
+  /// q6_forecast_revenue, q10_returned_items.
+  std::vector<std::string> QueryNames() const;
+
+  /// A fresh copy of the named template's logical plan (true_card
+  /// annotated; run it through an Optimizer for est_card).
+  common::Result<std::unique_ptr<engine::PlanNode>> MakeQuery(
+      const std::string& name) const;
+
+ private:
+  void Generate();
+  void MeasureCatalog();
+  void BuildQueries();
+
+  /// Exact fraction of `table` rows satisfying (column op value).
+  double MeasuredSelectivity(const std::string& table,
+                             const std::string& column, engine::CompareOp op,
+                             double value) const;
+  engine::Predicate MeasuredPredicate(const std::string& table,
+                                      const std::string& column,
+                                      engine::CompareOp op,
+                                      double value) const;
+  /// Exact distinct-value count of an i64 column.
+  size_t DistinctCount(const std::string& table,
+                       const std::string& column) const;
+
+  TpchGenOptions options_;
+  engine::Catalog catalog_;
+  engine::TableStore store_;
+  struct QueryTemplate {
+    std::string name;
+    std::unique_ptr<engine::PlanNode> plan;
+  };
+  std::vector<QueryTemplate> queries_;
+};
+
+}  // namespace ads::workload
+
+#endif  // ADS_WORKLOAD_TPCH_GEN_H_

@@ -1,0 +1,135 @@
+// Unit tests for the columnar store primitives: typed columns on aligned
+// arenas, length-checked tables, bitwise equality, and the deterministic
+// serialization the golden fixtures rely on.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+
+#include "engine/column.h"
+#include "engine/table.h"
+
+namespace ads::engine {
+namespace {
+
+TEST(ColumnTest, TypedAppendAndAccess) {
+  Column ints = Column::I64("k");
+  ints.AppendI64(3);
+  ints.AppendI64(-7);
+  EXPECT_EQ(ints.size(), 2u);
+  EXPECT_EQ(ints.I64At(1), -7);
+  EXPECT_EQ(ints.AsDouble(0), 3.0);
+
+  Column reals = Column::F64("x");
+  reals.AppendF64(0.5);
+  EXPECT_EQ(reals.F64At(0), 0.5);
+  EXPECT_EQ(reals.AsDouble(0), 0.5);
+}
+
+TEST(ColumnTest, DataIsCacheLineAligned) {
+  Column c = Column::I64("k");
+  for (int i = 0; i < 100; ++i) c.AppendI64(i);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(c.i64_data()) % 64, 0u);
+  Column f = Column::F64("x");
+  f.Resize(100);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(f.f64_data()) % 64, 0u);
+}
+
+TEST(ColumnTest, BitwiseEqualsComparesBits) {
+  Column a = Column::F64("x");
+  Column b = Column::F64("x");
+  a.AppendF64(0.0);
+  b.AppendF64(-0.0);  // numerically equal, different bits
+  EXPECT_FALSE(a.BitwiseEquals(b));
+  b.F64At(0) = 0.0;
+  EXPECT_TRUE(a.BitwiseEquals(b));
+  b.set_name("y");
+  EXPECT_FALSE(a.BitwiseEquals(b));
+}
+
+TEST(ColumnTableTest, AppendFromCopiesRows) {
+  Column src = Column::I64("k");
+  src.AppendI64(10);
+  src.AppendI64(20);
+  Column dst = Column::I64("k");
+  dst.AppendFrom(src, 1);
+  EXPECT_EQ(dst.I64At(0), 20);
+}
+
+TEST(ColumnTableTest, FindAndEquality) {
+  ColumnTable t("t");
+  Column k = Column::I64("k");
+  Column x = Column::F64("x");
+  k.AppendI64(1);
+  x.AppendF64(2.5);
+  t.AddColumn(std::move(k));
+  t.AddColumn(std::move(x));
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.FindColumnIndex("x"), 1);
+  EXPECT_EQ(t.FindColumnIndex("nope"), -1);
+  ASSERT_NE(t.FindColumn("k"), nullptr);
+  EXPECT_EQ(t.FindColumn("k")->I64At(0), 1);
+}
+
+TEST(ColumnTableTest, BitwiseEqualsIgnoresTableName) {
+  ColumnTable a("first");
+  ColumnTable b("second");
+  Column ka = Column::I64("k");
+  Column kb = Column::I64("k");
+  ka.AppendI64(5);
+  kb.AppendI64(5);
+  a.AddColumn(std::move(ka));
+  b.AddColumn(std::move(kb));
+  EXPECT_TRUE(a.BitwiseEquals(b));
+  b.ColumnAt(0).I64At(0) = 6;
+  EXPECT_FALSE(a.BitwiseEquals(b));
+}
+
+TEST(ColumnTableTest, SerializeIsDeterministicAndChecksummed) {
+  ColumnTable t("t");
+  Column k = Column::I64("k");
+  Column x = Column::F64("x");
+  k.AppendI64(1);
+  k.AppendI64(2);
+  x.AppendF64(0.1);
+  x.AppendF64(-3.0);
+  t.AddColumn(std::move(k));
+  t.AddColumn(std::move(x));
+  const std::string s1 = t.Serialize();
+  const std::string s2 = t.Serialize();
+  EXPECT_EQ(s1, s2);
+  EXPECT_NE(s1.find("k:i64"), std::string::npos);
+  EXPECT_NE(s1.find("x:f64"), std::string::npos);
+  // 17 significant digits round-trips doubles exactly.
+  EXPECT_NE(s1.find("0.10000000000000001"), std::string::npos);
+  EXPECT_EQ(t.Checksum(), t.Checksum());
+
+  ColumnTable u("t");
+  Column k2 = Column::I64("k");
+  k2.AppendI64(1);
+  k2.AppendI64(2);
+  u.AddColumn(std::move(k2));
+  EXPECT_NE(t.Checksum(), u.Checksum());
+}
+
+TEST(TableStoreTest, AddFindReplace) {
+  TableStore store;
+  ColumnTable t("t");
+  Column k = Column::I64("k");
+  k.AppendI64(1);
+  t.AddColumn(std::move(k));
+  store.AddTable(std::move(t));
+  EXPECT_TRUE(store.HasTable("t"));
+  EXPECT_FALSE(store.HasTable("u"));
+  ASSERT_NE(store.FindTable("t"), nullptr);
+  EXPECT_EQ(store.FindTable("t")->num_rows(), 1u);
+
+  ColumnTable replacement("t");
+  store.AddTable(std::move(replacement));
+  EXPECT_EQ(store.FindTable("t")->num_rows(), 0u);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+}  // namespace
+}  // namespace ads::engine

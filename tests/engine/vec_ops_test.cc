@@ -1,0 +1,174 @@
+// Kernel-level tests for the vectorized primitives: bitmap shape and
+// chunk-boundary behavior, selection expansion, gathers, join hash table
+// chain order, and group-index first-seen numbering — each checked on
+// both the Serial (inline) and the Global pool, since serial/parallel
+// bit-identity is the property everything above relies on.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/aligned.h"
+#include "common/thread_pool.h"
+#include "engine/vec_ops.h"
+
+namespace ads::engine {
+namespace {
+
+Column I64Column(const std::string& name, std::vector<int64_t> values) {
+  Column c = Column::I64(name);
+  for (int64_t v : values) c.AppendI64(v);
+  return c;
+}
+
+TEST(VecOpsTest, PredicateBitmapMatchesScalarOnBothPools) {
+  // Cross a chunk boundary: kBitmapGrain rows plus a ragged tail.
+  const size_t rows = kBitmapGrain + 100;
+  Column c = Column::I64("v");
+  for (size_t r = 0; r < rows; ++r) {
+    c.AppendI64(static_cast<int64_t>(r % 97));
+  }
+  common::AlignedBuffer<uint64_t> serial_bits;
+  serial_bits.resize(BitmapWords(rows));
+  common::AlignedBuffer<uint64_t> parallel_bits;
+  parallel_bits.resize(BitmapWords(rows));
+  PredicateBitmap(c, CompareOp::kLess, 40.0, common::ThreadPool::Serial(),
+                  serial_bits.data());
+  PredicateBitmap(c, CompareOp::kLess, 40.0, common::ThreadPool::Global(),
+                  parallel_bits.data());
+  for (size_t w = 0; w < serial_bits.size(); ++w) {
+    EXPECT_EQ(serial_bits[w], parallel_bits[w]) << "word " << w;
+  }
+  for (size_t r = 0; r < rows; ++r) {
+    const bool expected = (r % 97) < 40;
+    const bool got = (serial_bits[r / 64] >> (r % 64)) & 1;
+    ASSERT_EQ(got, expected) << "row " << r;
+  }
+}
+
+TEST(VecOpsTest, BitmapAndSelection) {
+  const size_t rows = 130;  // three words, ragged tail
+  common::AlignedBuffer<uint64_t> a;
+  common::AlignedBuffer<uint64_t> b;
+  a.resize(BitmapWords(rows));
+  b.resize(BitmapWords(rows));
+  for (size_t w = 0; w < a.size(); ++w) {
+    a[w] = 0xaaaaaaaaaaaaaaaaull;  // odd rows
+    b[w] = 0xf0f0f0f0f0f0f0f0ull;  // high nibbles
+  }
+  BitmapAndInPlace(a.data(), b.data(), a.size());
+  common::AlignedBuffer<uint32_t> sel;
+  const size_t n = BitmapToSelection(a.data(), rows, &sel);
+  ASSERT_GT(n, 0u);
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t r = sel[i];
+    EXPECT_LT(r, rows);
+    EXPECT_EQ(r % 2, 1u);       // odd
+    EXPECT_GE(r % 8, 4u);       // high nibble
+    if (i > 0) EXPECT_LT(sel[i - 1], r);  // ascending
+  }
+}
+
+TEST(VecOpsTest, GatherColumnBothTypes) {
+  Column ints = I64Column("k", {10, 20, 30, 40});
+  Column reals = Column::F64("x");
+  for (double v : {0.1, 0.2, 0.3, 0.4}) reals.AppendF64(v);
+  common::AlignedBuffer<uint32_t> sel;
+  sel.push_back(3);
+  sel.push_back(1);
+  Column out_i;
+  GatherColumn(ints, sel.data(), sel.size(), common::ThreadPool::Global(),
+               &out_i);
+  ASSERT_EQ(out_i.size(), 2u);
+  EXPECT_EQ(out_i.name(), "k");
+  EXPECT_EQ(out_i.I64At(0), 40);
+  EXPECT_EQ(out_i.I64At(1), 20);
+  Column out_f;
+  GatherColumn(reals, sel.data(), sel.size(), common::ThreadPool::Serial(),
+               &out_f);
+  ASSERT_EQ(out_f.size(), 2u);
+  EXPECT_EQ(out_f.F64At(0), 0.4);
+  EXPECT_EQ(out_f.F64At(1), 0.2);
+}
+
+TEST(VecOpsTest, JoinHashTableMatchesAscendingAndSeedStable) {
+  // Duplicate build keys: 7 appears at build rows 0, 2, 4.
+  Column build = I64Column("b", {7, 1, 7, 3, 7});
+  Column probe = I64Column("p", {7, 5, 3, 7});
+  JoinHashTable ht;
+  ht.Build(build, 0x1234);
+  common::AlignedBuffer<uint32_t> probe_idx;
+  common::AlignedBuffer<uint32_t> build_idx;
+  ht.Probe(probe, common::ThreadPool::Global(), &probe_idx, &build_idx);
+
+  const std::vector<uint32_t> want_probe = {0, 0, 0, 2, 3, 3, 3};
+  const std::vector<uint32_t> want_build = {0, 2, 4, 3, 0, 2, 4};
+  ASSERT_EQ(probe_idx.size(), want_probe.size());
+  for (size_t i = 0; i < want_probe.size(); ++i) {
+    EXPECT_EQ(probe_idx[i], want_probe[i]) << "match " << i;
+    EXPECT_EQ(build_idx[i], want_build[i]) << "match " << i;
+  }
+
+  // A different seed permutes buckets but not the output order.
+  JoinHashTable ht2;
+  ht2.Build(build, 0x9999);
+  common::AlignedBuffer<uint32_t> probe_idx2;
+  common::AlignedBuffer<uint32_t> build_idx2;
+  ht2.Probe(probe, common::ThreadPool::Serial(), &probe_idx2, &build_idx2);
+  ASSERT_EQ(probe_idx2.size(), want_probe.size());
+  for (size_t i = 0; i < want_probe.size(); ++i) {
+    EXPECT_EQ(probe_idx2[i], want_probe[i]);
+    EXPECT_EQ(build_idx2[i], want_build[i]);
+  }
+}
+
+TEST(VecOpsTest, JoinHashTableEmptySides) {
+  Column empty = Column::I64("b");
+  Column probe = I64Column("p", {1, 2});
+  JoinHashTable ht;
+  ht.Build(empty, 1);
+  common::AlignedBuffer<uint32_t> probe_idx;
+  common::AlignedBuffer<uint32_t> build_idx;
+  ht.Probe(probe, common::ThreadPool::Global(), &probe_idx, &build_idx);
+  EXPECT_EQ(probe_idx.size(), 0u);
+  EXPECT_EQ(build_idx.size(), 0u);
+
+  JoinHashTable ht2;
+  ht2.Build(probe, 1);
+  Column no_probe = Column::I64("p2");
+  ht2.Probe(no_probe, common::ThreadPool::Global(), &probe_idx, &build_idx);
+  EXPECT_EQ(probe_idx.size(), 0u);
+}
+
+TEST(VecOpsTest, GroupIndexFirstSeenOrder) {
+  Column k1 = I64Column("a", {5, 5, 9, 5, 9, 2});
+  Column k2 = I64Column("b", {1, 1, 1, 2, 1, 1});
+  GroupIndex gi;
+  gi.Build({&k1, &k2}, k1.size(), 0xabcdef);
+  // Groups in first-seen order: (5,1)=0, (9,1)=1, (5,2)=2, (2,1)=3.
+  EXPECT_EQ(gi.num_groups(), 4u);
+  const auto& g = gi.group_of_row();
+  const std::vector<uint32_t> want = {0, 0, 1, 2, 1, 3};
+  for (size_t r = 0; r < want.size(); ++r) {
+    EXPECT_EQ(g[r], want[r]) << "row " << r;
+  }
+  EXPECT_EQ(gi.representative_row()[0], 0u);
+  EXPECT_EQ(gi.representative_row()[1], 2u);
+  EXPECT_EQ(gi.representative_row()[2], 3u);
+  EXPECT_EQ(gi.representative_row()[3], 5u);
+}
+
+TEST(VecOpsTest, GroupIndexNoKeysIsOneGroup) {
+  GroupIndex gi;
+  gi.Build({}, 10, 1);
+  EXPECT_EQ(gi.num_groups(), 1u);
+  for (size_t r = 0; r < 10; ++r) EXPECT_EQ(gi.group_of_row()[r], 0u);
+
+  GroupIndex empty;
+  empty.Build({}, 0, 1);
+  EXPECT_EQ(empty.num_groups(), 0u);
+}
+
+}  // namespace
+}  // namespace ads::engine
