@@ -82,10 +82,12 @@ QuantileSummary QuantileSketch::Summary() const {
   QuantileSummary s;
   s.count = values_.size();
   if (values_.empty()) return s;
+  // One sort, one lock: the whole digest reads the stable sorted buffer
+  // directly instead of re-acquiring the sort mutex per percentile.
   EnsureSorted();
-  s.p50 = Quantile(0.5);
-  s.p95 = Quantile(0.95);
-  s.p99 = Quantile(0.99);
+  s.p50 = QuantileSorted(0.5);
+  s.p95 = QuantileSorted(0.95);
+  s.p99 = QuantileSorted(0.99);
   s.max = values_.back();  // EnsureSorted() sorted the samples ascending
   return s;
 }
@@ -93,6 +95,10 @@ QuantileSummary QuantileSketch::Summary() const {
 double QuantileSketch::Quantile(double q) const {
   if (values_.empty()) return 0.0;
   EnsureSorted();
+  return QuantileSorted(q);
+}
+
+double QuantileSketch::QuantileSorted(double q) const {
   q = std::clamp(q, 0.0, 1.0);
   double pos = q * static_cast<double>(values_.size() - 1);
   size_t lo = static_cast<size_t>(pos);
@@ -109,12 +115,30 @@ Histogram::Histogram(double lo, double hi, size_t buckets)
 }
 
 size_t Histogram::BucketOf(double x) const {
-  if (x < lo_) return 0;
+  // Non-finite first: NaN fails every comparison below, and without this
+  // guard it would reach the float -> size_t cast, which is UB.
+  if (!std::isfinite(x)) return kNoBucket;
+  if (x < lo_) return kNoBucket;  // underflow
+  if (x >= hi_) return kNoBucket;  // overflow
   size_t b = static_cast<size_t>((x - lo_) / width_);
+  // Rounding in (x - lo) / width can land exactly on bucket_count for
+  // x just under hi; clamp that edge case into the last bucket.
   return std::min(b, counts_.size() - 1);
 }
 
 void Histogram::Add(double x) {
+  if (!std::isfinite(x)) {
+    ++non_finite_;
+    return;
+  }
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
   ++counts_[BucketOf(x)];
   ++total_;
 }

@@ -67,33 +67,57 @@ class QuantileSketch {
   size_t count() const { return values_.size(); }
   size_t Count() const { return values_.size(); }
   /// One-call p50/p95/p99/max digest, so callers reporting tail latency
-  /// do not hand-roll percentile triples.
+  /// do not hand-roll percentile triples. Sorts (and locks) once for the
+  /// whole digest — this sits on hot telemetry paths where four separate
+  /// mutex acquisitions per snapshot showed up.
   QuantileSummary Summary() const;
 
  private:
   /// Sorts the samples once under sort_mu_; after it returns the buffer is
   /// stable until the next (externally synchronized) write.
   void EnsureSorted() const;
+  /// Linear-interpolated q-quantile over an already-sorted buffer.
+  /// Requires EnsureSorted() to have run and values_ non-empty.
+  double QuantileSorted(double q) const;
 
   mutable std::mutex sort_mu_;
   mutable std::vector<double> values_;
   mutable bool sorted_ = true;
 };
 
-/// Fixed-bucket histogram over [lo, hi); out-of-range values clamp to the
-/// edge buckets.
+/// Fixed-bucket histogram over [lo, hi). Out-of-range samples are counted
+/// explicitly (underflow / overflow) instead of being folded into the edge
+/// buckets, and non-finite samples (NaN, +/-inf) are quarantined in their
+/// own counter — so bucket counts and Fraction() describe exactly the
+/// in-range mass, and a polluted input stream is visible rather than
+/// silently corrupting the tails.
 class Histogram {
  public:
+  /// Sentinel returned by BucketOf for samples no bucket holds.
+  static constexpr size_t kNoBucket = static_cast<size_t>(-1);
+
   Histogram(double lo, double hi, size_t buckets);
 
   void Add(double x);
   size_t bucket_count() const { return counts_.size(); }
+  /// Bucket index for an in-range sample; kNoBucket for x < lo, x >= hi,
+  /// or non-finite x (the latter would otherwise be UB in the float ->
+  /// size_t cast).
   size_t BucketOf(double x) const;
   size_t count(size_t bucket) const { return counts_[bucket]; }
+  /// In-range samples only (the sum of the bucket counts).
   size_t total() const { return total_; }
+  /// Samples below lo / at-or-above hi / non-finite, respectively.
+  size_t underflow() const { return underflow_; }
+  size_t overflow() const { return overflow_; }
+  size_t non_finite() const { return non_finite_; }
+  /// Every sample ever Add()ed, in-range or not.
+  size_t samples() const {
+    return total_ + underflow_ + overflow_ + non_finite_;
+  }
   double BucketLow(size_t bucket) const;
   double BucketHigh(size_t bucket) const;
-  /// Fraction of mass in the given bucket (0 if empty histogram).
+  /// Fraction of in-range mass in the given bucket (0 if none).
   double Fraction(size_t bucket) const;
 
  private:
@@ -102,6 +126,9 @@ class Histogram {
   double width_;
   std::vector<size_t> counts_;
   size_t total_ = 0;
+  size_t underflow_ = 0;
+  size_t overflow_ = 0;
+  size_t non_finite_ = 0;
 };
 
 /// Pearson correlation of two equal-length series; 0 if degenerate.

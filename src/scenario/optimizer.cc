@@ -1,0 +1,350 @@
+#include "scenario/optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+
+namespace ads::scenario {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// The discrete grids the search moves on. Deliberately coarse: each step
+// is a change an operator would actually consider, and coarse grids keep
+// the eval budget meaningful.
+const std::vector<size_t> kShardGrid = {1, 2, 4, 8};
+const std::vector<size_t> kReplicaGrid = {1, 2, 3};
+const std::vector<size_t> kWorkerGrid = {1, 2, 4};
+const std::vector<size_t> kQueueGrid = {32, 128, 512, 2048};
+const std::vector<size_t> kBatchGrid = {1, 4, 8, 16};
+const std::vector<double> kLingerGrid = {0.0005, 0.002, 0.005};
+const std::vector<double> kHedgeQuantileGrid = {0.90, 0.95, 0.99};
+const std::vector<double> kHedgeFactorGrid = {1.0, 1.5, 2.0};
+const std::vector<double> kTenantRpsGrid = {5.0, 10.0, 25.0};
+const std::vector<uint32_t> kBreakerThresholdGrid = {3, 8};
+const std::vector<double> kBreakerCooldownGrid = {1.0, 5.0};
+// Ordered ascending; infinity (= diverts off) is the top step.
+const std::vector<double> kOverloadDepthGrid = {16.0, 64.0, kInf};
+
+/// Grid values adjacent to `current` on a sorted grid: the two flanking
+/// steps when `current` sits on the grid, or the two bracketing values
+/// (snap moves) when it sits between points.
+template <typename T>
+std::vector<T> Adjacent(const std::vector<T>& grid, T current) {
+  std::vector<T> out;
+  size_t i = 0;
+  while (i < grid.size() && grid[i] < current) ++i;
+  if (i < grid.size() && grid[i] == current) {
+    if (i > 0) out.push_back(grid[i - 1]);
+    if (i + 1 < grid.size()) out.push_back(grid[i + 1]);
+  } else {
+    if (i > 0) out.push_back(grid[i - 1]);
+    if (i < grid.size()) out.push_back(grid[i]);
+  }
+  return out;
+}
+
+template <typename T>
+T Pick(const std::vector<T>& grid, common::Rng& rng) {
+  return grid[static_cast<size_t>(
+      rng.UniformInt(0, static_cast<int64_t>(grid.size()) - 1))];
+}
+
+/// Deterministic preference order among equal scores: the baseline key
+/// first, then lexicographically smaller keys.
+bool PreferKey(const std::string& a, const std::string& b,
+               const std::string& baseline_key) {
+  if ((a == baseline_key) != (b == baseline_key)) return a == baseline_key;
+  return a < b;
+}
+
+}  // namespace
+
+BlueprintOptimizer::BlueprintOptimizer(OptimizerOptions options)
+    : options_(options) {}
+
+std::vector<Blueprint> BlueprintOptimizer::Neighbors(
+    const Blueprint& from) const {
+  std::vector<Blueprint> out;
+  auto push = [&out](Blueprint b) { out.push_back(std::move(b)); };
+  for (size_t v : Adjacent(kShardGrid, from.shards)) {
+    Blueprint b = from;
+    b.shards = v;
+    push(b);
+  }
+  for (size_t v : Adjacent(kReplicaGrid, from.replicas_per_shard)) {
+    Blueprint b = from;
+    b.replicas_per_shard = v;
+    push(b);
+  }
+  for (size_t v : Adjacent(kWorkerGrid, from.workers_per_replica)) {
+    Blueprint b = from;
+    b.workers_per_replica = v;
+    push(b);
+  }
+  for (size_t v : Adjacent(kQueueGrid, from.queue_capacity)) {
+    Blueprint b = from;
+    b.queue_capacity = v;
+    push(b);
+  }
+  for (size_t v : Adjacent(kBatchGrid, from.max_batch_size)) {
+    Blueprint b = from;
+    b.max_batch_size = v;
+    push(b);
+  }
+  for (double v : Adjacent(kLingerGrid, from.max_linger_seconds)) {
+    Blueprint b = from;
+    b.max_linger_seconds = v;
+    push(b);
+  }
+  {
+    Blueprint b = from;
+    b.hedging = !b.hedging;
+    push(b);
+  }
+  if (from.hedging) {
+    for (double v : Adjacent(kHedgeQuantileGrid, from.hedge_quantile)) {
+      Blueprint b = from;
+      b.hedge_quantile = v;
+      push(b);
+    }
+    for (double v : Adjacent(kHedgeFactorGrid, from.hedge_delay_factor)) {
+      Blueprint b = from;
+      b.hedge_delay_factor = v;
+      push(b);
+    }
+  }
+  {
+    Blueprint b = from;
+    b.rate_limiting = !b.rate_limiting;
+    push(b);
+  }
+  if (from.rate_limiting) {
+    for (double v : Adjacent(kTenantRpsGrid, from.tenant_rps)) {
+      Blueprint b = from;
+      b.tenant_rps = v;
+      push(b);
+    }
+  }
+  {
+    Blueprint b = from;
+    b.priority_shedding = !b.priority_shedding;
+    push(b);
+  }
+  for (uint32_t v :
+       Adjacent(kBreakerThresholdGrid, from.breaker_failure_threshold)) {
+    Blueprint b = from;
+    b.breaker_failure_threshold = v;
+    push(b);
+  }
+  for (double v :
+       Adjacent(kBreakerCooldownGrid, from.breaker_cooldown_seconds)) {
+    Blueprint b = from;
+    b.breaker_cooldown_seconds = v;
+    push(b);
+  }
+  for (double v : Adjacent(kOverloadDepthGrid, from.overload_queue_depth)) {
+    Blueprint b = from;
+    b.overload_queue_depth = v;
+    push(b);
+  }
+  return out;
+}
+
+Blueprint BlueprintOptimizer::RandomBlueprint(uint64_t draw_seed) const {
+  common::Rng rng(options_.seed * 7919 + draw_seed + 1);
+  Blueprint b;
+  b.shards = Pick(kShardGrid, rng);
+  b.replicas_per_shard = Pick(kReplicaGrid, rng);
+  b.workers_per_replica = Pick(kWorkerGrid, rng);
+  b.queue_capacity = Pick(kQueueGrid, rng);
+  b.max_batch_size = Pick(kBatchGrid, rng);
+  b.max_linger_seconds = Pick(kLingerGrid, rng);
+  b.hedging = rng.Bernoulli(0.5);
+  b.hedge_quantile = Pick(kHedgeQuantileGrid, rng);
+  b.hedge_delay_factor = Pick(kHedgeFactorGrid, rng);
+  b.rate_limiting = rng.Bernoulli(0.5);
+  b.tenant_rps = Pick(kTenantRpsGrid, rng);
+  b.priority_shedding = rng.Bernoulli(0.5);
+  b.breaker_failure_threshold = Pick(kBreakerThresholdGrid, rng);
+  b.breaker_cooldown_seconds = Pick(kBreakerCooldownGrid, rng);
+  b.overload_queue_depth = Pick(kOverloadDepthGrid, rng);
+  return b;
+}
+
+std::vector<ScenarioReport> BlueprintOptimizer::Evaluate(
+    const ScenarioSpec& spec, const std::vector<Blueprint>& candidates) {
+  auto& scache = cache_[spec.name];
+  // Admit uncached keys in candidate order until the budget runs out;
+  // cached keys are always free.
+  std::vector<Blueprint> todo;
+  std::vector<std::string> todo_keys;
+  for (const Blueprint& bp : candidates) {
+    std::string key = bp.Key();
+    if (scache.count(key) > 0) continue;
+    if (std::find(todo_keys.begin(), todo_keys.end(), key) != todo_keys.end())
+      continue;
+    if (spent_ + todo.size() >= options_.eval_budget) break;
+    todo.push_back(bp);
+    todo_keys.push_back(std::move(key));
+  }
+  // Index-slot writes keep the result independent of worker interleaving
+  // (and RunScenario itself is a pure function of (spec, blueprint)).
+  std::vector<ScenarioReport> slots(todo.size());
+  common::parallel_for(0, todo.size(), 1, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      slots[i] = RunScenario(spec, todo[i]);
+    }
+  });
+  for (size_t i = 0; i < todo.size(); ++i) {
+    scache[todo_keys[i]] = EvaluatedBlueprint{todo[i], slots[i]};
+    ++spent_;
+  }
+  std::vector<ScenarioReport> out;
+  out.reserve(candidates.size());
+  for (const Blueprint& bp : candidates) {
+    auto it = scache.find(bp.Key());
+    if (it == scache.end()) {
+      // Budget exhausted before this candidate: report an infinitely bad
+      // score so the search never selects an unevaluated point.
+      ScenarioReport unevaluated;
+      unevaluated.score = kInf;
+      unevaluated.cost = kInf;
+      unevaluated.qos_loss = kInf;
+      out.push_back(unevaluated);
+    } else {
+      out.push_back(it->second.report);
+    }
+  }
+  return out;
+}
+
+OptimizationResult BlueprintOptimizer::Optimize(const ScenarioSpec& spec) {
+  spent_ = 0;
+  OptimizationResult result;
+  result.scenario = spec.name;
+
+  const Blueprint default_bp = DefaultBlueprint();
+  const std::string baseline_key = default_bp.Key();
+  result.baseline.blueprint = default_bp;
+  result.baseline.report = Evaluate(spec, {default_bp})[0];
+
+  // Seeded descent from the default, then from each random restart point.
+  std::vector<Blueprint> starts = {default_bp};
+  for (size_t r = 0; r < options_.restarts; ++r) {
+    starts.push_back(RandomBlueprint(r));
+  }
+  for (const Blueprint& start : starts) {
+    Blueprint current = start;
+    double current_score = Evaluate(spec, {current})[0].score;
+    if (!std::isfinite(current_score)) break;  // budget gone
+    while (spent_ < options_.eval_budget) {
+      std::vector<Blueprint> moves = Neighbors(current);
+      std::vector<ScenarioReport> reports = Evaluate(spec, moves);
+      double best_score = current_score;
+      size_t best_i = moves.size();
+      for (size_t i = 0; i < reports.size(); ++i) {
+        if (reports[i].score < best_score ||
+            (best_i < moves.size() && reports[i].score == best_score &&
+             moves[i].Key() < moves[best_i].Key())) {
+          best_score = reports[i].score;
+          best_i = i;
+        }
+      }
+      if (best_i == moves.size()) break;  // local minimum
+      current = moves[best_i];
+      current_score = best_score;
+    }
+  }
+
+  // Best point and Pareto frontier over everything the search touched.
+  const auto& scache = cache_[spec.name];
+  ADS_CHECK(!scache.empty()) << "optimizer evaluated nothing";
+  const EvaluatedBlueprint* best = &result.baseline;
+  for (const auto& [key, point] : scache) {
+    const double s = point.report.score;
+    const double bs = best->report.score;
+    if (s < bs || (s == bs && PreferKey(key, best->blueprint.Key(),
+                                        baseline_key))) {
+      best = &point;
+    }
+  }
+  result.best = *best;
+  for (const auto& [key, point] : scache) {
+    bool dominated = false;
+    for (const auto& [other_key, other] : scache) {
+      if (Dominates(other.report, point.report)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) result.frontier.push_back(point);
+  }
+  std::sort(result.frontier.begin(), result.frontier.end(),
+            [](const EvaluatedBlueprint& a, const EvaluatedBlueprint& b) {
+              if (a.report.cost != b.report.cost)
+                return a.report.cost < b.report.cost;
+              return a.blueprint.Key() < b.blueprint.Key();
+            });
+  result.best_dominates_baseline =
+      Dominates(result.best.report, result.baseline.report);
+  result.evaluations = spent_;
+  return result;
+}
+
+EvaluatedBlueprint BlueprintOptimizer::OptimizeRobust(
+    const std::vector<ScenarioSpec>& specs,
+    const std::vector<OptimizationResult>& results,
+    double* worst_case_ratio) {
+  ADS_CHECK(specs.size() == results.size() && !specs.empty())
+      << "OptimizeRobust needs one Optimize result per spec";
+  // Candidate pool: the default plus every per-scenario winner.
+  std::vector<Blueprint> candidates = {DefaultBlueprint()};
+  for (const OptimizationResult& r : results) {
+    candidates.push_back(r.best.blueprint);
+  }
+  std::vector<std::string> seen;
+  std::vector<Blueprint> unique;
+  for (const Blueprint& bp : candidates) {
+    std::string key = bp.Key();
+    if (std::find(seen.begin(), seen.end(), key) != seen.end()) continue;
+    seen.push_back(std::move(key));
+    unique.push_back(bp);
+  }
+
+  const std::string baseline_key = DefaultBlueprint().Key();
+  double best_ratio = kInf;
+  EvaluatedBlueprint winner;
+  std::string winner_key;
+  for (const Blueprint& bp : unique) {
+    // Worst-case score across scenarios, normalized per scenario by the
+    // untuned baseline so no single scenario's absolute scale dominates.
+    double worst = 0.0;
+    EvaluatedBlueprint worst_point;
+    for (size_t s = 0; s < specs.size(); ++s) {
+      spent_ = 0;  // cross-scenario evaluation is not budget-limited
+      ScenarioReport report = Evaluate(specs[s], {bp})[0];
+      const double base = results[s].baseline.report.score;
+      const double ratio = report.score / std::max(base, 1e-12);
+      if (ratio >= worst) {
+        worst = ratio;
+        worst_point = EvaluatedBlueprint{bp, report};
+      }
+    }
+    const std::string key = bp.Key();
+    if (worst < best_ratio ||
+        (worst == best_ratio && PreferKey(key, winner_key, baseline_key))) {
+      best_ratio = worst;
+      winner = worst_point;
+      winner_key = key;
+    }
+  }
+  if (worst_case_ratio != nullptr) *worst_case_ratio = best_ratio;
+  return winner;
+}
+
+}  // namespace ads::scenario

@@ -1,0 +1,89 @@
+#ifndef ADS_SCENARIO_OPTIMIZER_H_
+#define ADS_SCENARIO_OPTIMIZER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "scenario/scenario.h"
+
+namespace ads::scenario {
+
+struct OptimizerOptions {
+  /// Seeds the restart-point draws (NOT the scenario runs — those use the
+  /// spec's own seed, so every evaluation of a blueprint is identical).
+  uint64_t seed = 7;
+  /// Total RunScenario evaluations the search may spend per scenario.
+  size_t eval_budget = 48;
+  /// Random restart points explored after the default-seeded descent.
+  size_t restarts = 2;
+};
+
+/// One evaluated point of the search.
+struct EvaluatedBlueprint {
+  Blueprint blueprint;
+  ScenarioReport report;
+};
+
+/// Outcome of optimizing one scenario.
+struct OptimizationResult {
+  std::string scenario;
+  /// The baseline every candidate is judged against.
+  EvaluatedBlueprint baseline;
+  /// Lowest-score blueprint found (ties break toward the baseline, then
+  /// lexicographically smaller key — deterministic).
+  EvaluatedBlueprint best;
+  /// Non-dominated subset of every evaluated point on the (cost, qos_loss)
+  /// plane, sorted by ascending cost.
+  std::vector<EvaluatedBlueprint> frontier;
+  /// True when `best` Pareto-dominates the baseline (not merely a lower
+  /// weighted score) — the strong form of "tuning beat the default".
+  bool best_dominates_baseline = false;
+  size_t evaluations = 0;
+};
+
+/// Searches the blueprint knob space against one scenario's cost/QoS
+/// objective: seeded hill-climbing over the discrete knob grids from the
+/// default blueprint plus a few random restarts, with every neighbor
+/// round evaluated in parallel (results land in per-index slots, so the
+/// outcome is identical across ADS_THREADS). Evaluations are cached by
+/// Blueprint::Key(), and the whole search is a deterministic function of
+/// (spec, options).
+class BlueprintOptimizer {
+ public:
+  explicit BlueprintOptimizer(OptimizerOptions options = OptimizerOptions());
+
+  /// Optimizes one scenario from the default blueprint.
+  OptimizationResult Optimize(const ScenarioSpec& spec);
+
+  /// Cross-scenario robust blueprint: every per-scenario winner (plus the
+  /// default) is re-evaluated on every scenario, and the candidate with
+  /// the best worst-case score ratio versus the per-scenario baseline
+  /// wins. `results` must come from Optimize over the same specs.
+  EvaluatedBlueprint OptimizeRobust(
+      const std::vector<ScenarioSpec>& specs,
+      const std::vector<OptimizationResult>& results,
+      double* worst_case_ratio = nullptr);
+
+ private:
+  /// All single-knob moves from `from` that stay on the grids (inactive
+  /// knobs — hedge tuning while hedging is off, etc. — yield no moves).
+  std::vector<Blueprint> Neighbors(const Blueprint& from) const;
+  /// Evaluates candidates in parallel through the cache; returns reports
+  /// aligned with `candidates`. Budget-aware: stops admitting new keys
+  /// once the budget is spent (cached keys are always free).
+  std::vector<ScenarioReport> Evaluate(const ScenarioSpec& spec,
+                                       const std::vector<Blueprint>& candidates);
+  Blueprint RandomBlueprint(uint64_t draw_seed) const;
+
+  OptimizerOptions options_;
+  /// Blueprint::Key() -> evaluated point, per scenario name.
+  std::map<std::string, std::map<std::string, EvaluatedBlueprint>> cache_;
+  size_t spent_ = 0;
+};
+
+}  // namespace ads::scenario
+
+#endif  // ADS_SCENARIO_OPTIMIZER_H_

@@ -1,0 +1,452 @@
+#include "scenario/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <limits>
+#include <memory>
+
+#include "autonomy/loop.h"
+#include "autonomy/serving.h"
+#include "common/fault_injection.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "fleet/virtual_fleet.h"
+#include "ml/dataset.h"
+#include "ml/linear.h"
+#include "ml/registry.h"
+#include "serve/types.h"
+
+namespace ads::scenario {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// The bulk tenant every well-behaved tenant shares the fleet with in the
+/// noisy-neighbor scenario.
+const char kNoisyTenant[] = "bulk";
+
+std::string BlobWithSlope(double slope) {
+  ml::LinearRegressor m;
+  m.SetCoefficients(0.0, {slope});
+  return m.Serialize();
+}
+
+/// Retrainer for the drift scenario: fits the most recent quarter of the
+/// loop's buffer — by alarm time, mostly post-drift samples.
+common::Result<std::string> RecencyTrainer(const ml::Dataset& data) {
+  std::vector<size_t> recent;
+  for (size_t i = data.size() - data.size() / 4; i < data.size(); ++i) {
+    recent.push_back(i);
+  }
+  ml::LinearRegressor m;
+  common::Status fitted = m.Fit(data.Filter(recent));
+  if (!fitted.ok()) return fitted;
+  return m.Serialize();
+}
+
+/// Offered load (requests per second) at virtual time `t`.
+double RateAt(const ScenarioSpec& spec, double t) {
+  const double horizon = spec.NominalDurationSeconds();
+  switch (spec.shape) {
+    case ArrivalShape::kSteady:
+      return spec.base_rate_rps;
+    case ArrivalShape::kDiurnal: {
+      // Half-cosine day: base at t=0 and t=T, base*surge at midday.
+      const double phase = 0.5 * (1.0 - std::cos(2.0 * kPi * t / horizon));
+      return spec.base_rate_rps * (1.0 + (spec.surge_factor - 1.0) * phase);
+    }
+    case ArrivalShape::kFlashCrowd: {
+      const bool in_window = t >= spec.flash_start_frac * horizon &&
+                             t < spec.flash_end_frac * horizon;
+      return in_window ? spec.base_rate_rps * spec.surge_factor
+                       : spec.base_rate_rps;
+    }
+  }
+  return spec.base_rate_rps;
+}
+
+/// True label slope at virtual time `t` (the slow burn the loop chases).
+double SlopeAt(const ScenarioSpec& spec, double t) {
+  if (!spec.drift) return spec.drift_slope_from;
+  const double horizon = spec.NominalDurationSeconds();
+  const double start = spec.drift_start_frac * horizon;
+  const double end = spec.drift_end_frac * horizon;
+  if (t <= start) return spec.drift_slope_from;
+  if (t >= end) return spec.drift_slope_to;
+  const double frac = (t - start) / (end - start);
+  return spec.drift_slope_from +
+         frac * (spec.drift_slope_to - spec.drift_slope_from);
+}
+
+autonomy::AutonomyLoopOptions DriftLoopOptions() {
+  autonomy::AutonomyLoopOptions options;
+  options.detector.baseline_window = 60;
+  options.detector.recent_window = 30;
+  options.retrain_buffer_capacity = 400;
+  options.min_retrain_samples = 200;
+  options.retrain_duration_seconds = 0.25;
+  options.shadow_min_samples = 60;
+  options.flight.min_samples_per_arm = 40;
+  options.canary_tenant_fraction = 0.3;
+  options.probation_seconds = 1.0;
+  options.cooldown_seconds = 0.5;
+  return options;
+}
+
+void Append(std::string* out, const char* fmt, ...) {
+  char buf[64];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  out->append(buf);
+}
+
+}  // namespace
+
+std::string Blueprint::Key() const {
+  std::string key;
+  Append(&key, "s%zu r%zu w%zu q%zu b%zu", shards, replicas_per_shard,
+         workers_per_replica, queue_capacity, max_batch_size);
+  Append(&key, " lg%.4g", max_linger_seconds);
+  if (hedging) {
+    Append(&key, " hq%.2f hf%.2f", hedge_quantile, hedge_delay_factor);
+  } else {
+    key += " h-";
+  }
+  if (rate_limiting) {
+    Append(&key, " rl%.4g", tenant_rps);
+  } else {
+    key += " rl-";
+  }
+  key += priority_shedding ? " pr+" : " pr-";
+  Append(&key, " bk%u/%.3g", breaker_failure_threshold,
+         breaker_cooldown_seconds);
+  if (std::isfinite(overload_queue_depth)) {
+    Append(&key, " od%.4g", overload_queue_depth);
+  } else {
+    key += " od-";
+  }
+  return key;
+}
+
+Blueprint DefaultBlueprint() { return Blueprint(); }
+
+std::vector<ScenarioSpec> StandardScenarios(size_t scale) {
+  ADS_CHECK(scale > 0) << "scenario scale must be positive";
+  std::vector<ScenarioSpec> pack;
+
+  {
+    // A smooth daily cycle: load swells to 2.5x base at midday. The
+    // default fleet is over-provisioned for the valleys — the optimizer's
+    // opening is cutting cores without breaking the midday peak.
+    ScenarioSpec spec;
+    spec.name = "diurnal_surge";
+    spec.seed = 101;
+    spec.requests = 3000 * scale;
+    spec.shape = ArrivalShape::kDiurnal;
+    spec.surge_factor = 2.5;
+    pack.push_back(spec);
+  }
+  {
+    // An 8x spike for a tenth of the run: queues, shedding and batch
+    // efficiency decide how much of the spike survives the SLO.
+    ScenarioSpec spec;
+    spec.name = "flash_crowd";
+    spec.seed = 202;
+    spec.requests = 3000 * scale;
+    spec.shape = ArrivalShape::kFlashCrowd;
+    spec.surge_factor = 8.0;
+    spec.flash_start_frac = 0.45;
+    spec.flash_end_frac = 0.55;
+    spec.slo.max_shed_rate = 0.02;
+    pack.push_back(spec);
+  }
+  {
+    // A region goes dark: chaos faults on the deployed-model tier plus a
+    // full shard drained for the middle third. Survivors absorb the
+    // reroutes while the breaker decides how long the heuristic answers.
+    ScenarioSpec spec;
+    spec.name = "regional_outage";
+    spec.seed = 303;
+    spec.requests = 3000 * scale;
+    spec.backend_fault_probability = 0.2;
+    spec.outage_shards = 1;
+    spec.outage_start_frac = 0.35;
+    spec.outage_end_frac = 0.65;
+    spec.slow_probability = 0.05;
+    spec.objective.accuracy_weight = 0.5;
+    spec.objective.mae_scale = 4.0;
+    pack.push_back(spec);
+  }
+  {
+    // One bulk tenant bursts to 6x fleet load in a window; consistent-hash
+    // homing concentrates the burst on one shard, where the well-behaved
+    // tenants who share it live or die by isolation knobs (rate limits,
+    // priority shedding, load diverts). QoS is scored on them only.
+    ScenarioSpec spec;
+    spec.name = "noisy_neighbor";
+    spec.seed = 404;
+    spec.requests = 3000 * scale;
+    spec.tenants = 48;
+    spec.shape = ArrivalShape::kFlashCrowd;
+    spec.surge_factor = 6.0;
+    spec.flash_start_frac = 0.3;
+    spec.flash_end_frac = 0.45;
+    spec.noisy_in_window = 0.85;
+    spec.noisy_off_window = 0.05;
+    pack.push_back(spec);
+  }
+  {
+    // The world's slope ramps 2 -> 5 over the middle of the run; the
+    // autonomy loop must notice, retrain, flight and promote while the
+    // fleet keeps serving. Accuracy is priced into QoS.
+    ScenarioSpec spec;
+    spec.name = "slow_burn_drift";
+    spec.seed = 505;
+    spec.requests = 4000 * scale;
+    spec.drift = true;
+    spec.objective.accuracy_weight = 1.0;
+    spec.objective.mae_scale = 5.0;
+    pack.push_back(spec);
+  }
+  return pack;
+}
+
+std::vector<std::pair<std::string, double>> ScenarioReport::Metrics() const {
+  auto d = [](uint64_t v) { return static_cast<double>(v); };
+  return {
+      {"submitted", d(fleet.submitted)},
+      {"accepted", d(fleet.accepted)},
+      {"served", d(fleet.served)},
+      {"shed", d(fleet.Shed())},
+      {"rejected", d(fleet.Rejected())},
+      {"availability", availability},
+      {"shed_rate", shed_rate},
+      {"slo_attainment", slo_attainment},
+      {"latency_p50_seconds", latency.p50},
+      {"latency_p95_seconds", latency.p95},
+      {"latency_p99_seconds", latency.p99},
+      {"tail_over_2x_slo", d(tail_over_2x_slo)},
+      {"max_queue_depth", d(max_queue_depth)},
+      {"throughput_rps", throughput_rps},
+      {"horizon_seconds", horizon_seconds},
+      {"hedges_fired", d(fleet.hedges_fired)},
+      {"hedge_wins", d(fleet.hedge_wins)},
+      {"load_diverts", d(fleet.load_diverts)},
+      {"drain_diverts", d(fleet.drain_diverts)},
+      {"rerouted", d(fleet.rerouted_in)},
+      {"episodes", d(episodes)},
+      {"promotes", d(promotes)},
+      {"rollbacks", d(rollbacks)},
+      {"mean_abs_error", mean_abs_error},
+      {"cost_core_seconds", cost},
+      {"qos_loss", qos_loss},
+      {"slo_met", slo_met ? 1.0 : 0.0},
+      {"score", score},
+  };
+}
+
+bool Dominates(const ScenarioReport& a, const ScenarioReport& b) {
+  if (a.cost > b.cost || a.qos_loss > b.qos_loss) return false;
+  return a.cost < b.cost || a.qos_loss < b.qos_loss;
+}
+
+ScenarioReport RunScenario(const ScenarioSpec& spec, const Blueprint& bp) {
+  ADS_CHECK(spec.requests > 0) << "scenario has no traffic";
+  const double horizon = spec.NominalDurationSeconds();
+
+  // --- Model plane: registry + resilient backend (+ chaos injector). ---
+  ml::ModelRegistry registry;
+  registry.Register("m", BlobWithSlope(spec.drift_slope_from));
+  ADS_CHECK_OK(registry.Deploy("m", 1));
+
+  common::FaultInjector injector(spec.seed ^ 0xC4A05u);
+  if (spec.backend_fault_probability > 0.0) {
+    common::FaultSpec fault;
+    fault.probability = spec.backend_fault_probability;
+    injector.Configure("serving.deployed", fault);
+  }
+  autonomy::ServingOptions serving_options;
+  serving_options.breaker.failure_threshold =
+      static_cast<int>(bp.breaker_failure_threshold);
+  serving_options.breaker.cooldown_seconds = bp.breaker_cooldown_seconds;
+  // A deliberately mediocre rule of thumb: slope 1 against true slopes in
+  // [2, 5], so serving from the heuristic tier is visible in the MAE.
+  autonomy::ResilientModelServer backend(
+      &registry, "m",
+      [](const std::vector<double>& features) { return features[0]; },
+      serving_options, &injector);
+
+  // --- Autonomy plane (drift scenarios): the loop as version router. ---
+  std::unique_ptr<autonomy::AutonomyLoop> loop;
+  if (spec.drift) {
+    loop = std::make_unique<autonomy::AutonomyLoop>(
+        &registry, "m", RecencyTrainer, DriftLoopOptions());
+  }
+
+  // --- Serving plane: the fleet, instantiated from the blueprint. ---
+  fleet::VirtualFleetOptions fopts;
+  fopts.shards = bp.shards;
+  fopts.replicas_per_shard = bp.replicas_per_shard;
+  fopts.workers_per_replica = bp.workers_per_replica;
+  fopts.core.queue_capacity = bp.queue_capacity;
+  fopts.core.batcher.max_batch_size = bp.max_batch_size;
+  fopts.core.batcher.max_linger_seconds = bp.max_linger_seconds;
+  fopts.core.rate_limiting = bp.rate_limiting;
+  fopts.core.rate_limit.capacity = 2.0 * bp.tenant_rps;
+  fopts.core.rate_limit.refill_per_second = bp.tenant_rps;
+  fopts.service.batch_overhead_seconds = spec.service_overhead_seconds;
+  fopts.service.per_item_seconds = spec.service_per_item_seconds;
+  fopts.slow_probability = spec.slow_probability;
+  fopts.slow_multiplier = spec.slow_multiplier;
+  fopts.seed = spec.seed;
+  fopts.hedge.enabled = bp.hedging;
+  fopts.hedge.quantile = bp.hedge_quantile;
+  fopts.hedge.delay_factor = bp.hedge_delay_factor;
+  fopts.router.overload_queue_depth = bp.overload_queue_depth;
+  fopts.router.divert_target_depth =
+      std::isfinite(bp.overload_queue_depth) ? bp.overload_queue_depth / 2.0
+                                             : bp.overload_queue_depth;
+  fleet::VirtualFleet fleet(fopts);
+  fleet.RegisterBackend("m", &backend);
+  if (loop) fleet.SetRouter(loop.get());
+
+  // --- Workload: one seeded pass precomputes every arrival, so the
+  // callback below can index per-request ground truth by id. ---
+  const size_t n = spec.requests;
+  std::vector<std::string> tenants(n);
+  std::vector<double> xs(n, 0.0);
+  std::vector<double> arrivals(n, 0.0);
+  std::vector<double> truths(n, 0.0);
+  std::vector<char> scoped(n, 1);
+  common::Rng rng(spec.seed);
+  double t = 0.0;
+  for (size_t id = 0; id < n; ++id) {
+    t += 1.0 / RateAt(spec, t);
+    arrivals[id] = t;
+    const bool in_window =
+        t >= spec.flash_start_frac * horizon && t < spec.flash_end_frac * horizon;
+    const double p_noisy = in_window ? spec.noisy_in_window
+                                     : spec.noisy_off_window;
+    const bool noisy = p_noisy > 0.0 && rng.Bernoulli(p_noisy);
+    std::string tenant(noisy ? kNoisyTenant : "t");
+    if (!noisy) {
+      tenant += std::to_string(
+          rng.UniformInt(0, static_cast<int64_t>(spec.tenants) - 1));
+    }
+    tenants[id] = std::move(tenant);
+    scoped[id] = spec.HasNoisyTenant() ? static_cast<char>(!noisy) : 1;
+    xs[id] = 1.0 + static_cast<double>(id % 4);
+    truths[id] = SlopeAt(spec, t) * xs[id];
+
+    serve::Request request;
+    request.id = id;
+    request.model = "m";
+    request.tenant = tenants[id];
+    request.features = {xs[id]};
+    request.priority = (bp.priority_shedding && !noisy) ? 1 : 0;
+    request.deadline = t + spec.relative_deadline_seconds;
+    fleet.SubmitAt(t, std::move(request));
+  }
+
+  // --- Failure schedule: the regional outage. ---
+  for (size_t s = 0; s < spec.outage_shards && s < bp.shards; ++s) {
+    fleet.ScheduleDrain(spec.outage_start_frac * horizon, s);
+    fleet.ScheduleRejoin(spec.outage_end_frac * horizon, s);
+  }
+
+  // --- Response accounting over the scoped (well-behaved) traffic. ---
+  uint64_t scoped_total = 0;
+  uint64_t scoped_served = 0;
+  uint64_t scoped_shed = 0;
+  uint64_t scoped_good = 0;
+  double abs_error_sum = 0.0;
+  common::Histogram tail(0.0, 2.0 * spec.slo.latency_seconds, 40);
+  fleet.SetResponseCallback([&](const serve::Response& response) {
+    const uint64_t id = response.id;
+    if (response.outcome == serve::Outcome::kServed && loop) {
+      autonomy::LoopSample sample;
+      sample.tenant = tenants[id];
+      sample.features = {xs[id]};
+      sample.prediction = response.value;
+      sample.served_version = response.model_version;
+      sample.truth = truths[id];
+      loop->OnSample(sample, arrivals[id] + response.latency_seconds);
+    }
+    if (!scoped[id]) return;
+    ++scoped_total;
+    switch (response.outcome) {
+      case serve::Outcome::kServed:
+        ++scoped_served;
+        abs_error_sum += std::abs(response.value - truths[id]);
+        tail.Add(response.latency_seconds);
+        if (response.latency_seconds <= spec.slo.latency_seconds) {
+          ++scoped_good;
+        }
+        break;
+      case serve::Outcome::kShedCapacity:
+      case serve::Outcome::kShedDeadline:
+        ++scoped_shed;
+        break;
+      default:
+        break;  // rejected at admission
+    }
+  });
+
+  fleet::VirtualFleetReport fr = fleet.Run();
+
+  // --- Fold into the report + objective. ---
+  ScenarioReport report;
+  report.scenario = spec.name;
+  report.blueprint = bp.Key();
+  report.fleet = fr.fleet;
+  report.latency = fr.latency;
+  report.throughput_rps = fr.throughput_rps;
+  report.horizon_seconds = fr.horizon_seconds;
+  report.max_queue_depth = fr.max_queue_depth;
+  report.scoped_requests = scoped_total;
+  report.good_requests = scoped_good;
+  const double denom = std::max<uint64_t>(scoped_total, 1);
+  report.slo_attainment = static_cast<double>(scoped_good) / denom;
+  const uint64_t scoped_finished = scoped_served + scoped_shed;
+  report.availability =
+      scoped_finished == 0
+          ? 1.0
+          : static_cast<double>(scoped_served) /
+                static_cast<double>(scoped_finished);
+  // Refusals of scoped traffic at any stage: queued-then-shed plus
+  // admission rejections (everything that was not served).
+  report.shed_rate =
+      static_cast<double>(scoped_total - scoped_served) / denom;
+  report.tail_over_2x_slo = tail.overflow();
+  report.mean_abs_error =
+      scoped_served == 0 ? 0.0
+                         : abs_error_sum / static_cast<double>(scoped_served);
+  if (loop) {
+    const autonomy::LoopStats stats = loop->stats();
+    report.episodes = stats.episodes;
+    report.promotes = stats.promotes;
+    report.rollbacks = stats.rollbacks;
+  }
+  report.slo_met = report.latency.p99 <= spec.slo.latency_seconds &&
+                   report.availability >= spec.slo.min_availability &&
+                   report.shed_rate <= spec.slo.max_shed_rate;
+  report.cost = static_cast<double>(bp.Cores()) * horizon +
+                static_cast<double>(fr.fleet.hedges_fired) *
+                    (spec.service_overhead_seconds + spec.service_per_item_seconds);
+  const double bad_fraction = 1.0 - report.slo_attainment;
+  report.qos_loss =
+      bad_fraction +
+      spec.objective.accuracy_weight *
+          std::min(1.0, report.mean_abs_error / spec.objective.mae_scale);
+  report.score = spec.objective.cost_weight * report.cost +
+                 spec.objective.qos_weight * report.qos_loss +
+                 (report.slo_met ? 0.0 : spec.objective.slo_penalty);
+  return report;
+}
+
+}  // namespace ads::scenario

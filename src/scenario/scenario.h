@@ -1,0 +1,215 @@
+#ifndef ADS_SCENARIO_SCENARIO_H_
+#define ADS_SCENARIO_SCENARIO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/stats.h"
+#include "fleet/types.h"
+
+namespace ads::scenario {
+
+/// One point in the stack's configuration space: every knob the serving
+/// fleet exposes, flattened into a value object the optimizer can search
+/// and the scenario runner can instantiate a VirtualFleet from. The knobs
+/// deliberately span layers — placement (shards/replicas), compute (worker
+/// pools), admission (queue, rate limits, shed priorities), batching,
+/// tail hedging, resilience (breaker), and routing (load diverts) — which
+/// is what makes the search a *blueprint* optimization rather than a
+/// single-subsystem sweep.
+struct Blueprint {
+  // Placement + compute ("pool sizes").
+  size_t shards = 4;
+  size_t replicas_per_shard = 2;
+  size_t workers_per_replica = 2;
+  // Admission.
+  size_t queue_capacity = 128;
+  // Micro-batching.
+  size_t max_batch_size = 8;
+  double max_linger_seconds = 0.002;
+  // Tail hedging.
+  bool hedging = false;
+  double hedge_quantile = 0.95;
+  double hedge_delay_factor = 1.5;
+  // Per-tenant rate limiting (noisy-neighbor isolation).
+  bool rate_limiting = false;
+  double tenant_rps = 25.0;  // refill; burst capacity is 2x this
+  // Priority classes: interactive traffic outranks bulk under shedding.
+  bool priority_shedding = false;
+  // Breaker guarding the deployed-model tier.
+  uint32_t breaker_failure_threshold = 3;
+  double breaker_cooldown_seconds = 5.0;
+  // Router load diverts: divert arrivals off a shard whose queue exceeds
+  // this depth (infinity = off).
+  double overload_queue_depth = std::numeric_limits<double>::infinity();
+
+  /// Provisioned compute: shards * replicas * workers.
+  size_t Cores() const {
+    return shards * replicas_per_shard * workers_per_replica;
+  }
+
+  /// Canonical compact string: equal keys == equal behavior. Knobs that
+  /// are inert in this blueprint (hedge tuning while hedging is off, the
+  /// tenant budget while rate limiting is off) are omitted, so the
+  /// optimizer never spends budget re-evaluating a no-op neighbor.
+  std::string Key() const;
+};
+
+/// The baseline configuration every scenario is first run under — what an
+/// operator would deploy without tuning, and the config the optimizer
+/// must beat.
+Blueprint DefaultBlueprint();
+
+/// Shape of the offered-load curve over a scenario's nominal duration.
+enum class ArrivalShape {
+  kSteady = 0,
+  /// Smooth sinusoidal day: base at t=0, base*surge_factor at mid-run.
+  kDiurnal,
+  /// Rate jumps to base*surge_factor inside [flash_start, flash_end).
+  kFlashCrowd,
+};
+
+/// Service-level objective one scenario is scored against.
+struct SloSpec {
+  /// A served request is "good" iff its end-to-end latency is at or under
+  /// this; also the p99 target for the slo_met verdict.
+  double latency_seconds = 0.100;
+  double min_availability = 0.999;
+  double max_shed_rate = 0.005;
+};
+
+/// Cost/QoS objective weights (per scenario, so e.g. the drift scenario
+/// can price prediction accuracy into QoS).
+struct ObjectiveSpec {
+  double cost_weight = 1.0;
+  double qos_weight = 20000.0;
+  /// Flat penalty when any SLO gate (p99 / availability / shed rate) is
+  /// breached, so the optimizer cannot trade a red SLO for cheap cores.
+  double slo_penalty = 500.0;
+  /// Weight on normalized mean absolute prediction error inside qos_loss.
+  double accuracy_weight = 0.0;
+  double mae_scale = 5.0;
+};
+
+/// A named, seeded, end-to-end scenario: an arrival process, a tenant
+/// population, a straggler model, optional chaos (backend faults + shard
+/// drains), an optional noisy tenant, and an optional slow-burn drift the
+/// autonomy loop must chase. Everything a run needs is in the spec, so
+/// (spec, blueprint) -> report is a pure deterministic function.
+struct ScenarioSpec {
+  std::string name;
+  uint64_t seed = 1;
+  size_t requests = 3000;
+  double base_rate_rps = 250.0;
+  size_t tenants = 24;
+  ArrivalShape shape = ArrivalShape::kSteady;
+  double surge_factor = 1.0;
+  double flash_start_frac = 0.4;
+  double flash_end_frac = 0.5;
+  double relative_deadline_seconds = 0.3;
+  /// Deterministic backend cost model (per dispatched batch).
+  double service_overhead_seconds = 0.008;
+  double service_per_item_seconds = 0.004;
+  /// Straggler model: fraction of dispatches stalling by the multiplier.
+  double slow_probability = 0.02;
+  double slow_multiplier = 8.0;
+  /// Chaos: injected deployed-tier fault probability ("serving.deployed").
+  double backend_fault_probability = 0.0;
+  /// Regional outage: this many leading shards drain at outage_start and
+  /// rejoin at outage_end (fractions of the nominal duration).
+  size_t outage_shards = 0;
+  double outage_start_frac = 0.0;
+  double outage_end_frac = 0.0;
+  /// Noisy neighbor: probability an arrival belongs to the bulk tenant,
+  /// inside the flash window vs outside it. QoS is scored over the
+  /// well-behaved tenants only when a noisy tenant is present.
+  double noisy_in_window = 0.0;
+  double noisy_off_window = 0.0;
+  /// Slow-burn drift: the label-generating slope ramps linearly from
+  /// drift_slope_from to drift_slope_to across [start, end) fractions of
+  /// the run; an AutonomyLoop rides the fleet and must retrain + flight.
+  bool drift = false;
+  double drift_start_frac = 0.25;
+  double drift_end_frac = 0.6;
+  double drift_slope_from = 2.0;
+  double drift_slope_to = 5.0;
+  SloSpec slo;
+  ObjectiveSpec objective;
+
+  /// requests / base_rate: the duration the load curve and all window
+  /// fractions are defined against (the realized horizon differs once
+  /// surges compress arrivals).
+  double NominalDurationSeconds() const {
+    return static_cast<double>(requests) / base_rate_rps;
+  }
+  bool HasNoisyTenant() const {
+    return noisy_in_window > 0.0 || noisy_off_window > 0.0;
+  }
+};
+
+/// The standing pack: diurnal_surge, flash_crowd, regional_outage,
+/// noisy_neighbor, slow_burn_drift. `scale` multiplies request volume
+/// (1 = smoke, 10 = full) without changing rates or window fractions.
+std::vector<ScenarioSpec> StandardScenarios(size_t scale = 1);
+
+/// Machine-readable outcome of one (scenario, blueprint) run. Every field
+/// is a deterministic function of the pair, byte-identical across runs
+/// and ADS_THREADS values.
+struct ScenarioReport {
+  std::string scenario;
+  std::string blueprint;
+  fleet::ShardCounters fleet;
+  common::QuantileSummary latency;
+  double availability = 1.0;
+  double shed_rate = 0.0;
+  double throughput_rps = 0.0;
+  double horizon_seconds = 0.0;
+  size_t max_queue_depth = 0;
+  /// SLO accounting over the scenario's scoped traffic (all tenants, or
+  /// the well-behaved ones when a noisy tenant is present). A request is
+  /// good iff it was served within slo.latency_seconds.
+  uint64_t scoped_requests = 0;
+  uint64_t good_requests = 0;
+  double slo_attainment = 1.0;
+  /// Served-latency histogram overflow: requests beyond 2x the SLO
+  /// latency — the deep tail the histogram's explicit overflow counter
+  /// now reports instead of folding into the last bucket.
+  uint64_t tail_over_2x_slo = 0;
+  bool slo_met = false;
+  /// Autonomy-loop episode counters (zero when the scenario has no drift).
+  uint64_t episodes = 0;
+  uint64_t promotes = 0;
+  uint64_t rollbacks = 0;
+  double mean_abs_error = 0.0;
+  /// Cost proxy in core-seconds: provisioned compute over the nominal
+  /// duration plus the duplicate work hedging dispatched.
+  double cost = 0.0;
+  /// [0, 1+accuracy_weight]: bad-request fraction plus weighted error.
+  double qos_loss = 0.0;
+  /// objective.cost_weight * cost + objective.qos_weight * qos_loss
+  /// (+ slo_penalty when slo_met is false). Lower is better.
+  double score = 0.0;
+
+  /// Ordered (name, value) pairs — the JSON/bench emission format, also
+  /// handy for byte-identity asserts in tests.
+  std::vector<std::pair<std::string, double>> Metrics() const;
+};
+
+/// True iff `a` is at least as good as `b` on both objective axes and
+/// strictly better on at least one — the Pareto dominance the optimizer's
+/// frontier and the "beats the default" claim are defined by.
+bool Dominates(const ScenarioReport& a, const ScenarioReport& b);
+
+/// Runs one scenario end to end through the full stack (VirtualFleet of
+/// ServingCores behind a FleetRouter, ResilientModelServer backends, and
+/// for drift scenarios an AutonomyLoop as version router) in virtual
+/// time. Pure: same (spec, blueprint) -> byte-identical report.
+ScenarioReport RunScenario(const ScenarioSpec& spec, const Blueprint& bp);
+
+}  // namespace ads::scenario
+
+#endif  // ADS_SCENARIO_SCENARIO_H_

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "common/rng.h"
@@ -63,6 +64,52 @@ TEST(RunningMomentsTest, MergeWithEmpty) {
   EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
 }
 
+TEST(RunningMomentsTest, MergeEmptyWithEmptyStaysEmpty) {
+  RunningMoments a;
+  RunningMoments b;
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 0.0);
+}
+
+TEST(RunningMomentsTest, MergeEmptyWithNonEmptyCopiesExactly) {
+  RunningMoments src;
+  for (double v : {7.0, 9.0, 11.0}) src.Add(v);
+  RunningMoments dst;
+  dst.Merge(src);
+  EXPECT_EQ(dst.count(), src.count());
+  EXPECT_DOUBLE_EQ(dst.mean(), src.mean());
+  EXPECT_DOUBLE_EQ(dst.variance(), src.variance());
+  EXPECT_DOUBLE_EQ(dst.min(), src.min());
+  EXPECT_DOUBLE_EQ(dst.max(), src.max());
+}
+
+TEST(RunningMomentsTest, MergeSurvivesCatastrophicCancellation) {
+  // Two halves with a huge shared mean and tiny spread: the naive
+  // sum-of-squares merge loses all variance digits here; the Welford-style
+  // pairwise merge must agree with a single-pass Add to ~1e-9 relative.
+  const double kBase = 1e6;  // variance / mean^2 ~ 1e-11: ~11 digits cancel
+  RunningMoments left;
+  RunningMoments right;
+  RunningMoments single;
+  for (int i = 0; i < 1000; ++i) {
+    double offset = static_cast<double>(i % 7);
+    double lo = kBase - offset;
+    double hi = kBase + offset;
+    left.Add(lo);
+    right.Add(hi);
+    single.Add(lo);
+    single.Add(hi);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), single.count());
+  EXPECT_NEAR(left.mean() / single.mean(), 1.0, 1e-9);
+  ASSERT_GT(single.variance(), 0.0);
+  EXPECT_NEAR(left.variance() / single.variance(), 1.0, 1e-9);
+}
+
 TEST(QuantileSketchTest, MedianAndTails) {
   QuantileSketch q;
   for (int i = 1; i <= 101; ++i) q.Add(static_cast<double>(i));
@@ -112,15 +159,60 @@ TEST(HistogramTest, BucketsAndFractions) {
   h.Add(3.0);   // bucket 1
   h.Add(3.5);   // bucket 1
   h.Add(9.9);   // bucket 4
-  h.Add(-5.0);  // clamps to 0
-  h.Add(50.0);  // clamps to 4
-  EXPECT_EQ(h.total(), 6u);
-  EXPECT_EQ(h.count(0), 2u);
+  h.Add(-5.0);  // underflow, not bucket 0
+  h.Add(50.0);  // overflow, not bucket 4
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.samples(), 6u);
+  EXPECT_EQ(h.count(0), 1u);
   EXPECT_EQ(h.count(1), 2u);
-  EXPECT_EQ(h.count(4), 2u);
-  EXPECT_DOUBLE_EQ(h.Fraction(1), 2.0 / 6.0);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_DOUBLE_EQ(h.Fraction(1), 2.0 / 4.0);
   EXPECT_DOUBLE_EQ(h.BucketLow(1), 2.0);
   EXPECT_DOUBLE_EQ(h.BucketHigh(1), 4.0);
+}
+
+TEST(HistogramTest, OutOfRangeSamplesDoNotCorruptEdgeBuckets) {
+  // Regression: BucketOf used to fold x < lo into bucket 0 and x >= hi
+  // into the last bucket, so a stream with outliers silently inflated the
+  // edge-bucket counts every tail metric reads.
+  Histogram h(0.0, 1.0, 4);
+  h.Add(0.1);    // bucket 0
+  h.Add(0.9);    // bucket 3
+  h.Add(-1e9);   // underflow
+  h.Add(-0.001); // underflow (just below lo)
+  h.Add(1.0);    // overflow (hi itself is exclusive)
+  h.Add(7.5);    // overflow
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(3), 1u);
+  EXPECT_EQ(h.underflow(), 2u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 2u);
+  EXPECT_EQ(h.samples(), 6u);
+  EXPECT_EQ(h.BucketOf(-0.001), Histogram::kNoBucket);
+  EXPECT_EQ(h.BucketOf(1.0), Histogram::kNoBucket);
+  EXPECT_EQ(h.BucketOf(0.999), 3u);
+}
+
+TEST(HistogramTest, NonFiniteSamplesAreQuarantined) {
+  // Regression: NaN < lo is false, so a NaN used to fall through to
+  // static_cast<size_t>((NaN - lo) / width) — undefined behavior (this
+  // test runs in the UBSan CI job). Infinities hit the same cast with an
+  // out-of-range result.
+  Histogram h(0.0, 10.0, 5);
+  h.Add(std::numeric_limits<double>::quiet_NaN());
+  h.Add(std::numeric_limits<double>::infinity());
+  h.Add(-std::numeric_limits<double>::infinity());
+  h.Add(5.0);
+  EXPECT_EQ(h.non_finite(), 3u);
+  EXPECT_EQ(h.underflow(), 0u);
+  EXPECT_EQ(h.overflow(), 0u);
+  EXPECT_EQ(h.total(), 1u);
+  EXPECT_EQ(h.samples(), 4u);
+  EXPECT_EQ(h.BucketOf(std::numeric_limits<double>::quiet_NaN()),
+            Histogram::kNoBucket);
+  EXPECT_EQ(h.BucketOf(std::numeric_limits<double>::infinity()),
+            Histogram::kNoBucket);
+  EXPECT_DOUBLE_EQ(h.Fraction(2), 1.0);  // fractions are over in-range mass
 }
 
 TEST(CorrelationTest, PerfectAndInverse) {

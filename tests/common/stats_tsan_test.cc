@@ -47,6 +47,35 @@ TEST(QuantileSketchTsanTest, ConcurrentReadersShareOneLazySort) {
   }
 }
 
+TEST(QuantileSketchTsanTest, ManyReadersCallSummaryConcurrently) {
+  // Summary() computes its whole digest after a single EnsureSorted() —
+  // one lock per digest instead of four. Many first-query readers racing
+  // through that one sort must all see the same fully sorted buffer.
+  for (int round = 0; round < 10; ++round) {
+    QuantileSketch sketch;
+    const size_t kSamples = 4000;
+    for (size_t i = 0; i < kSamples; ++i) {
+      sketch.Add(static_cast<double>(kSamples - i));
+    }
+    const int kReaders = 12;
+    std::vector<QuantileSummary> summaries(kReaders);
+    std::vector<std::thread> readers;
+    readers.reserve(kReaders);
+    for (int t = 0; t < kReaders; ++t) {
+      readers.emplace_back(
+          [&sketch, &summaries, t]() { summaries[t] = sketch.Summary(); });
+    }
+    for (auto& r : readers) r.join();
+    for (int t = 0; t < kReaders; ++t) {
+      EXPECT_EQ(summaries[t].count, kSamples) << t;
+      EXPECT_DOUBLE_EQ(summaries[t].p50, summaries[0].p50) << t;
+      EXPECT_DOUBLE_EQ(summaries[t].p95, summaries[0].p95) << t;
+      EXPECT_DOUBLE_EQ(summaries[t].p99, summaries[0].p99) << t;
+      EXPECT_DOUBLE_EQ(summaries[t].max, static_cast<double>(kSamples)) << t;
+    }
+  }
+}
+
 TEST(QuantileSketchTsanTest, PoolWorkersQueryWhileOthersCopy) {
   QuantileSketch sketch;
   for (int i = 0; i < 2000; ++i) sketch.Add(static_cast<double>(2000 - i));

@@ -1,0 +1,167 @@
+#include "scenario/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace ads::scenario {
+namespace {
+
+/// Small, fast spec used by most tests: a steady trickle the default
+/// blueprint over-serves comfortably.
+ScenarioSpec LightSteadySpec() {
+  ScenarioSpec spec;
+  spec.name = "light_steady";
+  spec.seed = 11;
+  spec.requests = 800;
+  spec.base_rate_rps = 250.0;
+  spec.slow_probability = 0.0;
+  spec.slo.latency_seconds = 0.15;
+  return spec;
+}
+
+TEST(StandardScenariosTest, FiveNamedSeededScenarios) {
+  std::vector<ScenarioSpec> pack = StandardScenarios();
+  ASSERT_EQ(pack.size(), 5u);
+  std::set<std::string> names;
+  std::set<uint64_t> seeds;
+  for (const ScenarioSpec& spec : pack) {
+    names.insert(spec.name);
+    seeds.insert(spec.seed);
+  }
+  EXPECT_EQ(names.size(), 5u) << "scenario names must be distinct";
+  EXPECT_EQ(seeds.size(), 5u) << "scenario seeds must be distinct";
+  EXPECT_TRUE(names.count("diurnal_surge"));
+  EXPECT_TRUE(names.count("flash_crowd"));
+  EXPECT_TRUE(names.count("regional_outage"));
+  EXPECT_TRUE(names.count("noisy_neighbor"));
+  EXPECT_TRUE(names.count("slow_burn_drift"));
+  // `scale` multiplies traffic volume without touching rates, so the
+  // nominal duration scales with it.
+  std::vector<ScenarioSpec> scaled = StandardScenarios(3);
+  for (size_t i = 0; i < pack.size(); ++i) {
+    EXPECT_EQ(scaled[i].requests, 3 * pack[i].requests);
+    EXPECT_DOUBLE_EQ(scaled[i].base_rate_rps, pack[i].base_rate_rps);
+  }
+}
+
+TEST(BlueprintTest, KeyCanonicalizesInertKnobs) {
+  Blueprint a = DefaultBlueprint();
+  Blueprint b = DefaultBlueprint();
+  ASSERT_FALSE(a.hedging);
+  b.hedge_quantile = 0.99;  // inert while hedging is off
+  b.tenant_rps = 5.0;       // inert while rate limiting is off
+  EXPECT_EQ(a.Key(), b.Key());
+  a.hedging = true;
+  b.hedging = true;
+  EXPECT_NE(a.Key(), b.Key()) << "active hedge tuning must show in the key";
+}
+
+TEST(RunScenarioTest, ByteIdenticalAcrossRuns) {
+  const ScenarioSpec spec = LightSteadySpec();
+  const Blueprint bp = DefaultBlueprint();
+  const ScenarioReport a = RunScenario(spec, bp);
+  const ScenarioReport b = RunScenario(spec, bp);
+  const auto ma = a.Metrics();
+  const auto mb = b.Metrics();
+  ASSERT_EQ(ma.size(), mb.size());
+  for (size_t i = 0; i < ma.size(); ++i) {
+    EXPECT_EQ(ma[i].first, mb[i].first);
+    // Bitwise equality, not near: the determinism contract.
+    EXPECT_EQ(ma[i].second, mb[i].second) << ma[i].first;
+  }
+}
+
+TEST(RunScenarioTest, LedgerAndSloAccountingAreConsistent) {
+  const ScenarioReport r = RunScenario(LightSteadySpec(), DefaultBlueprint());
+  EXPECT_EQ(r.fleet.submitted, 800u);
+  EXPECT_EQ(r.fleet.accepted, r.fleet.served + r.fleet.Shed());
+  EXPECT_EQ(r.scoped_requests, 800u) << "no noisy tenant: all traffic scoped";
+  EXPECT_LE(r.good_requests, r.scoped_requests);
+  EXPECT_GE(r.slo_attainment, 0.0);
+  EXPECT_LE(r.slo_attainment, 1.0);
+  // Over-provisioned steady trickle: everything served within SLO.
+  EXPECT_EQ(r.good_requests, 800u);
+  EXPECT_TRUE(r.slo_met);
+  EXPECT_EQ(r.tail_over_2x_slo, 0u);
+  EXPECT_DOUBLE_EQ(r.qos_loss, 0.0);
+  EXPECT_GT(r.cost, 0.0);
+  // Deployed linear model matches the generating slope exactly.
+  EXPECT_NEAR(r.mean_abs_error, 0.0, 1e-9);
+}
+
+TEST(RunScenarioTest, TailCounterComesFromHistogramOverflow) {
+  // Squeeze the SLO until real latencies overflow the 2x-SLO histogram
+  // range: the deep-tail counter must light up without polluting
+  // in-range attainment accounting.
+  ScenarioSpec spec = LightSteadySpec();
+  spec.slo.latency_seconds = 0.010;  // under the ~14ms batch floor
+  const ScenarioReport r = RunScenario(spec, DefaultBlueprint());
+  EXPECT_GT(r.tail_over_2x_slo, 0u);
+  EXPECT_LE(r.tail_over_2x_slo, r.fleet.served);
+  EXPECT_LT(r.slo_attainment, 1.0);
+}
+
+TEST(RunScenarioTest, OutageDrainsAndReroutes) {
+  ScenarioSpec spec = LightSteadySpec();
+  spec.name = "mini_outage";
+  spec.requests = 1000;
+  spec.outage_shards = 1;
+  spec.outage_start_frac = 0.3;
+  spec.outage_end_frac = 0.7;
+  const ScenarioReport r = RunScenario(spec, DefaultBlueprint());
+  // The drained shard's arrivals diverted, and the fleet ledger still
+  // telescopes: nothing was lost during the outage window.
+  EXPECT_GT(r.fleet.drain_diverts, 0u);
+  EXPECT_EQ(r.fleet.accepted, r.fleet.served + r.fleet.Shed());
+  EXPECT_GT(r.availability, 0.99);
+}
+
+TEST(RunScenarioTest, NoisyTenantIsExcludedFromScopedAccounting) {
+  ScenarioSpec spec = LightSteadySpec();
+  spec.name = "mini_noisy";
+  spec.requests = 1000;
+  spec.shape = ArrivalShape::kFlashCrowd;
+  spec.surge_factor = 4.0;
+  spec.flash_start_frac = 0.4;
+  spec.flash_end_frac = 0.6;
+  spec.noisy_in_window = 0.8;
+  spec.noisy_off_window = 0.05;
+  const ScenarioReport r = RunScenario(spec, DefaultBlueprint());
+  EXPECT_LT(r.scoped_requests, 1000u)
+      << "bulk-tenant traffic must not be scored";
+  EXPECT_GT(r.scoped_requests, 0u);
+}
+
+TEST(RunScenarioTest, SlowBurnDriftClosesTheAutonomyLoop) {
+  // The pack's drift scenario at smoke scale: the ramp must trigger at
+  // least one full drift -> retrain -> flight -> promote episode.
+  std::vector<ScenarioSpec> pack = StandardScenarios(1);
+  const ScenarioSpec& drift = pack[4];
+  ASSERT_EQ(drift.name, "slow_burn_drift");
+  ASSERT_TRUE(drift.drift);
+  const ScenarioReport r = RunScenario(drift, DefaultBlueprint());
+  EXPECT_GE(r.episodes, 1u);
+  EXPECT_GE(r.promotes, 1u);
+  EXPECT_GT(r.mean_abs_error, 0.0) << "a drifting world has nonzero lag";
+}
+
+TEST(DominatesTest, StrictDominanceOnBothAxes) {
+  ScenarioReport a;
+  ScenarioReport b;
+  a.cost = 10.0;
+  a.qos_loss = 0.1;
+  b.cost = 10.0;
+  b.qos_loss = 0.1;
+  EXPECT_FALSE(Dominates(a, b)) << "equal points do not dominate";
+  a.cost = 9.0;
+  EXPECT_TRUE(Dominates(a, b));
+  EXPECT_FALSE(Dominates(b, a));
+  a.qos_loss = 0.2;
+  EXPECT_FALSE(Dominates(a, b)) << "cheaper but worse QoS is a trade";
+}
+
+}  // namespace
+}  // namespace ads::scenario
